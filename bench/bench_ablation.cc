@@ -1,0 +1,105 @@
+// Ablations of the FaCE design choices called out in paper §3.2, beyond
+// the published tables:
+//   (a) sync:  write-back (paper's choice) vs write-through
+//   (b) what:  cache clean+dirty (paper's choice) vs dirty-only vs clean-only
+//   (c) group size: 1..256 pages per GR/GSC batch (paper uses a flash block)
+//   (d) metadata segment size: effect on metadata write overhead
+// Each row reports steady-state tpmC, flash hit rate, and flash/disk write
+// traffic, so the contribution of every choice is visible in isolation.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace face {
+namespace bench {
+namespace {
+
+struct Row {
+  std::string name;
+  TestbedOptions opts;
+};
+
+void RunRows(const BenchFlags& flags, const char* title,
+             const std::vector<Row>& rows) {
+  const GoldenImage& golden = GetGolden(flags);
+  const uint64_t warmup = flags.WarmupOr(1500);
+  const uint64_t txns = flags.TxnsOr(2500);
+
+  PrintHeader(title);
+  printf("%-26s %8s %8s %10s %10s %10s\n", "configuration", "tpmC", "hit%",
+         "flash wr", "disk wr", "meta wr");
+  for (const Row& row : rows) {
+    Testbed tb(row.opts, &golden);
+    const RunResult r = MeasureSteadyState(&tb, warmup, txns, kCheckpointEvery);
+    printf("%-26s %8.0f %8.1f %10llu %10llu %10llu\n", row.name.c_str(),
+           r.TpmC(), r.cache_stats.HitRate() * 100,
+           static_cast<unsigned long long>(r.cache_stats.flash_writes),
+           static_cast<unsigned long long>(r.cache_stats.disk_writes),
+           static_cast<unsigned long long>(r.cache_stats.meta_flash_writes));
+    fflush(stdout);
+  }
+}
+
+void RunAll(const BenchFlags& flags) {
+  const GoldenImage& golden = GetGolden(flags);
+  const uint64_t cache = CachePagesForRatio(golden, 0.12);
+
+  auto base = [&](CachePolicy policy) {
+    TestbedOptions o;
+    o.policy = policy;
+    o.flash_pages = cache;
+    return o;
+  };
+
+  {
+    std::vector<Row> rows;
+    rows.push_back({"GSC write-back (paper)", base(CachePolicy::kFaceGSC)});
+    Row wt{"GSC write-through", base(CachePolicy::kFaceGSC)};
+    wt.opts.face_write_through = true;
+    rows.push_back(wt);
+    RunRows(flags, "(a) sync policy: write-back vs write-through", rows);
+  }
+  {
+    std::vector<Row> rows;
+    rows.push_back({"cache clean+dirty (paper)", base(CachePolicy::kFaceGSC)});
+    Row dirty_only{"cache dirty only", base(CachePolicy::kFaceGSC)};
+    dirty_only.opts.face_cache_clean = false;
+    rows.push_back(dirty_only);
+    Row clean_only{"cache clean only", base(CachePolicy::kFaceGSC)};
+    clean_only.opts.face_cache_dirty = false;
+    rows.push_back(clean_only);
+    RunRows(flags, "(b) admission: which evictions enter the flash cache",
+            rows);
+  }
+  {
+    std::vector<Row> rows;
+    for (uint32_t g : {1u, 16u, 64u, 128u, 256u}) {
+      Row row{"GSC group=" + std::to_string(g), base(CachePolicy::kFaceGSC)};
+      row.opts.group_size = g;
+      rows.push_back(row);
+    }
+    RunRows(flags, "(c) GR/GSC group size (pages per batch)", rows);
+  }
+  {
+    std::vector<Row> rows;
+    const uint64_t n = cache;
+    for (uint64_t segs : {4ull, 16ull, 64ull}) {
+      Row row{"segments=" + std::to_string(segs),
+              base(CachePolicy::kFaceGSC)};
+      row.opts.seg_entries =
+          static_cast<uint32_t>(std::max<uint64_t>(64, n / segs));
+      rows.push_back(row);
+    }
+    RunRows(flags,
+            "(d) metadata segment granularity (ring of N segments)", rows);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace face
+
+int main(int argc, char** argv) {
+  face::bench::RunAll(face::bench::ParseFlags(argc, argv));
+  return 0;
+}

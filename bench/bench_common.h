@@ -1,0 +1,178 @@
+// Shared scaffolding for the per-table/figure experiment binaries: flag
+// parsing, a process-wide cached golden image (with a host-file cache so
+// repeated bench runs skip the TPC-C load), fixed-width table printing, and
+// the standard warmup+measure protocol.
+//
+// Every binary accepts:
+//   --warehouses=N   TPC-C scale (default 1)
+//   --quick          ~1/4 of the default transaction counts
+//   --warmup=N       override warmup transactions per configuration
+//   --txns=N         override measured transactions per configuration
+//   --no-cache       do not read/write the golden image file cache
+#pragma once
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "testbed/testbed.h"
+
+namespace face {
+namespace bench {
+
+/// Parsed common flags.
+struct BenchFlags {
+  uint32_t warehouses = 1;
+  bool quick = false;
+  bool use_cache = true;
+  uint64_t warmup_txns = 0;  ///< 0 = per-bench default
+  uint64_t txns = 0;         ///< 0 = per-bench default
+
+  uint64_t WarmupOr(uint64_t dflt) const {
+    if (warmup_txns != 0) return warmup_txns;
+    return quick ? dflt / 4 : dflt;
+  }
+  uint64_t TxnsOr(uint64_t dflt) const {
+    if (txns != 0) return txns;
+    return quick ? dflt / 4 : dflt;
+  }
+};
+
+inline BenchFlags ParseFlags(int argc, char** argv) {
+  BenchFlags flags;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      flags.quick = true;
+    } else if (arg == "--no-cache") {
+      flags.use_cache = false;
+    } else if (arg.rfind("--warehouses=", 0) == 0) {
+      flags.warehouses = static_cast<uint32_t>(atoi(arg.c_str() + 13));
+    } else if (arg.rfind("--warmup=", 0) == 0) {
+      flags.warmup_txns = strtoull(arg.c_str() + 9, nullptr, 10);
+    } else if (arg.rfind("--txns=", 0) == 0) {
+      flags.txns = strtoull(arg.c_str() + 7, nullptr, 10);
+    } else {
+      fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      exit(2);
+    }
+  }
+  return flags;
+}
+
+/// Build (or load from the file cache) the golden image for `warehouses`.
+/// Exits on failure — benches have no meaningful degraded mode.
+inline const GoldenImage& GetGolden(const BenchFlags& flags) {
+  static GoldenImage golden;
+  static bool built = false;
+  if (built) return golden;
+
+  const std::string cache_path =
+      "face_golden_w" + std::to_string(flags.warehouses) + ".img";
+  if (flags.use_cache) {
+    GoldenImage from_file;
+    from_file.warehouses = flags.warehouses;
+    from_file.device = std::make_unique<SimDevice>(
+        "golden", DeviceProfile::Seagate15k(),
+        GoldenImage::CapacityPages(flags.warehouses));
+    from_file.device->set_timing_enabled(false);
+    const std::string meta_path = cache_path + ".meta";
+    FILE* meta = fopen(meta_path.c_str(), "rb");
+    if (meta != nullptr) {
+      uint64_t next_page_id = 0;
+      const bool meta_ok = fread(&next_page_id, 8, 1, meta) == 1;
+      fclose(meta);
+      if (meta_ok && from_file.device->LoadContents(cache_path).ok()) {
+        from_file.next_page_id = next_page_id;
+        golden = std::move(from_file);
+        built = true;
+        fprintf(stderr, "[golden] loaded %s (%" PRIu64 " pages)\n",
+                cache_path.c_str(), golden.db_pages());
+        return golden;
+      }
+    }
+  }
+
+  fprintf(stderr, "[golden] loading TPC-C, %u warehouse(s)...\n",
+          flags.warehouses);
+  auto built_golden = GoldenImage::Build(flags.warehouses);
+  if (!built_golden.ok()) {
+    fprintf(stderr, "golden build failed: %s\n",
+            built_golden.status().ToString().c_str());
+    exit(1);
+  }
+  golden = std::move(built_golden.value());
+  built = true;
+  fprintf(stderr, "[golden] built: %" PRIu64 " pages (%.1f MB)\n",
+          golden.db_pages(), golden.db_pages() * 4.0 / 1024);
+
+  if (flags.use_cache) {
+    if (golden.device->SaveContents(cache_path).ok()) {
+      FILE* meta = fopen((cache_path + ".meta").c_str(), "wb");
+      if (meta != nullptr) {
+        fwrite(&golden.next_page_id, 8, 1, meta);
+        fclose(meta);
+      }
+    }
+  }
+  return golden;
+}
+
+/// Database checkpoint cadence during measured steady-state runs. The
+/// paper's PostgreSQL checkpointed continuously during its hours-long
+/// runs; checkpoint handling is a first-order cost difference between the
+/// policies (FaCE absorbs checkpoints into flash, LC must flush its
+/// flash-dirty pages to disk, §2.3). Scaled like bench_table6's intervals.
+inline constexpr SimNanos kCheckpointEvery = 3 * kNanosPerSecond;
+
+/// Flash cache capacity for "X % of the database" (the paper's x axis).
+inline uint64_t CachePagesForRatio(const GoldenImage& golden, double ratio) {
+  return static_cast<uint64_t>(static_cast<double>(golden.db_pages()) *
+                               ratio);
+}
+
+/// Run the standard protocol: Start, warmup, one measured batch.
+/// Exits on failure.
+inline RunResult MeasureSteadyState(Testbed* tb, uint64_t warmup_txns,
+                                    uint64_t txns,
+                                    SimNanos checkpoint_interval = 0) {
+  auto die = [](const Status& s, const char* what) {
+    if (!s.ok()) {
+      fprintf(stderr, "%s failed: %s\n", what, s.ToString().c_str());
+      exit(1);
+    }
+  };
+  die(tb->Start(), "testbed start");
+  die(tb->Warmup(warmup_txns), "warmup");
+  RunOptions run;
+  run.txns = txns;
+  run.checkpoint_interval = checkpoint_interval;
+  auto result = tb->Run(run);
+  die(result.status(), "measured run");
+  return std::move(result.value());
+}
+
+/// Print a row of fixed-width columns: first column left-aligned 14 wide,
+/// the rest right-aligned 10 wide.
+inline void PrintRow(const std::string& head,
+                     const std::vector<std::string>& cells) {
+  printf("%-14s", head.c_str());
+  for (const auto& c : cells) printf(" %10s", c.c_str());
+  printf("\n");
+}
+
+inline std::string Fmt(const char* fmt, double v) {
+  char buf[64];
+  snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+
+inline void PrintHeader(const char* title) {
+  printf("\n=== %s ===\n", title);
+}
+
+}  // namespace bench
+}  // namespace face

@@ -1,0 +1,43 @@
+// Section 2.2: the analytic cost-effectiveness of flash as a cache
+// extension. Computes, from the Table 1 device calibration, the break-even
+// flash size 1+theta = (1+delta)^(C_disk/(C_disk-C_flash)) and the dollars
+// of flash needed to match a dollar of DRAM.
+//
+// Paper facts to reproduce: the exponent is ~1.006 for a read-only mix and
+// ~1.025 for a write-only mix (Seagate 15k + Samsung 470), so flash needs
+// barely more capacity than the DRAM it replaces — at ~1/10th the price.
+#include <cstdio>
+
+#include "core/cost_model.h"
+#include "sim/device_model.h"
+
+namespace face {
+namespace {
+
+void Analyze(const char* name, const DeviceProfile& flash) {
+  const CostModel model(DeviceProfile::Seagate15k(), flash);
+  printf("\n--- disk: Seagate 15k, flash: %s ---\n", name);
+  printf("%-12s %10s %10s %12s %12s\n", "read mix", "exponent", "theta(d=1)",
+         "flash$/$DRAM", "Cd/Cf");
+  for (double read_fraction : {1.0, 0.5, 0.0}) {
+    const CostAnalysis a = model.Analyze(/*delta=*/1.0, read_fraction);
+    printf("%-12s %10.4f %10.4f %12.4f %12.1f\n",
+           read_fraction == 1.0   ? "read-only"
+           : read_fraction == 0.0 ? "write-only"
+                                  : "50/50",
+           a.exponent, a.theta, a.cost_ratio, a.c_disk_ns / a.c_flash_ns);
+  }
+  printf("%s\n", model.Report(0.5).c_str());
+}
+
+}  // namespace
+}  // namespace face
+
+int main() {
+  printf("Section 2.2: break-even analysis of flash cache vs DRAM growth\n");
+  printf("paper: exponent ~1.006 (read-only), ~1.025 (write-only) for the "
+         "Samsung 470\n");
+  face::Analyze("MLC Samsung 470", face::DeviceProfile::MlcSamsung470());
+  face::Analyze("SLC Intel X25-E", face::DeviceProfile::SlcIntelX25E());
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Figure 5: transaction throughput vs the number of RAID-0 disk drives
+// (4..16), for FaCE+GSC, LC and HDD-only, cache fixed at 12 % of the
+// database.
+//
+// Paper shape to reproduce: FaCE+GSC and HDD-only scale with spindles
+// (disks are the critical path); LC flattens by 8 disks and drops below
+// HDD-only at 16 (the saturated flash device becomes ITS critical path).
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace face {
+namespace bench {
+namespace {
+
+constexpr uint32_t kSpindles[] = {4, 8, 12, 16};
+
+void RunFigure(const BenchFlags& flags) {
+  const GoldenImage& golden = GetGolden(flags);
+  const uint64_t warmup = flags.WarmupOr(2000);
+  const uint64_t txns = flags.TxnsOr(3000);
+
+  PrintHeader("Figure 5: tpmC vs RAID-0 spindle count (cache = 12% of DB)");
+  std::vector<std::string> head;
+  for (uint32_t d : kSpindles) head.push_back(Fmt("%.0f disks", d));
+  PrintRow("spindles", head);
+
+  const struct {
+    CachePolicy policy;
+    const char* name;
+  } kRows[] = {{CachePolicy::kFaceGSC, "FaCE+GSC"},
+               {CachePolicy::kLc, "LC"},
+               {CachePolicy::kNone, "HDD only"}};
+
+  for (const auto& row : kRows) {
+    std::vector<std::string> cells;
+    for (uint32_t spindles : kSpindles) {
+      TestbedOptions opts;
+      opts.policy = row.policy;
+      opts.db_profile = DeviceProfile::Raid0Seagate(spindles);
+      if (row.policy != CachePolicy::kNone) {
+        opts.flash_pages = CachePagesForRatio(golden, 0.12);
+      }
+      Testbed tb(opts, &golden);
+      const double tpmc = MeasureSteadyState(&tb, warmup, txns, kCheckpointEvery).TpmC();
+      cells.push_back(Fmt("%.0f", tpmc));
+      fprintf(stderr, "[fig5] %-8s %2u disks: tpmC=%.0f\n", row.name,
+              spindles, tpmc);
+    }
+    PrintRow(row.name, cells);
+  }
+  printf("\npaper shape: FaCE+GSC and HDD-only scale with spindles; LC "
+         "flattens at 8 and\nfalls below HDD-only at 16.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace face
+
+int main(int argc, char** argv) {
+  face::bench::RunFigure(face::bench::ParseFlags(argc, argv));
+  return 0;
+}

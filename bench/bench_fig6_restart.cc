@@ -1,0 +1,114 @@
+// Figure 6: time-varying transaction throughput immediately after a crash
+// and restart (checkpoint interval 180 s), FaCE+GSC vs HDD-only.
+//
+// Paper shape to reproduce: FaCE resumes normal throughput within a couple
+// of windows of the crash and stays higher; HDD-only spends hundreds of
+// virtual seconds recovering and ramps slowly (cold buffer, all disk).
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+namespace face {
+namespace bench {
+namespace {
+
+// The paper's 180 s interval, scaled to the smaller database the same way
+// bench_table6 scales (interval : cache-turnover ratio preserved).
+constexpr SimNanos kInterval = 6 * kNanosPerSecond;
+constexpr SimNanos kWindow = kNanosPerSecond / 2;
+constexpr int kWindows = 24;
+
+struct Timeline {
+  double restart_s = 0;
+  std::vector<double> tpmc;  ///< per window after the crash instant
+};
+
+Timeline CrashAndReplay(const BenchFlags& flags, CachePolicy policy) {
+  const GoldenImage& golden = GetGolden(flags);
+  TestbedOptions opts;
+  opts.policy = policy;
+  if (policy != CachePolicy::kNone) {
+    opts.flash_pages = CachePagesForRatio(golden, 0.08);
+  }
+  Testbed tb(opts, &golden);
+  auto die = [](const Status& s, const char* what) {
+    if (!s.ok()) {
+      fprintf(stderr, "%s: %s\n", what, s.ToString().c_str());
+      exit(1);
+    }
+  };
+  die(tb.Start(), "start");
+  die(tb.Warmup(flags.WarmupOr(2000)), "warmup");
+
+  RunOptions run;
+  run.txns = 200;
+  run.checkpoint_interval = kInterval;
+  uint64_t checkpoints = 0;
+  while (checkpoints < 1 ||
+         tb.sched()->now() < tb.last_checkpoint_time() + kInterval / 2) {
+    auto result = tb.Run(run);
+    die(result.status(), "run");
+    checkpoints += result->checkpoints;
+  }
+
+  const SimNanos crash_time = tb.sched()->makespan();
+  die(tb.InjectInflightTransactions(50), "inject");
+  die(tb.Crash(), "crash");
+  auto report = tb.Recover();
+  die(report.status(), "recover");
+
+  Timeline timeline;
+  timeline.restart_s = ToSeconds(report->total_ns);
+  timeline.tpmc.assign(kWindows, 0.0);
+
+  // Replay until the observation horizon, recording completions.
+  const SimNanos horizon = crash_time + kWindows * kWindow;
+  while (tb.sched()->makespan() < horizon) {
+    RunOptions obs;
+    obs.txns = 400;
+    obs.checkpoint_interval = kInterval;
+    obs.collect_completions = true;
+    auto result = tb.Run(obs);
+    die(result.status(), "post-restart run");
+    for (const auto& [done, type] : result->completions) {
+      if (type != tpcc::TxnType::kNewOrder) continue;
+      if (done < crash_time) continue;
+      const uint64_t w = (done - crash_time) / kWindow;
+      if (w < static_cast<uint64_t>(kWindows)) {
+        timeline.tpmc[w] += 60.0 / ToSeconds(kWindow);
+      }
+    }
+  }
+  return timeline;
+}
+
+void RunFigure(const BenchFlags& flags) {
+  const Timeline face_line = CrashAndReplay(flags, CachePolicy::kFaceGSC);
+  const Timeline hdd_line = CrashAndReplay(flags, CachePolicy::kNone);
+
+  PrintHeader(
+      "Figure 6: NewOrder throughput (tpmC) per window after the crash "
+      "(scaled ckpt interval)");
+  printf("%-14s %12s %12s\n", "window (s)", "FaCE+GSC", "HDD only");
+  const double win_s = ToSeconds(kWindow);
+  for (int w = 0; w < kWindows; ++w) {
+    printf("%5.1f-%-7.1f %12.0f %12.0f\n", w * win_s, (w + 1) * win_s,
+           face_line.tpmc[w], hdd_line.tpmc[w]);
+  }
+  printf("\nrestart times: FaCE+GSC %.1fs, HDD only %.1fs\n",
+         face_line.restart_s, hdd_line.restart_s);
+  printf("paper shape: FaCE resumes within ~2 windows and stays higher; "
+         "HDD-only stays at\nzero for several hundred seconds, then ramps "
+         "slowly.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace face
+
+int main(int argc, char** argv) {
+  face::bench::RunFigure(face::bench::ParseFlags(argc, argv));
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Table 3: flash cache read-hit rates and write reductions of LC vs FaCE
+// (base, +GR, +GSC) across cache sizes of 4–20 % of the database (the
+// paper's 2–10 GB against a 50 GB database).
+//
+// Paper shape to reproduce: LC hits a few points higher than FaCE
+// everywhere (it keeps exactly one copy per page; mvFIFO stores
+// duplicates), GSC closes most of that gap, and both rise with cache size.
+#include <cstdio>
+
+// Protocol note: hit rate and write reduction are replacement-policy
+// metrics, so this bench runs WITHOUT database checkpoints. The paper's
+// checkpoints were infrequent relative to its cache turnover; at our scale
+// a realistic cadence would flush LC's flash-dirty set often enough to
+// swamp the policy signal (the throughput benches, where checkpoint
+// handling is integral, do run with checkpoints).
+#include "bench/bench_common.h"
+#include "core/face_cache.h"
+
+namespace face {
+namespace bench {
+namespace {
+
+constexpr double kRatios[] = {0.04, 0.08, 0.12, 0.16, 0.20};
+constexpr CachePolicy kPolicies[] = {CachePolicy::kLc, CachePolicy::kFace,
+                                     CachePolicy::kFaceGR,
+                                     CachePolicy::kFaceGSC};
+
+void RunTable(const BenchFlags& flags) {
+  const GoldenImage& golden = GetGolden(flags);
+  const uint64_t warmup = flags.WarmupOr(2000);
+  const uint64_t txns = flags.TxnsOr(3000);
+
+  struct Cell {
+    double hit;
+    double write_reduction;
+    double duplicate_ratio;
+  };
+  Cell grid[4][5] = {};
+
+  for (size_t p = 0; p < std::size(kPolicies); ++p) {
+    for (size_t r = 0; r < std::size(kRatios); ++r) {
+      TestbedOptions opts;
+      opts.policy = kPolicies[p];
+      opts.flash_pages = CachePagesForRatio(golden, kRatios[r]);
+      Testbed tb(opts, &golden);
+      const RunResult result = MeasureSteadyState(&tb, warmup, txns);
+      grid[p][r].hit = result.cache_stats.HitRate() * 100;
+      grid[p][r].write_reduction = result.cache_stats.WriteReduction() * 100;
+      if (auto* fc = dynamic_cast<FaceCache*>(tb.cache())) {
+        grid[p][r].duplicate_ratio = fc->DuplicateRatio() * 100;
+      }
+      fprintf(stderr, "[table3] %-8s %4.0f%%: hit=%.1f%% wr=%.1f%%\n",
+              CachePolicyName(kPolicies[p]), kRatios[r] * 100,
+              grid[p][r].hit, grid[p][r].write_reduction);
+    }
+  }
+
+  std::vector<std::string> head;
+  for (double r : kRatios) head.push_back(Fmt("%.0f%% of DB", r * 100));
+
+  PrintHeader("Table 3(a): flash cache hits / all DRAM misses (%)");
+  PrintRow("cache size", head);
+  const char* paper_a[] = {"72.9/80.0/83.7/87.0/89.3 (2-10GB)",
+                           "65.5/72.6/76.4/78.6/80.5",
+                           "65.5/72.6/76.2/78.6/80.4",
+                           "69.7/76.6/79.8/82.1/83.7"};
+  for (size_t p = 0; p < std::size(kPolicies); ++p) {
+    std::vector<std::string> cells;
+    for (size_t r = 0; r < std::size(kRatios); ++r) {
+      cells.push_back(Fmt("%.1f", grid[p][r].hit));
+    }
+    PrintRow(CachePolicyName(kPolicies[p]), cells);
+    printf("  paper: %s\n", paper_a[p]);
+  }
+
+  PrintHeader("Table 3(b): flash cache writes / all dirty evictions (%)");
+  PrintRow("cache size", head);
+  const char* paper_b[] = {"51.8/62.1/68.8/74.0/78.6",
+                           "46.3/54.8/60.1/62.8/65.0",
+                           "46.3/55.3/59.7/62.7/65.4",
+                           "50.2/59.9/65.9/70.4/73.9"};
+  for (size_t p = 0; p < std::size(kPolicies); ++p) {
+    std::vector<std::string> cells;
+    for (size_t r = 0; r < std::size(kRatios); ++r) {
+      cells.push_back(Fmt("%.1f", grid[p][r].write_reduction));
+    }
+    PrintRow(CachePolicyName(kPolicies[p]), cells);
+    printf("  paper: %s\n", paper_b[p]);
+  }
+
+  PrintHeader("extra (§5.3): FaCE duplicate-page ratio in the flash cache (%)");
+  PrintRow("cache size", head);
+  for (size_t p = 1; p < std::size(kPolicies); ++p) {
+    std::vector<std::string> cells;
+    for (size_t r = 0; r < std::size(kRatios); ++r) {
+      cells.push_back(Fmt("%.1f", grid[p][r].duplicate_ratio));
+    }
+    PrintRow(CachePolicyName(kPolicies[p]), cells);
+  }
+  printf("  paper: 30-40%% for FaCE at 8 GB\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace face
+
+int main(int argc, char** argv) {
+  face::bench::RunTable(face::bench::ParseFlags(argc, argv));
+  return 0;
+}

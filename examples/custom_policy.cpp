@@ -1,0 +1,214 @@
+// Extending the library: write your own flash caching policy against the
+// CacheExtension interface and race it against FaCE on the same workload.
+//
+// The toy policy here ("ClockCache") keeps one copy per page in a flash
+// ring with CLOCK (second-chance) replacement — a plausible middle ground
+// between LC's LRU-2 and FaCE's mvFIFO that a systems class might propose.
+// The interesting part is what the device model says about it: it avoids
+// duplicates like LC but still pays random in-place writes, so it lands
+// between the two published designs.
+//
+//   $ ./examples/custom_policy
+#include <cstdio>
+#include <unordered_map>
+#include <vector>
+
+#include "core/cache_ext.h"
+#include "storage/page.h"
+#include "testbed/testbed.h"
+
+using namespace face;
+
+namespace {
+
+/// One-copy-per-page flash cache with CLOCK replacement. Volatile metadata
+/// (cold restart), write-back for dirty pages.
+class ClockCache final : public CacheExtension {
+ public:
+  ClockCache(uint64_t n_frames, SimDevice* flash, DbStorage* storage)
+      : frames_(n_frames), flash_(flash), storage_(storage),
+        scratch_(kPageSize, '\0') {}
+
+  const char* name() const override { return "Clock"; }
+  bool IsPersistent() const override { return false; }
+  bool Contains(PageId page_id) const override {
+    return index_.count(page_id) != 0;
+  }
+
+  StatusOr<FlashReadResult> ReadPage(PageId page_id, char* out) override {
+    auto it = index_.find(page_id);
+    if (it == index_.end()) return Status::NotFound("not cached");
+    Frame& f = frames_[it->second];
+    FACE_RETURN_IF_ERROR(flash_->Read(it->second, out));
+    ++stats_.flash_reads;
+    f.referenced = true;
+    return FlashReadResult{f.dirty, f.rec_lsn};
+  }
+
+  Status OnDramEvict(PageId page_id, char* page, bool dirty, bool fdirty,
+                     Lsn rec_lsn) override {
+    if (dirty) ++stats_.dirty_evictions;
+    auto it = index_.find(page_id);
+    if (it != index_.end()) {
+      Frame& f = frames_[it->second];
+      if (fdirty) {  // refresh the copy in place: a random flash write
+        FACE_RETURN_IF_ERROR(WriteFrame(it->second, page, page_id));
+        f.dirty = f.dirty || dirty;
+        if (dirty && f.rec_lsn == kInvalidLsn) f.rec_lsn = rec_lsn;
+      }
+      f.referenced = true;
+      return Status::OK();
+    }
+    FACE_ASSIGN_OR_RETURN(uint64_t slot, FindVictim());
+    FACE_RETURN_IF_ERROR(WriteFrame(slot, page, page_id));
+    frames_[slot] =
+        Frame{page_id, dirty, dirty ? rec_lsn : kInvalidLsn, false, true};
+    index_[page_id] = slot;
+    ++stats_.enqueues;
+    return Status::OK();
+  }
+
+  void OnPageWrittenToDisk(PageId page_id) override {
+    auto it = index_.find(page_id);
+    if (it == index_.end()) return;
+    frames_[it->second].dirty = false;
+    frames_[it->second].rec_lsn = kInvalidLsn;
+  }
+
+  Status RecoverAfterCrash() override {  // volatile directory: cold start
+    index_.clear();
+    for (auto& f : frames_) f = Frame{};
+    hand_ = 0;
+    return Status::OK();
+  }
+
+ private:
+  struct Frame {
+    PageId page_id = kInvalidPageId;
+    bool dirty = false;
+    Lsn rec_lsn = kInvalidLsn;
+    bool referenced = false;
+    bool used = false;
+  };
+
+  StatusOr<uint64_t> FindVictim() {
+    while (true) {
+      Frame& f = frames_[hand_];
+      const uint64_t slot = hand_;
+      hand_ = (hand_ + 1) % frames_.size();
+      if (!f.used) return slot;
+      if (f.referenced) {  // second chance
+        f.referenced = false;
+        continue;
+      }
+      if (f.dirty) {  // write-back before reuse
+        FACE_RETURN_IF_ERROR(flash_->Read(slot, scratch_.data()));
+        ++stats_.flash_reads;
+        FACE_RETURN_IF_ERROR(storage_->WritePage(f.page_id, scratch_.data()));
+        ++stats_.disk_writes;
+      }
+      index_.erase(f.page_id);
+      ++stats_.invalidations;
+      return slot;
+    }
+  }
+
+  Status WriteFrame(uint64_t slot, const char* page, PageId page_id) {
+    memcpy(scratch_.data(), page, kPageSize);
+    PageView v(scratch_.data());
+    v.set_page_id(page_id);
+    v.StampChecksum();
+    ++stats_.flash_writes;
+    return flash_->Write(slot, scratch_.data());
+  }
+
+  std::vector<Frame> frames_;
+  std::unordered_map<PageId, uint64_t> index_;
+  uint64_t hand_ = 0;
+  SimDevice* flash_;
+  DbStorage* storage_;
+  std::string scratch_;
+};
+
+}  // namespace
+
+int main() {
+  printf("loading TPC-C (1 warehouse)...\n");
+  auto golden = GoldenImage::Build(1);
+  if (!golden.ok()) return 1;
+  const uint64_t cache_pages = golden->db_pages() / 8;
+
+  // FaCE+GSC via the testbed.
+  double face_tpmc, face_hit;
+  {
+    TestbedOptions opts;
+    opts.policy = CachePolicy::kFaceGSC;
+    opts.flash_pages = cache_pages;
+    Testbed tb(opts, &*golden);
+    if (!tb.Start().ok() || !tb.Warmup(2000).ok()) return 1;
+    auto r = tb.Run({.txns = 3000});
+    if (!r.ok()) return 1;
+    face_tpmc = r->TpmC();
+    face_hit = r->cache_stats.HitRate();
+  }
+
+  // The custom policy, wired by hand on identical devices.
+  double clock_tpmc, clock_hit;
+  {
+    IoScheduler sched(50);
+    SimDevice db_dev("db", DeviceProfile::Raid0Seagate(8),
+                     golden->device->capacity_pages(), &sched);
+    SimDevice log_dev("log", DeviceProfile::Seagate15k(), 1 << 22, &sched);
+    SimDevice flash_dev("flash", DeviceProfile::MlcSamsung470(), cache_pages,
+                        &sched);
+    db_dev.set_timing_enabled(false);
+    if (!db_dev.CloneContentsFrom(*golden->device).ok()) return 1;
+    db_dev.set_timing_enabled(true);
+
+    DbStorage storage(&db_dev);
+    storage.RestoreAllocator(golden->next_page_id);
+    LogManager log(&log_dev);
+    if (!log.Format().ok()) return 1;
+    ClockCache cache(cache_pages, &flash_dev, &storage);
+    DatabaseOptions db_opts;
+    db_opts.buffer_frames = 256;
+    Database db(db_opts, &storage, &log, &cache);
+    if (!db.Open().ok() || !db.TakeCheckpoint().ok()) return 1;
+
+    auto tables = tpcc::Tables::Open(&db);
+    if (!tables.ok()) return 1;
+    tpcc::WorkloadConfig wl;
+    wl.warehouses = 1;
+    tpcc::Workload workload(&db, &*tables, wl);
+    for (int i = 0; i < 5000; ++i) {  // warm + measure
+      if (i == 2000) {
+        sched.Reset();
+        cache.ResetStats();
+        workload.ResetStats();
+      }
+      sched.BeginTxn();
+      sched.OnCpu(100 * kNanosPerMicro);
+      if (!workload.RunOne().ok()) return 1;
+      sched.EndTxn();
+    }
+    clock_tpmc = static_cast<double>(workload.stats().new_orders()) * 60e9 /
+                 static_cast<double>(sched.makespan());
+    clock_hit = cache.stats().HitRate();
+  }
+
+  printf("\n%-10s %10s %8s\n", "policy", "tpmC", "hit%");
+  printf("%-10s %10.0f %8.1f\n", "FaCE+GSC", face_tpmc, face_hit * 100);
+  printf("%-10s %10.0f %8.1f\n", "Clock", clock_tpmc, clock_hit * 100);
+  printf(
+      "\nThe trade the paper's Table 4 is about, on a policy it never "
+      "measured: Clock\nkeeps one copy per page (higher hit rate than "
+      "mvFIFO) but pays a random\nin-place flash write per admission. "
+      "Which side wins depends on how close the\nflash device is to its "
+      "random-write ceiling: below saturation (small scale,\nthis run) "
+      "the hit rate can carry Clock ahead; at the paper's scale the\n"
+      "saturated device throttles every in-place design — that regime is "
+      "what\nFigure 4 and Table 4 show. Crash behavior differs "
+      "unconditionally: Clock's\ndirectory is volatile, so it restarts "
+      "cold, while FaCE recovers its contents.\n");
+  return 0;
+}

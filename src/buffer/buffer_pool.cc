@@ -1,0 +1,320 @@
+#include "buffer/buffer_pool.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace face {
+
+PageHandle& PageHandle::operator=(PageHandle&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = other.pool_;
+    frame_ = other.frame_;
+    page_id_ = other.page_id_;
+    other.pool_ = nullptr;
+  }
+  return *this;
+}
+
+char* PageHandle::data() {
+  assert(valid());
+  return pool_->frames_[frame_].data.get();
+}
+
+const char* PageHandle::data() const {
+  assert(valid());
+  return pool_->frames_[frame_].data.get();
+}
+
+void PageHandle::MarkDirty(Lsn lsn) {
+  assert(valid());
+  BufferPool::Frame& f = pool_->frames_[frame_];
+  f.dirty = true;
+  f.fdirty = true;
+  if (f.rec_lsn == kInvalidLsn) f.rec_lsn = lsn;
+  if (lsn != kInvalidLsn) PageView(f.data.get()).set_lsn(lsn);
+}
+
+void PageHandle::Release() {
+  if (pool_ == nullptr) return;
+  BufferPool::Frame& f = pool_->frames_[frame_];
+  assert(f.pins > 0);
+  --f.pins;
+  pool_ = nullptr;
+}
+
+BufferPool::BufferPool(uint32_t capacity_frames, DbStorage* storage,
+                       LogManager* log, CacheExtension* cache)
+    : frames_(capacity_frames), storage_(storage), log_(log), cache_(cache) {
+  assert(capacity_frames >= 8);
+  free_list_.reserve(capacity_frames);
+  for (uint32_t i = 0; i < capacity_frames; ++i) {
+    frames_[i].data = std::make_unique<char[]>(kPageSize);
+    free_list_.push_back(capacity_frames - 1 - i);
+  }
+  cache_->SetPullSource(this);
+}
+
+BufferPool::~BufferPool() { cache_->SetPullSource(nullptr); }
+
+void BufferPool::LruPushFront(uint32_t frame) {
+  Frame& f = frames_[frame];
+  f.prev = -1;
+  f.next = lru_head_;
+  if (lru_head_ >= 0) frames_[lru_head_].prev = static_cast<int32_t>(frame);
+  lru_head_ = static_cast<int32_t>(frame);
+  if (lru_tail_ < 0) lru_tail_ = static_cast<int32_t>(frame);
+}
+
+void BufferPool::LruRemove(uint32_t frame) {
+  Frame& f = frames_[frame];
+  if (f.prev >= 0) frames_[f.prev].next = f.next;
+  else lru_head_ = f.next;
+  if (f.next >= 0) frames_[f.next].prev = f.prev;
+  else lru_tail_ = f.prev;
+  f.prev = f.next = -1;
+}
+
+void BufferPool::LruTouch(uint32_t frame) {
+  if (lru_head_ == static_cast<int32_t>(frame)) return;
+  LruRemove(frame);
+  LruPushFront(frame);
+}
+
+StatusOr<PageHandle> BufferPool::FetchPage(PageId page_id) {
+  ++stats_.fetches;
+  auto it = table_.find(page_id);
+  if (it != table_.end()) {
+    ++stats_.hits;
+    Frame& f = frames_[it->second];
+    ++f.pins;
+    LruTouch(it->second);
+    return PageHandle(this, it->second, page_id);
+  }
+
+  ++stats_.misses;
+  FACE_ASSIGN_OR_RETURN(uint32_t frame, GetFreeFrame());
+  Frame& f = frames_[frame];
+
+  const bool flash_hit = cache_->Contains(page_id);
+  cache_->RecordProbe(flash_hit);
+  if (flash_hit) {
+    auto read = cache_->ReadPage(page_id, f.data.get());
+    if (!read.ok()) {
+      free_list_.push_back(frame);
+      return read.status();
+    }
+    ++stats_.flash_fetches;
+    f.dirty = read->dirty;
+    f.fdirty = false;  // synced with the flash copy we just read
+    // Persistent caches are part of the durable database: a dirty flash
+    // page needs no redo protection. Non-persistent write-back caches
+    // (LC) hand back the conservative recLSN they remembered.
+    f.rec_lsn = (read->dirty && !cache_->IsPersistent()) ? read->rec_lsn
+                                                         : kInvalidLsn;
+  } else {
+    Status s = storage_->ReadPage(page_id, f.data.get());
+    if (!s.ok()) {
+      free_list_.push_back(frame);
+      return s;
+    }
+    ++stats_.disk_fetches;
+    f.dirty = false;
+    f.fdirty = false;
+    f.rec_lsn = kInvalidLsn;
+    FACE_RETURN_IF_ERROR(cache_->OnFetchFromDisk(page_id, f.data.get()));
+  }
+
+  f.page_id = page_id;
+  f.pins = 1;
+  f.in_use = true;
+  table_.emplace(page_id, frame);
+  LruPushFront(frame);
+  return PageHandle(this, frame, page_id);
+}
+
+StatusOr<PageHandle> BufferPool::NewPage() {
+  FACE_ASSIGN_OR_RETURN(PageId page_id, storage_->AllocatePage());
+  FACE_ASSIGN_OR_RETURN(uint32_t frame, GetFreeFrame());
+  Frame& f = frames_[frame];
+  PageView(f.data.get()).Format(page_id);
+  f.page_id = page_id;
+  f.pins = 1;
+  f.in_use = true;
+  // Clean until the caller logs the formatting: if evicted before any
+  // logged write, the zero page is simply dropped and redo recreates it.
+  f.dirty = false;
+  f.fdirty = false;
+  f.rec_lsn = kInvalidLsn;
+  table_.emplace(page_id, frame);
+  LruPushFront(frame);
+  ++stats_.new_pages;
+  return PageHandle(this, frame, page_id);
+}
+
+StatusOr<PageHandle> BufferPool::FetchPageForRedo(PageId page_id) {
+  auto handle = FetchPage(page_id);
+  if (handle.ok() || !handle.status().IsNotFound()) return handle;
+  // Virgin page: materialize a formatted zero page for redo to fill.
+  storage_->ObservePage(page_id);
+  FACE_ASSIGN_OR_RETURN(uint32_t frame, GetFreeFrame());
+  Frame& f = frames_[frame];
+  PageView(f.data.get()).Format(page_id);
+  f.page_id = page_id;
+  f.pins = 1;
+  f.in_use = true;
+  f.dirty = false;
+  f.fdirty = false;
+  f.rec_lsn = kInvalidLsn;
+  table_.emplace(page_id, frame);
+  LruPushFront(frame);
+  return PageHandle(this, frame, page_id);
+}
+
+StatusOr<uint32_t> BufferPool::GetFreeFrame() {
+  if (!free_list_.empty()) {
+    const uint32_t frame = free_list_.back();
+    free_list_.pop_back();
+    return frame;
+  }
+  // Evict from the LRU tail, skipping pinned frames.
+  for (int32_t i = lru_tail_; i >= 0; i = frames_[i].prev) {
+    if (frames_[i].pins == 0) {
+      const uint32_t frame = static_cast<uint32_t>(i);
+      LruRemove(frame);
+      FACE_RETURN_IF_ERROR(EvictFrame(frame));
+      return frame;
+    }
+  }
+  return Status::Busy("all buffer frames pinned");
+}
+
+Status BufferPool::EvictFrame(uint32_t frame) {
+  Frame& f = frames_[frame];
+  ++stats_.evictions;
+  if (f.dirty) ++stats_.dirty_evictions;
+  // WAL-before-data: nothing newer than the durable log may reach
+  // persistent storage (flash cache included).
+  if (f.dirty || f.fdirty) {
+    FACE_RETURN_IF_ERROR(log_->FlushTo(PageView(f.data.get()).lsn()));
+  }
+  table_.erase(f.page_id);
+  Status s = cache_->OnDramEvict(f.page_id, f.data.get(), f.dirty, f.fdirty,
+                                 f.rec_lsn);
+  f.in_use = false;
+  f.page_id = kInvalidPageId;
+  f.dirty = f.fdirty = false;
+  f.rec_lsn = kInvalidLsn;
+  return s;
+}
+
+PageId BufferPool::PullVictim(char* page, bool* dirty, bool* fdirty) {
+  for (int32_t i = lru_tail_; i >= 0; i = frames_[i].prev) {
+    if (frames_[i].pins != 0) continue;
+    const uint32_t frame = static_cast<uint32_t>(i);
+    Frame& f = frames_[frame];
+    if (f.dirty || f.fdirty) {
+      if (!log_->FlushTo(PageView(f.data.get()).lsn()).ok()) return kInvalidPageId;
+    }
+    const PageId page_id = f.page_id;
+    memcpy(page, f.data.get(), kPageSize);
+    *dirty = f.dirty;
+    *fdirty = f.fdirty;
+    LruRemove(frame);
+    table_.erase(page_id);
+    f.in_use = false;
+    f.page_id = kInvalidPageId;
+    f.dirty = f.fdirty = false;
+    f.rec_lsn = kInvalidLsn;
+    free_list_.push_back(frame);
+    ++stats_.evictions;
+    ++stats_.pulls;
+    return page_id;
+  }
+  return kInvalidPageId;
+}
+
+Status BufferPool::FlushAllToDisk() {
+  FACE_RETURN_IF_ERROR(log_->FlushAll());
+  for (auto& [page_id, frame] : table_) {
+    Frame& f = frames_[frame];
+    if (!f.dirty) continue;
+    FACE_RETURN_IF_ERROR(storage_->WritePage(page_id, f.data.get()));
+    cache_->OnPageWrittenToDisk(page_id);
+    f.dirty = false;
+    f.fdirty = false;
+    f.rec_lsn = kInvalidLsn;
+  }
+  return Status::OK();
+}
+
+std::vector<PageId> BufferPool::SnapshotResidentPages() const {
+  std::vector<PageId> ids;
+  ids.reserve(table_.size());
+  for (const auto& [page_id, frame] : table_) ids.push_back(page_id);
+  return ids;
+}
+
+Status BufferPool::EvictAll() {
+  while (lru_tail_ >= 0) {
+    bool evicted = false;
+    for (int32_t i = lru_tail_; i >= 0; i = frames_[i].prev) {
+      if (frames_[i].pins == 0) {
+        const uint32_t frame = static_cast<uint32_t>(i);
+        LruRemove(frame);
+        FACE_RETURN_IF_ERROR(EvictFrame(frame));
+        free_list_.push_back(frame);
+        evicted = true;
+        break;
+      }
+    }
+    if (!evicted) break;  // everything left is pinned
+  }
+  return Status::OK();
+}
+
+std::vector<DptEntry> BufferPool::CollectDirtyPages() const {
+  std::vector<DptEntry> dpt;
+  for (const auto& [page_id, frame] : table_) {
+    const Frame& f = frames_[frame];
+    if (PersistentlyDirty(f)) dpt.push_back({page_id, f.rec_lsn});
+  }
+  return dpt;
+}
+
+Status BufferPool::SyncDirtyPagesForCheckpoint() {
+  FACE_RETURN_IF_ERROR(log_->FlushAll());
+  // Snapshot first: absorbing a page into FaCE can trigger a Group Second
+  // Chance replacement, which pulls victims and mutates the page table.
+  for (PageId page_id : SnapshotResidentPages()) {
+    auto it = table_.find(page_id);
+    if (it == table_.end()) continue;  // pulled into the cache meanwhile
+    const uint32_t frame = it->second;
+    Frame& f = frames_[frame];
+    if (!PersistentlyDirty(f)) continue;
+    FACE_ASSIGN_OR_RETURN(bool absorbed,
+                          cache_->CheckpointPage(page_id, f.data.get()));
+    if (absorbed) {
+      // Flash now holds the current copy persistently; still newer than disk.
+      f.fdirty = false;
+      f.rec_lsn = kInvalidLsn;
+    } else {
+      FACE_RETURN_IF_ERROR(storage_->WritePage(page_id, f.data.get()));
+      cache_->OnPageWrittenToDisk(page_id);
+      f.dirty = false;
+      f.fdirty = false;
+      f.rec_lsn = kInvalidLsn;
+    }
+  }
+  return Status::OK();
+}
+
+uint32_t BufferPool::pinned_frames() const {
+  uint32_t n = 0;
+  for (const auto& f : frames_) {
+    if (f.in_use && f.pins > 0) ++n;
+  }
+  return n;
+}
+
+}  // namespace face

@@ -1,0 +1,164 @@
+// DRAM buffer pool with LRU replacement and the dirty/fdirty flag discipline
+// of FaCE §3.3:
+//   dirty  — page is newer than its disk copy
+//   fdirty — page is newer than its flash-cache copy (or has none)
+// On eviction, the page is handed to the configured CacheExtension, which
+// decides among flash enqueue, disk write, or discard. WAL-before-data is
+// enforced here: the log is forced through the page's LSN before any dirty
+// page leaves the buffer.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "core/cache_ext.h"
+#include "storage/db_storage.h"
+#include "storage/page.h"
+#include "wal/log_manager.h"
+
+namespace face {
+
+class BufferPool;
+
+/// RAII pin on a buffered page. Move-only; unpins on destruction.
+class PageHandle {
+ public:
+  PageHandle() = default;
+  PageHandle(BufferPool* pool, uint32_t frame, PageId page_id)
+      : pool_(pool), frame_(frame), page_id_(page_id) {}
+  PageHandle(PageHandle&& other) noexcept { *this = std::move(other); }
+  PageHandle& operator=(PageHandle&& other) noexcept;
+  PageHandle(const PageHandle&) = delete;
+  PageHandle& operator=(const PageHandle&) = delete;
+  ~PageHandle() { Release(); }
+
+  /// Raw page bytes (kPageSize).
+  char* data();
+  const char* data() const;
+  /// Typed header view.
+  PageView view() { return PageView(data()); }
+
+  PageId page_id() const { return page_id_; }
+  bool valid() const { return pool_ != nullptr; }
+
+  /// Record that the caller modified the page under WAL record `lsn`:
+  /// sets dirty+fdirty, initializes the frame's recLSN, stamps the pageLSN.
+  void MarkDirty(Lsn lsn);
+
+  /// Drop the pin early.
+  void Release();
+
+ private:
+  BufferPool* pool_ = nullptr;
+  uint32_t frame_ = 0;
+  PageId page_id_ = kInvalidPageId;
+};
+
+/// Buffer pool; see file comment. Single-threaded.
+class BufferPool final : public DramPullSource {
+ public:
+  struct Stats {
+    uint64_t fetches = 0;
+    uint64_t hits = 0;           ///< served from DRAM
+    uint64_t misses = 0;
+    uint64_t disk_fetches = 0;   ///< misses served from disk
+    uint64_t flash_fetches = 0;  ///< misses served from the flash cache
+    uint64_t evictions = 0;
+    uint64_t dirty_evictions = 0;
+    uint64_t new_pages = 0;
+    uint64_t pulls = 0;          ///< victims pulled by the cache (GSC)
+  };
+
+  /// `capacity_frames` pages of DRAM. All pointers must outlive the pool.
+  BufferPool(uint32_t capacity_frames, DbStorage* storage, LogManager* log,
+             CacheExtension* cache);
+  ~BufferPool() override;
+
+  /// Pin `page_id`, faulting it from flash or disk as needed. Returns
+  /// NotFound for virgin pages (never written anywhere).
+  StatusOr<PageHandle> FetchPage(PageId page_id);
+
+  /// Allocate and pin a fresh zero page (bump allocator).
+  StatusOr<PageHandle> NewPage();
+
+  /// Like FetchPage but a virgin page is materialized as a formatted zero
+  /// page — the redo path's "create on demand".
+  StatusOr<PageHandle> FetchPageForRedo(PageId page_id);
+
+  /// Write every dirty frame straight to disk (clean shutdown / tests).
+  /// Bypasses the cache policy.
+  Status FlushAllToDisk();
+
+  /// Evict every unpinned frame through the normal cache pipeline (tests).
+  Status EvictAll();
+
+  /// Dirty-page table for a checkpoint: frames whose persistent copy
+  /// (disk, or flash for persistent caches) is stale.
+  std::vector<DptEntry> CollectDirtyPages() const;
+
+  /// Checkpoint step: offer each persistently-dirty frame to the cache
+  /// (CheckpointPage); write to disk when not absorbed. WAL forced first.
+  Status SyncDirtyPagesForCheckpoint();
+
+  /// DramPullSource: surrender an unpinned LRU-tail page to the cache.
+  PageId PullVictim(char* page, bool* dirty, bool* fdirty) override;
+
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = Stats(); }
+  uint32_t capacity() const { return static_cast<uint32_t>(frames_.size()); }
+  uint32_t pages_in_pool() const { return static_cast<uint32_t>(table_.size()); }
+  CacheExtension* cache() { return cache_; }
+
+  /// Number of currently pinned frames (test hook).
+  uint32_t pinned_frames() const;
+
+  /// Page ids currently resident (stable snapshot for iteration).
+  std::vector<PageId> SnapshotResidentPages() const;
+
+ private:
+  friend class PageHandle;
+
+  struct Frame {
+    std::unique_ptr<char[]> data;
+    PageId page_id = kInvalidPageId;
+    uint32_t pins = 0;
+    bool dirty = false;
+    bool fdirty = false;
+    Lsn rec_lsn = kInvalidLsn;  ///< first LSN to have dirtied the page since
+                                ///< its persistent copy was last current
+    bool in_use = false;
+    // Intrusive LRU list links (head = most recent).
+    int32_t prev = -1;
+    int32_t next = -1;
+  };
+
+  void LruPushFront(uint32_t frame);
+  void LruRemove(uint32_t frame);
+  void LruTouch(uint32_t frame);
+
+  /// Free a frame for reuse, evicting the LRU-tail victim if needed.
+  StatusOr<uint32_t> GetFreeFrame();
+  /// Evict `frame` through the cache pipeline (caller removed it from LRU).
+  Status EvictFrame(uint32_t frame);
+  /// True if the frame's persistent copy is stale (belongs in the DPT).
+  bool PersistentlyDirty(const Frame& f) const {
+    return f.dirty && f.rec_lsn != kInvalidLsn;
+  }
+
+  std::vector<Frame> frames_;
+  std::vector<uint32_t> free_list_;
+  std::unordered_map<PageId, uint32_t> table_;
+  int32_t lru_head_ = -1;
+  int32_t lru_tail_ = -1;
+
+  DbStorage* storage_;
+  LogManager* log_;
+  CacheExtension* cache_;
+  Stats stats_;
+};
+
+}  // namespace face

@@ -1,0 +1,76 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+
+namespace face {
+
+Histogram::Histogram()
+    : count_(0),
+      sum_(0),
+      min_(std::numeric_limits<uint64_t>::max()),
+      max_(0),
+      buckets_(kNumBuckets, 0) {}
+
+int Histogram::BucketFor(uint64_t value) {
+  if (value == 0) return 0;
+  const int bit = 63 - __builtin_clzll(value);
+  return std::min(bit + 1, kNumBuckets - 1);
+}
+
+void Histogram::Add(uint64_t value) {
+  ++count_;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+  ++buckets_[BucketFor(value)];
+}
+
+void Histogram::Merge(const Histogram& other) {
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  for (int i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+}
+
+void Histogram::Clear() {
+  count_ = 0;
+  sum_ = 0;
+  min_ = std::numeric_limits<uint64_t>::max();
+  max_ = 0;
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+}
+
+double Histogram::Percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  const double target = p / 100.0 * static_cast<double>(count_);
+  uint64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    if (static_cast<double>(seen + buckets_[i]) >= target) {
+      // Interpolate within [2^(i-1), 2^i) assuming uniform fill.
+      const double lo = i == 0 ? 0.0 : static_cast<double>(1ull << (i - 1));
+      const double hi = static_cast<double>(1ull << std::min(i, 62));
+      const double frac =
+          (target - static_cast<double>(seen)) / static_cast<double>(buckets_[i]);
+      const double v = lo + (hi - lo) * frac;
+      return std::min(v, static_cast<double>(max_));
+    }
+    seen += buckets_[i];
+  }
+  return static_cast<double>(max_);
+}
+
+std::string Histogram::ToString() const {
+  char buf[160];
+  snprintf(buf, sizeof(buf),
+           "count=%llu mean=%.1f p50=%.0f p95=%.0f p99=%.0f max=%llu",
+           static_cast<unsigned long long>(count_), mean(), Percentile(50),
+           Percentile(95), Percentile(99),
+           static_cast<unsigned long long>(max_));
+  return buf;
+}
+
+}  // namespace face

@@ -1,0 +1,47 @@
+// Small fixed-bucket histogram for latency / size distributions in benches.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace face {
+
+/// Power-of-two bucketed histogram over uint64 samples. O(1) insert,
+/// approximate percentiles. Suitable for virtual-time latencies.
+class Histogram {
+ public:
+  Histogram();
+
+  /// Record one sample.
+  void Add(uint64_t value);
+  /// Merge another histogram into this one.
+  void Merge(const Histogram& other);
+  /// Remove all samples.
+  void Clear();
+
+  uint64_t count() const { return count_; }
+  uint64_t min() const { return count_ ? min_ : 0; }
+  uint64_t max() const { return max_; }
+  double mean() const {
+    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_) : 0.0;
+  }
+
+  /// Approximate p-th percentile (p in [0, 100]), interpolated in-bucket.
+  double Percentile(double p) const;
+
+  /// One-line summary: count/mean/p50/p95/p99/max.
+  std::string ToString() const;
+
+ private:
+  static constexpr int kNumBuckets = 64;
+  static int BucketFor(uint64_t value);
+
+  uint64_t count_;
+  uint64_t sum_;
+  uint64_t min_;
+  uint64_t max_;
+  std::vector<uint64_t> buckets_;
+};
+
+}  // namespace face

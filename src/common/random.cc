@@ -1,0 +1,67 @@
+#include "common/random.h"
+
+#include <cmath>
+
+namespace face {
+
+std::string Random::AlphaString(int min_len, int max_len) {
+  static const char kChars[] =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+  const int len = static_cast<int>(UniformRange(min_len, max_len));
+  std::string out;
+  out.reserve(len);
+  for (int i = 0; i < len; ++i) {
+    out.push_back(kChars[Uniform(sizeof(kChars) - 1)]);
+  }
+  return out;
+}
+
+std::string Random::NumString(int len) {
+  std::string out;
+  out.reserve(len);
+  for (int i = 0; i < len; ++i) {
+    out.push_back(static_cast<char>('0' + Uniform(10)));
+  }
+  return out;
+}
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double theta, uint64_t seed)
+    : n_(n), theta_(theta), rng_(seed) {
+  zetan_ = Zeta(n, theta);
+  const double zeta2 = Zeta(2, theta);
+  alpha_ = 1.0 / (1.0 - theta);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+         (1.0 - zeta2 / zetan_);
+}
+
+double ZipfGenerator::Zeta(uint64_t n, double theta) {
+  double sum = 0.0;
+  for (uint64_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+
+uint64_t ZipfGenerator::Next() {
+  if (theta_ <= 0.0) return rng_.Uniform(n_);
+  const double u = rng_.NextDouble();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  const uint64_t v = static_cast<uint64_t>(
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return v >= n_ ? n_ - 1 : v;
+}
+
+std::string TpccRandom::LastName(int64_t num) {
+  static const char* kSyllables[] = {"BAR",   "OUGHT", "ABLE", "PRI",
+                                     "PRES",  "ESE",   "ANTI", "CALLY",
+                                     "ATION", "EING"};
+  std::string out;
+  out += kSyllables[(num / 100) % 10];
+  out += kSyllables[(num / 10) % 10];
+  out += kSyllables[num % 10];
+  return out;
+}
+
+}  // namespace face

@@ -1,0 +1,168 @@
+// Status / StatusOr error handling in the RocksDB/Arrow idiom: no exceptions
+// on hot paths, every fallible operation returns a Status or StatusOr<T>.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace face {
+
+/// Result of a fallible operation. Cheap to copy when OK (no allocation).
+class Status {
+ public:
+  /// Error taxonomy for the library. Keep values stable; tests assert on them.
+  enum class Code : unsigned char {
+    kOk = 0,
+    kNotFound,
+    kCorruption,
+    kInvalidArgument,
+    kIOError,
+    kNotSupported,
+    kBusy,
+    kAborted,
+    kOutOfSpace,
+    kInternal,
+  };
+
+  Status() : code_(Code::kOk) {}
+
+  /// Returns an OK status.
+  static Status OK() { return Status(); }
+  /// Key / page / record absent.
+  static Status NotFound(std::string msg = "") {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  /// On-media data failed validation (checksum, magic, LSN ordering).
+  static Status Corruption(std::string msg = "") {
+    return Status(Code::kCorruption, std::move(msg));
+  }
+  /// Caller passed something unusable.
+  static Status InvalidArgument(std::string msg = "") {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  /// Simulated device rejected or failed the request.
+  static Status IOError(std::string msg = "") {
+    return Status(Code::kIOError, std::move(msg));
+  }
+  /// Feature intentionally unimplemented for this configuration.
+  static Status NotSupported(std::string msg = "") {
+    return Status(Code::kNotSupported, std::move(msg));
+  }
+  /// Resource temporarily unavailable (lock conflict).
+  static Status Busy(std::string msg = "") {
+    return Status(Code::kBusy, std::move(msg));
+  }
+  /// Transaction rolled back.
+  static Status Aborted(std::string msg = "") {
+    return Status(Code::kAborted, std::move(msg));
+  }
+  /// Device, file, or queue capacity exhausted.
+  static Status OutOfSpace(std::string msg = "") {
+    return Status(Code::kOutOfSpace, std::move(msg));
+  }
+  /// Invariant violation inside the library.
+  static Status Internal(std::string msg = "") {
+    return Status(Code::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsIOError() const { return code_ == Code::kIOError; }
+  bool IsNotSupported() const { return code_ == Code::kNotSupported; }
+  bool IsBusy() const { return code_ == Code::kBusy; }
+  bool IsAborted() const { return code_ == Code::kAborted; }
+  bool IsOutOfSpace() const { return code_ == Code::kOutOfSpace; }
+  bool IsInternal() const { return code_ == Code::kInternal; }
+
+  Code code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// Human-readable "<code>: <message>" string for logs and test failures.
+  std::string ToString() const {
+    if (ok()) return "OK";
+    std::string name;
+    switch (code_) {
+      case Code::kOk: name = "OK"; break;
+      case Code::kNotFound: name = "NotFound"; break;
+      case Code::kCorruption: name = "Corruption"; break;
+      case Code::kInvalidArgument: name = "InvalidArgument"; break;
+      case Code::kIOError: name = "IOError"; break;
+      case Code::kNotSupported: name = "NotSupported"; break;
+      case Code::kBusy: name = "Busy"; break;
+      case Code::kAborted: name = "Aborted"; break;
+      case Code::kOutOfSpace: name = "OutOfSpace"; break;
+      case Code::kInternal: name = "Internal"; break;
+    }
+    return msg_.empty() ? name : name + ": " + msg_;
+  }
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  Status(Code code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  Code code_;
+  std::string msg_;
+};
+
+/// Either a value or an error Status. Dereference only after checking ok().
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit from value: `return 42;` in a StatusOr<int> function.
+  StatusOr(T value) : rep_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from error: `return Status::NotFound();`.
+  StatusOr(Status status) : rep_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(rep_).ok() && "StatusOr must not hold OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  const Status& status() const {
+    static const Status kOk = Status::OK();
+    return ok() ? kOk : std::get<Status>(rep_);
+  }
+
+  T& value() {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  const T& value() const {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<Status, T> rep_;
+};
+
+/// Propagate a non-OK Status to the caller.
+#define FACE_RETURN_IF_ERROR(expr)          \
+  do {                                      \
+    ::face::Status _s = (expr);             \
+    if (!_s.ok()) return _s;                \
+  } while (0)
+
+/// Assign `lhs` from a StatusOr expression or propagate its error.
+#define FACE_ASSIGN_OR_RETURN(lhs, expr)    \
+  FACE_ASSIGN_OR_RETURN_IMPL(               \
+      FACE_CONCAT_(_statusor_, __LINE__), lhs, expr)
+
+#define FACE_ASSIGN_OR_RETURN_IMPL(var, lhs, expr) \
+  auto var = (expr);                               \
+  if (!var.ok()) return var.status();              \
+  lhs = std::move(var.value())
+
+#define FACE_CONCAT_INNER_(a, b) a##b
+#define FACE_CONCAT_(a, b) FACE_CONCAT_INNER_(a, b)
+
+}  // namespace face

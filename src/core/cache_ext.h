@@ -1,0 +1,178 @@
+// The cache-extension contract between the DRAM buffer pool and a flash
+// caching policy. Section 3.2 of the FaCE paper frames every design as a
+// point in (when: entry/exit) x (what: clean/dirty/both) x (sync:
+// write-through/write-back) x (replacement) space; this interface carries
+// exactly the events needed to express all of them:
+//
+//   - OnDramEvict     : a page leaves the DRAM buffer (on-exit policies)
+//   - OnFetchFromDisk : a page enters DRAM from disk (on-entry policies)
+//   - ReadPage        : DRAM miss served from flash
+//   - CheckpointPage / PrepareCheckpoint / OnCheckpoint : database
+//     checkpoint integration (who absorbs dirty pages, who must flush)
+//   - RecoverAfterCrash : restart-time metadata restore (or cold reset)
+#pragma once
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace face {
+
+/// Lets a cache pull extra victim pages from the DRAM buffer's LRU tail to
+/// fill a write batch — the "pulling page frames" device of Group Second
+/// Chance (paper §3.3). Implemented by BufferPool.
+class DramPullSource {
+ public:
+  virtual ~DramPullSource() = default;
+
+  /// Evict one unpinned page from the LRU tail: copies its kPageSize bytes
+  /// into `page`, reports its dirty/fdirty flags as of eviction, and frees
+  /// the frame. Returns kInvalidPageId if nothing is evictable. The WAL is
+  /// forced as needed before the page is surrendered.
+  virtual PageId PullVictim(char* page, bool* dirty, bool* fdirty) = 0;
+};
+
+/// Counters every policy maintains; benches derive the paper's hit-rate,
+/// write-reduction, and traffic numbers from these.
+struct CacheStats {
+  uint64_t lookups = 0;          ///< DRAM-miss probes
+  uint64_t hits = 0;             ///< probes served from flash
+  uint64_t dirty_evictions = 0;  ///< dirty pages leaving DRAM (would each
+                                 ///< cost a disk write with no cache)
+  uint64_t disk_writes = 0;      ///< disk page writes this cache issued
+  uint64_t disk_reads = 0;       ///< disk page reads this cache issued
+  uint64_t flash_writes = 0;     ///< flash page writes (any pattern)
+  uint64_t flash_reads = 0;      ///< flash page reads
+  uint64_t enqueues = 0;         ///< admissions into the cache
+  uint64_t invalidations = 0;    ///< versions/copies invalidated in place
+  uint64_t second_chances = 0;   ///< GSC re-enqueues
+  uint64_t pulled_from_dram = 0; ///< victims pulled to fill batches
+  uint64_t meta_flash_writes = 0;///< persistent-metadata page writes
+
+  /// Flash hit ratio over all DRAM misses (Table 3a).
+  double HitRate() const {
+    return lookups ? static_cast<double>(hits) / lookups : 0.0;
+  }
+  /// Fraction of dirty evictions that did not (yet) become disk writes
+  /// (Table 3b: "write reduction").
+  double WriteReduction() const {
+    if (dirty_evictions == 0) return 0.0;
+    const double w = static_cast<double>(disk_writes);
+    const double d = static_cast<double>(dirty_evictions);
+    return w >= d ? 0.0 : 1.0 - w / d;
+  }
+};
+
+/// Result of a flash read on the DRAM-miss path.
+struct FlashReadResult {
+  bool dirty = false;   ///< flash copy is newer than the disk copy
+  Lsn rec_lsn = kInvalidLsn;  ///< conservative recLSN if dirty (ARIES DPT)
+};
+
+/// A flash caching policy. Single-threaded, like the rest of the engine.
+class CacheExtension {
+ public:
+  virtual ~CacheExtension() = default;
+
+  /// Short policy name for reports ("FaCE+GSC", "LC", ...).
+  virtual const char* name() const = 0;
+
+  /// True if flash contents are part of the persistent database (survive a
+  /// crash and absolve pages from disk checkpointing) — the FaCE §4 notion.
+  virtual bool IsPersistent() const = 0;
+
+  /// True if the valid copy of `page_id` is cached.
+  virtual bool Contains(PageId page_id) const = 0;
+
+  /// Copy the valid cached copy of `page_id` into `out`. Caller must have
+  /// checked Contains. Charges flash read I/O.
+  virtual StatusOr<FlashReadResult> ReadPage(PageId page_id, char* out) = 0;
+
+  /// A page evicted from DRAM. `dirty`: newer than disk; `fdirty`: newer
+  /// than the flash copy (if any). `page` is mutable so the policy can
+  /// stamp checksums in place before writing to flash. `rec_lsn` is the
+  /// frame's recLSN at eviction (for non-persistent write-back caches).
+  virtual Status OnDramEvict(PageId page_id, char* page, bool dirty,
+                             bool fdirty, Lsn rec_lsn) = 0;
+
+  /// A page was just fetched from disk on a DRAM miss (on-entry policies
+  /// admit here; on-exit policies ignore it).
+  virtual Status OnFetchFromDisk(PageId page_id, const char* page) {
+    (void)page_id;
+    (void)page;
+    return Status::OK();
+  }
+
+  /// Offer a dirty DRAM page to the cache during a database checkpoint.
+  /// Returns true if the cache absorbed it persistently (FaCE enqueues to
+  /// flash); false means the caller must write it to disk.
+  virtual StatusOr<bool> CheckpointPage(PageId page_id, char* page) {
+    (void)page_id;
+    (void)page;
+    return false;
+  }
+
+  /// Called before the checkpoint record is logged. LC flushes its
+  /// flash-resident dirty pages to disk here (the checkpointing cost the
+  /// paper charges to LC).
+  virtual Status PrepareCheckpoint() { return Status::OK(); }
+
+  /// Called after all dirty pages are synced, before CHECKPOINT_END.
+  virtual Status OnCheckpoint() { return Status::OK(); }
+
+  /// The buffer pool wrote `page_id` to disk directly (checkpoint path of
+  /// non-absorbing policies). Write-back caches invalidate a stale copy.
+  virtual void OnPageWrittenToDisk(PageId page_id) { (void)page_id; }
+
+  /// Restart after a crash: restore persistent metadata (FaCE/TAC) or
+  /// reset to cold (LC/Exadata). Charges recovery I/O.
+  virtual Status RecoverAfterCrash() = 0;
+
+  /// Deferred maintenance (LC's lazy cleaner). The driver runs this on a
+  /// background token between transactions while HasBackgroundWork().
+  virtual Status RunBackgroundWork() { return Status::OK(); }
+  virtual bool HasBackgroundWork() const { return false; }
+
+  /// Wire the DRAM pull source (GSC batch filling). Optional.
+  virtual void SetPullSource(DramPullSource* source) { (void)source; }
+
+  /// Expensive internal-consistency audit for tests.
+  virtual Status CheckInvariants() const { return Status::OK(); }
+
+  /// Account one DRAM-miss probe (called by the buffer pool so every policy
+  /// shares the same hit-rate denominator, Table 3a's "all DRAM misses").
+  void RecordProbe(bool hit) {
+    ++stats_.lookups;
+    if (hit) ++stats_.hits;
+  }
+
+  const CacheStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = CacheStats(); }
+
+ protected:
+  CacheStats stats_;
+};
+
+/// The no-cache configuration (HDD-only / SSD-only): dirty evictions go
+/// straight to disk; reads always miss.
+class NullCache final : public CacheExtension {
+ public:
+  /// `storage` is where dirty evictions are written; see DbStorage.
+  explicit NullCache(class DbStorage* storage) : storage_(storage) {}
+
+  const char* name() const override { return "none"; }
+  bool IsPersistent() const override { return false; }
+  bool Contains(PageId) const override { return false; }
+  StatusOr<FlashReadResult> ReadPage(PageId, char*) override {
+    return Status::NotFound("null cache holds nothing");
+  }
+  Status OnDramEvict(PageId page_id, char* page, bool dirty, bool fdirty,
+                     Lsn rec_lsn) override;
+  Status RecoverAfterCrash() override { return Status::OK(); }
+
+ private:
+  class DbStorage* storage_;
+};
+
+}  // namespace face

@@ -1,0 +1,74 @@
+#include "core/cost_model.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace face {
+
+double CostModel::CDiskNs(double read_fraction) const {
+  return read_fraction * disk_.random_read_ns +
+         (1.0 - read_fraction) * disk_.random_write_ns;
+}
+
+double CostModel::CFlashNs(double read_fraction) const {
+  return read_fraction * flash_.random_read_ns +
+         (1.0 - read_fraction) * flash_.random_write_ns;
+}
+
+double CostModel::Exponent(double read_fraction) const {
+  const double cd = CDiskNs(read_fraction);
+  const double cf = CFlashNs(read_fraction);
+  if (cd <= cf) return HUGE_VAL;  // flash no faster than disk: no break-even
+  return cd / (cd - cf);
+}
+
+double CostModel::BreakEvenTheta(double delta, double read_fraction) const {
+  return std::pow(1.0 + delta, Exponent(read_fraction)) - 1.0;
+}
+
+double CostModel::HitRateGain(double alpha, double growth) {
+  return alpha * std::log(1.0 + growth);
+}
+
+CostAnalysis CostModel::Analyze(double delta, double read_fraction,
+                                double dram_price_per_gb) const {
+  CostAnalysis a;
+  a.delta = delta;
+  a.c_disk_ns = CDiskNs(read_fraction);
+  a.c_flash_ns = CFlashNs(read_fraction);
+  a.exponent = Exponent(read_fraction);
+  a.theta = BreakEvenTheta(delta, read_fraction);
+  if (dram_price_per_gb <= 0) {
+    dram_price_per_gb = 10.0 * flash_.PricePerGb();  // paper's ~10x figure
+  }
+  // Cost of theta*B flash relative to delta*B DRAM, per byte of B.
+  const double flash_cost = a.theta * flash_.PricePerGb();
+  const double dram_cost = a.delta * dram_price_per_gb;
+  a.cost_ratio = dram_cost > 0 ? flash_cost / dram_cost : 0.0;
+  return a;
+}
+
+std::string CostModel::Report(double read_fraction) const {
+  std::string out;
+  char line[256];
+  snprintf(line, sizeof(line),
+           "cost model: disk=%s flash=%s read_fraction=%.2f\n",
+           disk_.name.c_str(), flash_.name.c_str(), read_fraction);
+  out += line;
+  snprintf(line, sizeof(line),
+           "  C_disk=%.1fus C_flash=%.1fus exponent=%.4f\n",
+           CDiskNs(read_fraction) / 1000.0, CFlashNs(read_fraction) / 1000.0,
+           Exponent(read_fraction));
+  out += line;
+  for (double delta : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+    const CostAnalysis a = Analyze(delta, read_fraction);
+    snprintf(line, sizeof(line),
+             "  delta=%4.2f -> break-even theta=%6.4f, flash/DRAM cost "
+             "ratio=%.4f\n",
+             delta, a.theta, a.cost_ratio);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace face

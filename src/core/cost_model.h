@@ -1,0 +1,71 @@
+// The Section 2.2 cost-effectiveness analysis of flash as a cache extension.
+//
+// Tsuei et al. observed that the data hit rate is linear in log(BufferSize)
+// for a fixed database. Growing the DRAM buffer from B to (1+delta)B saves
+//     alpha * C_disk * log(1+delta)
+// of I/O time, while replacing the increment with theta*B of flash saves
+//     alpha * (C_disk - C_flash) * log(1+theta).
+// Equating the two gives the break-even flash size:
+//     1 + theta = (1 + delta)^(C_disk / (C_disk - C_flash))
+// For contemporary devices the exponent is barely above one, so a flash
+// cache needs hardly more capacity than the DRAM it substitutes for — at
+// roughly a tenth of the price per gigabyte.
+#pragma once
+
+#include <string>
+
+#include "sim/device_model.h"
+
+namespace face {
+
+/// Closed-form results of the Section 2.2 analysis for one device pair.
+struct CostAnalysis {
+  double c_disk_ns = 0;    ///< per-page disk access time used
+  double c_flash_ns = 0;   ///< per-page flash access time used
+  double exponent = 0;     ///< C_disk / (C_disk - C_flash)
+  double theta = 0;        ///< break-even flash increment (fraction of B)
+  double delta = 0;        ///< DRAM increment this matches (fraction of B)
+  /// Dollars of flash needed per dollar of DRAM for the same I/O saving,
+  /// given the DRAM:flash price-per-GB ratio.
+  double cost_ratio = 0;
+};
+
+/// Analytic model over two device profiles; all methods are pure functions
+/// of the profiles and the arguments.
+class CostModel {
+ public:
+  /// `disk` and `flash` supply the C_disk / C_flash access times.
+  CostModel(const DeviceProfile& disk, const DeviceProfile& flash)
+      : disk_(disk), flash_(flash) {}
+
+  /// Mix of reads in the workload's page accesses (1.0 = read-only,
+  /// 0.0 = write-only). Random access times are used — the cache substitutes
+  /// for random disk I/O.
+  double CDiskNs(double read_fraction) const;
+  double CFlashNs(double read_fraction) const;
+
+  /// The exponent C_disk / (C_disk - C_flash) for a given read mix.
+  double Exponent(double read_fraction) const;
+
+  /// Break-even theta for a DRAM increment delta: flash of size theta*B
+  /// saves as much I/O time as DRAM of size delta*B.
+  double BreakEvenTheta(double delta, double read_fraction) const;
+
+  /// Full analysis, including the monetary comparison.
+  /// `dram_price_per_gb` defaults to ~10x MLC flash (paper §2.2/§5.4.1).
+  CostAnalysis Analyze(double delta, double read_fraction,
+                       double dram_price_per_gb = 0) const;
+
+  /// Expected hit-rate gain alpha*log(1+growth) of growing a cache level by
+  /// `growth` (fraction of current size), for hit-rate slope `alpha`.
+  static double HitRateGain(double alpha, double growth);
+
+  /// Human-readable report of the analysis (one line per delta).
+  std::string Report(double read_fraction) const;
+
+ private:
+  DeviceProfile disk_;
+  DeviceProfile flash_;
+};
+
+}  // namespace face

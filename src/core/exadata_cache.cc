@@ -1,0 +1,123 @@
+#include "core/exadata_cache.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "storage/page.h"
+
+namespace face {
+
+ExadataCache::ExadataCache(uint64_t n_frames, SimDevice* flash,
+                           DbStorage* storage)
+    : n_frames_(n_frames), flash_(flash), storage_(storage) {
+  assert(n_frames_ >= 2);
+  assert(flash_->capacity_pages() >= n_frames_);
+  free_frames_.reserve(n_frames_);
+  for (uint64_t i = 0; i < n_frames_; ++i) {
+    free_frames_.push_back(n_frames_ - 1 - i);
+  }
+  scratch_.resize(kPageSize);
+}
+
+StatusOr<FlashReadResult> ExadataCache::ReadPage(PageId page_id, char* out) {
+  auto it = index_.find(page_id);
+  if (it == index_.end()) {
+    return Status::NotFound("page not in Exadata cache");
+  }
+  Entry& e = it->second;
+  FACE_RETURN_IF_ERROR(flash_->Read(e.frame, out));
+  ++stats_.flash_reads;
+  ConstPageView view(out);
+  if (!view.VerifyChecksum() || view.page_id() != page_id) {
+    return Status::Corruption("Exadata cache frame failed validation");
+  }
+  lru_.erase(e.lru_pos);
+  lru_.push_front(page_id);
+  e.lru_pos = lru_.begin();
+  return FlashReadResult{false, kInvalidLsn};  // clean-only cache
+}
+
+Status ExadataCache::OnFetchFromDisk(PageId page_id, const char* page) {
+  if (Contains(page_id)) return Status::OK();
+
+  uint64_t frame;
+  if (!free_frames_.empty()) {
+    frame = free_frames_.back();
+    free_frames_.pop_back();
+  } else {
+    // LRU replacement: victims are always clean, so they are just dropped.
+    const PageId victim = lru_.back();
+    auto vit = index_.find(victim);
+    frame = vit->second.frame;
+    lru_.pop_back();
+    index_.erase(vit);
+    ++stats_.invalidations;
+  }
+
+  memcpy(scratch_.data(), page, kPageSize);
+  PageView view(scratch_.data());
+  view.set_page_id(page_id);
+  view.StampChecksum();
+  FACE_RETURN_IF_ERROR(flash_->Write(frame, scratch_.data()));
+  ++stats_.flash_writes;
+
+  lru_.push_front(page_id);
+  index_.emplace(page_id, Entry{frame, lru_.begin()});
+  ++stats_.enqueues;
+  return Status::OK();
+}
+
+Status ExadataCache::OnDramEvict(PageId page_id, char* page, bool dirty,
+                                 bool fdirty, Lsn rec_lsn) {
+  (void)fdirty;
+  (void)rec_lsn;
+  if (!dirty) return Status::OK();
+  ++stats_.dirty_evictions;
+  FACE_RETURN_IF_ERROR(storage_->WritePage(page_id, page));
+  ++stats_.disk_writes;
+  // The cached copy (if any) is stale now; a clean-only cache invalidates
+  // rather than updates it.
+  auto it = index_.find(page_id);
+  if (it != index_.end()) DropEntry(it);
+  return Status::OK();
+}
+
+void ExadataCache::OnPageWrittenToDisk(PageId page_id) {
+  auto it = index_.find(page_id);
+  if (it != index_.end()) DropEntry(it);
+}
+
+void ExadataCache::DropEntry(
+    std::unordered_map<PageId, Entry>::iterator it) {
+  free_frames_.push_back(it->second.frame);
+  lru_.erase(it->second.lru_pos);
+  index_.erase(it);
+  ++stats_.invalidations;
+}
+
+Status ExadataCache::RecoverAfterCrash() {
+  index_.clear();
+  lru_.clear();
+  free_frames_.clear();
+  for (uint64_t i = 0; i < n_frames_; ++i) {
+    free_frames_.push_back(n_frames_ - 1 - i);
+  }
+  return Status::OK();
+}
+
+Status ExadataCache::CheckInvariants() const {
+  if (index_.size() != lru_.size()) {
+    return Status::Internal("Exadata index / LRU size mismatch");
+  }
+  if (index_.size() + free_frames_.size() != n_frames_) {
+    return Status::Internal("Exadata frame accounting broken");
+  }
+  for (PageId page_id : lru_) {
+    if (index_.find(page_id) == index_.end()) {
+      return Status::Internal("Exadata LRU page missing from index");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace face

@@ -1,0 +1,68 @@
+// Exadata-style Smart Flash Cache baseline — Table 2's "on entry, clean,
+// write-through, LRU" row.
+//
+// Oracle Exadata caches data pages in flash when they are read from disk
+// (modulo a static type priority we approximate with an admit-all rule,
+// since our workload is all tables and indexes — the types Exadata
+// prioritizes). The cache is read-only from the database's perspective:
+// dirty pages are written through to disk and a cached copy is simply
+// invalidated, so flash never holds the only current copy of anything.
+// Metadata lives in DRAM; a crash resets the cache cold.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "core/cache_ext.h"
+#include "sim/sim_device.h"
+#include "storage/db_storage.h"
+
+namespace face {
+
+/// The Exadata-style cache extension; see file comment. Single-threaded.
+class ExadataCache final : public CacheExtension {
+ public:
+  /// `flash` must have at least `n_frames` blocks.
+  ExadataCache(uint64_t n_frames, SimDevice* flash, DbStorage* storage);
+
+  // CacheExtension interface --------------------------------------------------
+  const char* name() const override { return "Exadata"; }
+  bool IsPersistent() const override { return false; }
+  bool Contains(PageId page_id) const override {
+    return index_.find(page_id) != index_.end();
+  }
+  StatusOr<FlashReadResult> ReadPage(PageId page_id, char* out) override;
+  Status OnDramEvict(PageId page_id, char* page, bool dirty, bool fdirty,
+                     Lsn rec_lsn) override;
+  Status OnFetchFromDisk(PageId page_id, const char* page) override;
+  StatusOr<bool> CheckpointPage(PageId, char*) override { return false; }
+  void OnPageWrittenToDisk(PageId page_id) override;
+  Status RecoverAfterCrash() override;
+  Status CheckInvariants() const override;
+
+  uint64_t cached_pages() const { return index_.size(); }
+  uint64_t n_frames() const { return n_frames_; }
+
+ private:
+  struct Entry {
+    uint64_t frame = 0;
+    std::list<PageId>::iterator lru_pos;
+  };
+
+  void DropEntry(std::unordered_map<PageId, Entry>::iterator it);
+
+  uint64_t n_frames_;
+  SimDevice* flash_;
+  DbStorage* storage_;
+
+  std::unordered_map<PageId, Entry> index_;
+  std::list<PageId> lru_;  ///< front = most recently used
+  std::vector<uint64_t> free_frames_;
+  std::string scratch_;
+};
+
+}  // namespace face

@@ -1,0 +1,606 @@
+#include "core/face_cache.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "common/crc32c.h"
+#include "storage/page.h"
+
+namespace face {
+
+namespace {
+
+constexpr uint64_t kSuperMagic = 0xFACEAC4E2012ull;
+
+// Superblock layout within block 0:
+//   [0..8) magic  [8..16) n_frames  [16..20) seg_entries
+//   [20..28) front_seq  [28..36) rear_seq  [36..40) masked crc
+struct Superblock {
+  uint64_t n_frames;
+  uint32_t seg_entries;
+  uint64_t front_seq;
+  uint64_t rear_seq;
+
+  void EncodeTo(char* block) const {
+    memset(block, 0, kPageSize);
+    EncodeFixed64(block, kSuperMagic);
+    EncodeFixed64(block + 8, n_frames);
+    EncodeFixed32(block + 16, seg_entries);
+    EncodeFixed64(block + 20, front_seq);
+    EncodeFixed64(block + 28, rear_seq);
+    EncodeFixed32(block + 36, crc32c::Mask(crc32c::Value(block, 36)));
+  }
+
+  static StatusOr<Superblock> DecodeFrom(const char* block) {
+    if (DecodeFixed64(block) != kSuperMagic) {
+      return Status::NotFound("no flash-cache superblock");
+    }
+    if (crc32c::Mask(crc32c::Value(block, 36)) != DecodeFixed32(block + 36)) {
+      return Status::Corruption("flash-cache superblock crc mismatch");
+    }
+    Superblock sb;
+    sb.n_frames = DecodeFixed64(block + 8);
+    sb.seg_entries = DecodeFixed32(block + 16);
+    sb.front_seq = DecodeFixed64(block + 20);
+    sb.rear_seq = DecodeFixed64(block + 28);
+    return sb;
+  }
+};
+
+}  // namespace
+
+FaceOptions FaceOptions::Base(uint64_t n_frames) {
+  FaceOptions o;
+  o.n_frames = n_frames;
+  return o;
+}
+
+FaceOptions FaceOptions::GroupReplace(uint64_t n_frames) {
+  FaceOptions o = Base(n_frames);
+  o.group_replace = true;
+  return o;
+}
+
+FaceOptions FaceOptions::GroupSecondChance(uint64_t n_frames) {
+  FaceOptions o = GroupReplace(n_frames);
+  o.second_chance = true;
+  return o;
+}
+
+FaceCache::FaceCache(const FaceOptions& options, SimDevice* flash,
+                     DbStorage* storage)
+    : options_(options),
+      layout_(FlashLayout::Compute(options.n_frames, options.seg_entries)),
+      flash_(flash),
+      storage_(storage) {
+  assert(options_.n_frames >= 2);
+  assert(!options_.second_chance || options_.group_replace ||
+         (options_.group_replace = true));  // GSC implies GR
+  if (options_.second_chance) options_.group_replace = true;
+  assert(flash_->capacity_pages() >= layout_.total_blocks);
+  scratch_.resize(kPageSize);
+}
+
+const char* FaceCache::name() const {
+  if (options_.second_chance) return "FaCE+GSC";
+  if (options_.group_replace) return "FaCE+GR";
+  return "FaCE";
+}
+
+Status FaceCache::Format() {
+  front_seq_ = rear_seq_ = staged_base_ = 0;
+  entries_.clear();
+  newest_.clear();
+  staging_.clear();
+  seg_buf_.clear();
+  sb_front_seq_ = sb_rear_seq_ = 0;
+  return WriteSuperblock();
+}
+
+Status FaceCache::WriteSuperblock() {
+  Superblock sb{options_.n_frames, options_.seg_entries, sb_front_seq_,
+                sb_rear_seq_};
+  std::string block(kPageSize, '\0');
+  sb.EncodeTo(block.data());
+  ++stats_.meta_flash_writes;
+  return flash_->Write(0, block.data());
+}
+
+const char* FaceCache::StampedCopy(const char* page, PageId page_id, Lsn lsn,
+                                   uint64_t seq) {
+  memcpy(scratch_.data(), page, kPageSize);
+  PageView view(scratch_.data());
+  view.set_page_id(page_id);
+  if (view.lsn() == kInvalidLsn && lsn != kInvalidLsn) view.set_lsn(lsn);
+  // Stamp the enqueue sequence number into the (otherwise unused) page
+  // flags. Restart uses it to tell frames written this lap of the ring from
+  // leftovers of the previous lap — frame(seq) and frame(seq ± n_frames)
+  // share a device block but differ in the stamp (see RecoverAfterCrash).
+  view.set_flags(static_cast<uint32_t>(seq));
+  view.StampChecksum();
+  return scratch_.data();
+}
+
+Status FaceCache::WriteFrame(uint64_t seq, const char* page, PageId page_id,
+                             Lsn lsn) {
+  const char* stamped = StampedCopy(page, page_id, lsn, seq);
+  if (options_.group_replace) {
+    if (staging_.empty()) staged_base_ = seq;
+    assert(staged_base_ + staging_.size() == seq);
+    staging_.emplace_back(stamped, kPageSize);
+    if (staging_.size() >= options_.group_size) return FlushStaging();
+    return Status::OK();
+  }
+  ++stats_.flash_writes;
+  return flash_->Write(layout_.FrameBlock(seq), stamped);
+}
+
+Status FaceCache::FlushStaging() {
+  if (staging_.empty()) return Status::OK();
+  const uint64_t count = staging_.size();
+  const uint64_t frame0 = staged_base_ % layout_.n_frames;
+  const uint64_t span1 = std::min<uint64_t>(count, layout_.n_frames - frame0);
+
+  std::string buf(static_cast<size_t>(count) * kPageSize, '\0');
+  for (uint64_t i = 0; i < count; ++i) {
+    memcpy(buf.data() + i * kPageSize, staging_[i].data(), kPageSize);
+  }
+  FACE_RETURN_IF_ERROR(flash_->WriteBatch(layout_.frame_base + frame0,
+                                          static_cast<uint32_t>(span1),
+                                          buf.data()));
+  if (span1 < count) {
+    FACE_RETURN_IF_ERROR(
+        flash_->WriteBatch(layout_.frame_base, static_cast<uint32_t>(count - span1),
+                           buf.data() + span1 * kPageSize));
+  }
+  stats_.flash_writes += count;
+  staging_.clear();
+  staged_base_ = rear_seq_;
+  return Status::OK();
+}
+
+Status FaceCache::ReadFrames(uint64_t seq, uint32_t count, char* out) {
+  const uint64_t frame0 = seq % layout_.n_frames;
+  const uint64_t span1 = std::min<uint64_t>(count, layout_.n_frames - frame0);
+  FACE_RETURN_IF_ERROR(flash_->ReadBatch(layout_.frame_base + frame0,
+                                         static_cast<uint32_t>(span1), out));
+  if (span1 < count) {
+    FACE_RETURN_IF_ERROR(flash_->ReadBatch(
+        layout_.frame_base, static_cast<uint32_t>(count - span1),
+        out + span1 * kPageSize));
+  }
+  stats_.flash_reads += count;
+  return Status::OK();
+}
+
+Status FaceCache::AppendMeta(uint64_t seq, const FlashMetaEntry& entry) {
+  char buf[FlashMetaEntry::kEncodedSize];
+  entry.EncodeTo(buf);
+  seg_buf_.append(buf, sizeof(buf));
+  if ((seq + 1) % options_.seg_entries == 0) {
+    return FlushSegment(layout_.SegmentOf(seq));
+  }
+  return Status::OK();
+}
+
+Status FaceCache::FlushSegment(uint64_t seg_no) {
+  // Frames first: a persisted metadata entry must never describe a frame
+  // whose bytes are still in the staging buffer.
+  FACE_RETURN_IF_ERROR(FlushStaging());
+  assert(seg_buf_.size() ==
+         static_cast<size_t>(options_.seg_entries) *
+             FlashMetaEntry::kEncodedSize);
+  std::string blocks(static_cast<size_t>(layout_.seg_blocks) * kPageSize,
+                     '\0');
+  memcpy(blocks.data(), seg_buf_.data(), seg_buf_.size());
+  FACE_RETURN_IF_ERROR(flash_->WriteBatch(layout_.SegmentBlock(seg_no),
+                                          layout_.seg_blocks, blocks.data()));
+  stats_.meta_flash_writes += layout_.seg_blocks;
+  seg_buf_.clear();
+  sb_front_seq_ = front_seq_;
+  sb_rear_seq_ = (seg_no + 1) * static_cast<uint64_t>(options_.seg_entries);
+  return WriteSuperblock();
+}
+
+StatusOr<FlashReadResult> FaceCache::ReadPage(PageId page_id, char* out) {
+  auto it = newest_.find(page_id);
+  if (it == newest_.end()) return Status::NotFound("page not in flash cache");
+  const uint64_t seq = it->second;
+  Entry& e = EntryAt(seq);
+  e.referenced = true;
+
+  if (options_.group_replace && seq >= staged_base_ && !staging_.empty()) {
+    // Still in the controller write buffer: serve from memory.
+    memcpy(out, staging_[seq - staged_base_].data(), kPageSize);
+  } else {
+    FACE_RETURN_IF_ERROR(flash_->Read(layout_.FrameBlock(seq), out));
+    ++stats_.flash_reads;
+    ConstPageView view(out);
+    if (!view.VerifyChecksum() || view.page_id() != page_id) {
+      return Status::Corruption("flash cache frame failed validation");
+    }
+  }
+  return FlashReadResult{e.dirty, kInvalidLsn};
+}
+
+Status FaceCache::Enqueue(PageId page_id, const char* page, bool dirty,
+                          Lsn lsn) {
+  assert(live_entries() < options_.n_frames);
+  const uint64_t seq = rear_seq_;
+
+  auto [it, inserted] = newest_.try_emplace(page_id, seq);
+  if (!inserted) {
+    EntryAt(it->second).valid = false;
+    ++stats_.invalidations;
+    it->second = seq;
+  }
+  entries_.push_back(Entry{page_id, lsn, dirty, true, false});
+  ++rear_seq_;
+  ++stats_.enqueues;
+
+  FACE_RETURN_IF_ERROR(WriteFrame(seq, page, page_id, lsn));
+  return AppendMeta(seq, FlashMetaEntry{page_id, lsn, dirty, true});
+}
+
+Status FaceCache::DequeueOne() {
+  assert(live_entries() > 0);
+  const Entry e = entries_.front();
+  if (e.page_id != kInvalidPageId && e.valid) {
+    if (e.dirty) {
+      // Read the frame back and stage it out to disk.
+      std::string buf(kPageSize, '\0');
+      if (options_.group_replace && front_seq_ >= staged_base_ &&
+          !staging_.empty()) {
+        FACE_RETURN_IF_ERROR(FlushStaging());
+      }
+      FACE_RETURN_IF_ERROR(flash_->Read(layout_.FrameBlock(front_seq_),
+                                        buf.data()));
+      ++stats_.flash_reads;
+      FACE_RETURN_IF_ERROR(storage_->WritePage(e.page_id, buf.data()));
+      ++stats_.disk_writes;
+    }
+    auto it = newest_.find(e.page_id);
+    if (it != newest_.end() && it->second == front_seq_) newest_.erase(it);
+  }
+  entries_.pop_front();
+  ++front_seq_;
+  return Status::OK();
+}
+
+Status FaceCache::DequeueGroup() {
+  const uint32_t batch = static_cast<uint32_t>(
+      std::min<uint64_t>(options_.group_size, live_entries()));
+  if (batch == 0) return Status::OK();
+  // Never read frames whose bytes are still staged in memory.
+  if (!staging_.empty() && front_seq_ + batch > staged_base_) {
+    FACE_RETURN_IF_ERROR(FlushStaging());
+  }
+  std::string buf(static_cast<size_t>(batch) * kPageSize, '\0');
+  FACE_RETURN_IF_ERROR(ReadFrames(front_seq_, batch, buf.data()));
+
+  // Decide each page's fate.
+  struct Survivor {
+    PageId page_id;
+    const char* bytes;
+    bool dirty;
+    Lsn lsn;
+  };
+  std::vector<Survivor> survivors;
+  uint32_t referenced_valid = 0;
+  if (options_.second_chance) {
+    for (uint32_t k = 0; k < batch; ++k) {
+      const Entry& e = EntryAt(front_seq_ + k);
+      if (e.valid && e.referenced && e.page_id != kInvalidPageId) {
+        ++referenced_valid;
+      }
+    }
+  }
+  const bool all_referenced = referenced_valid == batch;
+
+  for (uint32_t k = 0; k < batch; ++k) {
+    const Entry& e = EntryAt(front_seq_ + k);
+    if (e.page_id == kInvalidPageId || !e.valid) continue;
+    const char* bytes = buf.data() + static_cast<size_t>(k) * kPageSize;
+    const bool second_chance = options_.second_chance && e.referenced &&
+                               !(all_referenced && k == 0);
+    if (second_chance) {
+      survivors.push_back(Survivor{e.page_id, bytes, e.dirty, e.lsn});
+    } else if (e.dirty) {
+      std::string page(bytes, kPageSize);
+      FACE_RETURN_IF_ERROR(storage_->WritePage(e.page_id, page.data()));
+      ++stats_.disk_writes;
+    }
+  }
+
+  // Pop the batch (erasing valid mappings; survivors re-map on re-enqueue).
+  for (uint32_t k = 0; k < batch; ++k) {
+    const Entry& e = entries_.front();
+    if (e.page_id != kInvalidPageId && e.valid) {
+      auto it = newest_.find(e.page_id);
+      if (it != newest_.end() && it->second == front_seq_) newest_.erase(it);
+    }
+    entries_.pop_front();
+    ++front_seq_;
+  }
+
+  for (const Survivor& s : survivors) {
+    ++stats_.second_chances;
+    FACE_RETURN_IF_ERROR(Enqueue(s.page_id, s.bytes, s.dirty, s.lsn));
+  }
+  return Status::OK();
+}
+
+Status FaceCache::MakeRoom() {
+  if (live_entries() < options_.n_frames) return Status::OK();
+  in_group_replace_ = true;
+  Status s = options_.group_replace ? DequeueGroup() : DequeueOne();
+  in_group_replace_ = false;
+  return s;
+}
+
+Status FaceCache::FillBatchFromDram() {
+  if (pull_ == nullptr || staging_.empty()) return Status::OK();
+  std::string page(kPageSize, '\0');
+  uint32_t attempts = 0;
+  while (staging_.size() < options_.group_size &&
+         live_entries() < options_.n_frames &&
+         attempts < options_.group_size) {
+    ++attempts;
+    bool dirty = false;
+    bool fdirty = false;
+    const PageId pid = pull_->PullVictim(page.data(), &dirty, &fdirty);
+    if (pid == kInvalidPageId) break;
+    ++stats_.pulled_from_dram;
+    if (dirty) ++stats_.dirty_evictions;
+    // Normal mvFIFO admission rule for the pulled page.
+    if (fdirty || !Contains(pid)) {
+      if ((dirty && !options_.cache_dirty)) {
+        auto it = newest_.find(pid);
+        if (it != newest_.end()) {
+          EntryAt(it->second).valid = false;
+          newest_.erase(it);
+          ++stats_.invalidations;
+        }
+        FACE_RETURN_IF_ERROR(storage_->WritePage(pid, page.data()));
+        ++stats_.disk_writes;
+        continue;
+      }
+      if (!dirty && !options_.cache_clean) continue;
+      FACE_RETURN_IF_ERROR(
+          Enqueue(pid, page.data(), dirty, ConstPageView(page.data()).lsn()));
+    }
+  }
+  return Status::OK();
+}
+
+Status FaceCache::OnDramEvict(PageId page_id, char* page, bool dirty,
+                              bool fdirty, Lsn rec_lsn) {
+  (void)rec_lsn;  // FaCE is persistent; recLSNs die with the DRAM copy.
+  if (dirty) ++stats_.dirty_evictions;
+
+  // Design-choice ablations (§3.2 "caching clean and dirty"). When a dirty
+  // page bypasses the cache to disk, any older flash copy is now stale and
+  // must be invalidated or later reads would serve it.
+  if (dirty && !options_.cache_dirty) {
+    auto it = newest_.find(page_id);
+    if (it != newest_.end()) {
+      EntryAt(it->second).valid = false;
+      newest_.erase(it);
+      ++stats_.invalidations;
+    }
+    FACE_RETURN_IF_ERROR(storage_->WritePage(page_id, page));
+    ++stats_.disk_writes;
+    return Status::OK();
+  }
+  if (!dirty && !options_.cache_clean) return Status::OK();
+
+  // Algorithm 1: unconditional enqueue when fdirty, conditional (absent-only)
+  // otherwise.
+  if (!fdirty && Contains(page_id)) return Status::OK();
+
+  bool enqueue_dirty = dirty;
+  if (options_.write_through && dirty) {
+    FACE_RETURN_IF_ERROR(storage_->WritePage(page_id, page));
+    ++stats_.disk_writes;
+    enqueue_dirty = false;  // disk already current
+  }
+
+  const bool was_full = live_entries() >= options_.n_frames;
+  if (was_full) FACE_RETURN_IF_ERROR(MakeRoom());
+  FACE_RETURN_IF_ERROR(
+      Enqueue(page_id, page, enqueue_dirty, ConstPageView(page).lsn()));
+  if (options_.second_chance && was_full) {
+    FACE_RETURN_IF_ERROR(FillBatchFromDram());
+  }
+  return Status::OK();
+}
+
+StatusOr<bool> FaceCache::CheckpointPage(PageId page_id, char* page) {
+  // A checkpointed dirty page enters the flash cache instead of disk; the
+  // flash copy becomes the persistent version (still newer than disk).
+  const bool was_full = live_entries() >= options_.n_frames;
+  if (was_full) FACE_RETURN_IF_ERROR(MakeRoom());
+  FACE_RETURN_IF_ERROR(
+      Enqueue(page_id, page, /*dirty=*/true, ConstPageView(page).lsn()));
+  return true;
+}
+
+Status FaceCache::OnCheckpoint() {
+  // Pages absorbed by the checkpoint must actually be on flash when the
+  // checkpoint completes. Metadata rides the normal segment cadence — the
+  // bounded two-segment rebuild covers the in-memory remainder.
+  return FlushStaging();
+}
+
+Status FaceCache::RecoverAfterCrash() {
+  entries_.clear();
+  newest_.clear();
+  staging_.clear();
+  seg_buf_.clear();
+  recovery_info_ = RecoveryInfo();
+
+  std::string block(kPageSize, '\0');
+  FACE_RETURN_IF_ERROR(flash_->Read(0, block.data()));
+  ++stats_.flash_reads;
+  auto sb = Superblock::DecodeFrom(block.data());
+  if (!sb.ok() || sb->n_frames != options_.n_frames ||
+      sb->seg_entries != options_.seg_entries) {
+    // No usable cache state (fresh device or geometry change): cold start.
+    return Format();
+  }
+
+  front_seq_ = sb->front_seq;
+  const uint64_t persisted_rear = sb->rear_seq;
+  if (persisted_rear < front_seq_ ||
+      persisted_rear % options_.seg_entries != 0) {
+    return Format();
+  }
+
+  // 1. Load the fully persisted metadata segments.
+  const uint64_t s = options_.seg_entries;
+  std::string segbuf(static_cast<size_t>(layout_.seg_blocks) * kPageSize,
+                     '\0');
+  for (uint64_t seg_no = front_seq_ / s; seg_no < persisted_rear / s;
+       ++seg_no) {
+    FACE_RETURN_IF_ERROR(flash_->ReadBatch(layout_.SegmentBlock(seg_no),
+                                           layout_.seg_blocks,
+                                           segbuf.data()));
+    stats_.flash_reads += layout_.seg_blocks;
+    ++recovery_info_.persisted_segments_read;
+    for (uint64_t j = 0; j < s; ++j) {
+      const uint64_t seq = seg_no * s + j;
+      if (seq < front_seq_) continue;
+      const FlashMetaEntry me = FlashMetaEntry::DecodeFrom(
+          segbuf.data() + j * FlashMetaEntry::kEncodedSize);
+      entries_.push_back(Entry{me.occupied ? me.page_id : kInvalidPageId,
+                               me.lsn, me.dirty, false, false});
+      ++recovery_info_.entries_restored;
+    }
+  }
+  rear_seq_ = persisted_rear;
+
+  // 2. Rebuild the (at most) two most recent segments by scanning raw
+  //    frames — the paper's bounded restore of the lost in-memory segment.
+  //    A frame belongs to this scan iff its stamped sequence matches: the
+  //    enqueue path stamps seq into every frame, so a leftover from the
+  //    ring's previous lap (stamp seq - n_frames) or a torn/unwritten frame
+  //    ends the append-ordered scan. Note the true rear may exceed
+  //    front_seq_ + n_frames: the superblock's front pointer is stale by up
+  //    to a segment of dequeues (step 2b reconciles).
+  const uint64_t scan_end = persisted_rear + 2 * s;
+  std::string scan(64 * kPageSize, '\0');
+  bool lap_ended = false;
+  for (uint64_t seq = persisted_rear; seq < scan_end && !lap_ended;) {
+    const uint32_t chunk =
+        static_cast<uint32_t>(std::min<uint64_t>(64, scan_end - seq));
+    FACE_RETURN_IF_ERROR(ReadFrames(seq, chunk, scan.data()));
+    recovery_info_.rebuilt_frames_scanned += chunk;
+    for (uint32_t k = 0; k < chunk; ++k) {
+      ConstPageView view(scan.data() + static_cast<size_t>(k) * kPageSize);
+      const bool this_lap =
+          view.VerifyChecksum() &&
+          view.page_id() < storage_->capacity_pages() &&
+          PageView(const_cast<char*>(scan.data() +
+                                     static_cast<size_t>(k) * kPageSize))
+                  .flags() == static_cast<uint32_t>(seq + k);
+      if (!this_lap) {
+        lap_ended = true;
+        break;
+      }
+      // Dirtiness is unknown without the lost metadata: conservatively
+      // dirty, so the page is staged out to disk rather than dropped.
+      entries_.push_back(
+          Entry{view.page_id(), view.lsn(), true, false, false});
+      ++recovery_info_.entries_restored;
+      ++rear_seq_;
+    }
+    seq += chunk;
+  }
+
+  // 2b. Frames are a ring: every enqueue past one full lap physically
+  //     overwrites the frame of (seq - n_frames), and the pre-crash system
+  //     only enqueued after dequeuing the victim. Entries below the true
+  //     rear minus capacity therefore describe pages that were already
+  //     dequeued (their dirty copies written to disk) — advance the
+  //     restored front past them.
+  while (rear_seq_ >= options_.n_frames &&
+         front_seq_ < rear_seq_ - options_.n_frames) {
+    entries_.pop_front();
+    ++front_seq_;
+  }
+
+  // 3. Resolve validity chronologically; on duplicate pages the higher
+  //    pageLSN wins (ties -> later enqueue), which defuses frames
+  //    resurrected from a previous lap of the ring.
+  for (uint64_t seq = front_seq_; seq < rear_seq_; ++seq) {
+    Entry& e = EntryAt(seq);
+    if (e.page_id == kInvalidPageId) continue;
+    auto [it, inserted] = newest_.try_emplace(e.page_id, seq);
+    if (inserted) {
+      e.valid = true;
+      continue;
+    }
+    Entry& old = EntryAt(it->second);
+    if (e.lsn >= old.lsn) {
+      old.valid = false;
+      e.valid = true;
+      it->second = seq;
+    } else {
+      e.valid = false;
+    }
+  }
+  recovery_info_.valid_pages_restored = newest_.size();
+
+  // 4. Reconstitute the partial in-memory segment from restored entries.
+  for (uint64_t seq = (rear_seq_ / s) * s; seq < rear_seq_; ++seq) {
+    char buf[FlashMetaEntry::kEncodedSize];
+    if (seq < front_seq_) {
+      FlashMetaEntry{kInvalidPageId, kInvalidLsn, false, false}.EncodeTo(buf);
+    } else {
+      const Entry& e = EntryAt(seq);
+      FlashMetaEntry{e.page_id, e.lsn, e.dirty,
+                     e.page_id != kInvalidPageId}
+          .EncodeTo(buf);
+    }
+    seg_buf_.append(buf, sizeof(buf));
+  }
+  staged_base_ = rear_seq_;
+  sb_front_seq_ = front_seq_;
+  sb_rear_seq_ = persisted_rear;
+  return Status::OK();
+}
+
+Status FaceCache::CheckInvariants() const {
+  if (entries_.size() != rear_seq_ - front_seq_) {
+    return Status::Internal("entry deque size != live range");
+  }
+  if (live_entries() > options_.n_frames) {
+    return Status::Internal("queue over capacity");
+  }
+  if (options_.group_replace && !staging_.empty() &&
+      staged_base_ + staging_.size() != rear_seq_) {
+    return Status::Internal("staging range out of sync with rear");
+  }
+  uint64_t valid_count = 0;
+  for (uint64_t seq = front_seq_; seq < rear_seq_; ++seq) {
+    const Entry& e = EntryAt(seq);
+    if (!e.valid) continue;
+    ++valid_count;
+    auto it = newest_.find(e.page_id);
+    if (it == newest_.end() || it->second != seq) {
+      return Status::Internal("valid entry not indexed as newest");
+    }
+  }
+  if (valid_count != newest_.size()) {
+    return Status::Internal("newest map size != valid entry count");
+  }
+  const uint64_t expect_segbuf =
+      (rear_seq_ % options_.seg_entries) * FlashMetaEntry::kEncodedSize;
+  if (seg_buf_.size() != expect_segbuf) {
+    return Status::Internal("segment buffer out of sync with rear");
+  }
+  return Status::OK();
+}
+
+}  // namespace face

@@ -1,0 +1,190 @@
+// FaCE: Flash as Cache Extension (the paper's core contribution).
+//
+// The flash cache is a circular queue of page frames managed by
+// Multi-Version FIFO (mvFIFO) replacement:
+//   - pages enter at the rear (append-only -> sequential flash writes);
+//   - a page may exist in several versions; only the newest is valid;
+//   - enqueue is unconditional for fdirty pages, conditional (absent-only)
+//     for clean ones;
+//   - dequeue at the front writes the page to disk iff it is valid & dirty,
+//     else discards it.
+// Group Replacement (GR) batches dequeues/enqueues into group_size-page
+// device requests; Group Second Chance (GSC) additionally re-enqueues
+// referenced pages and pulls extra victims from the DRAM buffer's LRU tail
+// to keep write batches full.
+//
+// The cache is persistent (paper §4): metadata entries are appended to an
+// in-memory segment mirrored to flash one segment at a time, and restart
+// restores the directory from the persisted segments plus a bounded scan of
+// the last two segments' worth of raw frames.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "core/cache_ext.h"
+#include "core/flash_layout.h"
+#include "sim/sim_device.h"
+#include "storage/db_storage.h"
+
+namespace face {
+
+/// Tuning knobs for FaCE; defaults reproduce the paper's base "FaCE" line.
+struct FaceOptions {
+  /// Flash cache capacity in pages.
+  uint64_t n_frames = 0;
+  /// Metadata entries per persistent segment (paper: 64,000 = 1.5 MB).
+  uint32_t seg_entries = 64000;
+  /// Batch dequeue/enqueue in group_size-page device requests (GR).
+  bool group_replace = false;
+  /// Give referenced pages a second chance and pull DRAM victims to fill
+  /// batches (GSC; implies group_replace).
+  bool second_chance = false;
+  /// Pages per group (paper: pages in a flash block, typically 64 or 128).
+  uint32_t group_size = 64;
+
+  // Design-choice ablations (Section 3.2); paper defaults below.
+  bool cache_clean = true;    ///< admit clean pages ("what: both")
+  bool cache_dirty = true;    ///< admit dirty pages
+  bool write_through = false; ///< also write dirty evictions to disk
+
+  /// Paper configurations.
+  static FaceOptions Base(uint64_t n_frames);
+  static FaceOptions GroupReplace(uint64_t n_frames);
+  static FaceOptions GroupSecondChance(uint64_t n_frames);
+};
+
+/// The FaCE cache extension; see file comment.
+class FaceCache final : public CacheExtension {
+ public:
+  /// Restart-time cost breakdown of the last RecoverAfterCrash call.
+  struct RecoveryInfo {
+    uint64_t persisted_segments_read = 0;
+    uint64_t rebuilt_frames_scanned = 0;
+    uint64_t entries_restored = 0;
+    uint64_t valid_pages_restored = 0;
+  };
+
+  /// `flash` must be at least FlashLayout::Compute(...).total_blocks pages.
+  /// `storage` receives dirty pages staged out of the cache.
+  FaceCache(const FaceOptions& options, SimDevice* flash, DbStorage* storage);
+
+  /// Initialize an empty cache (fresh superblock). Call once on a new
+  /// device; RecoverAfterCrash handles restarts.
+  Status Format();
+
+  // CacheExtension interface ------------------------------------------------
+  const char* name() const override;
+  bool IsPersistent() const override { return true; }
+  bool Contains(PageId page_id) const override {
+    return newest_.find(page_id) != newest_.end();
+  }
+  StatusOr<FlashReadResult> ReadPage(PageId page_id, char* out) override;
+  Status OnDramEvict(PageId page_id, char* page, bool dirty, bool fdirty,
+                     Lsn rec_lsn) override;
+  StatusOr<bool> CheckpointPage(PageId page_id, char* page) override;
+  Status OnCheckpoint() override;
+  Status RecoverAfterCrash() override;
+  void SetPullSource(DramPullSource* source) override { pull_ = source; }
+  Status CheckInvariants() const override;
+
+  // Introspection ------------------------------------------------------------
+  /// Live entries (valid + invalid versions + holes) in the queue.
+  uint64_t live_entries() const { return rear_seq_ - front_seq_; }
+  /// Distinct pages with a valid cached copy.
+  uint64_t valid_pages() const { return newest_.size(); }
+  /// Fraction of live entries that are duplicates/invalid (paper §5.3
+  /// reports 30-40 % at 8 GB).
+  double DuplicateRatio() const {
+    const uint64_t live = live_entries();
+    return live ? 1.0 - static_cast<double>(newest_.size()) /
+                            static_cast<double>(live)
+                : 0.0;
+  }
+  const FaceOptions& options() const { return options_; }
+  const FlashLayout& layout() const { return layout_; }
+  const RecoveryInfo& recovery_info() const { return recovery_info_; }
+  uint64_t front_seq() const { return front_seq_; }
+  uint64_t rear_seq() const { return rear_seq_; }
+
+ private:
+  /// In-memory directory entry for one queue slot.
+  struct Entry {
+    PageId page_id = kInvalidPageId;
+    Lsn lsn = kInvalidLsn;
+    bool dirty = false;
+    bool valid = false;
+    bool referenced = false;
+  };
+
+  Entry& EntryAt(uint64_t seq) { return entries_[seq - front_seq_]; }
+  const Entry& EntryAt(uint64_t seq) const {
+    return entries_[seq - front_seq_];
+  }
+
+  /// Append a page at the rear (the page must fit: live < n_frames).
+  Status Enqueue(PageId page_id, const char* page, bool dirty, Lsn lsn);
+  /// Free at least one slot per the configured replacement flavor.
+  Status MakeRoom();
+  /// Base mvFIFO: stage out one page with individual I/Os.
+  Status DequeueOne();
+  /// GR/GSC: stage out up to group_size pages in batched I/Os; with
+  /// second chance, referenced valid pages are re-enqueued.
+  Status DequeueGroup();
+  /// GSC: pull victims from the DRAM LRU tail until the staging batch is
+  /// full or no free slots/victims remain.
+  Status FillBatchFromDram();
+
+  /// Write `page` into the frame for `seq` (immediate or staged).
+  Status WriteFrame(uint64_t seq, const char* page, PageId page_id, Lsn lsn);
+  /// Flush staged frames as (wrap-split) batch writes.
+  Status FlushStaging();
+  /// Read `count` frames starting at `seq` into `out` (wrap-split batches).
+  Status ReadFrames(uint64_t seq, uint32_t count, char* out);
+
+  /// Append the metadata entry for `seq`; flush the segment on boundary.
+  Status AppendMeta(uint64_t seq, const FlashMetaEntry& entry);
+  /// Write the (full) segment containing seqs [seg*S, (seg+1)*S) and then
+  /// the superblock — the paper's "flash cache checkpointing".
+  Status FlushSegment(uint64_t seg_no);
+  Status WriteSuperblock();
+
+  /// Stamp page id, the enqueue sequence (into the flags field, for
+  /// restart-time lap detection) and a checksum on a scratch copy of `page`
+  /// before a flash write.
+  const char* StampedCopy(const char* page, PageId page_id, Lsn lsn,
+                          uint64_t seq);
+
+  FaceOptions options_;
+  FlashLayout layout_;
+  SimDevice* flash_;
+  DbStorage* storage_;
+  DramPullSource* pull_ = nullptr;
+
+  uint64_t front_seq_ = 0;
+  uint64_t rear_seq_ = 0;
+  std::deque<Entry> entries_;                     // seqs [front_, rear_)
+  std::unordered_map<PageId, uint64_t> newest_;   // page -> valid seq
+
+  /// Staged (not yet written) rear frames: seqs [staged_base_, rear_seq_).
+  uint64_t staged_base_ = 0;
+  std::vector<std::string> staging_;
+
+  /// Current metadata segment accumulation (entries since last boundary).
+  std::string seg_buf_;
+
+  /// Superblock values as last persisted.
+  uint64_t sb_front_seq_ = 0;
+  uint64_t sb_rear_seq_ = 0;
+
+  std::string scratch_;  // one-page checksum staging
+  bool in_group_replace_ = false;  // guards GSC reentrancy
+  RecoveryInfo recovery_info_;
+};
+
+}  // namespace face

@@ -1,0 +1,212 @@
+#include "core/lc_cache.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "storage/page.h"
+
+namespace face {
+
+LcCache::LcCache(const LcOptions& options, SimDevice* flash,
+                 DbStorage* storage)
+    : options_(options), flash_(flash), storage_(storage) {
+  assert(options_.n_frames >= 2);
+  assert(options_.clean_target <= options_.clean_threshold);
+  assert(flash_->capacity_pages() >= options_.n_frames);
+  free_frames_.reserve(options_.n_frames);
+  for (uint64_t i = 0; i < options_.n_frames; ++i) {
+    free_frames_.push_back(options_.n_frames - 1 - i);
+  }
+  scratch_.resize(kPageSize);
+}
+
+void LcCache::Touch(PageId page_id, Entry& e) {
+  victim_order_.erase(KeyOf(page_id, e));
+  e.penult_ref = e.last_ref;
+  e.last_ref = ++clock_;
+  victim_order_.insert(KeyOf(page_id, e));
+}
+
+Status LcCache::WriteFrame(uint64_t frame, const char* page, PageId page_id) {
+  memcpy(scratch_.data(), page, kPageSize);
+  PageView view(scratch_.data());
+  view.set_page_id(page_id);
+  view.StampChecksum();
+  ++stats_.flash_writes;
+  return flash_->Write(frame, scratch_.data());
+}
+
+StatusOr<FlashReadResult> LcCache::ReadPage(PageId page_id, char* out) {
+  auto it = index_.find(page_id);
+  if (it == index_.end()) return Status::NotFound("page not in LC cache");
+  Entry& e = it->second;
+  FACE_RETURN_IF_ERROR(flash_->Read(e.frame, out));
+  ++stats_.flash_reads;
+  ConstPageView view(out);
+  if (!view.VerifyChecksum() || view.page_id() != page_id) {
+    return Status::Corruption("LC cache frame failed validation");
+  }
+  Touch(page_id, e);
+  return FlashReadResult{e.dirty, e.rec_lsn};
+}
+
+Status LcCache::CleanEntry(PageId page_id, Entry& e) {
+  assert(e.dirty);
+  FACE_RETURN_IF_ERROR(flash_->Read(e.frame, scratch_.data()));
+  ++stats_.flash_reads;
+  FACE_RETURN_IF_ERROR(storage_->WritePage(page_id, scratch_.data()));
+  ++stats_.disk_writes;
+  e.dirty = false;
+  e.rec_lsn = kInvalidLsn;
+  assert(dirty_count_ > 0);
+  --dirty_count_;
+  return Status::OK();
+}
+
+Status LcCache::EvictVictim() {
+  assert(!victim_order_.empty());
+  const PageId victim = std::get<2>(*victim_order_.begin());
+  auto it = index_.find(victim);
+  assert(it != index_.end());
+  if (it->second.dirty) {
+    FACE_RETURN_IF_ERROR(CleanEntry(victim, it->second));
+  }
+  victim_order_.erase(victim_order_.begin());
+  free_frames_.push_back(it->second.frame);
+  index_.erase(it);
+  ++stats_.invalidations;
+  return Status::OK();
+}
+
+Status LcCache::OnDramEvict(PageId page_id, char* page, bool dirty,
+                            bool fdirty, Lsn rec_lsn) {
+  if (dirty) ++stats_.dirty_evictions;
+
+  auto it = index_.find(page_id);
+  if (it != index_.end()) {
+    Entry& e = it->second;
+    // Single-copy discipline: overwrite the existing frame in place — but
+    // only when the DRAM copy is actually newer (fdirty); otherwise the
+    // flash copy is identical and no write is needed.
+    if (fdirty) {
+      FACE_RETURN_IF_ERROR(WriteFrame(e.frame, page, page_id));
+      if (dirty && !e.dirty) {
+        e.dirty = true;
+        ++dirty_count_;
+      }
+      if (dirty) {
+        // Keep the most conservative (oldest) recLSN across overwrites.
+        if (e.rec_lsn == kInvalidLsn ||
+            (rec_lsn != kInvalidLsn && rec_lsn < e.rec_lsn)) {
+          e.rec_lsn = rec_lsn;
+        }
+      }
+    }
+    Touch(page_id, e);
+    return Status::OK();
+  }
+
+  // Admission of a new page: free frame, else replace the LRU-2 victim.
+  if (free_frames_.empty()) {
+    FACE_RETURN_IF_ERROR(EvictVictim());
+  }
+  const uint64_t frame = free_frames_.back();
+  free_frames_.pop_back();
+  FACE_RETURN_IF_ERROR(WriteFrame(frame, page, page_id));
+
+  Entry e;
+  e.frame = frame;
+  e.dirty = dirty;
+  e.rec_lsn = dirty ? rec_lsn : kInvalidLsn;
+  e.penult_ref = 0;  // first visit: -inf history, prime eviction candidate
+  e.last_ref = ++clock_;
+  if (dirty) ++dirty_count_;
+  victim_order_.insert(KeyOf(page_id, e));
+  index_.emplace(page_id, e);
+  ++stats_.enqueues;
+  return Status::OK();
+}
+
+Status LcCache::PrepareCheckpoint() {
+  for (auto& [page_id, e] : index_) {
+    if (!e.dirty) continue;
+    FACE_RETURN_IF_ERROR(CleanEntry(page_id, e));
+  }
+  return Status::OK();
+}
+
+void LcCache::OnPageWrittenToDisk(PageId page_id) {
+  // The disk copy just became current; a cached copy is stale now. Drop it
+  // (an in-memory invalidation — no flash I/O).
+  auto it = index_.find(page_id);
+  if (it == index_.end()) return;
+  if (it->second.dirty) --dirty_count_;
+  victim_order_.erase(KeyOf(page_id, it->second));
+  free_frames_.push_back(it->second.frame);
+  index_.erase(it);
+  ++stats_.invalidations;
+}
+
+Status LcCache::RecoverAfterCrash() {
+  // Directory was DRAM-only: all cached state is unreachable after a crash.
+  index_.clear();
+  victim_order_.clear();
+  free_frames_.clear();
+  for (uint64_t i = 0; i < options_.n_frames; ++i) {
+    free_frames_.push_back(options_.n_frames - 1 - i);
+  }
+  dirty_count_ = 0;
+  cleaning_ = false;
+  return Status::OK();
+}
+
+bool LcCache::HasBackgroundWork() const {
+  const double dirty = DirtyFraction();
+  if (cleaning_) return dirty > options_.clean_target;
+  return dirty > options_.clean_threshold;
+}
+
+Status LcCache::RunBackgroundWork() {
+  if (!HasBackgroundWork()) return Status::OK();
+  cleaning_ = true;
+  // Clean coldest-first so pages likely to be re-dirtied soon stay dirty in
+  // flash and keep absorbing writes.
+  uint32_t flushed = 0;
+  for (auto it = victim_order_.begin();
+       it != victim_order_.end() && flushed < options_.clean_batch &&
+       DirtyFraction() > options_.clean_target;
+       ++it) {
+    const PageId page_id = std::get<2>(*it);
+    Entry& e = index_.at(page_id);
+    if (!e.dirty) continue;
+    FACE_RETURN_IF_ERROR(CleanEntry(page_id, e));
+    ++flushed;
+  }
+  if (DirtyFraction() <= options_.clean_target) cleaning_ = false;
+  return Status::OK();
+}
+
+Status LcCache::CheckInvariants() const {
+  if (index_.size() != victim_order_.size()) {
+    return Status::Internal("LC index / victim-order size mismatch");
+  }
+  if (index_.size() + free_frames_.size() != options_.n_frames) {
+    return Status::Internal("LC frame accounting broken");
+  }
+  uint64_t dirty = 0;
+  for (const auto& [page_id, e] : index_) {
+    if (victim_order_.find(KeyOf(page_id, e)) == victim_order_.end()) {
+      return Status::Internal("LC entry missing from victim order");
+    }
+    if (e.dirty) ++dirty;
+    if (e.penult_ref > e.last_ref) {
+      return Status::Internal("LC reference history out of order");
+    }
+  }
+  if (dirty != dirty_count_) {
+    return Status::Internal("LC dirty count out of sync");
+  }
+  return Status::OK();
+}
+
+}  // namespace face

@@ -1,0 +1,123 @@
+// The Lazy Cleaning (LC) baseline of Do et al., "Turbocharging DBMS Buffer
+// Pool Using SSDs" (SIGMOD 2011) — the closest prior design to FaCE and the
+// paper's principal comparison point (Table 2: on exit, both, write-back,
+// LRU-2).
+//
+// LC keeps exactly one up-to-date copy per cached page in a fixed flash
+// frame. Replacement is LRU-2: the victim is the page whose *penultimate*
+// reference is oldest, which keeps single-visit pages from polluting the
+// cache but makes every replacement an in-place — i.e. random — flash write.
+// Dirty flash pages are flushed to disk by a background "lazy cleaner" once
+// the dirty fraction passes a threshold. The cache is NOT part of the
+// persistent database: its directory lives only in DRAM, so a database
+// checkpoint must force all flash-resident dirty pages to disk (the
+// checkpointing cost the FaCE paper charges to LC), and a crash resets the
+// cache cold.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <tuple>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "core/cache_ext.h"
+#include "sim/sim_device.h"
+#include "storage/db_storage.h"
+
+namespace face {
+
+/// Tuning knobs for the LC baseline.
+struct LcOptions {
+  /// Flash cache capacity in pages.
+  uint64_t n_frames = 0;
+  /// Start the lazy cleaner when dirty frames exceed this fraction.
+  double clean_threshold = 0.80;
+  /// Clean down to this fraction before going back to sleep (hysteresis).
+  double clean_target = 0.75;
+  /// Dirty pages flushed per background run.
+  uint32_t clean_batch = 64;
+};
+
+/// The LC cache extension; see file comment. Single-threaded.
+class LcCache final : public CacheExtension {
+ public:
+  /// `flash` must have at least options.n_frames blocks. `storage` receives
+  /// cleaned and evicted dirty pages.
+  LcCache(const LcOptions& options, SimDevice* flash, DbStorage* storage);
+
+  // CacheExtension interface --------------------------------------------------
+  const char* name() const override { return "LC"; }
+  bool IsPersistent() const override { return false; }
+  bool Contains(PageId page_id) const override {
+    return index_.find(page_id) != index_.end();
+  }
+  StatusOr<FlashReadResult> ReadPage(PageId page_id, char* out) override;
+  Status OnDramEvict(PageId page_id, char* page, bool dirty, bool fdirty,
+                     Lsn rec_lsn) override;
+  /// LC cannot absorb checkpointed pages persistently.
+  StatusOr<bool> CheckpointPage(PageId, char*) override { return false; }
+  /// Flush every flash-resident dirty page to disk: the flash cache is not
+  /// persistent, so checkpoint completeness requires it (paper §2.3).
+  Status PrepareCheckpoint() override;
+  void OnPageWrittenToDisk(PageId page_id) override;
+  /// The DRAM directory dies with the process: restart cold.
+  Status RecoverAfterCrash() override;
+  Status RunBackgroundWork() override;
+  bool HasBackgroundWork() const override;
+  Status CheckInvariants() const override;
+
+  // Introspection --------------------------------------------------------------
+  uint64_t cached_pages() const { return index_.size(); }
+  uint64_t dirty_pages() const { return dirty_count_; }
+  double DirtyFraction() const {
+    return options_.n_frames
+               ? static_cast<double>(dirty_count_) /
+                     static_cast<double>(options_.n_frames)
+               : 0.0;
+  }
+  const LcOptions& options() const { return options_; }
+
+ private:
+  /// Directory entry for one cached page.
+  struct Entry {
+    uint64_t frame = 0;         ///< flash block holding the page
+    bool dirty = false;         ///< flash copy newer than the disk copy
+    Lsn rec_lsn = kInvalidLsn;  ///< conservative recLSN while dirty
+    uint64_t last_ref = 0;      ///< most recent reference tick
+    uint64_t penult_ref = 0;    ///< reference before that (0 = "-inf")
+  };
+
+  /// Victim order: oldest penultimate reference first, ties by oldest last
+  /// reference — the LRU-2 discipline.
+  using VictimKey = std::tuple<uint64_t, uint64_t, PageId>;
+
+  VictimKey KeyOf(PageId page_id, const Entry& e) const {
+    return {e.penult_ref, e.last_ref, page_id};
+  }
+
+  /// Record a reference to an existing entry (maintains the victim order).
+  void Touch(PageId page_id, Entry& e);
+  /// Stage the dirty page in `e` out to disk and mark it clean.
+  Status CleanEntry(PageId page_id, Entry& e);
+  /// Evict the LRU-2 victim, cleaning it first if dirty. Frees its frame.
+  Status EvictVictim();
+  /// Write `page` into flash frame `frame` (an in-place random write).
+  Status WriteFrame(uint64_t frame, const char* page, PageId page_id);
+
+  LcOptions options_;
+  SimDevice* flash_;
+  DbStorage* storage_;
+
+  std::unordered_map<PageId, Entry> index_;
+  std::set<VictimKey> victim_order_;
+  std::vector<uint64_t> free_frames_;
+  uint64_t clock_ = 0;       ///< logical reference tick
+  uint64_t dirty_count_ = 0;
+  bool cleaning_ = false;    ///< hysteresis state of the lazy cleaner
+  std::string scratch_;      ///< one-page staging buffer
+};
+
+}  // namespace face

@@ -1,0 +1,16 @@
+#include "core/cache_ext.h"
+#include "storage/db_storage.h"
+
+namespace face {
+
+Status NullCache::OnDramEvict(PageId page_id, char* page, bool dirty,
+                              bool fdirty, Lsn rec_lsn) {
+  (void)fdirty;
+  (void)rec_lsn;
+  if (!dirty) return Status::OK();
+  ++stats_.dirty_evictions;
+  ++stats_.disk_writes;
+  return storage_->WritePage(page_id, page);
+}
+
+}  // namespace face

@@ -1,0 +1,215 @@
+#include "core/tac_cache.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "storage/page.h"
+
+namespace face {
+
+TacCache::TacCache(const TacOptions& options, SimDevice* flash,
+                   DbStorage* storage)
+    : options_(options),
+      dir_blocks_(DirBlocksFor(options.n_frames)),
+      flash_(flash),
+      storage_(storage) {
+  assert(options_.n_frames >= 2);
+  assert(options_.extent_pages >= 1);
+  assert(flash_->capacity_pages() >= dir_blocks_ + options_.n_frames);
+  free_slots_.reserve(options_.n_frames);
+  for (uint64_t i = 0; i < options_.n_frames; ++i) {
+    free_slots_.push_back(options_.n_frames - 1 - i);
+  }
+  scratch_.resize(kPageSize);
+}
+
+Status TacCache::Format() {
+  index_.clear();
+  victim_order_.clear();
+  extent_temp_.clear();
+  free_slots_.clear();
+  for (uint64_t i = 0; i < options_.n_frames; ++i) {
+    free_slots_.push_back(options_.n_frames - 1 - i);
+  }
+  clock_ = 0;
+  // Zero the whole directory region in one sequential write.
+  std::string zeros(static_cast<size_t>(dir_blocks_) * kPageSize, '\0');
+  FACE_RETURN_IF_ERROR(flash_->WriteBatch(
+      0, static_cast<uint32_t>(dir_blocks_), zeros.data()));
+  stats_.meta_flash_writes += dir_blocks_;
+  return Status::OK();
+}
+
+uint64_t TacCache::Heat(PageId page_id) {
+  return ++extent_temp_[ExtentOf(page_id)];
+}
+
+uint64_t TacCache::ExtentTemperature(PageId page_id) const {
+  auto it = extent_temp_.find(ExtentOf(page_id));
+  return it == extent_temp_.end() ? 0 : it->second;
+}
+
+Status TacCache::WriteDirEntry(uint64_t slot, PageId page_id, bool occupied) {
+  // Persist the one entry by rewriting its 4 KB directory block — the
+  // "update an entry in the slot directory" random write of paper §4.1.
+  const uint64_t block = slot / kEntriesPerBlock;
+  const uint64_t offset =
+      (slot % kEntriesPerBlock) * FlashMetaEntry::kEncodedSize;
+  FACE_RETURN_IF_ERROR(flash_->Read(block, scratch_.data()));
+  ++stats_.flash_reads;
+  FlashMetaEntry e;
+  e.page_id = page_id;
+  e.dirty = false;  // write-through: flash never holds dirty data
+  e.occupied = occupied;
+  e.EncodeTo(scratch_.data() + offset);
+  ++stats_.meta_flash_writes;
+  return flash_->Write(block, scratch_.data());
+}
+
+Status TacCache::WriteFrame(uint64_t slot, const char* page, PageId page_id) {
+  memcpy(scratch_.data(), page, kPageSize);
+  PageView view(scratch_.data());
+  view.set_page_id(page_id);
+  view.StampChecksum();
+  ++stats_.flash_writes;
+  return flash_->Write(FrameBlock(slot), scratch_.data());
+}
+
+StatusOr<FlashReadResult> TacCache::ReadPage(PageId page_id, char* out) {
+  auto it = index_.find(page_id);
+  if (it == index_.end()) return Status::NotFound("page not in TAC cache");
+  Entry& e = it->second;
+  FACE_RETURN_IF_ERROR(flash_->Read(FrameBlock(e.slot), out));
+  ++stats_.flash_reads;
+  ConstPageView view(out);
+  if (!view.VerifyChecksum() || view.page_id() != page_id) {
+    return Status::Corruption("TAC cache frame failed validation");
+  }
+  // Cache hits heat the extent and refresh this entry's standing.
+  victim_order_.erase(KeyOf(page_id, e));
+  e.temp_snapshot = Heat(page_id);
+  e.tick = ++clock_;
+  victim_order_.insert(KeyOf(page_id, e));
+  return FlashReadResult{false, kInvalidLsn};  // write-through: never dirty
+}
+
+Status TacCache::OnFetchFromDisk(PageId page_id, const char* page) {
+  const uint64_t temp = Heat(page_id);
+  if (Contains(page_id)) return Status::OK();  // defensive; shouldn't happen
+
+  uint64_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    // Temperature gate: replace the coldest cached page only if the
+    // incoming page's extent is strictly hotter.
+    assert(!victim_order_.empty());
+    const auto& coldest = *victim_order_.begin();
+    if (temp <= std::get<0>(coldest)) return Status::OK();
+    const PageId victim = std::get<2>(coldest);
+    auto vit = index_.find(victim);
+    slot = vit->second.slot;
+    FACE_RETURN_IF_ERROR(Invalidate(vit));
+  }
+
+  FACE_RETURN_IF_ERROR(WriteFrame(slot, page, page_id));
+  FACE_RETURN_IF_ERROR(WriteDirEntry(slot, page_id, true));  // validation
+
+  Entry e;
+  e.slot = slot;
+  e.temp_snapshot = temp;
+  e.tick = ++clock_;
+  victim_order_.insert(KeyOf(page_id, e));
+  index_.emplace(page_id, e);
+  ++stats_.enqueues;
+  return Status::OK();
+}
+
+Status TacCache::Invalidate(std::unordered_map<PageId, Entry>::iterator it) {
+  const uint64_t slot = it->second.slot;
+  victim_order_.erase(KeyOf(it->first, it->second));
+  index_.erase(it);
+  ++stats_.invalidations;
+  // Persist the invalidation — the first of the two random metadata writes
+  // TAC pays per replacement.
+  return WriteDirEntry(slot, kInvalidPageId, false);
+}
+
+Status TacCache::OnDramEvict(PageId page_id, char* page, bool dirty,
+                             bool fdirty, Lsn rec_lsn) {
+  (void)rec_lsn;
+  if (!dirty) return Status::OK();  // clean pages were cached on entry
+  ++stats_.dirty_evictions;
+  // Write-through: disk first, then keep a cached copy coherent.
+  FACE_RETURN_IF_ERROR(storage_->WritePage(page_id, page));
+  ++stats_.disk_writes;
+  auto it = index_.find(page_id);
+  if (it != index_.end() && fdirty) {
+    FACE_RETURN_IF_ERROR(WriteFrame(it->second.slot, page, page_id));
+  }
+  return Status::OK();
+}
+
+void TacCache::OnPageWrittenToDisk(PageId page_id) {
+  // Checkpoint wrote the page without handing us bytes: the flash copy is
+  // stale, so it must be invalidated (persistently).
+  auto it = index_.find(page_id);
+  if (it == index_.end()) return;
+  const uint64_t slot = it->second.slot;
+  // Invalidate() returns a Status for the metadata write; a failure here is
+  // ignored deliberately — the in-memory drop already guarantees the stale
+  // copy can never be served.
+  (void)Invalidate(it);
+  free_slots_.push_back(slot);
+}
+
+Status TacCache::RecoverAfterCrash() {
+  index_.clear();
+  victim_order_.clear();
+  extent_temp_.clear();
+  free_slots_.clear();
+  clock_ = 0;
+
+  // One sequential sweep over the slot directory rebuilds the map.
+  std::string dir(static_cast<size_t>(dir_blocks_) * kPageSize, '\0');
+  FACE_RETURN_IF_ERROR(flash_->ReadBatch(
+      0, static_cast<uint32_t>(dir_blocks_), dir.data()));
+  stats_.flash_reads += dir_blocks_;
+  for (uint64_t slot = 0; slot < options_.n_frames; ++slot) {
+    const FlashMetaEntry e = FlashMetaEntry::DecodeFrom(
+        dir.data() + (slot / kEntriesPerBlock) * kPageSize +
+        (slot % kEntriesPerBlock) * FlashMetaEntry::kEncodedSize);
+    if (!e.occupied || e.page_id == kInvalidPageId) {
+      free_slots_.push_back(slot);
+      continue;
+    }
+    Entry entry;
+    entry.slot = slot;
+    entry.temp_snapshot = 0;  // temperatures do not survive a crash
+    entry.tick = ++clock_;
+    victim_order_.insert(KeyOf(e.page_id, entry));
+    index_.emplace(e.page_id, entry);
+  }
+  return Status::OK();
+}
+
+Status TacCache::CheckInvariants() const {
+  if (index_.size() != victim_order_.size()) {
+    return Status::Internal("TAC index / victim-order size mismatch");
+  }
+  if (index_.size() + free_slots_.size() != options_.n_frames) {
+    return Status::Internal("TAC slot accounting broken");
+  }
+  for (const auto& [page_id, e] : index_) {
+    if (victim_order_.find(KeyOf(page_id, e)) == victim_order_.end()) {
+      return Status::Internal("TAC entry missing from victim order");
+    }
+    if (e.slot >= options_.n_frames) {
+      return Status::Internal("TAC slot out of range");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace face

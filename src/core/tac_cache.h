@@ -1,0 +1,130 @@
+// The Temperature-Aware Caching (TAC) baseline of the IBM DB2 Bufferpool
+// Extension prototype (Canim et al., PVLDB 2010; Bhattacharjee et al.,
+// DaMoN 2011) — Table 2's "on entry, both, write-through, Temperature" row.
+//
+// TAC admits pages into flash when they are fetched from disk, gated by the
+// access temperature of their extent (a fixed run of contiguous pages), and
+// keeps the flash cache consistent with disk through a write-through policy:
+// a dirty page evicted from DRAM is written to disk AND, if cached, its
+// flash copy is updated in place. Flash therefore never holds data newer
+// than disk and provides no write reduction — only read caching.
+//
+// Its distinguishing cost is persistent metadata: TAC maintains a slot
+// directory *in flash*, one entry per cached page, updated with an
+// invalidation write followed by a validation write on every replacement
+// (paper §4.1). Those are small random flash writes, and they are exactly
+// the overhead FaCE's segmented, sequential metadata checkpointing avoids.
+// The payoff is that the directory survives a crash, so a restart can
+// rebuild the cache map with a short sequential scan and serve recovery
+// reads from flash.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <tuple>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "core/cache_ext.h"
+#include "core/flash_layout.h"
+#include "sim/sim_device.h"
+#include "storage/db_storage.h"
+
+namespace face {
+
+/// Tuning knobs for the TAC baseline.
+struct TacOptions {
+  /// Flash cache capacity in pages.
+  uint64_t n_frames = 0;
+  /// Pages per temperature extent (DB2 BPX monitors at extent granularity).
+  uint32_t extent_pages = 64;
+};
+
+/// The TAC cache extension; see file comment. Single-threaded.
+class TacCache final : public CacheExtension {
+ public:
+  /// Directory entries per 4 KB block (entries never straddle blocks, so a
+  /// single-entry update rewrites exactly one block).
+  static constexpr uint64_t kEntriesPerBlock =
+      kPageSize / FlashMetaEntry::kEncodedSize;
+
+  /// Directory blocks needed for an `n_frames` cache.
+  static constexpr uint64_t DirBlocksFor(uint64_t n_frames) {
+    return (n_frames + kEntriesPerBlock - 1) / kEntriesPerBlock;
+  }
+
+  /// `flash` must have at least DirBlocks()+n_frames blocks.
+  TacCache(const TacOptions& options, SimDevice* flash, DbStorage* storage);
+
+  /// Initialize an empty persistent directory on a fresh device.
+  Status Format();
+
+  // CacheExtension interface --------------------------------------------------
+  const char* name() const override { return "TAC"; }
+  bool IsPersistent() const override { return false; }
+  bool Contains(PageId page_id) const override {
+    return index_.find(page_id) != index_.end();
+  }
+  StatusOr<FlashReadResult> ReadPage(PageId page_id, char* out) override;
+  Status OnDramEvict(PageId page_id, char* page, bool dirty, bool fdirty,
+                     Lsn rec_lsn) override;
+  /// On-entry admission: the temperature-gated caching decision.
+  Status OnFetchFromDisk(PageId page_id, const char* page) override;
+  /// Write-through: disk is always current, so checkpoints go to disk.
+  StatusOr<bool> CheckpointPage(PageId, char*) override { return false; }
+  void OnPageWrittenToDisk(PageId page_id) override;
+  /// Rebuild the cache map from the persistent slot directory.
+  Status RecoverAfterCrash() override;
+  Status CheckInvariants() const override;
+
+  // Introspection --------------------------------------------------------------
+  uint64_t cached_pages() const { return index_.size(); }
+  /// Current access temperature of the extent containing `page_id`.
+  uint64_t ExtentTemperature(PageId page_id) const;
+  /// Device blocks occupied by the slot directory.
+  uint64_t DirBlocks() const { return dir_blocks_; }
+  const TacOptions& options() const { return options_; }
+
+ private:
+  /// Directory entry for one cached page (slot index == flash frame index).
+  struct Entry {
+    uint64_t slot = 0;
+    uint64_t temp_snapshot = 0;  ///< extent temperature at last touch
+    uint64_t tick = 0;           ///< age tiebreak
+  };
+
+  using VictimKey = std::tuple<uint64_t, uint64_t, PageId>;
+  VictimKey KeyOf(PageId page_id, const Entry& e) const {
+    return {e.temp_snapshot, e.tick, page_id};
+  }
+
+  uint64_t ExtentOf(PageId page_id) const {
+    return page_id / options_.extent_pages;
+  }
+  /// Bump the extent's temperature and return the new value.
+  uint64_t Heat(PageId page_id);
+  /// Flash block holding cached slot `slot`.
+  uint64_t FrameBlock(uint64_t slot) const { return dir_blocks_ + slot; }
+  /// Persist the directory entry for `slot` (one random flash write).
+  Status WriteDirEntry(uint64_t slot, PageId page_id, bool occupied);
+  /// Remove `it` from the in-memory map and persist the invalidation.
+  Status Invalidate(std::unordered_map<PageId, Entry>::iterator it);
+  /// Write page bytes into `slot`'s frame.
+  Status WriteFrame(uint64_t slot, const char* page, PageId page_id);
+
+  TacOptions options_;
+  uint64_t dir_blocks_;
+  SimDevice* flash_;
+  DbStorage* storage_;
+
+  std::unordered_map<PageId, Entry> index_;
+  std::set<VictimKey> victim_order_;  ///< coldest extent first
+  std::vector<uint64_t> free_slots_;
+  std::unordered_map<uint64_t, uint64_t> extent_temp_;
+  uint64_t clock_ = 0;
+  std::string scratch_;  ///< one-page staging buffer
+};
+
+}  // namespace face

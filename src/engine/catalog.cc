@@ -1,0 +1,139 @@
+#include "engine/catalog.h"
+
+#include <cstring>
+
+#include "common/coding.h"
+#include "storage/page.h"
+
+namespace face {
+
+namespace {
+
+constexpr uint32_t kMaxEntries =
+    kPagePayloadSize / CatalogEntry::kEncodedSize;
+
+// Slot layout: [name:31][kind:u8][root:u64][last:u64][row_count:u64][pad:8]
+void EncodeEntry(const CatalogEntry& e, char* dst) {
+  memset(dst, 0, CatalogEntry::kEncodedSize);
+  memcpy(dst, e.name.data(),
+         e.name.size() < CatalogEntry::kNameWidth ? e.name.size()
+                                                  : CatalogEntry::kNameWidth);
+  dst[31] = static_cast<char>(e.kind);
+  EncodeFixed64(dst + 32, e.root_page == kInvalidPageId ? 0 : e.root_page);
+  EncodeFixed64(dst + 40, e.last_page == kInvalidPageId ? 0 : e.last_page);
+  EncodeFixed64(dst + 48, e.row_count);
+}
+
+CatalogEntry DecodeEntry(const char* src) {
+  CatalogEntry e;
+  const char* end = static_cast<const char*>(
+      memchr(src, '\0', CatalogEntry::kNameWidth));
+  e.name.assign(src, end != nullptr ? static_cast<size_t>(end - src)
+                                    : CatalogEntry::kNameWidth);
+  e.kind = static_cast<ObjectKind>(src[31]);
+  const PageId root = DecodeFixed64(src + 32);
+  const PageId last = DecodeFixed64(src + 40);
+  // Page 0 is the catalog itself, so 0 is a safe "none" encoding.
+  e.root_page = root == 0 ? kInvalidPageId : root;
+  e.last_page = last == 0 ? kInvalidPageId : last;
+  e.row_count = DecodeFixed64(src + 48);
+  return e;
+}
+
+}  // namespace
+
+Status Catalog::Format(PageWriter* writer) {
+  FACE_ASSIGN_OR_RETURN(PageHandle page, pool_->NewPage());
+  if (page.page_id() != kCatalogPageId) {
+    return Status::Internal("catalog must be the first allocated page");
+  }
+  // A freshly formatted page is already all-zero = all slots free; just
+  // write one zero byte through the writer so the page is dirtied and (in
+  // logged mode) its existence is redo-protected.
+  const char zero = 0;
+  FACE_RETURN_IF_ERROR(writer->Apply(&page, kPageHeaderSize, &zero, 1));
+  entries_.clear();
+  by_name_.clear();
+  return Status::OK();
+}
+
+Status Catalog::Load() {
+  entries_.clear();
+  by_name_.clear();
+  FACE_ASSIGN_OR_RETURN(PageHandle page, pool_->FetchPage(kCatalogPageId));
+  const char* payload = page.data() + kPageHeaderSize;
+  for (uint32_t i = 0; i < kMaxEntries; ++i) {
+    CatalogEntry e = DecodeEntry(payload + SlotOffset(i));
+    if (e.kind == ObjectKind::kFree) break;  // entries are dense
+    by_name_.emplace(e.name, static_cast<uint32_t>(entries_.size()));
+    entries_.push_back(std::move(e));
+  }
+  return Status::OK();
+}
+
+StatusOr<uint32_t> Catalog::Create(PageWriter* writer, std::string_view name,
+                                   ObjectKind kind, PageId root_page) {
+  if (name.empty() || name.size() > CatalogEntry::kNameWidth) {
+    return Status::InvalidArgument("catalog name must be 1..31 bytes");
+  }
+  if (by_name_.count(std::string(name)) != 0) {
+    return Status::InvalidArgument("catalog entry exists: " +
+                                   std::string(name));
+  }
+  if (entries_.size() >= kMaxEntries) {
+    return Status::OutOfSpace("catalog page full");
+  }
+  const uint32_t idx = static_cast<uint32_t>(entries_.size());
+  CatalogEntry e;
+  e.name = std::string(name);
+  e.kind = kind;
+  e.root_page = root_page;
+  e.last_page = kind == ObjectKind::kHeap ? root_page : kInvalidPageId;
+  entries_.push_back(e);
+  by_name_.emplace(e.name, idx);
+  FACE_RETURN_IF_ERROR(WriteEntry(writer, idx));
+  return idx;
+}
+
+StatusOr<uint32_t> Catalog::Find(std::string_view name) const {
+  auto it = by_name_.find(std::string(name));
+  if (it == by_name_.end()) {
+    return Status::NotFound("no catalog entry: " + std::string(name));
+  }
+  return it->second;
+}
+
+Status Catalog::SetRootPage(PageWriter* writer, uint32_t idx, PageId root) {
+  entries_[idx].root_page = root;
+  return WriteEntry(writer, idx);
+}
+
+Status Catalog::SetLastPage(PageWriter* writer, uint32_t idx, PageId last) {
+  entries_[idx].last_page = last;
+  return WriteEntry(writer, idx);
+}
+
+Status Catalog::AddRowCount(PageWriter* writer, uint32_t idx, int64_t delta) {
+  entries_[idx].row_count =
+      static_cast<uint64_t>(static_cast<int64_t>(entries_[idx].row_count) +
+                            delta);
+  return WriteEntry(writer, idx);
+}
+
+std::vector<std::string> Catalog::Names() const {
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& e : entries_) names.push_back(e.name);
+  return names;
+}
+
+Status Catalog::WriteEntry(PageWriter* writer, uint32_t idx) {
+  FACE_ASSIGN_OR_RETURN(PageHandle page, pool_->FetchPage(kCatalogPageId));
+  char buf[CatalogEntry::kEncodedSize];
+  EncodeEntry(entries_[idx], buf);
+  return writer->Apply(&page,
+                       static_cast<uint16_t>(kPageHeaderSize + SlotOffset(idx)),
+                       buf, CatalogEntry::kEncodedSize);
+}
+
+}  // namespace face

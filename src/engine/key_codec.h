@@ -1,0 +1,80 @@
+// Order-preserving key encoding for B+tree keys.
+//
+// Composite keys are built by appending components; because every component
+// encodes to a fixed width (big-endian integers, fixed-width padded
+// strings), the concatenation compares bytewise in the same order as the
+// tuple compares componentwise — memcmp is the comparator everywhere.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace face {
+
+/// Incremental builder for order-preserving composite keys.
+class KeyCodec {
+ public:
+  KeyCodec() = default;
+
+  /// Append an unsigned 64-bit component (big-endian).
+  KeyCodec& AppendU64(uint64_t v) {
+    char buf[8];
+    for (int i = 7; i >= 0; --i) {
+      buf[i] = static_cast<char>(v & 0xff);
+      v >>= 8;
+    }
+    key_.append(buf, 8);
+    return *this;
+  }
+
+  /// Append an unsigned 32-bit component (big-endian).
+  KeyCodec& AppendU32(uint32_t v) {
+    char buf[4];
+    for (int i = 3; i >= 0; --i) {
+      buf[i] = static_cast<char>(v & 0xff);
+      v >>= 8;
+    }
+    key_.append(buf, 4);
+    return *this;
+  }
+
+  /// Append a string padded (or truncated) to exactly `width` bytes with
+  /// NULs, so shorter strings order before longer ones with equal prefixes.
+  KeyCodec& AppendPadded(std::string_view s, uint32_t width) {
+    const size_t n = s.size() < width ? s.size() : width;
+    key_.append(s.data(), n);
+    key_.append(width - n, '\0');
+    return *this;
+  }
+
+  const std::string& key() const { return key_; }
+  std::string Take() { return std::move(key_); }
+  void Clear() { key_.clear(); }
+
+  // --- decoding (for tests and debugging) -----------------------------------
+
+  /// Decode a big-endian u64 at `offset` of an encoded key.
+  static uint64_t DecodeU64(std::string_view key, size_t offset) {
+    uint64_t v = 0;
+    for (size_t i = 0; i < 8; ++i) {
+      v = (v << 8) | static_cast<unsigned char>(key[offset + i]);
+    }
+    return v;
+  }
+
+  /// Decode a big-endian u32 at `offset` of an encoded key.
+  static uint32_t DecodeU32(std::string_view key, size_t offset) {
+    uint32_t v = 0;
+    for (size_t i = 0; i < 4; ++i) {
+      v = (v << 8) | static_cast<unsigned char>(key[offset + i]);
+    }
+    return v;
+  }
+
+ private:
+  std::string key_;
+};
+
+}  // namespace face

@@ -1,0 +1,51 @@
+// Mutation context for engine page writes. Engine structures (heap pages,
+// B+tree nodes, the catalog) never scribble on buffered pages directly;
+// every byte-range change flows through a PageWriter, which either
+//   - logs it as a WAL update of the surrounding transaction (normal
+//     operation: write-ahead logging is structural, undo/redo come free), or
+//   - applies it raw and marks the frame dirty without a log record (bulk
+//     load, which is followed by a flush + checkpoint so redo never needs to
+//     reconstruct it — the standard bootstrap shortcut).
+#pragma once
+
+#include <cstring>
+
+#include "buffer/buffer_pool.h"
+#include "common/status.h"
+#include "txn/transaction_manager.h"
+
+namespace face {
+
+/// Applies byte-range writes to one pinned page, logged or raw.
+class PageWriter {
+ public:
+  /// Logged mode: every Apply becomes a WAL update of `txn_id`.
+  PageWriter(TransactionManager* txns, TxnId txn_id)
+      : txns_(txns), txn_id_(txn_id) {}
+
+  /// Unlogged (bulk-load) mode.
+  PageWriter() = default;
+
+  /// Write `len` bytes at `offset` within `page` (offset is page-relative,
+  /// i.e. includes the 24-byte page header region — callers normally write
+  /// within the payload). No-op changes cost nothing in logged mode.
+  Status Apply(PageHandle* page, uint16_t offset, const void* bytes,
+               uint32_t len) {
+    if (txns_ != nullptr) {
+      return txns_->Update(txn_id_, page, offset,
+                           static_cast<const char*>(bytes), len);
+    }
+    memcpy(page->data() + offset, bytes, len);
+    page->MarkDirty(kInvalidLsn);
+    return Status::OK();
+  }
+
+  bool logged() const { return txns_ != nullptr; }
+  TxnId txn_id() const { return txn_id_; }
+
+ private:
+  TransactionManager* txns_ = nullptr;
+  TxnId txn_id_ = kInvalidTxnId;
+};
+
+}  // namespace face

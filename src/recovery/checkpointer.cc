@@ -1,0 +1,42 @@
+#include "recovery/checkpointer.h"
+
+namespace face {
+
+StatusOr<Lsn> Checkpointer::TakeCheckpoint() {
+  // 1. Non-persistent write-back caches stage their flash-dirty pages to
+  //    disk first, so that "all dirty pages synced" below really covers
+  //    everything the post-checkpoint redo will skip.
+  FACE_RETURN_IF_ERROR(cache_->PrepareCheckpoint());
+
+  // 2. Log BEGIN with the dirty-page and active-transaction tables plus the
+  //    page allocator's high-water mark.
+  LogRecord begin;
+  begin.type = LogRecordType::kCheckpointBegin;
+  begin.next_page_id = storage_->next_page_id();
+  begin.dirty_pages = pool_->CollectDirtyPages();
+  begin.active_txns = txns_->ActiveTxns();
+  const Lsn begin_lsn = log_->Append(&begin);
+  stats_.dpt_pages += begin.dirty_pages.size();
+
+  // 3. Make every dirty DRAM page persistent — into the flash cache when
+  //    the policy absorbs it (FaCE), else to disk.
+  FACE_RETURN_IF_ERROR(pool_->SyncDirtyPagesForCheckpoint());
+  FACE_RETURN_IF_ERROR(cache_->OnCheckpoint());
+
+  // 4. Log END, force, and only then advertise the checkpoint: a crash
+  //    before the control-block write falls back to the previous one.
+  LogRecord end;
+  end.type = LogRecordType::kCheckpointEnd;
+  end.prev_lsn = begin_lsn;
+  const Lsn end_lsn = log_->Append(&end);
+  FACE_RETURN_IF_ERROR(log_->FlushTo(end_lsn));
+  FACE_RETURN_IF_ERROR(log_->WriteControlBlock(begin_lsn));
+  // 5. Recycle log space: nothing before this checkpoint's BEGIN will be
+  //    read again, as long as no still-active transaction's undo chain
+  //    reaches back past it.
+  if (begin.active_txns.empty()) log_->TruncateBefore(begin_lsn);
+  ++stats_.checkpoints;
+  return begin_lsn;
+}
+
+}  // namespace face

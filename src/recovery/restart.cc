@@ -1,0 +1,241 @@
+#include "recovery/restart.h"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+
+#include "storage/page.h"
+
+namespace face {
+
+std::string RestartReport::ToString() const {
+  std::ostringstream os;
+  os << "restart: total=" << ToSeconds(total_ns) << "s"
+     << " (attach=" << ToSeconds(attach_ns)
+     << " meta=" << ToSeconds(meta_restore_ns)
+     << " analysis=" << ToSeconds(analysis_ns)
+     << " redo=" << ToSeconds(redo_ns) << " undo=" << ToSeconds(undo_ns)
+     << " ckpt=" << ToSeconds(checkpoint_ns) << ")"
+     << " redo_applied=" << redo_applied << "/" << redo_records
+     << " losers=" << losers << " undone=" << undo_records
+     << " fetches=" << pages_fetched << " (flash=" << pages_from_flash
+     << " disk=" << pages_from_disk << ")";
+  return os.str();
+}
+
+StatusOr<RestartReport> RestartManager::Run() {
+  // Recovery runs on its own background token, starting no earlier than the
+  // virtual instant the crash left the system at — no client runs meanwhile.
+  if (sched_ != nullptr) {
+    sched_->BeginBackground(bg_token_, sched_->makespan());
+  }
+  RestartReport report;
+  const Status s = RunPhases(&report);
+  if (sched_ != nullptr) sched_->EndBackground();
+  if (!s.ok()) return s;
+  return report;
+}
+
+Status RestartManager::RunPhases(RestartReport* report) {
+  const SimNanos t0 = SpanTime();
+  const BufferPool::Stats before = pool_->stats();
+
+  // Phase 0: locate the valid end of the durable log.
+  FACE_RETURN_IF_ERROR(log_->Attach());
+  const SimNanos t_attach = SpanTime();
+  report->attach_ns = t_attach - t0;
+
+  // Phase 1: restore the cache extension's metadata before touching any
+  // data page, so analysis/redo/undo fetches can hit flash (paper §4.2).
+  FACE_RETURN_IF_ERROR(cache_->RecoverAfterCrash());
+  const SimNanos t_meta = SpanTime();
+  report->meta_restore_ns = t_meta - t_attach;
+
+  // Phase 2: analysis from the last complete checkpoint.
+  FACE_ASSIGN_OR_RETURN(Lsn ckpt_lsn, log_->ReadControlBlock());
+  report->checkpoint_lsn = ckpt_lsn;
+  std::map<TxnId, Lsn> losers;
+  FACE_RETURN_IF_ERROR(Analysis(report, ckpt_lsn, &losers));
+  const SimNanos t_ana = SpanTime();
+  report->analysis_ns = t_ana - t_meta;
+
+  // Phase 3: redo history from the checkpoint's BEGIN (every page dirty at
+  // BEGIN was synced before END, so no older update can be missing).
+  const Lsn redo_lsn =
+      ckpt_lsn == kInvalidLsn ? LogManager::kLogStartLsn : ckpt_lsn;
+  FACE_RETURN_IF_ERROR(Redo(report, redo_lsn));
+  const SimNanos t_redo = SpanTime();
+  report->redo_ns = t_redo - t_ana;
+
+  // Phase 4: roll back losers, writing CLRs.
+  report->losers = losers.size();
+  FACE_RETURN_IF_ERROR(Undo(report, &losers));
+  const SimNanos t_undo = SpanTime();
+  report->undo_ns = t_undo - t_redo;
+
+  // Phase 5: checkpoint, so a crash during normal operation never has to
+  // redo the recovery work itself.
+  Checkpointer ckpt(log_, pool_, txns_, storage_, cache_);
+  FACE_RETURN_IF_ERROR(ckpt.TakeCheckpoint().status());
+  const SimNanos t_ckpt = SpanTime();
+  report->checkpoint_ns = t_ckpt - t_undo;
+  report->total_ns = t_ckpt - t0;
+
+  const BufferPool::Stats after = pool_->stats();
+  report->pages_from_flash = after.flash_fetches - before.flash_fetches;
+  report->pages_from_disk = after.disk_fetches - before.disk_fetches;
+  report->pages_fetched = report->pages_from_flash + report->pages_from_disk;
+  return Status::OK();
+}
+
+Status RestartManager::Analysis(RestartReport* report, Lsn ckpt_lsn,
+                                std::map<TxnId, Lsn>* losers) {
+  LogReader reader(log_->device());
+  const Lsn from = ckpt_lsn == kInvalidLsn ? LogManager::kLogStartLsn
+                                           : ckpt_lsn;
+  FACE_RETURN_IF_ERROR(reader.Seek(from));
+  while (true) {
+    auto rec_or = reader.Next();
+    if (!rec_or.ok()) break;  // end of the valid log
+    const LogRecord& rec = rec_or.value();
+    ++report->analysis_records;
+    switch (rec.type) {
+      case LogRecordType::kBegin:
+        (*losers)[rec.txn_id] = rec.lsn;
+        break;
+      case LogRecordType::kUpdate:
+      case LogRecordType::kClr:
+        (*losers)[rec.txn_id] = rec.lsn;
+        break;
+      case LogRecordType::kCommit:
+      case LogRecordType::kAbort:
+        losers->erase(rec.txn_id);
+        break;
+      case LogRecordType::kCheckpointBegin:
+        // The checkpoint we started from, or a later incomplete one: seed
+        // the ATT with its snapshot and restore the allocator's high-water
+        // mark (redo raises it further as it observes larger page ids).
+        for (const AttEntry& att : rec.active_txns) {
+          // A record after BEGIN supersedes the snapshot's last_lsn.
+          auto [it, inserted] = losers->emplace(att.txn_id, att.last_lsn);
+          if (!inserted) it->second = std::max(it->second, att.last_lsn);
+        }
+        storage_->RestoreAllocator(
+            std::max(storage_->next_page_id(), rec.next_page_id));
+        break;
+      case LogRecordType::kCheckpointEnd:
+        break;
+    }
+  }
+  // New transaction ids must never collide with pre-crash ones.
+  for (const auto& [id, lsn] : *losers) {
+    (void)lsn;
+    txns_->ObserveTxnId(id);
+  }
+  return Status::OK();
+}
+
+Status RestartManager::Redo(RestartReport* report, Lsn redo_lsn) {
+  LogReader reader(log_->device());
+  FACE_RETURN_IF_ERROR(reader.Seek(redo_lsn));
+  while (true) {
+    auto rec_or = reader.Next();
+    if (!rec_or.ok()) break;
+    const LogRecord& rec = rec_or.value();
+    if (rec.type != LogRecordType::kUpdate &&
+        rec.type != LogRecordType::kClr) {
+      continue;
+    }
+    ++report->redo_records;
+    storage_->ObservePage(rec.page_id);
+    FACE_ASSIGN_OR_RETURN(PageHandle page,
+                          pool_->FetchPageForRedo(rec.page_id));
+    // pageLSN test: the effect is already present iff pageLSN >= rec LSN.
+    if (page.view().lsn() >= rec.lsn) continue;
+    memcpy(page.data() + rec.offset, rec.after.data(), rec.after.size());
+    page.MarkDirty(rec.lsn);
+    ++report->redo_applied;
+  }
+  return Status::OK();
+}
+
+Status RestartManager::Undo(RestartReport* report,
+                            std::map<TxnId, Lsn>* losers) {
+  // Chain head per loser: where the next CLR links to. Starts at the last
+  // record analysis saw for the transaction and advances with each CLR.
+  std::map<TxnId, Lsn> chain_head = *losers;
+  LogReader reader(log_->device());
+
+  while (!losers->empty()) {
+    // Undo strictly in reverse LSN order across all losers, like ARIES.
+    auto max_it = losers->begin();
+    for (auto it = std::next(losers->begin()); it != losers->end(); ++it) {
+      if (it->second > max_it->second) max_it = it;
+    }
+    const TxnId txn_id = max_it->first;
+    const Lsn lsn = max_it->second;
+    if (lsn == kInvalidLsn) {
+      // Nothing (left) to undo; close out the transaction.
+      LogRecord abort;
+      abort.type = LogRecordType::kAbort;
+      abort.txn_id = txn_id;
+      abort.prev_lsn = chain_head[txn_id];
+      log_->Append(&abort);
+      losers->erase(max_it);
+      continue;
+    }
+
+    FACE_RETURN_IF_ERROR(reader.Seek(lsn));
+    auto rec_or = reader.Next();
+    if (!rec_or.ok()) {
+      return Status::Corruption("undo chain points past end of log");
+    }
+    const LogRecord& rec = rec_or.value();
+
+    switch (rec.type) {
+      case LogRecordType::kUpdate: {
+        LogRecord clr;
+        clr.type = LogRecordType::kClr;
+        clr.txn_id = txn_id;
+        clr.prev_lsn = chain_head[txn_id];
+        clr.page_id = rec.page_id;
+        clr.offset = rec.offset;
+        clr.after = rec.before;  // compensation image
+        clr.undo_next_lsn = rec.prev_lsn;
+        const Lsn clr_lsn = log_->Append(&clr);
+        chain_head[txn_id] = clr_lsn;
+
+        FACE_ASSIGN_OR_RETURN(PageHandle page,
+                              pool_->FetchPageForRedo(rec.page_id));
+        memcpy(page.data() + rec.offset, rec.before.data(),
+               rec.before.size());
+        page.MarkDirty(clr_lsn);
+        ++report->undo_records;
+        max_it->second = rec.prev_lsn;
+        break;
+      }
+      case LogRecordType::kClr:
+        // Already-compensated span: skip straight past it.
+        max_it->second = rec.undo_next_lsn;
+        break;
+      case LogRecordType::kBegin: {
+        LogRecord abort;
+        abort.type = LogRecordType::kAbort;
+        abort.txn_id = txn_id;
+        abort.prev_lsn = chain_head[txn_id];
+        log_->Append(&abort);
+        losers->erase(max_it);
+        break;
+      }
+      case LogRecordType::kCommit:
+      case LogRecordType::kAbort:
+        return Status::Internal("loser chain reached a completion record");
+      case LogRecordType::kCheckpointBegin:
+      case LogRecordType::kCheckpointEnd:
+        return Status::Internal("loser chain reached a checkpoint record");
+    }
+  }
+  return log_->FlushAll();
+}
+
+}  // namespace face

@@ -1,0 +1,84 @@
+#include "sim/device_model.h"
+
+namespace face {
+
+namespace {
+
+// Service times derived from Table 1: random = 1e9 / IOPS ns, sequential =
+// 4096 bytes / (bandwidth MB/s) ns. Bandwidths use decimal megabytes, the
+// unit Orion reports.
+constexpr double RandNs(double iops) { return 1e9 / iops; }
+constexpr double SeqNs(double mb_per_s) { return 4096.0 / (mb_per_s * 1e6) * 1e9; }
+
+// RAID-0 per-spindle efficiency factors calibrated against the 8-disk row of
+// Table 1 (aggregate 2598/2502 IOPS, 848/843 MB/s vs 8x single-disk).
+constexpr double kRaidRandReadEff = 2598.0 / (8 * 409.0);    // 0.794
+constexpr double kRaidRandWriteEff = 2502.0 / (8 * 343.0);   // 0.912
+constexpr double kRaidSeqReadEff = 848.0 / (8 * 156.0);      // 0.679
+constexpr double kRaidSeqWriteEff = 843.0 / (8 * 154.0);     // 0.684
+
+}  // namespace
+
+DeviceProfile DeviceProfile::MlcSamsung470() {
+  DeviceProfile p;
+  p.name = "MLC SSD (Samsung 470 256GB)";
+  p.random_read_ns = RandNs(28495);
+  p.random_write_ns = RandNs(6314);
+  p.seq_read_ns = SeqNs(251.33);
+  p.seq_write_ns = SeqNs(242.80);
+  p.price_usd = 450;
+  p.capacity_gb = 256;
+  return p;
+}
+
+DeviceProfile DeviceProfile::MlcIntelX25M() {
+  DeviceProfile p;
+  p.name = "MLC SSD (Intel X25-M G2 80GB)";
+  p.random_read_ns = RandNs(35601);
+  p.random_write_ns = RandNs(2547);
+  p.seq_read_ns = SeqNs(258.70);
+  p.seq_write_ns = SeqNs(80.81);
+  p.price_usd = 180;
+  p.capacity_gb = 80;
+  return p;
+}
+
+DeviceProfile DeviceProfile::SlcIntelX25E() {
+  DeviceProfile p;
+  p.name = "SLC SSD (Intel X25-E 32GB)";
+  p.random_read_ns = RandNs(38427);
+  p.random_write_ns = RandNs(5057);
+  p.seq_read_ns = SeqNs(259.2);
+  p.seq_write_ns = SeqNs(195.25);
+  p.price_usd = 440;
+  p.capacity_gb = 32;
+  return p;
+}
+
+DeviceProfile DeviceProfile::Seagate15k() {
+  DeviceProfile p;
+  p.name = "Single disk (Seagate Cheetah 15K.6)";
+  p.random_read_ns = RandNs(409);
+  p.random_write_ns = RandNs(343);
+  p.seq_read_ns = SeqNs(156);
+  p.seq_write_ns = SeqNs(154);
+  p.price_usd = 240;
+  p.capacity_gb = 146.8;
+  return p;
+}
+
+DeviceProfile DeviceProfile::Raid0Seagate(uint32_t spindles) {
+  DeviceProfile p = Seagate15k();
+  p.name = std::to_string(spindles) + "-disk RAID-0 (Seagate 15K.6)";
+  p.random_read_ns /= kRaidRandReadEff;
+  p.random_write_ns /= kRaidRandWriteEff;
+  p.seq_read_ns /= kRaidSeqReadEff;
+  p.seq_write_ns /= kRaidSeqWriteEff;
+  p.stations = spindles;
+  p.stripe_pages = 16;  // 64 KB stripes
+  p.price_usd = 240.0 * spindles;
+  p.capacity_gb = 146.8 * spindles;
+  return p;
+}
+
+}  // namespace face

@@ -1,0 +1,82 @@
+// Parameterized storage-device cost model calibrated to Table 1 of the FaCE
+// paper. A device prices each request as positioning + pages * transfer,
+// where positioning depends on whether the request continues the previous
+// one (sequential) or not (random). This reproduces the property the whole
+// paper rests on: SSD random writes cost ~10x sequential writes, while disks
+// price every non-contiguous request with a full seek.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+
+namespace face {
+
+/// Direction of a device request.
+enum class IoOp : uint8_t { kRead = 0, kWrite = 1 };
+
+/// Cost/capacity/price description of one device type. All service-time
+/// figures are per 4 KB page, derived from the paper's Table 1:
+/// random ns = 1e9 / IOPS, sequential ns = page_size / bandwidth.
+struct DeviceProfile {
+  std::string name;
+
+  /// Full service time of a single random 4 KB read/write.
+  double random_read_ns = 0;
+  double random_write_ns = 0;
+  /// Per-page transfer time at sequential bandwidth.
+  double seq_read_ns = 0;
+  double seq_write_ns = 0;
+
+  /// Number of independent service stations (RAID-0 spindles; SSDs expose 1
+  /// because Table 1 IOPS are device-level saturation figures).
+  uint32_t stations = 1;
+  /// RAID-0 striping unit in pages (64 KB default, like the paper's array).
+  uint32_t stripe_pages = 16;
+
+  /// Catalog data for the cost-effectiveness analysis (Section 2.2).
+  double price_usd = 0;
+  double capacity_gb = 0;
+
+  /// Time to position before the first page of a request.
+  double PositioningNs(IoOp op, bool sequential) const {
+    if (sequential) return 0.0;
+    return op == IoOp::kRead ? random_read_ns - seq_read_ns
+                             : random_write_ns - seq_write_ns;
+  }
+
+  /// Per-page transfer time once positioned.
+  double TransferNs(IoOp op) const {
+    return op == IoOp::kRead ? seq_read_ns : seq_write_ns;
+  }
+
+  /// Full service time of an n-page request.
+  SimNanos ServiceNs(IoOp op, bool sequential, uint32_t pages) const {
+    const double ns = PositioningNs(op, sequential) +
+                      static_cast<double>(pages) * TransferNs(op);
+    return ns <= 0 ? 0 : static_cast<SimNanos>(ns);
+  }
+
+  /// Dollars per gigabyte (Table 1 rightmost column).
+  double PricePerGb() const {
+    return capacity_gb > 0 ? price_usd / capacity_gb : 0.0;
+  }
+
+  // --- Table 1 presets -----------------------------------------------------
+
+  /// Samsung 470 Series 256 GB (MLC): 28495/6314 IOPS, 251.33/242.80 MB/s.
+  static DeviceProfile MlcSamsung470();
+  /// Intel X25-M G2 80 GB (MLC): 35601/2547 IOPS, 258.70/80.81 MB/s.
+  static DeviceProfile MlcIntelX25M();
+  /// Intel X25-E 32 GB (SLC): 38427/5057 IOPS, 259.2/195.25 MB/s.
+  static DeviceProfile SlcIntelX25E();
+  /// Seagate Cheetah 15K.6 146.8 GB: 409/343 IOPS, 156/154 MB/s.
+  static DeviceProfile Seagate15k();
+  /// RAID-0 array of `spindles` Seagate 15k disks. Efficiency factors are
+  /// calibrated so the 8-disk array reproduces Table 1's 2598/2502 IOPS and
+  /// 848/843 MB/s (controller overhead applied per spindle).
+  static DeviceProfile Raid0Seagate(uint32_t spindles);
+};
+
+}  // namespace face

@@ -1,0 +1,80 @@
+// Closed-loop virtual-time scheduler. The engine executes single-threaded,
+// but the paper's system ran 50 concurrent PostgreSQL backends against
+// queueing devices. This scheduler reconstructs that concurrency: each
+// transaction is assigned to the next-free client token, every device
+// request is placed on its station's timeline FCFS-by-submission, and the
+// token's clock advances through queueing delay + service. The result is a
+// deterministic max-plus schedule of the closed system: makespan -> tpmC,
+// station busy time -> device utilization, completion stamps -> Figure 6.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace face {
+
+/// Virtual-time closed-loop scheduler (see file comment). Single-threaded.
+class IoScheduler {
+ public:
+  /// `num_clients` foreground tokens (the paper runs 50).
+  explicit IoScheduler(uint32_t num_clients);
+
+  /// Reserve `n` service stations (devices call this once at construction).
+  /// Returns the first station id of the contiguous range.
+  uint32_t RegisterStations(uint32_t n);
+
+  /// Start the next foreground transaction on the earliest-free client.
+  void BeginTxn();
+  /// Finish the current transaction; returns its virtual completion time.
+  SimNanos EndTxn();
+
+  /// Extra token for a background stream (checkpointer, lazy cleaner,
+  /// recovery). Background work does not count as a transaction.
+  uint32_t AddBackgroundToken();
+  /// Start a background span on `token`, not earlier than `not_before`.
+  void BeginBackground(uint32_t token, SimNanos not_before);
+  /// Finish the background span; returns its completion time.
+  SimNanos EndBackground();
+
+  /// Charge a device request on `station` to the current token: the token
+  /// waits for the station to free, then holds it for `service_ns`.
+  void OnIo(uint32_t station, SimNanos service_ns);
+  /// Charge pure CPU time to the current token (no station contention).
+  void OnCpu(SimNanos think_ns);
+
+  /// Latest completion time observed (coarse virtual "now" used to trigger
+  /// interval-based events like checkpoints).
+  SimNanos now() const { return last_completion_; }
+  /// Clock of the active span (valid only while in_span()); lets recovery
+  /// attribute virtual time to its phases.
+  SimNanos span_time() const { return current_time_; }
+  /// Push every token's ready time to at least `t` — clients resume no
+  /// earlier than `t` (used after a crash: nobody runs during restart).
+  void AdvanceAllTokens(SimNanos t);
+  /// Max over all token clocks: the virtual end of the run.
+  SimNanos makespan() const;
+  /// Busy time accumulated on one station.
+  SimNanos station_busy_ns(uint32_t station) const { return busy_[station]; }
+  /// Number of foreground transactions completed.
+  uint64_t txns_completed() const { return txns_completed_; }
+  /// True between BeginTxn/BeginBackground and the matching End call.
+  bool in_span() const { return active_; }
+
+  /// Forget all timing (tokens, stations, counters); station ids survive.
+  void Reset();
+
+ private:
+  uint32_t num_clients_;
+  std::vector<SimNanos> token_ready_;   // per-token clock
+  std::vector<SimNanos> station_free_;  // per-station next-free time
+  std::vector<SimNanos> busy_;          // per-station busy accumulation
+  uint32_t current_token_ = 0;
+  SimNanos current_time_ = 0;
+  SimNanos last_completion_ = 0;
+  uint64_t txns_completed_ = 0;
+  bool active_ = false;
+};
+
+}  // namespace face

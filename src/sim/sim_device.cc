@@ -1,0 +1,194 @@
+#include "sim/sim_device.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+namespace face {
+
+namespace {
+constexpr uint64_t kImageMagic = 0xFACED151C0DEull;
+}  // namespace
+
+SimDevice::SimDevice(std::string id, DeviceProfile profile,
+                     uint64_t capacity_pages, IoScheduler* sched)
+    : id_(std::move(id)),
+      profile_(std::move(profile)),
+      capacity_pages_(capacity_pages),
+      sched_(sched),
+      last_end_(profile_.stations, {UINT64_MAX, UINT64_MAX}),
+      chunks_((capacity_pages + kChunkPages - 1) / kChunkPages) {
+  if (sched_ != nullptr) {
+    station_base_ = sched_->RegisterStations(profile_.stations);
+  }
+}
+
+uint32_t SimDevice::StationFor(uint64_t block) const {
+  if (profile_.stations == 1) return 0;
+  return static_cast<uint32_t>((block / profile_.stripe_pages) %
+                               profile_.stations);
+}
+
+uint64_t SimDevice::LocalOffset(uint64_t block) const {
+  if (profile_.stations == 1) return block;
+  // Spindle-local LBA: a striped sequential stream is contiguous on each
+  // spindle's own address space, which is what the head position (and
+  // hence sequentiality) must be judged against.
+  const uint64_t stripe = profile_.stripe_pages;
+  return (block / (stripe * profile_.stations)) * stripe + block % stripe;
+}
+
+char* SimDevice::PagePtr(uint64_t block) {
+  auto& chunk = chunks_[block / kChunkPages];
+  if (chunk == nullptr) {
+    chunk = std::make_unique<char[]>(kChunkPages * kPageSize);
+    memset(chunk.get(), 0, kChunkPages * kPageSize);
+  }
+  return chunk.get() + (block % kChunkPages) * kPageSize;
+}
+
+Status SimDevice::DoIo(IoOp op, uint64_t block, uint32_t n, char* rbuf,
+                       const char* wbuf) {
+  if (n == 0) return Status::InvalidArgument("zero-length I/O");
+  if (block + n > capacity_pages_) {
+    return Status::IOError(id_ + ": I/O beyond device capacity");
+  }
+
+  // Move the bytes.
+  for (uint32_t i = 0; i < n; ++i) {
+    char* page = PagePtr(block + i);
+    if (op == IoOp::kRead) {
+      memcpy(rbuf + static_cast<size_t>(i) * kPageSize, page, kPageSize);
+    } else {
+      memcpy(page, wbuf + static_cast<size_t>(i) * kPageSize, kPageSize);
+    }
+  }
+
+  if (!timing_enabled_) return Status::OK();
+
+  // Price the request, splitting across RAID stripes so each spindle sees
+  // its own positioning + transfer and its own sequentiality history.
+  uint64_t pos = block;
+  uint32_t remaining = n;
+  while (remaining > 0) {
+    const uint32_t st = StationFor(pos);
+    uint32_t span;
+    if (profile_.stations == 1) {
+      span = remaining;
+    } else {
+      const uint64_t stripe_end =
+          (pos / profile_.stripe_pages + 1) * profile_.stripe_pages;
+      span = static_cast<uint32_t>(
+          std::min<uint64_t>(remaining, stripe_end - pos));
+    }
+    const uint64_t local = LocalOffset(pos);
+    const bool sequential = last_end_[st][static_cast<int>(op)] == local;
+    const SimNanos service = profile_.ServiceNs(op, sequential, span);
+    stats_.busy_ns += service;
+    if (sched_ != nullptr) sched_->OnIo(station_base_ + st, service);
+
+    if (op == IoOp::kRead) {
+      ++stats_.read_reqs;
+      if (sequential) ++stats_.seq_read_reqs;
+      stats_.pages_read += span;
+    } else {
+      ++stats_.write_reqs;
+      if (sequential) ++stats_.seq_write_reqs;
+      stats_.pages_written += span;
+    }
+    last_end_[st][static_cast<int>(op)] = local + span;
+    pos += span;
+    remaining -= span;
+  }
+  return Status::OK();
+}
+
+Status SimDevice::Read(uint64_t block, char* out) {
+  return DoIo(IoOp::kRead, block, 1, out, nullptr);
+}
+
+Status SimDevice::Write(uint64_t block, const char* in) {
+  return DoIo(IoOp::kWrite, block, 1, nullptr, in);
+}
+
+Status SimDevice::ReadBatch(uint64_t block, uint32_t n, char* out) {
+  return DoIo(IoOp::kRead, block, n, out, nullptr);
+}
+
+Status SimDevice::WriteBatch(uint64_t block, uint32_t n, const char* in) {
+  return DoIo(IoOp::kWrite, block, n, nullptr, in);
+}
+
+double SimDevice::Utilization(SimNanos makespan) const {
+  if (makespan == 0) return 0.0;
+  return static_cast<double>(stats_.busy_ns) /
+         (static_cast<double>(makespan) * profile_.stations);
+}
+
+void SimDevice::TrimBefore(uint64_t block, uint64_t keep_below) {
+  const uint64_t first_chunk = (keep_below + kChunkPages - 1) / kChunkPages;
+  const uint64_t end_chunk = block / kChunkPages;
+  for (uint64_t i = first_chunk; i < end_chunk && i < chunks_.size(); ++i) {
+    chunks_[i].reset();
+  }
+}
+
+void SimDevice::Erase() {
+  for (auto& chunk : chunks_) chunk.reset();
+  for (auto& ends : last_end_) ends = {UINT64_MAX, UINT64_MAX};
+}
+
+Status SimDevice::SaveContents(const std::string& path) const {
+  FILE* f = fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("cannot create " + path);
+  const uint64_t n_chunks = chunks_.size();
+  bool ok = fwrite(&kImageMagic, 8, 1, f) == 1 &&
+            fwrite(&capacity_pages_, 8, 1, f) == 1 &&
+            fwrite(&n_chunks, 8, 1, f) == 1;
+  for (uint64_t i = 0; ok && i < n_chunks; ++i) {
+    const uint8_t present = chunks_[i] != nullptr ? 1 : 0;
+    ok = fwrite(&present, 1, 1, f) == 1;
+    if (ok && present) {
+      ok = fwrite(chunks_[i].get(), kChunkPages * kPageSize, 1, f) == 1;
+    }
+  }
+  ok = fclose(f) == 0 && ok;
+  return ok ? Status::OK() : Status::IOError("short write to " + path);
+}
+
+Status SimDevice::LoadContents(const std::string& path) {
+  FILE* f = fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::NotFound("cannot open " + path);
+  uint64_t magic = 0, capacity = 0, n_chunks = 0;
+  bool ok = fread(&magic, 8, 1, f) == 1 && fread(&capacity, 8, 1, f) == 1 &&
+            fread(&n_chunks, 8, 1, f) == 1 && magic == kImageMagic &&
+            capacity == capacity_pages_ && n_chunks == chunks_.size();
+  if (ok) Erase();
+  for (uint64_t i = 0; ok && i < n_chunks; ++i) {
+    uint8_t present = 0;
+    ok = fread(&present, 1, 1, f) == 1;
+    if (ok && present != 0) {
+      chunks_[i] = std::make_unique<char[]>(kChunkPages * kPageSize);
+      ok = fread(chunks_[i].get(), kChunkPages * kPageSize, 1, f) == 1;
+    }
+  }
+  fclose(f);
+  return ok ? Status::OK()
+            : Status::Corruption("bad device image: " + path);
+}
+
+Status SimDevice::CloneContentsFrom(const SimDevice& src) {
+  if (src.capacity_pages_ > capacity_pages_) {
+    return Status::InvalidArgument("clone source larger than destination");
+  }
+  Erase();
+  for (size_t i = 0; i < src.chunks_.size(); ++i) {
+    if (src.chunks_[i] == nullptr) continue;
+    auto& dst = chunks_[i];
+    dst = std::make_unique<char[]>(kChunkPages * kPageSize);
+    memcpy(dst.get(), src.chunks_[i].get(), kChunkPages * kPageSize);
+  }
+  return Status::OK();
+}
+
+}  // namespace face

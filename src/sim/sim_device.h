@@ -1,0 +1,119 @@
+// A simulated block device: stores real page bytes in memory (so the stack
+// above it reads back exactly what it wrote, checksums and all) and charges
+// virtual service time per request through the cost model. Sequentiality is
+// detected by the device itself from request offsets — callers cannot lie
+// about their access pattern, which is what makes the mvFIFO-vs-LRU pricing
+// comparison honest.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "sim/device_model.h"
+#include "sim/scheduler.h"
+
+namespace face {
+
+/// Aggregate request/traffic counters for one device.
+struct DeviceStats {
+  uint64_t read_reqs = 0;
+  uint64_t write_reqs = 0;
+  uint64_t seq_read_reqs = 0;   ///< requests classified sequential
+  uint64_t seq_write_reqs = 0;
+  uint64_t pages_read = 0;
+  uint64_t pages_written = 0;
+  SimNanos busy_ns = 0;         ///< sum of service times
+
+  uint64_t total_reqs() const { return read_reqs + write_reqs; }
+  uint64_t total_pages() const { return pages_read + pages_written; }
+};
+
+/// Simulated device; see file comment. Not thread-safe (the whole simulation
+/// is single-threaded by design).
+class SimDevice {
+ public:
+  /// Creates a device of `capacity_pages` 4 KB blocks. If `sched` is given,
+  /// every request is also placed on the scheduler's station timeline;
+  /// otherwise the device only accumulates its own counters.
+  SimDevice(std::string id, DeviceProfile profile, uint64_t capacity_pages,
+            IoScheduler* sched = nullptr);
+
+  /// Read one page into `out` (kPageSize bytes).
+  Status Read(uint64_t block, char* out);
+  /// Write one page from `in` (kPageSize bytes). Durable on return.
+  Status Write(uint64_t block, const char* in);
+  /// Read `n` contiguous pages: priced as one positioning + n transfers
+  /// (split per RAID stripe on multi-station devices).
+  Status ReadBatch(uint64_t block, uint32_t n, char* out);
+  /// Write `n` contiguous pages, same pricing as ReadBatch.
+  Status WriteBatch(uint64_t block, uint32_t n, const char* in);
+
+  const std::string& id() const { return id_; }
+  const DeviceProfile& profile() const { return profile_; }
+  uint64_t capacity_pages() const { return capacity_pages_; }
+  const DeviceStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = DeviceStats(); }
+
+  /// Fraction of virtual time this device was busy, given the run's
+  /// makespan. Multi-station devices average across stations.
+  double Utilization(SimNanos makespan) const;
+
+  /// Wipe contents to zero without touching stats (used by tests).
+  void Erase();
+
+  /// Release the backing memory of blocks in [keep_below, block) (shrunk
+  /// inward to whole allocation chunks). The blocks read back as zero
+  /// afterwards. No virtual time is charged — this models reclaiming
+  /// recycled WAL extents, not an I/O. `keep_below` protects a leading
+  /// superblock region from reclamation.
+  void TrimBefore(uint64_t block, uint64_t keep_below = 0);
+
+  /// Copy another device's full contents (bulk load once, clone per bench
+  /// configuration). No virtual time is charged. Capacities must match up to
+  /// the source's allocated extent.
+  Status CloneContentsFrom(const SimDevice& src);
+
+  /// Serialize the device contents to a host file (sparse: only allocated
+  /// chunks are written). Benches cache the loaded TPC-C image this way.
+  Status SaveContents(const std::string& path) const;
+  /// Restore contents saved by SaveContents. Capacity must match.
+  Status LoadContents(const std::string& path);
+
+  /// When false, requests move bytes but charge no time and no stats — used
+  /// for initial bulk load, which the paper excludes from measurements.
+  void set_timing_enabled(bool enabled) { timing_enabled_ = enabled; }
+  bool timing_enabled() const { return timing_enabled_; }
+
+ private:
+  Status DoIo(IoOp op, uint64_t block, uint32_t n, char* rbuf,
+              const char* wbuf);
+  /// RAID-0 stripe routing.
+  uint32_t StationFor(uint64_t block) const;
+  /// Spindle-local LBA of `block` (sequentiality is judged per spindle).
+  uint64_t LocalOffset(uint64_t block) const;
+  char* PagePtr(uint64_t block);
+
+  static constexpr uint64_t kChunkPages = 1024;  // 4 MiB lazy chunks
+
+  std::string id_;
+  DeviceProfile profile_;
+  uint64_t capacity_pages_;
+  IoScheduler* sched_;
+  uint32_t station_base_ = 0;
+  bool timing_enabled_ = true;
+  DeviceStats stats_;
+  /// Per-station, per-op-class end offset of the last request. Read and
+  /// write streams are tracked independently: a device serving an
+  /// append-only write stream interleaved with a sequential read stream
+  /// (mvFIFO enqueue + dequeue) keeps both sequential, as NCQ/elevator
+  /// scheduling does on real hardware.
+  std::vector<std::array<uint64_t, 2>> last_end_;
+  std::vector<std::unique_ptr<char[]>> chunks_;
+};
+
+}  // namespace face

@@ -1,0 +1,382 @@
+#include "testbed/testbed.h"
+
+#include <algorithm>
+
+#include "core/exadata_cache.h"
+#include "core/face_cache.h"
+#include "core/lc_cache.h"
+#include "core/tac_cache.h"
+#include "tpcc/schema.h"
+
+namespace face {
+
+const char* CachePolicyName(CachePolicy policy) {
+  switch (policy) {
+    case CachePolicy::kNone: return "none";
+    case CachePolicy::kFace: return "FaCE";
+    case CachePolicy::kFaceGR: return "FaCE+GR";
+    case CachePolicy::kFaceGSC: return "FaCE+GSC";
+    case CachePolicy::kLc: return "LC";
+    case CachePolicy::kTac: return "TAC";
+    case CachePolicy::kExadata: return "Exadata";
+  }
+  return "?";
+}
+
+StatusOr<GoldenImage> GoldenImage::Build(uint32_t warehouses, uint64_t seed) {
+  GoldenImage golden;
+  golden.warehouses = warehouses;
+  golden.device = std::make_unique<SimDevice>(
+      "golden", DeviceProfile::Seagate15k(), CapacityPages(warehouses));
+  golden.device->set_timing_enabled(false);
+
+  // Scratch WAL: the unlogged load only writes checkpoint records into it,
+  // and the testbed starts every clone with a fresh log anyway.
+  SimDevice log_dev("golden-log", DeviceProfile::Seagate15k(), 4096);
+  log_dev.set_timing_enabled(false);
+
+  DbStorage storage(golden.device.get());
+  LogManager log(&log_dev);
+  NullCache cache(&storage);
+  DatabaseOptions db_opts;
+  db_opts.buffer_frames = 32768;  // 128 MB: plenty for a load working set
+  Database db(db_opts, &storage, &log, &cache);
+  FACE_RETURN_IF_ERROR(db.Format());
+
+  tpcc::LoadConfig load;
+  load.warehouses = warehouses;
+  load.seed = seed;
+  tpcc::Loader loader(&db, load);
+  FACE_RETURN_IF_ERROR(loader.Load().status());
+
+  golden.next_page_id = storage.next_page_id();
+  return golden;
+}
+
+Testbed::Testbed(const TestbedOptions& options, const GoldenImage* golden)
+    : opts_(options), golden_(golden), sched_(options.clients),
+      txn_seed_(options.seed) {
+  buffer_frames_ = opts_.buffer_frames != 0
+                       ? opts_.buffer_frames
+                       : std::max<uint32_t>(
+                             256, static_cast<uint32_t>(
+                                      golden_->db_pages() * 4 / 1000));
+
+  db_dev_ = std::make_unique<SimDevice>("db", opts_.db_profile,
+                                        golden_->device->capacity_pages(),
+                                        &sched_);
+  log_dev_ = std::make_unique<SimDevice>("log", opts_.log_profile,
+                                         uint64_t{1} << 24, &sched_);
+  if (opts_.policy != CachePolicy::kNone) {
+    flash_dev_ = std::make_unique<SimDevice>("flash", opts_.flash_profile,
+                                             FlashDeviceBlocks(), &sched_);
+  }
+  ckpt_token_ = sched_.AddBackgroundToken();
+  cleaner_token_ = sched_.AddBackgroundToken();
+  recovery_token_ = sched_.AddBackgroundToken();
+}
+
+Testbed::~Testbed() = default;
+
+uint32_t Testbed::EffectiveSegEntries() const {
+  if (opts_.seg_entries != 0) return opts_.seg_entries;
+  return std::max<uint32_t>(
+      1024, static_cast<uint32_t>(opts_.flash_pages / 16));
+}
+
+uint64_t Testbed::FlashDeviceBlocks() const {
+  switch (opts_.policy) {
+    case CachePolicy::kNone:
+      return 0;
+    case CachePolicy::kFace:
+    case CachePolicy::kFaceGR:
+    case CachePolicy::kFaceGSC:
+      return FlashLayout::Compute(opts_.flash_pages, EffectiveSegEntries())
+          .total_blocks;
+    case CachePolicy::kTac:
+      return TacCache::DirBlocksFor(opts_.flash_pages) + opts_.flash_pages;
+    case CachePolicy::kLc:
+    case CachePolicy::kExadata:
+      return opts_.flash_pages;
+  }
+  return 0;
+}
+
+StatusOr<std::unique_ptr<CacheExtension>> Testbed::MakeCache() {
+  switch (opts_.policy) {
+    case CachePolicy::kNone:
+      return std::unique_ptr<CacheExtension>(
+          std::make_unique<NullCache>(storage_.get()));
+    case CachePolicy::kFace:
+    case CachePolicy::kFaceGR:
+    case CachePolicy::kFaceGSC: {
+      FaceOptions fo = FaceOptions::Base(opts_.flash_pages);
+      if (opts_.policy == CachePolicy::kFaceGR) {
+        fo = FaceOptions::GroupReplace(opts_.flash_pages);
+      } else if (opts_.policy == CachePolicy::kFaceGSC) {
+        fo = FaceOptions::GroupSecondChance(opts_.flash_pages);
+      }
+      fo.group_size = opts_.group_size;
+      fo.seg_entries = EffectiveSegEntries();
+      fo.write_through = opts_.face_write_through;
+      fo.cache_clean = opts_.face_cache_clean;
+      fo.cache_dirty = opts_.face_cache_dirty;
+      return std::unique_ptr<CacheExtension>(std::make_unique<FaceCache>(
+          fo, flash_dev_.get(), storage_.get()));
+    }
+    case CachePolicy::kLc: {
+      LcOptions lo;
+      lo.n_frames = opts_.flash_pages;
+      lo.clean_threshold = opts_.lc_clean_threshold;
+      lo.clean_target = std::max(0.0, opts_.lc_clean_threshold - 0.05);
+      return std::unique_ptr<CacheExtension>(
+          std::make_unique<LcCache>(lo, flash_dev_.get(), storage_.get()));
+    }
+    case CachePolicy::kTac: {
+      TacOptions to;
+      to.n_frames = opts_.flash_pages;
+      return std::unique_ptr<CacheExtension>(
+          std::make_unique<TacCache>(to, flash_dev_.get(), storage_.get()));
+    }
+    case CachePolicy::kExadata:
+      return std::unique_ptr<CacheExtension>(std::make_unique<ExadataCache>(
+          opts_.flash_pages, flash_dev_.get(), storage_.get()));
+  }
+  return Status::InvalidArgument("unknown cache policy");
+}
+
+Status Testbed::BuildDramStack(bool after_crash) {
+  storage_ = std::make_unique<DbStorage>(db_dev_.get());
+  log_ = std::make_unique<LogManager>(log_dev_.get());
+  FACE_ASSIGN_OR_RETURN(cache_, MakeCache());
+  if (!after_crash) {
+    if (auto* fc = dynamic_cast<FaceCache*>(cache_.get())) {
+      FACE_RETURN_IF_ERROR(fc->Format());
+    } else if (auto* tc = dynamic_cast<TacCache*>(cache_.get())) {
+      FACE_RETURN_IF_ERROR(tc->Format());
+    }
+  }
+  DatabaseOptions db_opts;
+  db_opts.buffer_frames = buffer_frames_;
+  db_ = std::make_unique<Database>(db_opts, storage_.get(), log_.get(),
+                                   cache_.get());
+  return Status::OK();
+}
+
+Status Testbed::Start() {
+  // Clone the golden image and wire the stack with timing disabled: setup
+  // I/O (superblock formats, the anchoring checkpoint) is not measured.
+  db_dev_->set_timing_enabled(false);
+  log_dev_->set_timing_enabled(false);
+  if (flash_dev_ != nullptr) flash_dev_->set_timing_enabled(false);
+
+  FACE_RETURN_IF_ERROR(db_dev_->CloneContentsFrom(*golden_->device));
+  FACE_RETURN_IF_ERROR(BuildDramStack(/*after_crash=*/false));
+  storage_->RestoreAllocator(golden_->next_page_id);
+  FACE_RETURN_IF_ERROR(log_->Format());
+  FACE_RETURN_IF_ERROR(db_->Open());
+  FACE_RETURN_IF_ERROR(db_->TakeCheckpoint().status());
+
+  FACE_ASSIGN_OR_RETURN(tpcc::Tables t, tpcc::Tables::Open(db_.get()));
+  tables_ = std::make_unique<tpcc::Tables>(std::move(t));
+  tpcc::WorkloadConfig wl;
+  wl.warehouses = golden_->warehouses;
+  wl.seed = txn_seed_;
+  workload_ = std::make_unique<tpcc::Workload>(db_.get(), tables_.get(), wl);
+
+  db_dev_->set_timing_enabled(true);
+  log_dev_->set_timing_enabled(true);
+  if (flash_dev_ != nullptr) flash_dev_->set_timing_enabled(true);
+  return Status::OK();
+}
+
+Status Testbed::RunBackgroundWork() {
+  // LC's lazy cleaner: drain on its own token so cleaning overlaps clients.
+  while (cache_->HasBackgroundWork()) {
+    sched_.BeginBackground(cleaner_token_, sched_.now());
+    const Status s = cache_->RunBackgroundWork();
+    sched_.EndBackground();
+    FACE_RETURN_IF_ERROR(s);
+  }
+  return Status::OK();
+}
+
+StatusOr<RunResult> Testbed::Run(const RunOptions& run) {
+  const SimNanos start = sched_.makespan();
+  const DeviceStats db0 = db_dev_->stats();
+  const DeviceStats log0 = log_dev_->stats();
+  const DeviceStats flash0 =
+      flash_dev_ != nullptr ? flash_dev_->stats() : DeviceStats{};
+  const CacheStats cache0 = cache_->stats();
+  const BufferPool::Stats pool0 = db_->pool()->stats();
+  const uint64_t no0 = workload_->stats().new_orders();
+  const uint64_t ab0 = workload_->stats().user_aborts;
+
+  RunResult result;
+  if (run.collect_completions) result.completions.reserve(run.txns);
+
+  for (uint64_t i = 0; i < run.txns; ++i) {
+    sched_.BeginTxn();
+    sched_.OnCpu(opts_.cpu_per_txn_ns);
+    const auto type = workload_->RunOne();
+    if (!type.ok()) {
+      sched_.EndTxn();
+      return type.status();
+    }
+    const SimNanos done = sched_.EndTxn();
+    if (run.collect_completions) result.completions.emplace_back(done, *type);
+
+    FACE_RETURN_IF_ERROR(RunBackgroundWork());
+
+    if (run.checkpoint_interval != 0 &&
+        sched_.now() - last_ckpt_time_ >= run.checkpoint_interval) {
+      sched_.BeginBackground(ckpt_token_, sched_.now());
+      const auto ckpt = db_->TakeCheckpoint();
+      sched_.EndBackground();
+      FACE_RETURN_IF_ERROR(ckpt.status());
+      last_ckpt_time_ = sched_.now();
+      ++result.checkpoints;
+    }
+  }
+
+  result.txns = run.txns;
+  result.new_orders = workload_->stats().new_orders() - no0;
+  result.user_aborts = workload_->stats().user_aborts - ab0;
+  result.duration = sched_.makespan() - start;
+
+  auto delta = [](const DeviceStats& now, const DeviceStats& then) {
+    DeviceStats d;
+    d.read_reqs = now.read_reqs - then.read_reqs;
+    d.write_reqs = now.write_reqs - then.write_reqs;
+    d.seq_read_reqs = now.seq_read_reqs - then.seq_read_reqs;
+    d.seq_write_reqs = now.seq_write_reqs - then.seq_write_reqs;
+    d.pages_read = now.pages_read - then.pages_read;
+    d.pages_written = now.pages_written - then.pages_written;
+    d.busy_ns = now.busy_ns - then.busy_ns;
+    return d;
+  };
+  result.db_stats = delta(db_dev_->stats(), db0);
+  result.log_stats = delta(log_dev_->stats(), log0);
+  if (flash_dev_ != nullptr) {
+    result.flash_stats = delta(flash_dev_->stats(), flash0);
+  }
+  if (result.duration > 0) {
+    result.db_utilization =
+        static_cast<double>(result.db_stats.busy_ns) /
+        (static_cast<double>(result.duration) * opts_.db_profile.stations);
+    result.flash_utilization =
+        flash_dev_ != nullptr
+            ? static_cast<double>(result.flash_stats.busy_ns) /
+                  static_cast<double>(result.duration)
+            : 0.0;
+  }
+
+  // Cache and pool counters are cumulative; report run-relative deltas for
+  // the I/O counts and absolute values for the rate denominators.
+  result.cache_stats = cache_->stats();
+  result.cache_stats.lookups -= cache0.lookups;
+  result.cache_stats.hits -= cache0.hits;
+  result.cache_stats.dirty_evictions -= cache0.dirty_evictions;
+  result.cache_stats.disk_writes -= cache0.disk_writes;
+  result.cache_stats.disk_reads -= cache0.disk_reads;
+  result.cache_stats.flash_writes -= cache0.flash_writes;
+  result.cache_stats.flash_reads -= cache0.flash_reads;
+  result.cache_stats.enqueues -= cache0.enqueues;
+  result.cache_stats.invalidations -= cache0.invalidations;
+  result.cache_stats.second_chances -= cache0.second_chances;
+  result.cache_stats.pulled_from_dram -= cache0.pulled_from_dram;
+  result.cache_stats.meta_flash_writes -= cache0.meta_flash_writes;
+
+  result.pool_stats = db_->pool()->stats();
+  result.pool_stats.fetches -= pool0.fetches;
+  result.pool_stats.hits -= pool0.hits;
+  result.pool_stats.misses -= pool0.misses;
+  result.pool_stats.disk_fetches -= pool0.disk_fetches;
+  result.pool_stats.flash_fetches -= pool0.flash_fetches;
+  result.pool_stats.evictions -= pool0.evictions;
+  result.pool_stats.dirty_evictions -= pool0.dirty_evictions;
+  result.pool_stats.new_pages -= pool0.new_pages;
+  result.pool_stats.pulls -= pool0.pulls;
+  return result;
+}
+
+void Testbed::ResetAllStats() {
+  sched_.Reset();
+  db_dev_->ResetStats();
+  log_dev_->ResetStats();
+  if (flash_dev_ != nullptr) flash_dev_->ResetStats();
+  cache_->ResetStats();
+  db_->pool()->ResetStats();
+  db_->txns()->ResetStats();
+  workload_->ResetStats();
+  last_ckpt_time_ = 0;
+}
+
+Status Testbed::Warmup(uint64_t txns) {
+  RunOptions warm;
+  warm.txns = txns;
+  FACE_RETURN_IF_ERROR(Run(warm).status());
+  ResetAllStats();
+  return Status::OK();
+}
+
+Status Testbed::InjectInflightTransactions(uint32_t n) {
+  Random r(txn_seed_ ^ 0xC0FFEE);
+  for (uint32_t i = 0; i < n; ++i) {
+    const TxnId txn = db_->Begin();
+    PageWriter w = db_->Writer(txn);
+    // A Payment-shaped update set, left uncommitted.
+    const uint32_t w_id =
+        static_cast<uint32_t>(r.UniformRange(1, golden_->warehouses));
+    const uint32_t d_id = static_cast<uint32_t>(
+        r.UniformRange(1, tpcc::kDistrictsPerWarehouse));
+    const uint32_t c_id = static_cast<uint32_t>(
+        r.UniformRange(1, tpcc::kCustomersPerDistrict));
+    std::string value, row;
+    FACE_RETURN_IF_ERROR(tables_->pk_customer.Get(
+        tpcc::CustomerKey(w_id, d_id, c_id), &value));
+    const Rid rid = tpcc::DecodeRid(value);
+    FACE_RETURN_IF_ERROR(tables_->customer.Read(rid, &row));
+    tpcc::CustomerRow customer = tpcc::CustomerRow::Decode(row);
+    customer.c_balance -= 12345;
+    customer.c_payment_cnt += 1;
+    FACE_RETURN_IF_ERROR(tables_->customer.Update(&w, rid, customer.Encode()));
+  }
+  // In a live system other backends' commits continuously force the log,
+  // carrying these records to disk with them (group commit). Model that
+  // co-flush so the crash strands durable evidence of unfinished work —
+  // otherwise the in-flight transactions would vanish with the WAL tail.
+  return log_->FlushAll();
+}
+
+Status Testbed::Crash() {
+  sched_.AdvanceAllTokens(sched_.makespan());
+  // DRAM dies: every in-memory structure is discarded, in dependency order.
+  workload_.reset();
+  tables_.reset();
+  db_.reset();
+  cache_.reset();
+  log_.reset();
+  storage_.reset();
+  return Status::OK();
+}
+
+StatusOr<RestartReport> Testbed::Recover() {
+  if (db_ != nullptr) return Status::InvalidArgument("recover without crash");
+  FACE_RETURN_IF_ERROR(BuildDramStack(/*after_crash=*/true));
+  FACE_ASSIGN_OR_RETURN(RestartReport report,
+                        db_->Recover(&sched_, recovery_token_));
+
+  FACE_ASSIGN_OR_RETURN(tpcc::Tables t, tpcc::Tables::Open(db_.get()));
+  tables_ = std::make_unique<tpcc::Tables>(std::move(t));
+  tpcc::WorkloadConfig wl;
+  wl.warehouses = golden_->warehouses;
+  wl.seed = ++txn_seed_;  // fresh request stream after the crash
+  workload_ = std::make_unique<tpcc::Workload>(db_.get(), tables_.get(), wl);
+
+  // Nobody runs during restart: clients resume where recovery left off.
+  sched_.AdvanceAllTokens(sched_.makespan());
+  return report;
+}
+
+}  // namespace face

@@ -1,0 +1,229 @@
+// The full experimental rig of the paper's Section 5, in one object:
+// devices (disk array + flash SSD + log disk) on a closed-loop scheduler,
+// the database engine, a cache-extension policy, the TPC-C workload, a
+// virtual-time checkpoint daemon, and a crash/recovery protocol.
+//
+// Benches and examples use it like the paper's testbed was used:
+//
+//   auto golden = GoldenImage::Build(2);          // load TPC-C once
+//   Testbed tb(options, &golden);                  // clone per configuration
+//   tb.Start();
+//   tb.Warmup(20000);                              // populate the flash cache
+//   auto result = tb.Run({.txns = 50000});         // measure steady state
+//
+// The golden image is built once and cloned per configuration, because the
+// TPC-C load dominates wall time otherwise.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "core/cache_ext.h"
+#include "engine/database.h"
+#include "recovery/restart.h"
+#include "sim/device_model.h"
+#include "sim/scheduler.h"
+#include "sim/sim_device.h"
+#include "storage/db_storage.h"
+#include "tpcc/loader.h"
+#include "tpcc/tables.h"
+#include "tpcc/workload.h"
+#include "wal/log_manager.h"
+
+namespace face {
+
+/// Which flash caching policy the testbed runs (Table 2 of the paper).
+enum class CachePolicy : uint8_t {
+  kNone = 0,  ///< no flash cache (HDD-only / SSD-only)
+  kFace,      ///< mvFIFO, individual I/Os
+  kFaceGR,    ///< mvFIFO + Group Replacement
+  kFaceGSC,   ///< mvFIFO + Group Second Chance
+  kLc,        ///< Lazy Cleaning (Do et al., SIGMOD'11)
+  kTac,       ///< Temperature-aware caching (IBM DB2 BPX)
+  kExadata,   ///< on-entry, clean-only, write-through LRU
+};
+
+/// Printable policy name matching the paper's figure legends.
+const char* CachePolicyName(CachePolicy policy);
+
+/// A fully loaded TPC-C database image, built once and cloned per
+/// configuration.
+struct GoldenImage {
+  std::unique_ptr<SimDevice> device;  ///< unscheduled, holds the page image
+  PageId next_page_id = 0;            ///< allocator high-water mark
+  uint32_t warehouses = 0;
+
+  /// Pages the image actually uses (= next_page_id).
+  uint64_t db_pages() const { return next_page_id; }
+
+  /// Load a fresh TPC-C database of `warehouses` warehouses.
+  static StatusOr<GoldenImage> Build(uint32_t warehouses,
+                                     uint64_t seed = 20120827);
+
+  /// Device capacity the testbed provisions for `warehouses`.
+  static uint64_t CapacityPages(uint32_t warehouses) {
+    return 40000ull * warehouses + 20000ull;
+  }
+};
+
+/// Shape of one testbed configuration (a point in the paper's experiment
+/// grids).
+struct TestbedOptions {
+  uint32_t clients = 50;  ///< closed-loop client tokens (paper: 50)
+  uint64_t seed = 42;
+
+  DeviceProfile db_profile = DeviceProfile::Raid0Seagate(8);
+  DeviceProfile flash_profile = DeviceProfile::MlcSamsung470();
+  /// WAL device: its own spindle, as commodity deployments do.
+  DeviceProfile log_profile = DeviceProfile::Seagate15k();
+
+  /// DRAM buffer in frames. 0 = the paper's ratio (200 MB : 50 GB = 0.4 %
+  /// of the database, floor 256 frames).
+  uint32_t buffer_frames = 0;
+  /// Flash cache capacity in pages (ignored for kNone).
+  uint64_t flash_pages = 0;
+  CachePolicy policy = CachePolicy::kNone;
+
+  /// FaCE: pages per GR/GSC batch (paper: a flash block, 64 or 128).
+  uint32_t group_size = 64;
+  /// FaCE: metadata entries per persistent segment. 0 = scale to
+  /// n_frames/16 (the paper's 4 GB cache held 16 segments), floor 1024.
+  uint32_t seg_entries = 0;
+  /// FaCE §3.2 design-choice ablations (paper defaults below).
+  bool face_write_through = false;
+  bool face_cache_clean = true;
+  bool face_cache_dirty = true;
+  /// LC: lazy-cleaner start threshold (dirty fraction).
+  double lc_clean_threshold = 0.80;
+
+  /// CPU time charged per transaction (no station contention).
+  SimNanos cpu_per_txn_ns = 100 * kNanosPerMicro;
+};
+
+/// Knobs of one measured run.
+struct RunOptions {
+  uint64_t txns = 10000;
+  /// Virtual-time database checkpoint interval; 0 = no checkpoints.
+  SimNanos checkpoint_interval = 0;
+  /// Record per-transaction completion stamps (Figure 6 timelines).
+  bool collect_completions = false;
+};
+
+/// Everything one run measured. Counter fields are deltas over the run.
+struct RunResult {
+  uint64_t txns = 0;
+  uint64_t new_orders = 0;
+  uint64_t user_aborts = 0;
+  SimNanos duration = 0;  ///< virtual makespan delta of this run
+  uint64_t checkpoints = 0;
+
+  DeviceStats db_stats, flash_stats, log_stats;
+  double db_utilization = 0;
+  double flash_utilization = 0;
+  CacheStats cache_stats;
+  BufferPool::Stats pool_stats;
+
+  /// Completion stamp + type per transaction (if collected).
+  std::vector<std::pair<SimNanos, tpcc::TxnType>> completions;
+
+  /// All transactions per virtual minute.
+  double Tpm() const {
+    return duration ? static_cast<double>(txns) * 60e9 /
+                          static_cast<double>(duration)
+                    : 0.0;
+  }
+  /// New-Order transactions per virtual minute — the paper's tpmC.
+  double TpmC() const {
+    return duration ? static_cast<double>(new_orders) * 60e9 /
+                          static_cast<double>(duration)
+                    : 0.0;
+  }
+  /// Flash 4 KB page I/Os per second (Table 4b).
+  double FlashIops() const {
+    return duration ? static_cast<double>(flash_stats.total_pages()) * 1e9 /
+                          static_cast<double>(duration)
+                    : 0.0;
+  }
+};
+
+/// The testbed; see file comment. Single-threaded.
+class Testbed {
+ public:
+  /// `golden` must outlive the testbed and match no particular profile —
+  /// only its bytes and allocator mark are used.
+  Testbed(const TestbedOptions& options, const GoldenImage* golden);
+  ~Testbed();
+
+  /// Clone the golden image, wire the stack, take the anchoring checkpoint.
+  Status Start();
+
+  /// Run `txns` transactions, then zero every stat and clock: subsequent
+  /// Run() calls measure steady state (paper §5.2: "all measurements after
+  /// the flash cache was fully populated").
+  Status Warmup(uint64_t txns);
+
+  /// Run a measured batch of transactions.
+  StatusOr<RunResult> Run(const RunOptions& run);
+
+  /// Begin `n` transactions and leave them uncommitted with real updates
+  /// applied — the in-flight work a mid-interval crash strands (the
+  /// paper's kill -9 protocol always caught ~50 backends mid-flight).
+  Status InjectInflightTransactions(uint32_t n);
+
+  /// Power loss: DRAM state (buffer pool, directories, active
+  /// transactions) is gone; device contents survive.
+  Status Crash();
+
+  /// Restart after Crash(): rebuilds the DRAM stack and runs full recovery
+  /// on a background token. Clients resume only after recovery finishes.
+  StatusOr<RestartReport> Recover();
+
+  // --- accessors ---------------------------------------------------------------
+  Database* db() { return db_.get(); }
+  tpcc::Workload* workload() { return workload_.get(); }
+  tpcc::Tables* tables() { return tables_.get(); }
+  IoScheduler* sched() { return &sched_; }
+  SimDevice* db_dev() { return db_dev_.get(); }
+  SimDevice* flash_dev() { return flash_dev_.get(); }
+  SimDevice* log_dev() { return log_dev_.get(); }
+  CacheExtension* cache() { return cache_.get(); }
+  const TestbedOptions& options() const { return opts_; }
+  /// DRAM buffer frames actually in use (after the 0 = ratio default).
+  uint32_t buffer_frames() const { return buffer_frames_; }
+  /// Virtual time of the most recent checkpoint (crash-protocol helper).
+  SimNanos last_checkpoint_time() const { return last_ckpt_time_; }
+
+ private:
+  /// Create storage/log/cache/database. `after_crash` skips cache Format
+  /// (RecoverAfterCrash will restore or reset it).
+  Status BuildDramStack(bool after_crash);
+  /// Construct the configured policy over flash_dev_.
+  StatusOr<std::unique_ptr<CacheExtension>> MakeCache();
+  /// Flash device blocks the policy needs for `flash_pages` cache pages.
+  uint64_t FlashDeviceBlocks() const;
+  uint32_t EffectiveSegEntries() const;
+  /// Run the checkpointer / lazy cleaner on their background tokens.
+  Status RunBackgroundWork();
+  void ResetAllStats();
+
+  TestbedOptions opts_;
+  const GoldenImage* golden_;
+  IoScheduler sched_;
+  std::unique_ptr<SimDevice> db_dev_, log_dev_, flash_dev_;
+  uint32_t ckpt_token_ = 0, cleaner_token_ = 0, recovery_token_ = 0;
+  uint32_t buffer_frames_ = 0;
+
+  std::unique_ptr<DbStorage> storage_;
+  std::unique_ptr<LogManager> log_;
+  std::unique_ptr<CacheExtension> cache_;
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<tpcc::Tables> tables_;
+  std::unique_ptr<tpcc::Workload> workload_;
+
+  SimNanos last_ckpt_time_ = 0;
+  uint64_t txn_seed_ = 0;  ///< workload seed, advanced across crashes
+};
+
+}  // namespace face

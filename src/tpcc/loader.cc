@@ -1,0 +1,223 @@
+#include "tpcc/loader.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "tpcc/schema.h"
+
+namespace face {
+namespace tpcc {
+
+namespace {
+/// Load-time "now" stamp; any nonzero constant works (dates are opaque).
+constexpr uint64_t kLoadDate = 1;
+}  // namespace
+
+std::string Loader::DataString(int min_len, int max_len) {
+  std::string s = rnd_.rng().AlphaString(min_len, max_len);
+  if (rnd_.rng().PercentTrue(10)) {
+    const size_t pos = rnd_.rng().Uniform(s.size() - 7);
+    s.replace(pos, 8, "ORIGINAL");
+  }
+  return s;
+}
+
+StatusOr<Tables> Loader::Load() {
+  PageWriter bulk = db_->BulkWriter();
+  FACE_ASSIGN_OR_RETURN(Tables t, Tables::Create(db_, &bulk));
+
+  FACE_RETURN_IF_ERROR(LoadItems(&bulk, &t));
+  for (uint32_t w = 1; w <= config_.warehouses; ++w) {
+    FACE_RETURN_IF_ERROR(LoadWarehouse(&bulk, &t, w));
+    FACE_RETURN_IF_ERROR(LoadStock(&bulk, &t, w));
+    for (uint32_t d = 1; d <= kDistrictsPerWarehouse; ++d) {
+      FACE_RETURN_IF_ERROR(LoadDistrict(&bulk, &t, w, d));
+      FACE_RETURN_IF_ERROR(LoadCustomers(&bulk, &t, w, d));
+      FACE_RETURN_IF_ERROR(LoadOrders(&bulk, &t, w, d));
+    }
+  }
+
+  // Make the load durable and checkpoint: redo after a crash starts here.
+  FACE_RETURN_IF_ERROR(db_->CleanShutdown());
+  return t;
+}
+
+Status Loader::LoadItems(PageWriter* w, Tables* t) {
+  Random& r = rnd_.rng();
+  for (uint32_t i = 1; i <= kItems; ++i) {
+    ItemRow row;
+    row.i_id = i;
+    row.i_im_id = static_cast<uint32_t>(r.UniformRange(1, 10000));
+    row.i_name = r.AlphaString(14, 24);
+    row.i_price = r.UniformRange(100, 10000);  // $1.00 .. $100.00
+    row.i_data = DataString(26, 50);
+    FACE_ASSIGN_OR_RETURN(Rid rid, t->item.Insert(w, row.Encode()));
+    FACE_RETURN_IF_ERROR(t->pk_item.Insert(w, ItemKey(i), EncodeRid(rid)));
+  }
+  return Status::OK();
+}
+
+Status Loader::LoadWarehouse(PageWriter* w, Tables* t, uint32_t w_id) {
+  Random& r = rnd_.rng();
+  WarehouseRow row;
+  row.w_id = w_id;
+  row.w_name = r.AlphaString(6, 10);
+  row.w_street_1 = r.AlphaString(10, 20);
+  row.w_street_2 = r.AlphaString(10, 20);
+  row.w_city = r.AlphaString(10, 20);
+  row.w_state = r.AlphaString(2, 2);
+  row.w_zip = r.NumString(4) + "11111";
+  row.w_tax = r.UniformRange(0, 2000);  // 0.0000 .. 0.2000
+  row.w_ytd = 30000000;                 // $300,000.00
+  FACE_ASSIGN_OR_RETURN(Rid rid, t->warehouse.Insert(w, row.Encode()));
+  return t->pk_warehouse.Insert(w, WarehouseKey(w_id), EncodeRid(rid));
+}
+
+Status Loader::LoadStock(PageWriter* w, Tables* t, uint32_t w_id) {
+  Random& r = rnd_.rng();
+  for (uint32_t i = 1; i <= kStockPerWarehouse; ++i) {
+    StockRow row;
+    row.s_i_id = i;
+    row.s_w_id = w_id;
+    row.s_quantity = r.UniformRange(10, 100);
+    for (auto& d : row.s_dist) d = r.AlphaString(24, 24);
+    row.s_data = DataString(26, 50);
+    FACE_ASSIGN_OR_RETURN(Rid rid, t->stock.Insert(w, row.Encode()));
+    FACE_RETURN_IF_ERROR(
+        t->pk_stock.Insert(w, StockKey(w_id, i), EncodeRid(rid)));
+  }
+  return Status::OK();
+}
+
+Status Loader::LoadDistrict(PageWriter* w, Tables* t, uint32_t w_id,
+                            uint32_t d_id) {
+  Random& r = rnd_.rng();
+  DistrictRow row;
+  row.d_id = d_id;
+  row.d_w_id = w_id;
+  row.d_name = r.AlphaString(6, 10);
+  row.d_street_1 = r.AlphaString(10, 20);
+  row.d_street_2 = r.AlphaString(10, 20);
+  row.d_city = r.AlphaString(10, 20);
+  row.d_state = r.AlphaString(2, 2);
+  row.d_zip = r.NumString(4) + "11111";
+  row.d_tax = r.UniformRange(0, 2000);
+  row.d_ytd = 3000000;  // $30,000.00
+  row.d_next_o_id = kInitialNextOrderId;
+  FACE_ASSIGN_OR_RETURN(Rid rid, t->district.Insert(w, row.Encode()));
+  return t->pk_district.Insert(w, DistrictKey(w_id, d_id), EncodeRid(rid));
+}
+
+Status Loader::LoadCustomers(PageWriter* w, Tables* t, uint32_t w_id,
+                             uint32_t d_id) {
+  Random& r = rnd_.rng();
+  for (uint32_t c = 1; c <= kCustomersPerDistrict; ++c) {
+    CustomerRow row;
+    row.c_id = c;
+    row.c_d_id = d_id;
+    row.c_w_id = w_id;
+    row.c_first = r.AlphaString(8, 16);
+    row.c_middle = "OE";
+    // §4.3.3.1: the first 1,000 customers get sequential last names so every
+    // name in [0, 999] exists; the rest are NURand-distributed.
+    row.c_last = TpccRandom::LastName(
+        c <= 1000 ? c - 1 : rnd_.NURandLastName());
+    row.c_street_1 = r.AlphaString(10, 20);
+    row.c_street_2 = r.AlphaString(10, 20);
+    row.c_city = r.AlphaString(10, 20);
+    row.c_state = r.AlphaString(2, 2);
+    row.c_zip = r.NumString(4) + "11111";
+    row.c_phone = r.NumString(16);
+    row.c_since = kLoadDate;
+    row.c_credit = r.PercentTrue(10) ? "BC" : "GC";
+    row.c_credit_lim = 5000000;  // $50,000.00
+    row.c_discount = r.UniformRange(0, 5000);
+    row.c_balance = -1000;     // -$10.00
+    row.c_ytd_payment = 1000;  // $10.00
+    row.c_payment_cnt = 1;
+    row.c_delivery_cnt = 0;
+    row.c_data = r.AlphaString(300, 500);
+
+    FACE_ASSIGN_OR_RETURN(Rid rid, t->customer.Insert(w, row.Encode()));
+    FACE_RETURN_IF_ERROR(t->pk_customer.Insert(w, CustomerKey(w_id, d_id, c),
+                                               EncodeRid(rid)));
+    FACE_RETURN_IF_ERROR(t->idx_customer_name.Insert(
+        w, CustomerNameKey(w_id, d_id, row.c_last, row.c_first, c),
+        EncodeRid(rid)));
+
+    HistoryRow h;
+    h.h_c_id = c;
+    h.h_c_d_id = d_id;
+    h.h_c_w_id = w_id;
+    h.h_d_id = d_id;
+    h.h_w_id = w_id;
+    h.h_date = kLoadDate;
+    h.h_amount = 1000;  // $10.00
+    h.h_data = r.AlphaString(12, 24);
+    FACE_RETURN_IF_ERROR(t->history.Insert(w, h.Encode()).status());
+  }
+  return Status::OK();
+}
+
+Status Loader::LoadOrders(PageWriter* w, Tables* t, uint32_t w_id,
+                          uint32_t d_id) {
+  Random& r = rnd_.rng();
+  // §4.3.3.1: o_c_id is a permutation of [1, 3000].
+  std::vector<uint32_t> cust(kOrdersPerDistrict);
+  std::iota(cust.begin(), cust.end(), 1);
+  for (size_t i = cust.size(); i > 1; --i) {
+    std::swap(cust[i - 1], cust[r.Uniform(i)]);
+  }
+
+  for (uint32_t o = 1; o <= kOrdersPerDistrict; ++o) {
+    const bool delivered = o < kFirstUndeliveredOrder;
+    OrderRow row;
+    row.o_id = o;
+    row.o_d_id = d_id;
+    row.o_w_id = w_id;
+    row.o_c_id = cust[o - 1];
+    row.o_entry_d = kLoadDate;
+    row.o_carrier_id =
+        delivered ? static_cast<uint32_t>(r.UniformRange(1, 10)) : 0;
+    row.o_ol_cnt = static_cast<uint32_t>(r.UniformRange(5, 15));
+    row.o_all_local = 1;
+
+    FACE_ASSIGN_OR_RETURN(Rid rid, t->orders.Insert(w, row.Encode()));
+    FACE_RETURN_IF_ERROR(
+        t->pk_orders.Insert(w, OrderKey(w_id, d_id, o), EncodeRid(rid)));
+    FACE_RETURN_IF_ERROR(t->idx_orders_customer.Insert(
+        w, OrderCustomerKey(w_id, d_id, row.o_c_id, o), EncodeRid(rid)));
+
+    for (uint32_t ol = 1; ol <= row.o_ol_cnt; ++ol) {
+      OrderLineRow line;
+      line.ol_o_id = o;
+      line.ol_d_id = d_id;
+      line.ol_w_id = w_id;
+      line.ol_number = ol;
+      line.ol_i_id = static_cast<uint32_t>(r.UniformRange(1, kItems));
+      line.ol_supply_w_id = w_id;
+      line.ol_delivery_d = delivered ? kLoadDate : 0;
+      line.ol_quantity = 5;
+      line.ol_amount = delivered ? 0 : r.UniformRange(1, 999999);
+      line.ol_dist_info = r.AlphaString(24, 24);
+      FACE_ASSIGN_OR_RETURN(Rid lrid, t->order_line.Insert(w, line.Encode()));
+      FACE_RETURN_IF_ERROR(t->pk_order_line.Insert(
+          w, OrderLineKey(w_id, d_id, o, ol), EncodeRid(lrid)));
+    }
+
+    if (!delivered) {
+      NewOrderRow no;
+      no.no_o_id = o;
+      no.no_d_id = d_id;
+      no.no_w_id = w_id;
+      FACE_ASSIGN_OR_RETURN(Rid nrid, t->new_order.Insert(w, no.Encode()));
+      FACE_RETURN_IF_ERROR(t->pk_new_order.Insert(
+          w, NewOrderKey(w_id, d_id, o), EncodeRid(nrid)));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace tpcc
+}  // namespace face

@@ -1,0 +1,53 @@
+// TPC-C initial population (TPC-C standard §4.3.3), scaled by warehouse
+// count. The load writes through the normal buffer pool and engine paths
+// but unlogged (PageWriter bulk mode): the caller flushes and checkpoints
+// afterwards, which anchors recovery after the load — the standard
+// bootstrap shortcut every real system uses for bulk loads.
+#pragma once
+
+#include <cstdint>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "engine/database.h"
+#include "tpcc/tables.h"
+
+namespace face {
+namespace tpcc {
+
+/// Scale and determinism of a load.
+struct LoadConfig {
+  uint32_t warehouses = 1;
+  uint64_t seed = 20120827;  ///< default: the paper's VLDB presentation date
+};
+
+/// Populates a fresh database with the TPC-C initial state.
+class Loader {
+ public:
+  Loader(Database* db, const LoadConfig& config)
+      : db_(db), config_(config), rnd_(config.seed) {}
+
+  /// Create all tables/indexes and load every warehouse. The database must
+  /// be freshly formatted. On return the buffer pool has been flushed to
+  /// disk and a checkpoint taken: the on-disk image is self-contained.
+  StatusOr<Tables> Load();
+
+ private:
+  Status LoadItems(PageWriter* w, Tables* t);
+  Status LoadWarehouse(PageWriter* w, Tables* t, uint32_t w_id);
+  Status LoadStock(PageWriter* w, Tables* t, uint32_t w_id);
+  Status LoadDistrict(PageWriter* w, Tables* t, uint32_t w_id, uint32_t d_id);
+  Status LoadCustomers(PageWriter* w, Tables* t, uint32_t w_id,
+                       uint32_t d_id);
+  Status LoadOrders(PageWriter* w, Tables* t, uint32_t w_id, uint32_t d_id);
+
+  /// "ORIGINAL" planted in 10 % of data strings (§4.3.3.1).
+  std::string DataString(int min_len, int max_len);
+
+  Database* db_;
+  LoadConfig config_;
+  TpccRandom rnd_;
+};
+
+}  // namespace tpcc
+}  // namespace face

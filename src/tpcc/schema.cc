@@ -1,0 +1,317 @@
+#include "tpcc/schema.h"
+
+namespace face {
+namespace tpcc {
+
+namespace {
+
+void PutU32(std::string* row, uint32_t v) { PutFixed32(row, v); }
+void PutU64(std::string* row, uint64_t v) { PutFixed64(row, v); }
+void PutI64(std::string* row, int64_t v) {
+  PutFixed64(row, static_cast<uint64_t>(v));
+}
+
+/// Sequential decoder over a fixed-width row image.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view row) : row_(row) {}
+  uint32_t U32() {
+    const uint32_t v = DecodeFixed32(row_.data() + pos_);
+    pos_ += 4;
+    return v;
+  }
+  uint64_t U64() {
+    const uint64_t v = DecodeFixed64(row_.data() + pos_);
+    pos_ += 8;
+    return v;
+  }
+  int64_t I64() { return static_cast<int64_t>(U64()); }
+  std::string Char(uint32_t width) {
+    std::string s(GetChar(row_, pos_, width));
+    pos_ += width;
+    return s;
+  }
+
+ private:
+  std::string_view row_;
+  uint32_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string WarehouseRow::Encode() const {
+  std::string row;
+  row.reserve(kSize);
+  PutU32(&row, w_id);
+  PutChar(&row, w_name, 10);
+  PutChar(&row, w_street_1, 20);
+  PutChar(&row, w_street_2, 20);
+  PutChar(&row, w_city, 20);
+  PutChar(&row, w_state, 2);
+  PutChar(&row, w_zip, 9);
+  PutI64(&row, w_tax);
+  PutI64(&row, w_ytd);
+  return row;
+}
+
+WarehouseRow WarehouseRow::Decode(std::string_view row) {
+  Cursor c(row);
+  WarehouseRow r;
+  r.w_id = c.U32();
+  r.w_name = c.Char(10);
+  r.w_street_1 = c.Char(20);
+  r.w_street_2 = c.Char(20);
+  r.w_city = c.Char(20);
+  r.w_state = c.Char(2);
+  r.w_zip = c.Char(9);
+  r.w_tax = c.I64();
+  r.w_ytd = c.I64();
+  return r;
+}
+
+std::string DistrictRow::Encode() const {
+  std::string row;
+  row.reserve(kSize);
+  PutU32(&row, d_id);
+  PutU32(&row, d_w_id);
+  PutChar(&row, d_name, 10);
+  PutChar(&row, d_street_1, 20);
+  PutChar(&row, d_street_2, 20);
+  PutChar(&row, d_city, 20);
+  PutChar(&row, d_state, 2);
+  PutChar(&row, d_zip, 9);
+  PutI64(&row, d_tax);
+  PutI64(&row, d_ytd);
+  PutU32(&row, d_next_o_id);
+  return row;
+}
+
+DistrictRow DistrictRow::Decode(std::string_view row) {
+  Cursor c(row);
+  DistrictRow r;
+  r.d_id = c.U32();
+  r.d_w_id = c.U32();
+  r.d_name = c.Char(10);
+  r.d_street_1 = c.Char(20);
+  r.d_street_2 = c.Char(20);
+  r.d_city = c.Char(20);
+  r.d_state = c.Char(2);
+  r.d_zip = c.Char(9);
+  r.d_tax = c.I64();
+  r.d_ytd = c.I64();
+  r.d_next_o_id = c.U32();
+  return r;
+}
+
+std::string CustomerRow::Encode() const {
+  std::string row;
+  row.reserve(kSize);
+  PutU32(&row, c_id);
+  PutU32(&row, c_d_id);
+  PutU32(&row, c_w_id);
+  PutChar(&row, c_first, 16);
+  PutChar(&row, c_middle, 2);
+  PutChar(&row, c_last, 16);
+  PutChar(&row, c_street_1, 20);
+  PutChar(&row, c_street_2, 20);
+  PutChar(&row, c_city, 20);
+  PutChar(&row, c_state, 2);
+  PutChar(&row, c_zip, 9);
+  PutChar(&row, c_phone, 16);
+  PutU64(&row, c_since);
+  PutChar(&row, c_credit, 2);
+  PutI64(&row, c_credit_lim);
+  PutI64(&row, c_discount);
+  PutI64(&row, c_balance);
+  PutI64(&row, c_ytd_payment);
+  PutU32(&row, c_payment_cnt);
+  PutU32(&row, c_delivery_cnt);
+  PutChar(&row, c_data, kDataWidth);
+  return row;
+}
+
+CustomerRow CustomerRow::Decode(std::string_view row) {
+  Cursor c(row);
+  CustomerRow r;
+  r.c_id = c.U32();
+  r.c_d_id = c.U32();
+  r.c_w_id = c.U32();
+  r.c_first = c.Char(16);
+  r.c_middle = c.Char(2);
+  r.c_last = c.Char(16);
+  r.c_street_1 = c.Char(20);
+  r.c_street_2 = c.Char(20);
+  r.c_city = c.Char(20);
+  r.c_state = c.Char(2);
+  r.c_zip = c.Char(9);
+  r.c_phone = c.Char(16);
+  r.c_since = c.U64();
+  r.c_credit = c.Char(2);
+  r.c_credit_lim = c.I64();
+  r.c_discount = c.I64();
+  r.c_balance = c.I64();
+  r.c_ytd_payment = c.I64();
+  r.c_payment_cnt = c.U32();
+  r.c_delivery_cnt = c.U32();
+  r.c_data = c.Char(kDataWidth);
+  return r;
+}
+
+std::string HistoryRow::Encode() const {
+  std::string row;
+  row.reserve(kSize);
+  PutU32(&row, h_c_id);
+  PutU32(&row, h_c_d_id);
+  PutU32(&row, h_c_w_id);
+  PutU32(&row, h_d_id);
+  PutU32(&row, h_w_id);
+  PutU64(&row, h_date);
+  PutI64(&row, h_amount);
+  PutChar(&row, h_data, 24);
+  return row;
+}
+
+HistoryRow HistoryRow::Decode(std::string_view row) {
+  Cursor c(row);
+  HistoryRow r;
+  r.h_c_id = c.U32();
+  r.h_c_d_id = c.U32();
+  r.h_c_w_id = c.U32();
+  r.h_d_id = c.U32();
+  r.h_w_id = c.U32();
+  r.h_date = c.U64();
+  r.h_amount = c.I64();
+  r.h_data = c.Char(24);
+  return r;
+}
+
+std::string NewOrderRow::Encode() const {
+  std::string row;
+  row.reserve(kSize);
+  PutU32(&row, no_o_id);
+  PutU32(&row, no_d_id);
+  PutU32(&row, no_w_id);
+  return row;
+}
+
+NewOrderRow NewOrderRow::Decode(std::string_view row) {
+  Cursor c(row);
+  NewOrderRow r;
+  r.no_o_id = c.U32();
+  r.no_d_id = c.U32();
+  r.no_w_id = c.U32();
+  return r;
+}
+
+std::string OrderRow::Encode() const {
+  std::string row;
+  row.reserve(kSize);
+  PutU32(&row, o_id);
+  PutU32(&row, o_d_id);
+  PutU32(&row, o_w_id);
+  PutU32(&row, o_c_id);
+  PutU64(&row, o_entry_d);
+  PutU32(&row, o_carrier_id);
+  PutU32(&row, o_ol_cnt);
+  PutU32(&row, o_all_local);
+  return row;
+}
+
+OrderRow OrderRow::Decode(std::string_view row) {
+  Cursor c(row);
+  OrderRow r;
+  r.o_id = c.U32();
+  r.o_d_id = c.U32();
+  r.o_w_id = c.U32();
+  r.o_c_id = c.U32();
+  r.o_entry_d = c.U64();
+  r.o_carrier_id = c.U32();
+  r.o_ol_cnt = c.U32();
+  r.o_all_local = c.U32();
+  return r;
+}
+
+std::string OrderLineRow::Encode() const {
+  std::string row;
+  row.reserve(kSize);
+  PutU32(&row, ol_o_id);
+  PutU32(&row, ol_d_id);
+  PutU32(&row, ol_w_id);
+  PutU32(&row, ol_number);
+  PutU32(&row, ol_i_id);
+  PutU32(&row, ol_supply_w_id);
+  PutU64(&row, ol_delivery_d);
+  PutU32(&row, ol_quantity);
+  PutI64(&row, ol_amount);
+  PutChar(&row, ol_dist_info, kDistInfoWidth);
+  return row;
+}
+
+OrderLineRow OrderLineRow::Decode(std::string_view row) {
+  Cursor c(row);
+  OrderLineRow r;
+  r.ol_o_id = c.U32();
+  r.ol_d_id = c.U32();
+  r.ol_w_id = c.U32();
+  r.ol_number = c.U32();
+  r.ol_i_id = c.U32();
+  r.ol_supply_w_id = c.U32();
+  r.ol_delivery_d = c.U64();
+  r.ol_quantity = c.U32();
+  r.ol_amount = c.I64();
+  r.ol_dist_info = c.Char(kDistInfoWidth);
+  return r;
+}
+
+std::string ItemRow::Encode() const {
+  std::string row;
+  row.reserve(kSize);
+  PutU32(&row, i_id);
+  PutU32(&row, i_im_id);
+  PutChar(&row, i_name, 24);
+  PutI64(&row, i_price);
+  PutChar(&row, i_data, 50);
+  return row;
+}
+
+ItemRow ItemRow::Decode(std::string_view row) {
+  Cursor c(row);
+  ItemRow r;
+  r.i_id = c.U32();
+  r.i_im_id = c.U32();
+  r.i_name = c.Char(24);
+  r.i_price = c.I64();
+  r.i_data = c.Char(50);
+  return r;
+}
+
+std::string StockRow::Encode() const {
+  std::string row;
+  row.reserve(kSize);
+  PutU32(&row, s_i_id);
+  PutU32(&row, s_w_id);
+  PutI64(&row, s_quantity);
+  for (const auto& d : s_dist) PutChar(&row, d, kDistInfoWidth);
+  PutI64(&row, s_ytd);
+  PutU32(&row, s_order_cnt);
+  PutU32(&row, s_remote_cnt);
+  PutChar(&row, s_data, 50);
+  return row;
+}
+
+StockRow StockRow::Decode(std::string_view row) {
+  Cursor c(row);
+  StockRow r;
+  r.s_i_id = c.U32();
+  r.s_w_id = c.U32();
+  r.s_quantity = c.I64();
+  for (auto& d : r.s_dist) d = c.Char(kDistInfoWidth);
+  r.s_ytd = c.I64();
+  r.s_order_cnt = c.U32();
+  r.s_remote_cnt = c.U32();
+  r.s_data = c.Char(50);
+  return r;
+}
+
+}  // namespace tpcc
+}  // namespace face

@@ -1,0 +1,291 @@
+// TPC-C schema: the nine tables of the benchmark (TPC-C standard §1.3) as
+// fixed-width row codecs, plus the order-preserving index keys the
+// transactions need. Fixed-width rows (CHAR semantics, like the paper's
+// BenchmarkSQL/PostgreSQL schema) keep every update in place, so heap Rids
+// are stable and secondary indexes never need maintenance on updates.
+//
+// Scaling (per warehouse, TPC-C standard §4.3): 10 districts, 3,000
+// customers/district, 100,000 stock rows, 3,000 orders/district preloaded,
+// the last 900 of which are undelivered (NEW-ORDER rows). ITEM is global
+// with 100,000 rows.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/coding.h"
+#include "common/types.h"
+#include "engine/key_codec.h"
+
+namespace face {
+namespace tpcc {
+
+// --- cardinality constants (TPC-C §4.3) -------------------------------------
+inline constexpr uint32_t kDistrictsPerWarehouse = 10;
+inline constexpr uint32_t kCustomersPerDistrict = 3000;
+inline constexpr uint32_t kItems = 100000;
+inline constexpr uint32_t kStockPerWarehouse = kItems;
+inline constexpr uint32_t kOrdersPerDistrict = 3000;
+/// Orders [2101, 3000] are loaded undelivered (have NEW-ORDER rows).
+inline constexpr uint32_t kFirstUndeliveredOrder = 2101;
+inline constexpr uint32_t kInitialNextOrderId = kOrdersPerDistrict + 1;
+
+// --- table / index names in the catalog -------------------------------------
+inline constexpr const char* kWarehouseTable = "warehouse";
+inline constexpr const char* kDistrictTable = "district";
+inline constexpr const char* kCustomerTable = "customer";
+inline constexpr const char* kHistoryTable = "history";
+inline constexpr const char* kNewOrderTable = "new_order";
+inline constexpr const char* kOrdersTable = "orders";
+inline constexpr const char* kOrderLineTable = "order_line";
+inline constexpr const char* kItemTable = "item";
+inline constexpr const char* kStockTable = "stock";
+
+inline constexpr const char* kWarehousePk = "pk_warehouse";
+inline constexpr const char* kDistrictPk = "pk_district";
+inline constexpr const char* kCustomerPk = "pk_customer";
+inline constexpr const char* kCustomerNameIdx = "idx_customer_name";
+inline constexpr const char* kNewOrderPk = "pk_new_order";
+inline constexpr const char* kOrdersPk = "pk_orders";
+inline constexpr const char* kOrdersCustomerIdx = "idx_orders_customer";
+inline constexpr const char* kOrderLinePk = "pk_order_line";
+inline constexpr const char* kItemPk = "pk_item";
+inline constexpr const char* kStockPk = "pk_stock";
+
+// --- Rid <-> index value codec ----------------------------------------------
+inline constexpr uint32_t kRidValueSize = 10;
+
+inline std::string EncodeRid(Rid rid) {
+  std::string v(kRidValueSize, '\0');
+  EncodeFixed64(v.data(), rid.page_id);
+  EncodeFixed16(v.data() + 8, rid.slot);
+  return v;
+}
+
+inline Rid DecodeRid(std::string_view v) {
+  return Rid{DecodeFixed64(v.data()), DecodeFixed16(v.data() + 8)};
+}
+
+// --- fixed-width string helper ----------------------------------------------
+inline void PutChar(std::string* row, std::string_view s, uint32_t width) {
+  const size_t n = s.size() < width ? s.size() : width;
+  row->append(s.data(), n);
+  row->append(width - n, '\0');
+}
+
+inline std::string_view GetChar(std::string_view row, uint32_t offset,
+                                uint32_t width) {
+  uint32_t w = width;
+  while (w > 0 && row[offset + w - 1] == '\0') --w;
+  return row.substr(offset, w);
+}
+
+// --- rows --------------------------------------------------------------------
+// Money columns are int64 hundredths; tax/discount rates are int64
+// ten-thousandths; dates are opaque uint64 stamps.
+
+/// WAREHOUSE row (§1.3, Table 1.1).
+struct WarehouseRow {
+  static constexpr uint32_t kSize = 4 + 10 + 20 + 20 + 20 + 2 + 9 + 8 + 8;
+
+  uint32_t w_id = 0;
+  std::string w_name, w_street_1, w_street_2, w_city, w_state, w_zip;
+  int64_t w_tax = 0;  ///< ten-thousandths
+  int64_t w_ytd = 0;  ///< hundredths
+
+  std::string Encode() const;
+  static WarehouseRow Decode(std::string_view row);
+  /// Byte offset of w_ytd (for narrow in-place updates).
+  static constexpr uint32_t kYtdOffset = kSize - 8;
+};
+
+/// DISTRICT row.
+struct DistrictRow {
+  static constexpr uint32_t kSize = 4 + 4 + 10 + 20 + 20 + 20 + 2 + 9 + 8 + 8 + 4;
+
+  uint32_t d_id = 0;
+  uint32_t d_w_id = 0;
+  std::string d_name, d_street_1, d_street_2, d_city, d_state, d_zip;
+  int64_t d_tax = 0;
+  int64_t d_ytd = 0;
+  uint32_t d_next_o_id = 0;
+
+  std::string Encode() const;
+  static DistrictRow Decode(std::string_view row);
+  static constexpr uint32_t kYtdOffset = kSize - 12;
+  static constexpr uint32_t kNextOrderIdOffset = kSize - 4;
+};
+
+/// CUSTOMER row.
+struct CustomerRow {
+  static constexpr uint32_t kDataWidth = 500;
+  static constexpr uint32_t kSize = 4 + 4 + 4 + 16 + 2 + 16 + 20 + 20 + 20 +
+                                    2 + 9 + 16 + 8 + 2 + 8 + 8 + 8 + 8 + 4 +
+                                    4 + kDataWidth;
+
+  uint32_t c_id = 0;
+  uint32_t c_d_id = 0;
+  uint32_t c_w_id = 0;
+  std::string c_first, c_middle, c_last;
+  std::string c_street_1, c_street_2, c_city, c_state, c_zip, c_phone;
+  uint64_t c_since = 0;
+  std::string c_credit;  ///< "GC" or "BC"
+  int64_t c_credit_lim = 0;
+  int64_t c_discount = 0;  ///< ten-thousandths
+  int64_t c_balance = 0;
+  int64_t c_ytd_payment = 0;
+  uint32_t c_payment_cnt = 0;
+  uint32_t c_delivery_cnt = 0;
+  std::string c_data;
+
+  std::string Encode() const;
+  static CustomerRow Decode(std::string_view row);
+  /// Offset of the (balance, ytd_payment, payment_cnt, delivery_cnt) block
+  /// Payment and Delivery update.
+  static constexpr uint32_t kBalanceOffset = kSize - kDataWidth - 24;
+  static constexpr uint32_t kDataOffset = kSize - kDataWidth;
+};
+
+/// HISTORY row (no primary key; the table is insert-only).
+struct HistoryRow {
+  static constexpr uint32_t kSize = 4 * 5 + 8 + 8 + 24;
+
+  uint32_t h_c_id = 0, h_c_d_id = 0, h_c_w_id = 0, h_d_id = 0, h_w_id = 0;
+  uint64_t h_date = 0;
+  int64_t h_amount = 0;
+  std::string h_data;
+
+  std::string Encode() const;
+  static HistoryRow Decode(std::string_view row);
+};
+
+/// NEW-ORDER row.
+struct NewOrderRow {
+  static constexpr uint32_t kSize = 12;
+
+  uint32_t no_o_id = 0, no_d_id = 0, no_w_id = 0;
+
+  std::string Encode() const;
+  static NewOrderRow Decode(std::string_view row);
+};
+
+/// ORDER row.
+struct OrderRow {
+  static constexpr uint32_t kSize = 4 * 7 + 8;
+
+  uint32_t o_id = 0, o_d_id = 0, o_w_id = 0, o_c_id = 0;
+  uint64_t o_entry_d = 0;
+  uint32_t o_carrier_id = 0;  ///< 0 = null (undelivered)
+  uint32_t o_ol_cnt = 0;
+  uint32_t o_all_local = 1;
+
+  std::string Encode() const;
+  static OrderRow Decode(std::string_view row);
+  static constexpr uint32_t kCarrierOffset = 4 * 4 + 8;
+};
+
+/// ORDER-LINE row.
+struct OrderLineRow {
+  static constexpr uint32_t kDistInfoWidth = 24;
+  static constexpr uint32_t kSize = 4 * 7 + 8 + 8 + kDistInfoWidth;
+
+  uint32_t ol_o_id = 0, ol_d_id = 0, ol_w_id = 0, ol_number = 0;
+  uint32_t ol_i_id = 0, ol_supply_w_id = 0;
+  uint64_t ol_delivery_d = 0;  ///< 0 = null
+  uint32_t ol_quantity = 0;
+  int64_t ol_amount = 0;
+  std::string ol_dist_info;
+
+  std::string Encode() const;
+  static OrderLineRow Decode(std::string_view row);
+  static constexpr uint32_t kDeliveryDateOffset = 4 * 6;
+};
+
+/// ITEM row.
+struct ItemRow {
+  static constexpr uint32_t kSize = 4 + 4 + 24 + 8 + 50;
+
+  uint32_t i_id = 0;
+  uint32_t i_im_id = 0;
+  std::string i_name;
+  int64_t i_price = 0;
+  std::string i_data;
+
+  std::string Encode() const;
+  static ItemRow Decode(std::string_view row);
+};
+
+/// STOCK row.
+struct StockRow {
+  static constexpr uint32_t kDistInfoWidth = 24;
+  static constexpr uint32_t kSize =
+      4 + 4 + 8 + 10 * kDistInfoWidth + 8 + 4 + 4 + 50;
+
+  uint32_t s_i_id = 0;
+  uint32_t s_w_id = 0;
+  int64_t s_quantity = 0;
+  std::string s_dist[10];
+  int64_t s_ytd = 0;
+  uint32_t s_order_cnt = 0;
+  uint32_t s_remote_cnt = 0;
+  std::string s_data;
+
+  std::string Encode() const;
+  static StockRow Decode(std::string_view row);
+  /// Offset of the (quantity) field and of the (ytd, order_cnt, remote_cnt)
+  /// block NewOrder updates.
+  static constexpr uint32_t kQuantityOffset = 8;
+  static constexpr uint32_t kYtdOffset = 16 + 10 * kDistInfoWidth;
+};
+
+// --- index keys ---------------------------------------------------------------
+
+inline std::string WarehouseKey(uint32_t w) {
+  return KeyCodec().AppendU32(w).Take();
+}
+inline std::string DistrictKey(uint32_t w, uint32_t d) {
+  return KeyCodec().AppendU32(w).AppendU32(d).Take();
+}
+inline std::string CustomerKey(uint32_t w, uint32_t d, uint32_t c) {
+  return KeyCodec().AppendU32(w).AppendU32(d).AppendU32(c).Take();
+}
+/// (w, d, last, first, c_id): equal last names scan in first-name order,
+/// exactly what the §2.5.2.2 midpoint rule needs.
+inline std::string CustomerNameKey(uint32_t w, uint32_t d,
+                                   std::string_view last,
+                                   std::string_view first, uint32_t c) {
+  return KeyCodec()
+      .AppendU32(w)
+      .AppendU32(d)
+      .AppendPadded(last, 16)
+      .AppendPadded(first, 16)
+      .AppendU32(c)
+      .Take();
+}
+/// Prefix of CustomerNameKey for a (w, d, last) scan.
+inline std::string CustomerNamePrefix(uint32_t w, uint32_t d,
+                                      std::string_view last) {
+  return KeyCodec().AppendU32(w).AppendU32(d).AppendPadded(last, 16).Take();
+}
+inline std::string NewOrderKey(uint32_t w, uint32_t d, uint32_t o) {
+  return KeyCodec().AppendU32(w).AppendU32(d).AppendU32(o).Take();
+}
+inline std::string OrderKey(uint32_t w, uint32_t d, uint32_t o) {
+  return KeyCodec().AppendU32(w).AppendU32(d).AppendU32(o).Take();
+}
+inline std::string OrderCustomerKey(uint32_t w, uint32_t d, uint32_t c,
+                                    uint32_t o) {
+  return KeyCodec().AppendU32(w).AppendU32(d).AppendU32(c).AppendU32(o).Take();
+}
+inline std::string OrderLineKey(uint32_t w, uint32_t d, uint32_t o,
+                                uint32_t ol) {
+  return KeyCodec().AppendU32(w).AppendU32(d).AppendU32(o).AppendU32(ol).Take();
+}
+inline std::string ItemKey(uint32_t i) { return KeyCodec().AppendU32(i).Take(); }
+inline std::string StockKey(uint32_t w, uint32_t i) {
+  return KeyCodec().AppendU32(w).AppendU32(i).Take();
+}
+
+}  // namespace tpcc
+}  // namespace face

@@ -1,0 +1,64 @@
+#include "tpcc/tables.h"
+
+#include "tpcc/schema.h"
+
+namespace face {
+namespace tpcc {
+
+StatusOr<Tables> Tables::Create(Database* db, PageWriter* writer) {
+  Tables t;
+  FACE_ASSIGN_OR_RETURN(t.warehouse, db->CreateTable(writer, kWarehouseTable));
+  FACE_ASSIGN_OR_RETURN(t.district, db->CreateTable(writer, kDistrictTable));
+  FACE_ASSIGN_OR_RETURN(t.customer, db->CreateTable(writer, kCustomerTable));
+  FACE_ASSIGN_OR_RETURN(t.history, db->CreateTable(writer, kHistoryTable));
+  FACE_ASSIGN_OR_RETURN(t.new_order, db->CreateTable(writer, kNewOrderTable));
+  FACE_ASSIGN_OR_RETURN(t.orders, db->CreateTable(writer, kOrdersTable));
+  FACE_ASSIGN_OR_RETURN(t.order_line,
+                        db->CreateTable(writer, kOrderLineTable));
+  FACE_ASSIGN_OR_RETURN(t.item, db->CreateTable(writer, kItemTable));
+  FACE_ASSIGN_OR_RETURN(t.stock, db->CreateTable(writer, kStockTable));
+
+  FACE_ASSIGN_OR_RETURN(t.pk_warehouse, db->CreateIndex(writer, kWarehousePk));
+  FACE_ASSIGN_OR_RETURN(t.pk_district, db->CreateIndex(writer, kDistrictPk));
+  FACE_ASSIGN_OR_RETURN(t.pk_customer, db->CreateIndex(writer, kCustomerPk));
+  FACE_ASSIGN_OR_RETURN(t.idx_customer_name,
+                        db->CreateIndex(writer, kCustomerNameIdx));
+  FACE_ASSIGN_OR_RETURN(t.pk_new_order, db->CreateIndex(writer, kNewOrderPk));
+  FACE_ASSIGN_OR_RETURN(t.pk_orders, db->CreateIndex(writer, kOrdersPk));
+  FACE_ASSIGN_OR_RETURN(t.idx_orders_customer,
+                        db->CreateIndex(writer, kOrdersCustomerIdx));
+  FACE_ASSIGN_OR_RETURN(t.pk_order_line,
+                        db->CreateIndex(writer, kOrderLinePk));
+  FACE_ASSIGN_OR_RETURN(t.pk_item, db->CreateIndex(writer, kItemPk));
+  FACE_ASSIGN_OR_RETURN(t.pk_stock, db->CreateIndex(writer, kStockPk));
+  return t;
+}
+
+StatusOr<Tables> Tables::Open(Database* db) {
+  Tables t;
+  FACE_ASSIGN_OR_RETURN(t.warehouse, db->OpenTable(kWarehouseTable));
+  FACE_ASSIGN_OR_RETURN(t.district, db->OpenTable(kDistrictTable));
+  FACE_ASSIGN_OR_RETURN(t.customer, db->OpenTable(kCustomerTable));
+  FACE_ASSIGN_OR_RETURN(t.history, db->OpenTable(kHistoryTable));
+  FACE_ASSIGN_OR_RETURN(t.new_order, db->OpenTable(kNewOrderTable));
+  FACE_ASSIGN_OR_RETURN(t.orders, db->OpenTable(kOrdersTable));
+  FACE_ASSIGN_OR_RETURN(t.order_line, db->OpenTable(kOrderLineTable));
+  FACE_ASSIGN_OR_RETURN(t.item, db->OpenTable(kItemTable));
+  FACE_ASSIGN_OR_RETURN(t.stock, db->OpenTable(kStockTable));
+
+  FACE_ASSIGN_OR_RETURN(t.pk_warehouse, db->OpenIndex(kWarehousePk));
+  FACE_ASSIGN_OR_RETURN(t.pk_district, db->OpenIndex(kDistrictPk));
+  FACE_ASSIGN_OR_RETURN(t.pk_customer, db->OpenIndex(kCustomerPk));
+  FACE_ASSIGN_OR_RETURN(t.idx_customer_name, db->OpenIndex(kCustomerNameIdx));
+  FACE_ASSIGN_OR_RETURN(t.pk_new_order, db->OpenIndex(kNewOrderPk));
+  FACE_ASSIGN_OR_RETURN(t.pk_orders, db->OpenIndex(kOrdersPk));
+  FACE_ASSIGN_OR_RETURN(t.idx_orders_customer,
+                        db->OpenIndex(kOrdersCustomerIdx));
+  FACE_ASSIGN_OR_RETURN(t.pk_order_line, db->OpenIndex(kOrderLinePk));
+  FACE_ASSIGN_OR_RETURN(t.pk_item, db->OpenIndex(kItemPk));
+  FACE_ASSIGN_OR_RETURN(t.pk_stock, db->OpenIndex(kStockPk));
+  return t;
+}
+
+}  // namespace tpcc
+}  // namespace face

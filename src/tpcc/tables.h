@@ -1,0 +1,29 @@
+// The opened handles of all nine TPC-C tables and their indexes, bundled so
+// the loader and the transaction mix share one wiring.
+#pragma once
+
+#include "common/status.h"
+#include "engine/btree.h"
+#include "engine/database.h"
+#include "engine/heap_file.h"
+
+namespace face {
+namespace tpcc {
+
+/// All TPC-C tables and indexes, opened against one database.
+struct Tables {
+  HeapFile warehouse, district, customer, history, new_order, orders,
+      order_line, item, stock;
+  BPlusTree pk_warehouse, pk_district, pk_customer, idx_customer_name,
+      pk_new_order, pk_orders, idx_orders_customer, pk_order_line, pk_item,
+      pk_stock;
+
+  /// Create every table and index in `db` (fresh database).
+  static StatusOr<Tables> Create(Database* db, PageWriter* writer);
+
+  /// Open every table and index from `db`'s catalog.
+  static StatusOr<Tables> Open(Database* db);
+};
+
+}  // namespace tpcc
+}  // namespace face

@@ -1,0 +1,440 @@
+#include "tpcc/workload.h"
+
+#include <set>
+#include <vector>
+
+#include "tpcc/schema.h"
+
+namespace face {
+namespace tpcc {
+
+const char* TxnTypeName(TxnType type) {
+  switch (type) {
+    case TxnType::kNewOrder: return "NewOrder";
+    case TxnType::kPayment: return "Payment";
+    case TxnType::kOrderStatus: return "OrderStatus";
+    case TxnType::kDelivery: return "Delivery";
+    case TxnType::kStockLevel: return "StockLevel";
+  }
+  return "?";
+}
+
+StatusOr<Rid> Workload::LookupRid(const BPlusTree& index,
+                                  const std::string& key) {
+  std::string value;
+  FACE_RETURN_IF_ERROR(index.Get(key, &value));
+  return DecodeRid(value);
+}
+
+StatusOr<TxnType> Workload::RunOne() {
+  Random& r = rnd_.rng();
+  const uint32_t w_id =
+      static_cast<uint32_t>(r.UniformRange(1, config_.warehouses));
+  const int roll = static_cast<int>(r.Uniform(100));
+
+  TxnType type;
+  Status s;
+  if (roll < config_.pct_new_order) {
+    type = TxnType::kNewOrder;
+    s = NewOrder(w_id);
+  } else if (roll < config_.pct_new_order + config_.pct_payment) {
+    type = TxnType::kPayment;
+    s = Payment(w_id);
+  } else if (roll < config_.pct_new_order + config_.pct_payment +
+                        config_.pct_order_status) {
+    type = TxnType::kOrderStatus;
+    s = OrderStatus(w_id);
+  } else if (roll < config_.pct_new_order + config_.pct_payment +
+                        config_.pct_order_status + config_.pct_delivery) {
+    type = TxnType::kDelivery;
+    s = Delivery(w_id);
+  } else {
+    type = TxnType::kStockLevel;
+    const uint32_t d_id =
+        static_cast<uint32_t>(r.UniformRange(1, kDistrictsPerWarehouse));
+    s = StockLevel(w_id, d_id);
+  }
+  if (!s.ok()) return s;
+  ++stats_.completed[static_cast<int>(type)];
+  return type;
+}
+
+// --- New-Order (§2.4) ---------------------------------------------------------
+
+Status Workload::NewOrder(uint32_t w_id) {
+  Random& r = rnd_.rng();
+  const uint32_t d_id =
+      static_cast<uint32_t>(r.UniformRange(1, kDistrictsPerWarehouse));
+  const uint32_t c_id = static_cast<uint32_t>(rnd_.NURandCustomerId());
+  const uint32_t ol_cnt = static_cast<uint32_t>(r.UniformRange(5, 15));
+  const bool rollback = r.PercentTrue(1);  // §2.4.1.4
+
+  // Generate the order lines up front (the terminal's input screen).
+  struct Line {
+    uint32_t i_id;
+    uint32_t supply_w;
+    uint32_t quantity;
+  };
+  std::vector<Line> lines(ol_cnt);
+  bool all_local = true;
+  for (uint32_t i = 0; i < ol_cnt; ++i) {
+    lines[i].i_id = static_cast<uint32_t>(rnd_.NURandItemId());
+    lines[i].supply_w = w_id;
+    if (config_.warehouses > 1 && r.PercentTrue(1)) {  // §2.4.1.5.2
+      while (lines[i].supply_w == w_id) {
+        lines[i].supply_w =
+            static_cast<uint32_t>(r.UniformRange(1, config_.warehouses));
+      }
+      all_local = false;
+    }
+    lines[i].quantity = static_cast<uint32_t>(r.UniformRange(1, 10));
+  }
+  if (rollback) lines[ol_cnt - 1].i_id = kItems + 1;  // unused item id
+
+  const TxnId txn = db_->Begin();
+  PageWriter w = db_->Writer(txn);
+
+  // Warehouse tax.
+  std::string row;
+  FACE_ASSIGN_OR_RETURN(Rid w_rid, LookupRid(t_->pk_warehouse,
+                                             WarehouseKey(w_id)));
+  FACE_RETURN_IF_ERROR(t_->warehouse.Read(w_rid, &row));
+  const int64_t w_tax = WarehouseRow::Decode(row).w_tax;
+
+  // District: tax + order id, incremented in place.
+  FACE_ASSIGN_OR_RETURN(Rid d_rid,
+                        LookupRid(t_->pk_district, DistrictKey(w_id, d_id)));
+  FACE_RETURN_IF_ERROR(t_->district.Read(d_rid, &row));
+  DistrictRow district = DistrictRow::Decode(row);
+  const uint32_t o_id = district.d_next_o_id;
+  const int64_t d_tax = district.d_tax;
+  district.d_next_o_id = o_id + 1;
+  FACE_RETURN_IF_ERROR(t_->district.Update(&w, d_rid, district.Encode()));
+
+  // Customer discount (read-only here).
+  FACE_ASSIGN_OR_RETURN(Rid c_rid, LookupRid(t_->pk_customer,
+                                             CustomerKey(w_id, d_id, c_id)));
+  FACE_RETURN_IF_ERROR(t_->customer.Read(c_rid, &row));
+  const int64_t c_discount = CustomerRow::Decode(row).c_discount;
+
+  // ORDER + NEW-ORDER rows.
+  OrderRow order;
+  order.o_id = o_id;
+  order.o_d_id = d_id;
+  order.o_w_id = w_id;
+  order.o_c_id = c_id;
+  order.o_entry_d = ++date_counter_;
+  order.o_carrier_id = 0;
+  order.o_ol_cnt = ol_cnt;
+  order.o_all_local = all_local ? 1 : 0;
+  FACE_ASSIGN_OR_RETURN(Rid o_rid, t_->orders.Insert(&w, order.Encode()));
+  FACE_RETURN_IF_ERROR(
+      t_->pk_orders.Insert(&w, OrderKey(w_id, d_id, o_id), EncodeRid(o_rid)));
+  FACE_RETURN_IF_ERROR(t_->idx_orders_customer.Insert(
+      &w, OrderCustomerKey(w_id, d_id, c_id, o_id), EncodeRid(o_rid)));
+
+  NewOrderRow no;
+  no.no_o_id = o_id;
+  no.no_d_id = d_id;
+  no.no_w_id = w_id;
+  FACE_ASSIGN_OR_RETURN(Rid no_rid, t_->new_order.Insert(&w, no.Encode()));
+  FACE_RETURN_IF_ERROR(t_->pk_new_order.Insert(
+      &w, NewOrderKey(w_id, d_id, o_id), EncodeRid(no_rid)));
+
+  // Order lines.
+  int64_t total = 0;
+  for (uint32_t i = 0; i < ol_cnt; ++i) {
+    const Line& line = lines[i];
+
+    auto item_rid = LookupRid(t_->pk_item, ItemKey(line.i_id));
+    if (!item_rid.ok()) {
+      // §2.4.2.3: unused item id — the terminal entered a bad item; the
+      // whole transaction rolls back. This is the intended 1 % abort.
+      FACE_RETURN_IF_ERROR(db_->Abort(txn));
+      ++stats_.user_aborts;
+      return Status::OK();
+    }
+    FACE_RETURN_IF_ERROR(t_->item.Read(*item_rid, &row));
+    const ItemRow item = ItemRow::Decode(row);
+
+    FACE_ASSIGN_OR_RETURN(
+        Rid s_rid,
+        LookupRid(t_->pk_stock, StockKey(line.supply_w, line.i_id)));
+    FACE_RETURN_IF_ERROR(t_->stock.Read(s_rid, &row));
+    StockRow stock = StockRow::Decode(row);
+    if (stock.s_quantity >= static_cast<int64_t>(line.quantity) + 10) {
+      stock.s_quantity -= line.quantity;
+    } else {
+      stock.s_quantity += 91 - static_cast<int64_t>(line.quantity);
+    }
+    stock.s_ytd += line.quantity;
+    stock.s_order_cnt += 1;
+    if (line.supply_w != w_id) stock.s_remote_cnt += 1;
+    FACE_RETURN_IF_ERROR(t_->stock.Update(&w, s_rid, stock.Encode()));
+
+    const int64_t amount = static_cast<int64_t>(line.quantity) * item.i_price;
+    total += amount;
+
+    OrderLineRow ol;
+    ol.ol_o_id = o_id;
+    ol.ol_d_id = d_id;
+    ol.ol_w_id = w_id;
+    ol.ol_number = i + 1;
+    ol.ol_i_id = line.i_id;
+    ol.ol_supply_w_id = line.supply_w;
+    ol.ol_delivery_d = 0;
+    ol.ol_quantity = line.quantity;
+    ol.ol_amount = amount;
+    ol.ol_dist_info = stock.s_dist[d_id - 1];
+    FACE_ASSIGN_OR_RETURN(Rid ol_rid, t_->order_line.Insert(&w, ol.Encode()));
+    FACE_RETURN_IF_ERROR(t_->pk_order_line.Insert(
+        &w, OrderLineKey(w_id, d_id, o_id, i + 1), EncodeRid(ol_rid)));
+  }
+
+  // total(w_tax, d_tax, c_discount) is computed for the terminal display;
+  // it is not stored, but compute it faithfully anyway.
+  total = total * (10000 - c_discount) / 10000 * (10000 + w_tax + d_tax) /
+          10000;
+  (void)total;
+
+  return db_->Commit(txn);
+}
+
+// --- Payment (§2.5) -----------------------------------------------------------
+
+StatusOr<Rid> Workload::SelectCustomer(uint32_t w_id, uint32_t d_id) {
+  Random& r = rnd_.rng();
+  if (r.PercentTrue(60)) {
+    // By last name: collect the matching customers (the index orders them
+    // by first name) and take the §2.5.2.2 midpoint.
+    const std::string last = TpccRandom::LastName(rnd_.NURandLastName());
+    const std::string prefix = CustomerNamePrefix(w_id, d_id, last);
+    std::vector<Rid> rids;
+    FACE_ASSIGN_OR_RETURN(BPlusTree::Iterator it,
+                          t_->idx_customer_name.Seek(prefix));
+    while (it.Valid() && it.key().substr(0, prefix.size()) == prefix) {
+      rids.push_back(DecodeRid(it.value()));
+      FACE_RETURN_IF_ERROR(it.Next());
+    }
+    if (!rids.empty()) return rids[(rids.size() - 1) / 2];
+    // The name does not exist in this district (possible for scaled-down
+    // loads); fall through to selection by id.
+  }
+  const uint32_t c_id = static_cast<uint32_t>(rnd_.NURandCustomerId());
+  return LookupRid(t_->pk_customer, CustomerKey(w_id, d_id, c_id));
+}
+
+Status Workload::Payment(uint32_t w_id) {
+  Random& r = rnd_.rng();
+  const uint32_t d_id =
+      static_cast<uint32_t>(r.UniformRange(1, kDistrictsPerWarehouse));
+  // §2.5.1.2: 85 % home, 15 % remote customer.
+  uint32_t c_w_id = w_id;
+  uint32_t c_d_id = d_id;
+  if (config_.warehouses > 1 && r.PercentTrue(15)) {
+    while (c_w_id == w_id) {
+      c_w_id = static_cast<uint32_t>(r.UniformRange(1, config_.warehouses));
+    }
+    c_d_id = static_cast<uint32_t>(r.UniformRange(1, kDistrictsPerWarehouse));
+  }
+  const int64_t amount = r.UniformRange(100, 500000);  // $1.00 .. $5,000.00
+
+  const TxnId txn = db_->Begin();
+  PageWriter w = db_->Writer(txn);
+
+  std::string row;
+  FACE_ASSIGN_OR_RETURN(Rid w_rid,
+                        LookupRid(t_->pk_warehouse, WarehouseKey(w_id)));
+  FACE_RETURN_IF_ERROR(t_->warehouse.Read(w_rid, &row));
+  WarehouseRow warehouse = WarehouseRow::Decode(row);
+  warehouse.w_ytd += amount;
+  FACE_RETURN_IF_ERROR(t_->warehouse.Update(&w, w_rid, warehouse.Encode()));
+
+  FACE_ASSIGN_OR_RETURN(Rid d_rid,
+                        LookupRid(t_->pk_district, DistrictKey(w_id, d_id)));
+  FACE_RETURN_IF_ERROR(t_->district.Read(d_rid, &row));
+  DistrictRow district = DistrictRow::Decode(row);
+  district.d_ytd += amount;
+  FACE_RETURN_IF_ERROR(t_->district.Update(&w, d_rid, district.Encode()));
+
+  FACE_ASSIGN_OR_RETURN(Rid c_rid, SelectCustomer(c_w_id, c_d_id));
+  FACE_RETURN_IF_ERROR(t_->customer.Read(c_rid, &row));
+  CustomerRow customer = CustomerRow::Decode(row);
+  customer.c_balance -= amount;
+  customer.c_ytd_payment += amount;
+  customer.c_payment_cnt += 1;
+  if (customer.c_credit == "BC") {
+    // §2.5.2.2: prepend the payment facts to C_DATA, truncated to 500.
+    std::string info = std::to_string(customer.c_id) + " " +
+                       std::to_string(c_d_id) + " " + std::to_string(c_w_id) +
+                       " " + std::to_string(d_id) + " " +
+                       std::to_string(w_id) + " " + std::to_string(amount) +
+                       "|";
+    info += customer.c_data;
+    if (info.size() > CustomerRow::kDataWidth) {
+      info.resize(CustomerRow::kDataWidth);
+    }
+    customer.c_data = std::move(info);
+  }
+  FACE_RETURN_IF_ERROR(t_->customer.Update(&w, c_rid, customer.Encode()));
+
+  HistoryRow h;
+  h.h_c_id = customer.c_id;
+  h.h_c_d_id = c_d_id;
+  h.h_c_w_id = c_w_id;
+  h.h_d_id = d_id;
+  h.h_w_id = w_id;
+  h.h_date = ++date_counter_;
+  h.h_amount = amount;
+  h.h_data = warehouse.w_name + "    " + district.d_name;
+  FACE_RETURN_IF_ERROR(t_->history.Insert(&w, h.Encode()).status());
+
+  return db_->Commit(txn);
+}
+
+// --- Order-Status (§2.6) --------------------------------------------------------
+
+Status Workload::OrderStatus(uint32_t w_id) {
+  Random& r = rnd_.rng();
+  const uint32_t d_id =
+      static_cast<uint32_t>(r.UniformRange(1, kDistrictsPerWarehouse));
+
+  const TxnId txn = db_->Begin();
+
+  std::string row;
+  FACE_ASSIGN_OR_RETURN(Rid c_rid, SelectCustomer(w_id, d_id));
+  FACE_RETURN_IF_ERROR(t_->customer.Read(c_rid, &row));
+  const CustomerRow customer = CustomerRow::Decode(row);
+
+  // Latest order of this customer: last entry of the ascending
+  // (w, d, c, o) range.
+  const std::string prefix =
+      KeyCodec().AppendU32(w_id).AppendU32(d_id).AppendU32(customer.c_id)
+          .Take();
+  Rid o_rid{kInvalidPageId, 0};
+  {
+    FACE_ASSIGN_OR_RETURN(BPlusTree::Iterator it,
+                          t_->idx_orders_customer.Seek(prefix));
+    while (it.Valid() && it.key().substr(0, prefix.size()) == prefix) {
+      o_rid = DecodeRid(it.value());
+      FACE_RETURN_IF_ERROR(it.Next());
+    }
+  }
+  if (o_rid.page_id != kInvalidPageId) {
+    FACE_RETURN_IF_ERROR(t_->orders.Read(o_rid, &row));
+    const OrderRow order = OrderRow::Decode(row);
+    for (uint32_t ol = 1; ol <= order.o_ol_cnt; ++ol) {
+      FACE_ASSIGN_OR_RETURN(
+          Rid ol_rid,
+          LookupRid(t_->pk_order_line,
+                    OrderLineKey(w_id, d_id, order.o_id, ol)));
+      FACE_RETURN_IF_ERROR(t_->order_line.Read(ol_rid, &row));
+    }
+  }
+
+  return db_->Commit(txn);
+}
+
+// --- Delivery (§2.7) -------------------------------------------------------------
+
+Status Workload::Delivery(uint32_t w_id) {
+  Random& r = rnd_.rng();
+  const uint32_t carrier = static_cast<uint32_t>(r.UniformRange(1, 10));
+
+  const TxnId txn = db_->Begin();
+  PageWriter w = db_->Writer(txn);
+
+  std::string row;
+  for (uint32_t d_id = 1; d_id <= kDistrictsPerWarehouse; ++d_id) {
+    // Oldest undelivered order of this district.
+    uint32_t o_id = 0;
+    Rid no_rid{kInvalidPageId, 0};
+    {
+      const std::string lo = NewOrderKey(w_id, d_id, 0);
+      FACE_ASSIGN_OR_RETURN(BPlusTree::Iterator it, t_->pk_new_order.Seek(lo));
+      if (it.Valid() && it.key().substr(0, 8) == lo.substr(0, 8)) {
+        o_id = KeyCodec::DecodeU32(it.key(), 8);
+        no_rid = DecodeRid(it.value());
+      }
+    }
+    if (o_id == 0) continue;  // §2.7.4.2: skip districts with nothing to do
+
+    FACE_RETURN_IF_ERROR(t_->new_order.Delete(&w, no_rid));
+    FACE_RETURN_IF_ERROR(
+        t_->pk_new_order.Delete(&w, NewOrderKey(w_id, d_id, o_id)));
+
+    FACE_ASSIGN_OR_RETURN(Rid o_rid,
+                          LookupRid(t_->pk_orders, OrderKey(w_id, d_id, o_id)));
+    FACE_RETURN_IF_ERROR(t_->orders.Read(o_rid, &row));
+    OrderRow order = OrderRow::Decode(row);
+    order.o_carrier_id = carrier;
+    FACE_RETURN_IF_ERROR(t_->orders.Update(&w, o_rid, order.Encode()));
+
+    const uint64_t now = ++date_counter_;
+    int64_t amount_sum = 0;
+    for (uint32_t ol = 1; ol <= order.o_ol_cnt; ++ol) {
+      FACE_ASSIGN_OR_RETURN(
+          Rid ol_rid,
+          LookupRid(t_->pk_order_line, OrderLineKey(w_id, d_id, o_id, ol)));
+      FACE_RETURN_IF_ERROR(t_->order_line.Read(ol_rid, &row));
+      OrderLineRow line = OrderLineRow::Decode(row);
+      amount_sum += line.ol_amount;
+      line.ol_delivery_d = now;
+      FACE_RETURN_IF_ERROR(t_->order_line.Update(&w, ol_rid, line.Encode()));
+    }
+
+    FACE_ASSIGN_OR_RETURN(
+        Rid c_rid,
+        LookupRid(t_->pk_customer, CustomerKey(w_id, d_id, order.o_c_id)));
+    FACE_RETURN_IF_ERROR(t_->customer.Read(c_rid, &row));
+    CustomerRow customer = CustomerRow::Decode(row);
+    customer.c_balance += amount_sum;
+    customer.c_delivery_cnt += 1;
+    FACE_RETURN_IF_ERROR(t_->customer.Update(&w, c_rid, customer.Encode()));
+  }
+
+  return db_->Commit(txn);
+}
+
+// --- Stock-Level (§2.8) -----------------------------------------------------------
+
+Status Workload::StockLevel(uint32_t w_id, uint32_t d_id) {
+  Random& r = rnd_.rng();
+  const int64_t threshold = r.UniformRange(10, 20);
+
+  const TxnId txn = db_->Begin();
+
+  std::string row;
+  FACE_ASSIGN_OR_RETURN(Rid d_rid,
+                        LookupRid(t_->pk_district, DistrictKey(w_id, d_id)));
+  FACE_RETURN_IF_ERROR(t_->district.Read(d_rid, &row));
+  const uint32_t next_o = DistrictRow::Decode(row).d_next_o_id;
+
+  // Distinct items in the last 20 orders' lines (§2.8.2.2).
+  const uint32_t lo_o = next_o >= 20 ? next_o - 20 : 0;
+  std::set<uint32_t> items;
+  {
+    const std::string lo = OrderLineKey(w_id, d_id, lo_o, 0);
+    const std::string hi = OrderLineKey(w_id, d_id, next_o, 0);
+    FACE_ASSIGN_OR_RETURN(BPlusTree::Iterator it, t_->pk_order_line.Seek(lo));
+    while (it.Valid() && it.key() < hi) {
+      FACE_RETURN_IF_ERROR(t_->order_line.Read(DecodeRid(it.value()), &row));
+      items.insert(OrderLineRow::Decode(row).ol_i_id);
+      FACE_RETURN_IF_ERROR(it.Next());
+    }
+  }
+
+  uint64_t low_stock = 0;
+  for (uint32_t i_id : items) {
+    FACE_ASSIGN_OR_RETURN(Rid s_rid,
+                          LookupRid(t_->pk_stock, StockKey(w_id, i_id)));
+    FACE_RETURN_IF_ERROR(t_->stock.Read(s_rid, &row));
+    if (StockRow::Decode(row).s_quantity < threshold) ++low_stock;
+  }
+  (void)low_stock;
+
+  return db_->Commit(txn);
+}
+
+}  // namespace tpcc
+}  // namespace face

@@ -1,0 +1,93 @@
+// Transaction lifecycle and physiological update logging.
+//
+// Every page modification flows through Update(), which logs a byte-range
+// before/after image (trimmed to the changed span) before applying it —
+// write-ahead logging is structural here, not a convention callers can
+// forget. Commit forces the log (durability); abort walks the transaction's
+// in-memory undo list backwards, writing a compensation record (CLR) for
+// each undone update so that a crash mid-abort never undoes twice.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "buffer/buffer_pool.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "wal/log_manager.h"
+#include "wal/log_record.h"
+
+namespace face {
+
+/// Transaction manager; see file comment. Single-threaded: transactions may
+/// interleave (multiple active ids) but calls are serialized.
+class TransactionManager {
+ public:
+  struct Stats {
+    uint64_t begun = 0;
+    uint64_t committed = 0;
+    uint64_t aborted = 0;
+    uint64_t updates = 0;
+    uint64_t bytes_logged_saved = 0;  ///< bytes avoided by diff-trimming
+  };
+
+  TransactionManager(LogManager* log, BufferPool* pool);
+
+  /// Start a transaction; logs a Begin record.
+  TxnId Begin();
+
+  /// Log and apply a byte-range update at `offset` within the pinned page:
+  /// the before-image is captured from the page, the record is trimmed to
+  /// the changed span, and the page is modified and marked dirty under the
+  /// record's LSN. A no-op change (identical bytes) logs nothing.
+  Status Update(TxnId txn_id, PageHandle* page, uint16_t offset,
+                const char* after, uint32_t len);
+
+  /// Commit: append the commit record and force the log through it.
+  Status Commit(TxnId txn_id);
+
+  /// Abort: undo all updates in reverse order with CLRs, then log Abort.
+  Status Abort(TxnId txn_id);
+
+  /// Active-transaction table snapshot for a checkpoint.
+  std::vector<AttEntry> ActiveTxns() const;
+
+  /// Whether `txn_id` is currently active.
+  bool IsActive(TxnId txn_id) const {
+    return active_.find(txn_id) != active_.end();
+  }
+  uint64_t active_count() const { return active_.size(); }
+
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = Stats(); }
+
+  /// Restore the id generator after recovery so new ids never collide with
+  /// pre-crash ones (losers' CLRs carry their original ids).
+  void ObserveTxnId(TxnId id) {
+    if (id >= next_txn_id_) next_txn_id_ = id + 1;
+  }
+
+ private:
+  struct UndoEntry {
+    PageId page_id;
+    uint16_t offset;
+    std::string before;
+    Lsn lsn;  ///< LSN of the update record this entry undoes
+  };
+
+  struct Transaction {
+    Lsn first_lsn = kInvalidLsn;
+    Lsn last_lsn = kInvalidLsn;
+    std::vector<UndoEntry> undo;
+  };
+
+  LogManager* log_;
+  BufferPool* pool_;
+  std::map<TxnId, Transaction> active_;
+  TxnId next_txn_id_ = 1;
+  Stats stats_;
+};
+
+}  // namespace face

@@ -1,0 +1,160 @@
+#include "wal/log_manager.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/coding.h"
+#include "common/crc32c.h"
+
+namespace face {
+
+namespace {
+constexpr uint64_t kControlMagic = 0xFACEC0DE2012ull;
+}
+
+LogManager::LogManager(SimDevice* device) : device_(device) {}
+
+Status LogManager::Format() {
+  next_lsn_ = kLogStartLsn;
+  durable_lsn_ = kLogStartLsn;
+  buffer_base_ = kLogStartLsn;
+  tail_.clear();
+  return WriteControlBlock(kInvalidLsn);
+}
+
+Status LogManager::Attach() {
+  FACE_ASSIGN_OR_RETURN(Lsn ckpt_lsn, ReadControlBlock());
+  Lsn scan_from = ckpt_lsn == kInvalidLsn ? kLogStartLsn : ckpt_lsn;
+  LogReader reader(device_);
+  FACE_RETURN_IF_ERROR(reader.Seek(scan_from));
+  while (true) {
+    auto rec = reader.Next();
+    if (!rec.ok()) break;
+  }
+  next_lsn_ = reader.position();
+  durable_lsn_ = next_lsn_;
+  buffer_base_ = (next_lsn_ / kPageSize) * kPageSize;
+  // Preserve the partial last block so future flushes rewrite it intact.
+  tail_.assign(static_cast<size_t>(next_lsn_ - buffer_base_), '\0');
+  if (!tail_.empty()) {
+    std::string block(kPageSize, '\0');
+    FACE_RETURN_IF_ERROR(device_->Read(buffer_base_ / kPageSize, block.data()));
+    memcpy(tail_.data(), block.data(), tail_.size());
+  }
+  return Status::OK();
+}
+
+Lsn LogManager::Append(LogRecord* rec) {
+  rec->lsn = next_lsn_;
+  const std::string encoded = rec->Encode();
+  tail_.append(encoded);
+  next_lsn_ += encoded.size();
+  ++stats_.records_appended;
+  stats_.bytes_appended += encoded.size();
+  return rec->lsn;
+}
+
+Status LogManager::FlushTo(Lsn lsn) {
+  if (lsn < durable_lsn_ || next_lsn_ == buffer_base_) return Status::OK();
+  (void)lsn;  // Force the whole tail: group commit absorbs co-buffered txns.
+
+  const uint64_t first_block = buffer_base_ / kPageSize;
+  const uint64_t last_block = (next_lsn_ - 1) / kPageSize;
+  const uint32_t n_blocks = static_cast<uint32_t>(last_block - first_block + 1);
+
+  // Assemble full block images (the final partial block is zero-padded, and
+  // rewritten by the next flush — the PostgreSQL partial-page rewrite).
+  std::string blocks(static_cast<size_t>(n_blocks) * kPageSize, '\0');
+  memcpy(blocks.data(), tail_.data(), tail_.size());
+  FACE_RETURN_IF_ERROR(
+      device_->WriteBatch(first_block, n_blocks, blocks.data()));
+  ++stats_.flushes;
+  stats_.pages_flushed += n_blocks;
+
+  durable_lsn_ = next_lsn_;
+  // Retain only the partial last block in the buffer.
+  const Lsn new_base = (next_lsn_ / kPageSize) * kPageSize;
+  tail_.erase(0, static_cast<size_t>(new_base - buffer_base_));
+  buffer_base_ = new_base;
+  return Status::OK();
+}
+
+Status LogManager::WriteControlBlock(Lsn checkpoint_lsn) {
+  std::string block(kPageSize, '\0');
+  EncodeFixed64(block.data(), kControlMagic);
+  EncodeFixed64(block.data() + 8, checkpoint_lsn);
+  const uint32_t crc = crc32c::Value(block.data(), 16);
+  EncodeFixed32(block.data() + 16, crc32c::Mask(crc));
+  return device_->Write(0, block.data());
+}
+
+StatusOr<Lsn> LogManager::ReadControlBlock() {
+  std::string block(kPageSize, '\0');
+  FACE_RETURN_IF_ERROR(device_->Read(0, block.data()));
+  if (DecodeFixed64(block.data()) != kControlMagic) {
+    return Status::Corruption("log control block: bad magic");
+  }
+  const uint32_t crc = crc32c::Value(block.data(), 16);
+  if (crc32c::Mask(crc) != DecodeFixed32(block.data() + 16)) {
+    return Status::Corruption("log control block: bad crc");
+  }
+  return DecodeFixed64(block.data() + 8);
+}
+
+LogReader::LogReader(SimDevice* device) : device_(device) {}
+
+Status LogReader::Seek(Lsn lsn) {
+  if (lsn < LogManager::kLogStartLsn) {
+    return Status::InvalidArgument("seek before start of log");
+  }
+  pos_ = lsn;
+  return Status::OK();
+}
+
+Status LogReader::ReadStream(Lsn offset, uint32_t n, char* out) {
+  uint32_t copied = 0;
+  while (copied < n) {
+    const uint64_t block = (offset + copied) / kPageSize;
+    if (cache_base_block_ == UINT64_MAX || block < cache_base_block_ ||
+        block >= cache_base_block_ + kReadBatchBlocks) {
+      cache_.resize(static_cast<size_t>(kReadBatchBlocks) * kPageSize);
+      const uint64_t want =
+          std::min<uint64_t>(kReadBatchBlocks,
+                             device_->capacity_pages() - block);
+      if (want == 0) return Status::IOError("log read past device end");
+      FACE_RETURN_IF_ERROR(device_->ReadBatch(
+          block, static_cast<uint32_t>(want), cache_.data()));
+      if (want < kReadBatchBlocks) {
+        memset(cache_.data() + want * kPageSize, 0,
+               (kReadBatchBlocks - want) * kPageSize);
+      }
+      cache_base_block_ = block;
+    }
+    const uint64_t in_cache =
+        (offset + copied) - cache_base_block_ * kPageSize;
+    const uint32_t chunk = static_cast<uint32_t>(
+        std::min<uint64_t>(n - copied,
+                           kReadBatchBlocks * kPageSize - in_cache));
+    memcpy(out + copied, cache_.data() + in_cache, chunk);
+    copied += chunk;
+  }
+  return Status::OK();
+}
+
+StatusOr<LogRecord> LogReader::Next() {
+  char lenbuf[4];
+  FACE_RETURN_IF_ERROR(ReadStream(pos_, 4, lenbuf));
+  const uint32_t len = DecodeFixed32(lenbuf);
+  if (len < kLogRecordHeaderSize || len > kMaxLogRecordSize) {
+    return Status::NotFound("end of log");
+  }
+  std::string body(len, '\0');
+  FACE_RETURN_IF_ERROR(ReadStream(pos_, len, body.data()));
+  auto rec = LogRecord::Decode(body.data(), len);
+  if (!rec.ok()) return Status::NotFound("end of log (torn record)");
+  if (rec->lsn != pos_) return Status::NotFound("end of log (stale bytes)");
+  pos_ += len;
+  return rec;
+}
+
+}  // namespace face

@@ -1,0 +1,109 @@
+// Append-only WAL over a simulated device: in-memory tail buffer, explicit
+// force (FlushTo) at commit and before page steals, and a control block in
+// device block 0 recording the last completed checkpoint.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "sim/sim_device.h"
+#include "wal/log_record.h"
+
+namespace face {
+
+/// WAL appender/forcer. LSN = byte offset of the record in the log stream;
+/// the stream starts at byte kPageSize (block 0 is the control block), so
+/// LSN 0 doubles as the invalid sentinel.
+class LogManager {
+ public:
+  /// Counters exposed for benches and tests.
+  struct Stats {
+    uint64_t records_appended = 0;
+    uint64_t bytes_appended = 0;
+    uint64_t flushes = 0;
+    uint64_t pages_flushed = 0;
+  };
+
+  explicit LogManager(SimDevice* device);
+
+  /// Start a fresh log (zero control block, stream begins at block 1).
+  Status Format();
+  /// Attach to an existing log after a crash: scans forward from the last
+  /// checkpoint (or the stream start) to locate the valid end of log.
+  Status Attach();
+
+  /// Assign an LSN to `rec`, serialize it into the tail buffer.
+  /// Does NOT hit the device until a flush. Returns the record's LSN.
+  Lsn Append(LogRecord* rec);
+
+  /// Force the log through `lsn` (inclusive). No-op if already durable.
+  Status FlushTo(Lsn lsn);
+  /// Force everything appended so far.
+  Status FlushAll() { return FlushTo(next_lsn_ > 0 ? next_lsn_ - 1 : 0); }
+
+  /// First LSN that would be assigned next.
+  Lsn next_lsn() const { return next_lsn_; }
+  /// All records with lsn < durable_lsn() survive a crash.
+  Lsn durable_lsn() const { return durable_lsn_; }
+
+  /// Persist the LSN of the latest completed checkpoint in the control block.
+  Status WriteControlBlock(Lsn checkpoint_lsn);
+
+  /// Reclaim log space below `lsn`: no reader will ever need records before
+  /// the last complete checkpoint once no transaction from before it is
+  /// still active. Frees simulator memory; keeps long runs bounded.
+  void TruncateBefore(Lsn lsn) {
+    if (lsn == kInvalidLsn) return;
+    device_->TrimBefore(lsn / kPageSize, /*keep_below=*/1);  // keep control
+  }
+  /// Read the checkpoint LSN back (kInvalidLsn if none recorded).
+  StatusOr<Lsn> ReadControlBlock();
+
+  const Stats& stats() const { return stats_; }
+  SimDevice* device() { return device_; }
+
+  /// Byte offset where the log stream begins.
+  static constexpr Lsn kLogStartLsn = kPageSize;
+
+ private:
+  SimDevice* device_;
+  Lsn next_lsn_ = kLogStartLsn;
+  Lsn durable_lsn_ = kLogStartLsn;
+  /// Unflushed stream bytes; buffer_base_ is the stream offset of tail_[0],
+  /// always block-aligned.
+  std::string tail_;
+  Lsn buffer_base_ = kLogStartLsn;
+  Stats stats_;
+};
+
+/// Sequential scanner over the durable log, charging device reads in batches
+/// (this is the "read the log" component of restart time).
+class LogReader {
+ public:
+  explicit LogReader(SimDevice* device);
+
+  /// Position at `lsn` (must be a record boundary).
+  Status Seek(Lsn lsn);
+  /// Decode the record at the current position and advance. Returns
+  /// NotFound at the end of the valid log (zero length or bad crc).
+  StatusOr<LogRecord> Next();
+  /// LSN of the record Next() would return.
+  Lsn position() const { return pos_; }
+
+ private:
+  /// Copy `n` stream bytes at `offset` into `out`, faulting blocks through
+  /// the batched read cache.
+  Status ReadStream(Lsn offset, uint32_t n, char* out);
+
+  static constexpr uint32_t kReadBatchBlocks = 64;  // 256 KB read-ahead
+
+  SimDevice* device_;
+  Lsn pos_ = LogManager::kLogStartLsn;
+  /// Read-ahead cache: blocks [cache_base_block_, +kReadBatchBlocks).
+  std::string cache_;
+  uint64_t cache_base_block_ = UINT64_MAX;
+};
+
+}  // namespace face

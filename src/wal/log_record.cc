@@ -1,0 +1,174 @@
+#include "wal/log_record.h"
+
+#include "common/coding.h"
+#include "common/crc32c.h"
+
+namespace face {
+
+namespace {
+
+void PutLengthPrefixed(std::string* dst, const std::string& s) {
+  PutFixed32(dst, static_cast<uint32_t>(s.size()));
+  dst->append(s);
+}
+
+Status GetLengthPrefixed(const char* data, uint32_t len, uint32_t* pos,
+                         std::string* out) {
+  if (*pos + 4 > len) return Status::Corruption("truncated string length");
+  const uint32_t n = DecodeFixed32(data + *pos);
+  *pos += 4;
+  if (*pos + n > len) return Status::Corruption("truncated string payload");
+  out->assign(data + *pos, n);
+  *pos += n;
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string LogRecord::Encode() const {
+  std::string out;
+  out.reserve(kLogRecordHeaderSize + 64 + before.size() + after.size());
+  // Frame: len + crc patched by the caller after the full body is known.
+  PutFixed32(&out, 0);  // len placeholder
+  PutFixed32(&out, 0);  // crc placeholder
+  PutFixed64(&out, lsn);
+  PutFixed64(&out, txn_id);
+  PutFixed64(&out, prev_lsn);
+  out.push_back(static_cast<char>(type));
+
+  switch (type) {
+    case LogRecordType::kUpdate:
+      PutFixed64(&out, page_id);
+      PutFixed16(&out, offset);
+      PutLengthPrefixed(&out, before);
+      PutLengthPrefixed(&out, after);
+      break;
+    case LogRecordType::kClr:
+      PutFixed64(&out, page_id);
+      PutFixed16(&out, offset);
+      PutLengthPrefixed(&out, after);
+      PutFixed64(&out, undo_next_lsn);
+      break;
+    case LogRecordType::kCheckpointBegin:
+      PutFixed64(&out, next_page_id);
+      PutFixed32(&out, static_cast<uint32_t>(dirty_pages.size()));
+      PutFixed32(&out, static_cast<uint32_t>(active_txns.size()));
+      for (const auto& e : dirty_pages) {
+        PutFixed64(&out, e.page_id);
+        PutFixed64(&out, e.rec_lsn);
+      }
+      for (const auto& e : active_txns) {
+        PutFixed64(&out, e.txn_id);
+        PutFixed64(&out, e.last_lsn);
+      }
+      break;
+    case LogRecordType::kBegin:
+    case LogRecordType::kCommit:
+    case LogRecordType::kAbort:
+    case LogRecordType::kCheckpointEnd:
+      break;
+  }
+
+  EncodeFixed32(out.data(), static_cast<uint32_t>(out.size()));
+  // CRC over everything after the crc field (lsn included, so a record
+  // copied to the wrong offset is rejected).
+  const uint32_t crc = crc32c::Value(out.data() + 8, out.size() - 8);
+  EncodeFixed32(out.data() + 4, crc32c::Mask(crc));
+  return out;
+}
+
+uint32_t LogRecord::EncodedSize() const {
+  uint32_t n = kLogRecordHeaderSize;
+  switch (type) {
+    case LogRecordType::kUpdate:
+      n += 8 + 2 + 4 + static_cast<uint32_t>(before.size()) + 4 +
+           static_cast<uint32_t>(after.size());
+      break;
+    case LogRecordType::kClr:
+      n += 8 + 2 + 4 + static_cast<uint32_t>(after.size()) + 8;
+      break;
+    case LogRecordType::kCheckpointBegin:
+      n += 8 + 4 + 4 + 16 * static_cast<uint32_t>(dirty_pages.size()) +
+           16 * static_cast<uint32_t>(active_txns.size());
+      break;
+    default:
+      break;
+  }
+  return n;
+}
+
+StatusOr<LogRecord> LogRecord::Decode(const char* data, uint32_t len) {
+  if (len < kLogRecordHeaderSize) {
+    return Status::Corruption("log record shorter than header");
+  }
+  const uint32_t stored_len = DecodeFixed32(data);
+  if (stored_len != len) return Status::Corruption("log record length mismatch");
+  const uint32_t stored_crc = DecodeFixed32(data + 4);
+  const uint32_t crc = crc32c::Value(data + 8, len - 8);
+  if (crc32c::Mask(crc) != stored_crc) {
+    return Status::Corruption("log record crc mismatch");
+  }
+
+  LogRecord rec;
+  rec.lsn = DecodeFixed64(data + 8);
+  rec.txn_id = DecodeFixed64(data + 16);
+  rec.prev_lsn = DecodeFixed64(data + 24);
+  rec.type = static_cast<LogRecordType>(data[32]);
+  uint32_t pos = kLogRecordHeaderSize;
+
+  switch (rec.type) {
+    case LogRecordType::kUpdate: {
+      if (pos + 10 > len) return Status::Corruption("truncated update record");
+      rec.page_id = DecodeFixed64(data + pos);
+      rec.offset = DecodeFixed16(data + pos + 8);
+      pos += 10;
+      FACE_RETURN_IF_ERROR(GetLengthPrefixed(data, len, &pos, &rec.before));
+      FACE_RETURN_IF_ERROR(GetLengthPrefixed(data, len, &pos, &rec.after));
+      break;
+    }
+    case LogRecordType::kClr: {
+      if (pos + 10 > len) return Status::Corruption("truncated CLR record");
+      rec.page_id = DecodeFixed64(data + pos);
+      rec.offset = DecodeFixed16(data + pos + 8);
+      pos += 10;
+      FACE_RETURN_IF_ERROR(GetLengthPrefixed(data, len, &pos, &rec.after));
+      if (pos + 8 > len) return Status::Corruption("truncated CLR undo_next");
+      rec.undo_next_lsn = DecodeFixed64(data + pos);
+      pos += 8;
+      break;
+    }
+    case LogRecordType::kCheckpointBegin: {
+      if (pos + 16 > len) return Status::Corruption("truncated checkpoint");
+      rec.next_page_id = DecodeFixed64(data + pos);
+      const uint32_t n_dpt = DecodeFixed32(data + pos + 8);
+      const uint32_t n_att = DecodeFixed32(data + pos + 12);
+      pos += 16;
+      if (pos + 16ull * n_dpt + 16ull * n_att > len) {
+        return Status::Corruption("truncated checkpoint tables");
+      }
+      rec.dirty_pages.reserve(n_dpt);
+      for (uint32_t i = 0; i < n_dpt; ++i) {
+        rec.dirty_pages.push_back(
+            {DecodeFixed64(data + pos), DecodeFixed64(data + pos + 8)});
+        pos += 16;
+      }
+      rec.active_txns.reserve(n_att);
+      for (uint32_t i = 0; i < n_att; ++i) {
+        rec.active_txns.push_back(
+            {DecodeFixed64(data + pos), DecodeFixed64(data + pos + 8)});
+        pos += 16;
+      }
+      break;
+    }
+    case LogRecordType::kBegin:
+    case LogRecordType::kCommit:
+    case LogRecordType::kAbort:
+    case LogRecordType::kCheckpointEnd:
+      break;
+    default:
+      return Status::Corruption("unknown log record type");
+  }
+  return rec;
+}
+
+}  // namespace face

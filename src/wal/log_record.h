@@ -1,0 +1,79 @@
+// Write-ahead-log record model and its on-media codec.
+//
+// Stream format per record:
+//   [u32 len][u32 masked-crc][u64 lsn][u64 txn][u64 prev_lsn][u8 type][payload]
+// where crc covers everything after the crc field. A len of 0 (or a crc
+// mismatch) marks the end of the valid log — exactly how a torn tail after a
+// crash is detected.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace face {
+
+/// WAL record types (ARIES-style physiological logging).
+enum class LogRecordType : uint8_t {
+  kBegin = 1,            ///< transaction start
+  kUpdate = 2,           ///< byte-range before/after images of one page
+  kCommit = 3,           ///< transaction commit (forces the log)
+  kAbort = 4,            ///< transaction fully rolled back
+  kClr = 5,              ///< compensation record written during undo
+  kCheckpointBegin = 6,  ///< fuzzy checkpoint: DPT + ATT + allocator hwm
+  kCheckpointEnd = 7,    ///< checkpoint completed
+};
+
+/// Dirty-page-table entry captured by a checkpoint.
+struct DptEntry {
+  PageId page_id;
+  Lsn rec_lsn;  ///< oldest LSN that may have dirtied the page
+};
+
+/// Active-transaction-table entry captured by a checkpoint.
+struct AttEntry {
+  TxnId txn_id;
+  Lsn last_lsn;  ///< head of the transaction's undo chain
+};
+
+/// In-memory representation of one WAL record (tagged union by `type`).
+struct LogRecord {
+  LogRecordType type = LogRecordType::kBegin;
+  Lsn lsn = kInvalidLsn;       ///< assigned by LogManager::Append
+  TxnId txn_id = kInvalidTxnId;
+  Lsn prev_lsn = kInvalidLsn;  ///< previous record of the same transaction
+
+  // kUpdate / kClr:
+  PageId page_id = kInvalidPageId;
+  uint16_t offset = 0;     ///< byte offset within the page
+  std::string before;      ///< kUpdate: pre-image (drives undo)
+  std::string after;       ///< kUpdate: post-image; kClr: compensation image
+  Lsn undo_next_lsn = kInvalidLsn;  ///< kClr: next record to undo
+
+  // kCheckpointBegin:
+  PageId next_page_id = 0;  ///< allocator high-water mark
+  std::vector<DptEntry> dirty_pages;
+  std::vector<AttEntry> active_txns;
+
+  /// Serialize to the on-media format (without knowing the LSN — the
+  /// manager patches lsn and crc during append).
+  std::string Encode() const;
+
+  /// Decode from `data` (one full record, length already framed).
+  /// Validates the crc; returns Corruption on mismatch.
+  static StatusOr<LogRecord> Decode(const char* data, uint32_t len);
+
+  /// Bytes this record occupies in the log stream.
+  uint32_t EncodedSize() const;
+};
+
+/// Fixed part of the on-media framing.
+inline constexpr uint32_t kLogRecordHeaderSize = 4 + 4 + 8 + 8 + 8 + 1;
+/// Upper bound accepted when scanning (guards against garbage lengths).
+inline constexpr uint32_t kMaxLogRecordSize = 16 * 1024 * 1024;
+
+}  // namespace face

@@ -1,0 +1,252 @@
+// Unit tests: B+tree inserts/splits/lookup/delete/range scans, key codec
+// ordering, structural invariants under randomized workloads.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "engine/btree.h"
+#include "engine/key_codec.h"
+#include "tests/test_util.h"
+
+namespace face {
+namespace {
+
+TEST(KeyCodecTest, IntegerOrderIsBytewise) {
+  const std::vector<uint64_t> values = {0, 1, 255, 256, 1ull << 31,
+                                        (1ull << 63) + 5};
+  std::vector<std::string> keys;
+  for (uint64_t v : values) keys.push_back(KeyCodec().AppendU64(v).Take());
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  EXPECT_EQ(KeyCodec::DecodeU64(keys.back(), 0), (1ull << 63) + 5);
+}
+
+TEST(KeyCodecTest, CompositeOrdering) {
+  // (w, d, o) tuples must order lexicographically by component.
+  const std::string a = KeyCodec().AppendU32(1).AppendU32(2).AppendU32(9).Take();
+  const std::string b = KeyCodec().AppendU32(1).AppendU32(3).AppendU32(0).Take();
+  const std::string c = KeyCodec().AppendU32(2).AppendU32(0).AppendU32(0).Take();
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_EQ(KeyCodec::DecodeU32(b, 4), 3u);
+}
+
+TEST(KeyCodecTest, PaddedStringsOrderAndTruncate) {
+  const std::string a = KeyCodec().AppendPadded("ABLE", 8).Take();
+  const std::string b = KeyCodec().AppendPadded("ABLEX", 8).Take();
+  const std::string c = KeyCodec().AppendPadded("BAR", 8).Take();
+  EXPECT_EQ(a.size(), 8u);
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  const std::string truncated = KeyCodec().AppendPadded("LONGLONGLONG", 4).Take();
+  EXPECT_EQ(truncated, "LONG");
+}
+
+class BtreeTest : public EngineFixture {
+ protected:
+  void SetUp() override {
+    Init(/*db_pages=*/16384, /*buffer_frames=*/256);
+    PageWriter bulk;
+    auto tree = BPlusTree::Create(db_->pool(), db_->catalog(), &bulk, "idx");
+    ASSERT_TRUE(tree.ok());
+    tree_ = std::move(tree.value());
+  }
+
+  static std::string Key(uint64_t k) { return KeyCodec().AppendU64(k).Take(); }
+
+  BPlusTree tree_;
+};
+
+TEST_F(BtreeTest, EmptyTreeBehaves) {
+  std::string out;
+  EXPECT_TRUE(tree_.Get(Key(1), &out).IsNotFound());
+  PageWriter bulk;
+  EXPECT_TRUE(tree_.Delete(&bulk, Key(1)).IsNotFound());
+  FACE_ASSERT_OK_AND_ASSIGN(BPlusTree::Iterator it, tree_.SeekFirst());
+  EXPECT_FALSE(it.Valid());
+  FACE_ASSERT_OK(tree_.CheckInvariants());
+  FACE_ASSERT_OK_AND_ASSIGN(uint32_t height, tree_.Height());
+  EXPECT_EQ(height, 1u);
+}
+
+TEST_F(BtreeTest, InsertGetDeleteSingle) {
+  PageWriter bulk;
+  FACE_ASSERT_OK(tree_.Insert(&bulk, Key(42), "value42"));
+  std::string out;
+  FACE_ASSERT_OK(tree_.Get(Key(42), &out));
+  EXPECT_EQ(out, "value42");
+  EXPECT_TRUE(tree_.Insert(&bulk, Key(42), "dup").IsInvalidArgument());
+  FACE_ASSERT_OK(tree_.Delete(&bulk, Key(42)));
+  EXPECT_TRUE(tree_.Get(Key(42), &out).IsNotFound());
+}
+
+TEST_F(BtreeTest, SequentialInsertSplitsAndStaysSorted) {
+  PageWriter bulk;
+  constexpr uint64_t kKeys = 5000;
+  for (uint64_t k = 0; k < kKeys; ++k) {
+    FACE_ASSERT_OK(tree_.Insert(&bulk, Key(k), "v" + std::to_string(k)));
+  }
+  FACE_ASSERT_OK(tree_.CheckInvariants());
+  FACE_ASSERT_OK_AND_ASSIGN(uint64_t n, tree_.CountEntries());
+  EXPECT_EQ(n, kKeys);
+  FACE_ASSERT_OK_AND_ASSIGN(uint32_t height, tree_.Height());
+  EXPECT_GE(height, 2u);
+  std::string out;
+  for (uint64_t k = 0; k < kKeys; k += 97) {
+    FACE_ASSERT_OK(tree_.Get(Key(k), &out));
+    EXPECT_EQ(out, "v" + std::to_string(k));
+  }
+}
+
+TEST_F(BtreeTest, ReverseInsertAlsoWorks) {
+  PageWriter bulk;
+  for (uint64_t k = 3000; k-- > 0;) {
+    FACE_ASSERT_OK(tree_.Insert(&bulk, Key(k), "x"));
+  }
+  FACE_ASSERT_OK(tree_.CheckInvariants());
+  FACE_ASSERT_OK_AND_ASSIGN(uint64_t n, tree_.CountEntries());
+  EXPECT_EQ(n, 3000u);
+}
+
+TEST_F(BtreeTest, RangeScanVisitsInOrder) {
+  PageWriter bulk;
+  for (uint64_t k = 0; k < 1000; k += 2) {  // even keys only
+    FACE_ASSERT_OK(tree_.Insert(&bulk, Key(k), std::to_string(k)));
+  }
+  // Seek to an absent odd key: lands on the next even one.
+  FACE_ASSERT_OK_AND_ASSIGN(BPlusTree::Iterator it, tree_.Seek(Key(501)));
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(KeyCodec::DecodeU64(it.key(), 0), 502u);
+  uint64_t expect = 502;
+  while (it.Valid()) {
+    EXPECT_EQ(KeyCodec::DecodeU64(it.key(), 0), expect);
+    EXPECT_EQ(it.value(), std::to_string(expect));
+    expect += 2;
+    FACE_ASSERT_OK(it.Next());
+  }
+  EXPECT_EQ(expect, 1000u);
+}
+
+TEST_F(BtreeTest, SeekPastEndIsInvalid) {
+  PageWriter bulk;
+  FACE_ASSERT_OK(tree_.Insert(&bulk, Key(5), "v"));
+  FACE_ASSERT_OK_AND_ASSIGN(BPlusTree::Iterator it, tree_.Seek(Key(6)));
+  EXPECT_FALSE(it.Valid());
+}
+
+TEST_F(BtreeTest, DeletedKeysVanishFromScans) {
+  PageWriter bulk;
+  for (uint64_t k = 0; k < 300; ++k) {
+    FACE_ASSERT_OK(tree_.Insert(&bulk, Key(k), "v"));
+  }
+  for (uint64_t k = 0; k < 300; k += 3) {
+    FACE_ASSERT_OK(tree_.Delete(&bulk, Key(k)));
+  }
+  FACE_ASSERT_OK(tree_.CheckInvariants());
+  FACE_ASSERT_OK_AND_ASSIGN(uint64_t n, tree_.CountEntries());
+  EXPECT_EQ(n, 200u);
+  FACE_ASSERT_OK_AND_ASSIGN(BPlusTree::Iterator it, tree_.SeekFirst());
+  while (it.Valid()) {
+    EXPECT_NE(KeyCodec::DecodeU64(it.key(), 0) % 3, 0u);
+    FACE_ASSERT_OK(it.Next());
+  }
+}
+
+TEST_F(BtreeTest, VariableLengthKeysAndValues) {
+  PageWriter bulk;
+  Random rnd(17);
+  std::map<std::string, std::string> model;
+  for (int i = 0; i < 2000; ++i) {
+    const std::string key = rnd.AlphaString(1, 40);
+    const std::string value = rnd.AlphaString(0, 200);
+    const Status s = tree_.Insert(&bulk, key, value);
+    if (model.count(key) != 0) {
+      EXPECT_TRUE(s.IsInvalidArgument());
+    } else {
+      FACE_ASSERT_OK(s);
+      model[key] = value;
+    }
+  }
+  FACE_ASSERT_OK(tree_.CheckInvariants());
+  // Full scan matches the model exactly.
+  FACE_ASSERT_OK_AND_ASSIGN(BPlusTree::Iterator it, tree_.SeekFirst());
+  auto mit = model.begin();
+  while (it.Valid()) {
+    ASSERT_NE(mit, model.end());
+    EXPECT_EQ(it.key(), mit->first);
+    EXPECT_EQ(it.value(), mit->second);
+    ++mit;
+    FACE_ASSERT_OK(it.Next());
+  }
+  EXPECT_EQ(mit, model.end());
+}
+
+TEST_F(BtreeTest, RejectsOversizedAndEmptyKeys) {
+  PageWriter bulk;
+  EXPECT_TRUE(tree_.Insert(&bulk, "", "v").IsInvalidArgument());
+  EXPECT_TRUE(tree_.Insert(&bulk, std::string(2000, 'k'), "v")
+                  .IsInvalidArgument());
+  FACE_ASSERT_OK(
+      tree_.Insert(&bulk, std::string(BPlusTree::kMaxEntryBytes, 'k'), ""));
+}
+
+TEST_F(BtreeTest, LoggedInsertsUndoneByAbort) {
+  const TxnId txn = db_->Begin();
+  PageWriter w = db_->Writer(txn);
+  for (uint64_t k = 0; k < 50; ++k) {
+    FACE_ASSERT_OK(tree_.Insert(&w, Key(k), "uncommitted"));
+  }
+  FACE_ASSERT_OK(db_->Abort(txn));
+  FACE_ASSERT_OK(tree_.CheckInvariants());
+  FACE_ASSERT_OK_AND_ASSIGN(uint64_t n, tree_.CountEntries());
+  EXPECT_EQ(n, 0u);
+}
+
+// Property sweep: random interleaved insert/delete against a std::map
+// model, with invariant audits, across seeds.
+class BtreeProperty : public EngineFixture,
+                      public ::testing::WithParamInterface<uint32_t> {
+ protected:
+  void SetUp() override {
+    Init(16384, 256);
+    PageWriter bulk;
+    auto tree = BPlusTree::Create(db_->pool(), db_->catalog(), &bulk, "idx");
+    ASSERT_TRUE(tree.ok());
+    tree_ = std::move(tree.value());
+  }
+  BPlusTree tree_;
+};
+
+TEST_P(BtreeProperty, MatchesModelUnderRandomOps) {
+  PageWriter bulk;
+  Random rnd(GetParam());
+  std::map<std::string, std::string> model;
+  for (int op = 0; op < 3000; ++op) {
+    const std::string key =
+        KeyCodec().AppendU64(rnd.Uniform(1200)).Take();
+    if (model.count(key) == 0) {
+      const std::string value = rnd.AlphaString(0, 64);
+      FACE_ASSERT_OK(tree_.Insert(&bulk, key, value));
+      model[key] = value;
+    } else if (rnd.PercentTrue(70)) {
+      FACE_ASSERT_OK(tree_.Delete(&bulk, key));
+      model.erase(key);
+    }
+  }
+  FACE_ASSERT_OK(tree_.CheckInvariants());
+  FACE_ASSERT_OK_AND_ASSIGN(uint64_t n, tree_.CountEntries());
+  EXPECT_EQ(n, model.size());
+  std::string out;
+  for (const auto& [key, value] : model) {
+    FACE_ASSERT_OK(tree_.Get(key, &out));
+    EXPECT_EQ(out, value);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BtreeProperty,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u, 66u));
+
+}  // namespace
+}  // namespace face

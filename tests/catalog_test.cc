@@ -1,0 +1,103 @@
+// Unit tests: catalog create/find/update/load, persistence across reload.
+#include <gtest/gtest.h>
+
+#include "engine/catalog.h"
+#include "tests/test_util.h"
+
+namespace face {
+namespace {
+
+class CatalogTest : public EngineFixture {
+ protected:
+  void SetUp() override { Init(); }
+};
+
+TEST_F(CatalogTest, CreateFindRoundTrip) {
+  PageWriter bulk;
+  FACE_ASSERT_OK_AND_ASSIGN(
+      uint32_t idx,
+      db_->catalog()->Create(&bulk, "orders", ObjectKind::kHeap, 17));
+  FACE_ASSERT_OK_AND_ASSIGN(uint32_t found, db_->catalog()->Find("orders"));
+  EXPECT_EQ(found, idx);
+  const CatalogEntry& e = db_->catalog()->entry(idx);
+  EXPECT_EQ(e.name, "orders");
+  EXPECT_EQ(e.kind, ObjectKind::kHeap);
+  EXPECT_EQ(e.root_page, 17u);
+  EXPECT_EQ(e.last_page, 17u);  // heap: last starts at first
+  EXPECT_TRUE(db_->catalog()->Find("nope").status().IsNotFound());
+}
+
+TEST_F(CatalogTest, RejectsDuplicatesAndBadNames) {
+  PageWriter bulk;
+  FACE_ASSERT_OK(
+      db_->catalog()->Create(&bulk, "t", ObjectKind::kHeap, 1).status());
+  EXPECT_TRUE(db_->catalog()
+                  ->Create(&bulk, "t", ObjectKind::kBtree, 2)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(db_->catalog()
+                  ->Create(&bulk, "", ObjectKind::kHeap, 2)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(db_->catalog()
+                  ->Create(&bulk, std::string(40, 'n'), ObjectKind::kHeap, 2)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(CatalogTest, UpdatesPersistAcrossReload) {
+  PageWriter bulk;
+  FACE_ASSERT_OK_AND_ASSIGN(
+      uint32_t heap_idx,
+      db_->catalog()->Create(&bulk, "heap", ObjectKind::kHeap, 5));
+  FACE_ASSERT_OK_AND_ASSIGN(
+      uint32_t tree_idx,
+      db_->catalog()->Create(&bulk, "tree", ObjectKind::kBtree, 6));
+  FACE_ASSERT_OK(db_->catalog()->SetLastPage(&bulk, heap_idx, 99));
+  FACE_ASSERT_OK(db_->catalog()->SetRootPage(&bulk, tree_idx, 88));
+  FACE_ASSERT_OK(db_->catalog()->AddRowCount(&bulk, heap_idx, 12));
+  FACE_ASSERT_OK(db_->catalog()->AddRowCount(&bulk, heap_idx, -2));
+
+  // Reload from the page: everything must round-trip through media bytes.
+  Catalog reloaded(db_->pool());
+  FACE_ASSERT_OK(reloaded.Load());
+  EXPECT_EQ(reloaded.size(), 2u);
+  FACE_ASSERT_OK_AND_ASSIGN(uint32_t h, reloaded.Find("heap"));
+  EXPECT_EQ(reloaded.entry(h).last_page, 99u);
+  EXPECT_EQ(reloaded.entry(h).row_count, 10u);
+  FACE_ASSERT_OK_AND_ASSIGN(uint32_t t, reloaded.Find("tree"));
+  EXPECT_EQ(reloaded.entry(t).root_page, 88u);
+  EXPECT_EQ(reloaded.entry(t).kind, ObjectKind::kBtree);
+}
+
+TEST_F(CatalogTest, NamesListsInSlotOrder) {
+  PageWriter bulk;
+  FACE_ASSERT_OK(db_->catalog()->Create(&bulk, "a", ObjectKind::kHeap, 1).status());
+  FACE_ASSERT_OK(db_->catalog()->Create(&bulk, "b", ObjectKind::kHeap, 2).status());
+  FACE_ASSERT_OK(db_->catalog()->Create(&bulk, "c", ObjectKind::kBtree, 3).status());
+  const std::vector<std::string> names = db_->catalog()->Names();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "a");
+  EXPECT_EQ(names[2], "c");
+}
+
+TEST_F(CatalogTest, FillsUpAndReportsOutOfSpace) {
+  PageWriter bulk;
+  Status last = Status::OK();
+  int created = 0;
+  for (int i = 0; i < 100; ++i) {
+    auto r = db_->catalog()->Create(&bulk, "t" + std::to_string(i),
+                                    ObjectKind::kHeap, i + 1);
+    if (!r.ok()) {
+      last = r.status();
+      break;
+    }
+    ++created;
+  }
+  EXPECT_TRUE(last.IsOutOfSpace());
+  EXPECT_EQ(created, static_cast<int>(kPagePayloadSize /
+                                      CatalogEntry::kEncodedSize));
+}
+
+}  // namespace
+}  // namespace face

@@ -1,0 +1,210 @@
+// Unit tests: Status/StatusOr, coding, CRC32-C, Slice, randoms, histogram.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "common/coding.h"
+#include "common/crc32c.h"
+#include "common/histogram.h"
+#include "common/random.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "tests/test_util.h"
+
+namespace face {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, CodesAndMessages) {
+  const Status s = Status::NotFound("missing page");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_FALSE(s.IsCorruption());
+  EXPECT_EQ(s.ToString(), "NotFound: missing page");
+  EXPECT_TRUE(Status::Corruption().IsCorruption());
+  EXPECT_TRUE(Status::IOError().IsIOError());
+  EXPECT_TRUE(Status::Busy().IsBusy());
+  EXPECT_TRUE(Status::Aborted().IsAborted());
+  EXPECT_TRUE(Status::OutOfSpace().IsOutOfSpace());
+  EXPECT_TRUE(Status::Internal().IsInternal());
+  EXPECT_TRUE(Status::InvalidArgument().IsInvalidArgument());
+  EXPECT_TRUE(Status::NotSupported().IsNotSupported());
+}
+
+TEST(StatusOrTest, HoldsValueOrStatus) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  EXPECT_TRUE(v.status().ok());
+
+  StatusOr<int> e = Status::NotFound("x");
+  ASSERT_FALSE(e.ok());
+  EXPECT_TRUE(e.status().IsNotFound());
+}
+
+TEST(StatusOrTest, MacroPropagatesErrors) {
+  auto inner = [](bool fail) -> StatusOr<int> {
+    if (fail) return Status::Busy("locked");
+    return 7;
+  };
+  auto outer = [&](bool fail) -> StatusOr<int> {
+    FACE_ASSIGN_OR_RETURN(int v, inner(fail));
+    return v + 1;
+  };
+  EXPECT_EQ(*outer(false), 8);
+  EXPECT_TRUE(outer(true).status().IsBusy());
+}
+
+TEST(CodingTest, FixedWidthRoundTrip) {
+  char buf[8];
+  EncodeFixed16(buf, 0xBEEF);
+  EXPECT_EQ(DecodeFixed16(buf), 0xBEEF);
+  EncodeFixed32(buf, 0xDEADBEEFu);
+  EXPECT_EQ(DecodeFixed32(buf), 0xDEADBEEFu);
+  EncodeFixed64(buf, 0x0123456789ABCDEFull);
+  EXPECT_EQ(DecodeFixed64(buf), 0x0123456789ABCDEFull);
+
+  std::string s;
+  PutFixed16(&s, 1);
+  PutFixed32(&s, 2);
+  PutFixed64(&s, 3);
+  EXPECT_EQ(s.size(), 14u);
+  EXPECT_EQ(DecodeFixed16(s.data()), 1);
+  EXPECT_EQ(DecodeFixed32(s.data() + 2), 2u);
+  EXPECT_EQ(DecodeFixed64(s.data() + 6), 3u);
+}
+
+TEST(Crc32cTest, KnownProperties) {
+  const std::string a = "hello crc world";
+  const uint32_t crc = crc32c::Value(a.data(), a.size());
+  EXPECT_EQ(crc, crc32c::Value(a.data(), a.size()));  // deterministic
+  // Extend must equal one-shot over the concatenation.
+  const uint32_t left = crc32c::Value(a.data(), 5);
+  EXPECT_EQ(crc32c::Extend(left, a.data() + 5, a.size() - 5), crc);
+  // Mask is reversible and different from the raw crc.
+  EXPECT_NE(crc32c::Mask(crc), crc);
+  EXPECT_EQ(crc32c::Unmask(crc32c::Mask(crc)), crc);
+}
+
+TEST(Crc32cTest, DetectsCorruption) {
+  std::string a(512, 'a');
+  const uint32_t crc = crc32c::Value(a.data(), a.size());
+  a[100] ^= 1;
+  EXPECT_NE(crc32c::Value(a.data(), a.size()), crc);
+}
+
+TEST(RandomTest, DeterministicAcrossInstances) {
+  Random a(99), b(99);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RandomTest, UniformRangeIsInclusive) {
+  Random r(7);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = r.UniformRange(3, 5);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 5);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 3u);  // all three values show up
+}
+
+TEST(RandomTest, AlphaAndNumStrings) {
+  Random r(11);
+  for (int i = 0; i < 50; ++i) {
+    const std::string a = r.AlphaString(8, 16);
+    EXPECT_GE(a.size(), 8u);
+    EXPECT_LE(a.size(), 16u);
+    const std::string n = r.NumString(9);
+    EXPECT_EQ(n.size(), 9u);
+    for (char c : n) EXPECT_TRUE(c >= '0' && c <= '9');
+  }
+}
+
+TEST(ZipfTest, SkewsTowardLowValues) {
+  ZipfGenerator zipf(1000, 0.99, 3);
+  uint64_t low = 0, total = 20000;
+  for (uint64_t i = 0; i < total; ++i) {
+    if (zipf.Next() < 100) ++low;  // lowest 10 % of the key space
+  }
+  // With theta=0.99 the head takes well over half the mass.
+  EXPECT_GT(low, total / 2);
+}
+
+TEST(ZipfTest, ZeroThetaIsRoughlyUniform) {
+  ZipfGenerator zipf(10, 0.0, 3);
+  std::map<uint64_t, uint64_t> counts;
+  for (int i = 0; i < 10000; ++i) ++counts[zipf.Next()];
+  for (const auto& [v, c] : counts) {
+    EXPECT_LT(v, 10u);
+    EXPECT_GT(c, 700u);
+    EXPECT_LT(c, 1300u);
+  }
+}
+
+TEST(TpccRandomTest, NURandStaysInRange) {
+  TpccRandom r(5);
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t c = r.NURandCustomerId();
+    EXPECT_GE(c, 1);
+    EXPECT_LE(c, 3000);
+    const int64_t item = r.NURandItemId();
+    EXPECT_GE(item, 1);
+    EXPECT_LE(item, 100000);
+    const int64_t name = r.NURandLastName();
+    EXPECT_GE(name, 0);
+    EXPECT_LE(name, 999);
+  }
+}
+
+TEST(TpccRandomTest, NURandIsNonUniform) {
+  TpccRandom r(5);
+  std::map<int64_t, int> hist;
+  for (int i = 0; i < 30000; ++i) ++hist[r.NURandCustomerId() / 300];
+  // A uniform draw would put ~3000 in each decile; NURand concentrates.
+  int max_bucket = 0;
+  for (const auto& [b, c] : hist) max_bucket = std::max(max_bucket, c);
+  EXPECT_GT(max_bucket, 3600);
+}
+
+TEST(TpccRandomTest, LastNameSyllables) {
+  EXPECT_EQ(TpccRandom::LastName(0), "BARBARBAR");
+  EXPECT_EQ(TpccRandom::LastName(371), "PRICALLYOUGHT");
+  EXPECT_EQ(TpccRandom::LastName(999), "EINGEINGEING");
+}
+
+TEST(SliceTest, BasicViews) {
+  const std::string s = "abcdef";
+  Slice sl(s);
+  EXPECT_EQ(sl.size(), 6u);
+  EXPECT_EQ(sl.ToString(), "abcdef");
+  sl.RemovePrefix(2);
+  EXPECT_EQ(sl.ToString(), "cdef");
+  EXPECT_EQ(sl[0], 'c');
+  EXPECT_TRUE(Slice("abcdef").StartsWith(Slice("abc")));
+  EXPECT_LT(Slice("abc").Compare(Slice("abd")), 0);
+  EXPECT_TRUE(Slice("x") == Slice("x"));
+}
+
+TEST(HistogramTest, PercentilesAndMean) {
+  Histogram h;
+  for (uint64_t i = 1; i <= 1000; ++i) h.Add(i);
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_NEAR(h.mean(), 500.5, 1.0);
+  // Bucketed percentiles are approximate; allow generous slack.
+  EXPECT_NEAR(h.Percentile(50), 500, 260);
+  EXPECT_GT(h.Percentile(99), h.Percentile(50));
+  EXPECT_EQ(h.max(), 1000u);
+  EXPECT_EQ(h.min(), 1u);
+}
+
+}  // namespace
+}  // namespace face

@@ -1,0 +1,89 @@
+// Unit tests: the §2.2 analytic model — break-even formula, exponents,
+// monotonicity, and the paper's qualitative claims.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/cost_model.h"
+#include "sim/device_model.h"
+
+namespace face {
+namespace {
+
+TEST(CostModelTest, ExponentMatchesDefinition) {
+  const CostModel m(DeviceProfile::Seagate15k(),
+                    DeviceProfile::MlcSamsung470());
+  for (double f : {1.0, 0.5, 0.0}) {
+    const double cd = m.CDiskNs(f);
+    const double cf = m.CFlashNs(f);
+    EXPECT_GT(cd, cf);
+    EXPECT_NEAR(m.Exponent(f), cd / (cd - cf), 1e-12);
+  }
+}
+
+TEST(CostModelTest, BreakEvenSatisfiesPaperEquation) {
+  const CostModel m(DeviceProfile::Seagate15k(),
+                    DeviceProfile::MlcSamsung470());
+  for (double delta : {0.25, 0.5, 1.0, 2.0}) {
+    for (double f : {1.0, 0.5, 0.0}) {
+      const double theta = m.BreakEvenTheta(delta, f);
+      // alpha*Cd*log(1+delta) == alpha*(Cd-Cf)*log(1+theta)
+      const double lhs = m.CDiskNs(f) * std::log1p(delta);
+      const double rhs = (m.CDiskNs(f) - m.CFlashNs(f)) * std::log1p(theta);
+      EXPECT_NEAR(lhs, rhs, lhs * 1e-9);
+    }
+  }
+}
+
+TEST(CostModelTest, ExponentIsCloseToOneForRealDevices) {
+  // The paper's core observation: C_disk/(C_disk - C_flash) barely exceeds
+  // 1 for disk+flash pairs, so theta ~ delta.
+  const CostModel m(DeviceProfile::Seagate15k(),
+                    DeviceProfile::MlcSamsung470());
+  EXPECT_LT(m.Exponent(1.0), 1.05);   // read-only
+  EXPECT_LT(m.Exponent(0.0), 1.10);   // write-only
+  EXPECT_GT(m.Exponent(0.0), m.Exponent(1.0));  // writes widen it slightly
+}
+
+TEST(CostModelTest, FlashIsAboutTenTimesCheaperPerSaving) {
+  const CostModel m(DeviceProfile::Seagate15k(),
+                    DeviceProfile::MlcSamsung470());
+  const CostAnalysis a = m.Analyze(/*delta=*/1.0, /*read_fraction=*/0.5);
+  // theta*flash$ vs delta*DRAM$ at a 10x price gap: ~0.1.
+  EXPECT_GT(a.cost_ratio, 0.05);
+  EXPECT_LT(a.cost_ratio, 0.2);
+  EXPECT_GT(a.theta, 1.0);  // slightly more flash than DRAM replaced
+  EXPECT_LT(a.theta, 1.2);
+}
+
+TEST(CostModelTest, ThetaGrowsWithDelta) {
+  const CostModel m(DeviceProfile::Seagate15k(),
+                    DeviceProfile::SlcIntelX25E());
+  double prev = 0;
+  for (double delta : {0.1, 0.5, 1.0, 2.0, 4.0}) {
+    const double theta = m.BreakEvenTheta(delta, 0.5);
+    EXPECT_GT(theta, prev);
+    EXPECT_GE(theta, delta);  // flash always needs at least as much
+    prev = theta;
+  }
+}
+
+TEST(CostModelTest, HitRateGainIsLogarithmic) {
+  const double alpha = 0.1;
+  const double g1 = CostModel::HitRateGain(alpha, 1.0);
+  const double g3 = CostModel::HitRateGain(alpha, 3.0);
+  EXPECT_NEAR(g1, alpha * std::log(2.0), 1e-12);
+  EXPECT_NEAR(g3, alpha * std::log(4.0), 1e-12);
+  EXPECT_LT(g3, 3 * g1);  // diminishing returns
+}
+
+TEST(CostModelTest, ReportMentionsBothDevices) {
+  const CostModel m(DeviceProfile::Seagate15k(),
+                    DeviceProfile::MlcSamsung470());
+  const std::string report = m.Report(0.5);
+  EXPECT_NE(report.find("Seagate"), std::string::npos);
+  EXPECT_NE(report.find("Samsung"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace face

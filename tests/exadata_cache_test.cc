@@ -1,0 +1,105 @@
+// Unit tests: the Exadata-style baseline — on-entry, clean-only,
+// write-through, plain LRU.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "core/exadata_cache.h"
+#include "tests/test_util.h"
+
+namespace face {
+namespace {
+
+class ExadataCacheTest : public ::testing::Test {
+ protected:
+  void Init(uint64_t n_frames) {
+    db_dev_ = std::make_unique<SimDevice>("db", DeviceProfile::Raid0Seagate(8),
+                                          1 << 16);
+    storage_ = std::make_unique<DbStorage>(db_dev_.get());
+    flash_ = std::make_unique<SimDevice>(
+        "flash", DeviceProfile::MlcSamsung470(), n_frames);
+    cache_ = std::make_unique<ExadataCache>(n_frames, flash_.get(),
+                                            storage_.get());
+  }
+
+  std::string MakePage(PageId page_id, char fill = 'p') {
+    std::string page(kPageSize, '\0');
+    PageView v(page.data());
+    v.Format(page_id);
+    memset(v.payload(), fill, 32);
+    return page;
+  }
+
+  std::unique_ptr<SimDevice> db_dev_, flash_;
+  std::unique_ptr<DbStorage> storage_;
+  std::unique_ptr<ExadataCache> cache_;
+};
+
+TEST_F(ExadataCacheTest, CachesOnEntryAndServesReads) {
+  Init(8);
+  std::string page = MakePage(1, 'q');
+  FACE_ASSERT_OK(cache_->OnFetchFromDisk(1, page.data()));
+  EXPECT_TRUE(cache_->Contains(1));
+  std::string out(kPageSize, '\0');
+  FACE_ASSERT_OK_AND_ASSIGN(FlashReadResult r, cache_->ReadPage(1, &out[0]));
+  EXPECT_FALSE(r.dirty);
+  EXPECT_EQ(out[kPageHeaderSize], 'q');
+  FACE_ASSERT_OK(cache_->CheckInvariants());
+}
+
+TEST_F(ExadataCacheTest, LruEvictsLeastRecentlyUsed) {
+  Init(2);
+  std::string page;
+  for (PageId p : {1, 2}) {
+    page = MakePage(p);
+    FACE_ASSERT_OK(cache_->OnFetchFromDisk(p, page.data()));
+  }
+  // Touch 1 so 2 becomes the LRU victim.
+  std::string out(kPageSize, '\0');
+  FACE_ASSERT_OK(cache_->ReadPage(1, out.data()).status());
+  page = MakePage(3);
+  FACE_ASSERT_OK(cache_->OnFetchFromDisk(3, page.data()));
+  EXPECT_TRUE(cache_->Contains(1));
+  EXPECT_FALSE(cache_->Contains(2));
+  EXPECT_TRUE(cache_->Contains(3));
+  FACE_ASSERT_OK(cache_->CheckInvariants());
+}
+
+TEST_F(ExadataCacheTest, DirtyEvictionGoesToDiskAndInvalidatesFlash) {
+  Init(8);
+  std::string page = MakePage(4, 'a');
+  FACE_ASSERT_OK(cache_->OnFetchFromDisk(4, page.data()));
+  // Write-through + clean-only: the dirty eviction is written to disk and
+  // the now-stale flash copy must not serve future reads.
+  page = MakePage(4, 'b');
+  FACE_ASSERT_OK(cache_->OnDramEvict(4, page.data(), true, true, 1));
+  std::string out(kPageSize, '\0');
+  FACE_ASSERT_OK(storage_->ReadPage(4, out.data()));
+  EXPECT_EQ(out[kPageHeaderSize], 'b');
+  if (cache_->Contains(4)) {
+    FACE_ASSERT_OK(cache_->ReadPage(4, out.data()).status());
+    EXPECT_EQ(out[kPageHeaderSize], 'b') << "stale flash copy served";
+  }
+  FACE_ASSERT_OK(cache_->CheckInvariants());
+}
+
+TEST_F(ExadataCacheTest, CleanEvictionIsNotAdmitted) {
+  Init(8);
+  // On-exit clean pages are not what Exadata caches (on-entry only).
+  std::string page = MakePage(6, 'c');
+  const uint64_t enq0 = cache_->stats().enqueues;
+  FACE_ASSERT_OK(cache_->OnDramEvict(6, page.data(), false, false, 1));
+  EXPECT_EQ(cache_->stats().enqueues, enq0);
+}
+
+TEST_F(ExadataCacheTest, RestartIsCold) {
+  Init(8);
+  std::string page = MakePage(1);
+  FACE_ASSERT_OK(cache_->OnFetchFromDisk(1, page.data()));
+  FACE_ASSERT_OK(cache_->RecoverAfterCrash());
+  EXPECT_EQ(cache_->cached_pages(), 0u);
+}
+
+}  // namespace
+}  // namespace face

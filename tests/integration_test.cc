@@ -1,0 +1,195 @@
+// Cross-module integration: a bank-transfer workload (the classic atomicity
+// torture test) on the full engine with a FaCE flash cache, random
+// checkpoints, and repeated crashes. The invariant: total money is
+// conserved and matches an in-memory model of committed transfers only.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/face_cache.h"
+#include "engine/btree.h"
+#include "engine/heap_file.h"
+#include "engine/key_codec.h"
+#include "tests/test_util.h"
+#include "tpcc/schema.h"
+
+namespace face {
+namespace {
+
+constexpr uint32_t kAccounts = 400;
+constexpr int64_t kInitialBalance = 1000;
+
+class BankFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_dev_ = std::make_unique<SimDevice>("db", DeviceProfile::Raid0Seagate(8),
+                                          1 << 15);
+    log_dev_ = std::make_unique<SimDevice>("log", DeviceProfile::Seagate15k(),
+                                           1 << 20);
+    flash_dev_ = std::make_unique<SimDevice>(
+        "flash", DeviceProfile::MlcSamsung470(),
+        FlashLayout::Compute(256, 64).total_blocks);
+    BuildStack(/*fresh=*/true);
+    FACE_ASSERT_OK(db_->Format());
+
+    PageWriter bulk;
+    FACE_ASSERT_OK_AND_ASSIGN(accounts_,
+                              db_->CreateTable(&bulk, "accounts"));
+    FACE_ASSERT_OK_AND_ASSIGN(index_, db_->CreateIndex(&bulk, "pk_accounts"));
+    for (uint32_t a = 0; a < kAccounts; ++a) {
+      char row[12];
+      EncodeFixed32(row, a);
+      EncodeFixed64(row + 4, static_cast<uint64_t>(kInitialBalance));
+      FACE_ASSERT_OK_AND_ASSIGN(
+          Rid rid, accounts_.Insert(&bulk, std::string_view(row, 12)));
+      FACE_ASSERT_OK(index_.Insert(&bulk, KeyCodec().AppendU32(a).Take(),
+                                   tpcc::EncodeRid(rid)));
+      model_[a] = kInitialBalance;
+    }
+    FACE_ASSERT_OK(db_->CleanShutdown());
+  }
+
+  void BuildStack(bool fresh) {
+    storage_ = std::make_unique<DbStorage>(db_dev_.get());
+    log_ = std::make_unique<LogManager>(log_dev_.get());
+    FaceOptions fo = FaceOptions::GroupSecondChance(256);
+    fo.seg_entries = 64;
+    fo.group_size = 16;
+    auto face = std::make_unique<FaceCache>(fo, flash_dev_.get(),
+                                            storage_.get());
+    if (fresh) {
+      FACE_ASSERT_OK(face->Format());
+    }
+    cache_ = std::move(face);
+    DatabaseOptions opts;
+    opts.buffer_frames = 48;  // tiny: constant eviction traffic
+    db_ = std::make_unique<Database>(opts, storage_.get(), log_.get(),
+                                     cache_.get());
+  }
+
+  void Crash() {
+    db_.reset();
+    cache_.reset();
+    log_.reset();
+    storage_.reset();
+    BuildStack(/*fresh=*/false);
+    auto report = db_->Recover();
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    auto acc = db_->OpenTable("accounts");
+    ASSERT_TRUE(acc.ok());
+    accounts_ = std::move(acc.value());
+    auto idx = db_->OpenIndex("pk_accounts");
+    ASSERT_TRUE(idx.ok());
+    index_ = std::move(idx.value());
+  }
+
+  int64_t ReadBalance(uint32_t account) {
+    std::string value, row;
+    EXPECT_TRUE(index_.Get(KeyCodec().AppendU32(account).Take(), &value).ok());
+    EXPECT_TRUE(accounts_.Read(tpcc::DecodeRid(value), &row).ok());
+    return static_cast<int64_t>(DecodeFixed64(row.data() + 4));
+  }
+
+  /// Transfer `amount` from `from` to `to`; optionally leave uncommitted.
+  Status Transfer(uint32_t from, uint32_t to, int64_t amount, bool commit) {
+    const TxnId txn = db_->Begin();
+    PageWriter w = db_->Writer(txn);
+    for (auto [account, delta] :
+         {std::pair{from, -amount}, std::pair{to, amount}}) {
+      std::string value, row;
+      FACE_RETURN_IF_ERROR(
+          index_.Get(KeyCodec().AppendU32(account).Take(), &value));
+      const Rid rid = tpcc::DecodeRid(value);
+      FACE_RETURN_IF_ERROR(accounts_.Read(rid, &row));
+      const int64_t balance =
+          static_cast<int64_t>(DecodeFixed64(row.data() + 4)) + delta;
+      EncodeFixed64(row.data() + 4, static_cast<uint64_t>(balance));
+      FACE_RETURN_IF_ERROR(accounts_.Update(&w, rid, row));
+    }
+    if (!commit) return log_->FlushAll();  // leave in-flight, records durable
+    FACE_RETURN_IF_ERROR(db_->Commit(txn));
+    model_[from] -= amount;
+    model_[to] += amount;
+    return Status::OK();
+  }
+
+  void VerifyAgainstModel() {
+    int64_t total = 0;
+    for (uint32_t a = 0; a < kAccounts; ++a) {
+      const int64_t balance = ReadBalance(a);
+      EXPECT_EQ(balance, model_[a]) << "account " << a;
+      total += balance;
+    }
+    EXPECT_EQ(total, static_cast<int64_t>(kAccounts) * kInitialBalance);
+  }
+
+  std::unique_ptr<SimDevice> db_dev_, log_dev_, flash_dev_;
+  std::unique_ptr<DbStorage> storage_;
+  std::unique_ptr<LogManager> log_;
+  std::unique_ptr<CacheExtension> cache_;
+  std::unique_ptr<Database> db_;
+  HeapFile accounts_;
+  BPlusTree index_;
+  std::map<uint32_t, int64_t> model_;
+};
+
+TEST_F(BankFixture, MoneyConservedAcrossRandomCrashes) {
+  Random rnd(2024);
+  for (int round = 0; round < 5; ++round) {
+    // A burst of committed transfers with occasional checkpoints.
+    for (int i = 0; i < 150; ++i) {
+      const uint32_t from = static_cast<uint32_t>(rnd.Uniform(kAccounts));
+      uint32_t to = static_cast<uint32_t>(rnd.Uniform(kAccounts));
+      if (to == from) to = (to + 1) % kAccounts;
+      FACE_ASSERT_OK(Transfer(from, to, rnd.UniformRange(1, 50), true));
+      if (rnd.PercentTrue(5)) {
+        FACE_ASSERT_OK(db_->TakeCheckpoint().status());
+      }
+    }
+    // A few in-flight transfers that must vanish.
+    for (int i = 0; i < 3; ++i) {
+      FACE_ASSERT_OK(Transfer(static_cast<uint32_t>(rnd.Uniform(kAccounts)),
+                              static_cast<uint32_t>(rnd.Uniform(kAccounts)),
+                              999, false));
+    }
+    Crash();
+    VerifyAgainstModel();
+    FACE_ASSERT_OK(cache_->CheckInvariants());
+    FACE_ASSERT_OK(index_.CheckInvariants());
+  }
+}
+
+TEST_F(BankFixture, ExplicitAbortsRollBackImmediately) {
+  Random rnd(7);
+  for (int i = 0; i < 50; ++i) {
+    const TxnId txn = db_->Begin();
+    PageWriter w = db_->Writer(txn);
+    std::string value, row;
+    const uint32_t account = static_cast<uint32_t>(rnd.Uniform(kAccounts));
+    FACE_ASSERT_OK(
+        index_.Get(KeyCodec().AppendU32(account).Take(), &value));
+    const Rid rid = tpcc::DecodeRid(value);
+    FACE_ASSERT_OK(accounts_.Read(rid, &row));
+    EncodeFixed64(row.data() + 4, 0xDEAD);
+    FACE_ASSERT_OK(accounts_.Update(&w, rid, row));
+    FACE_ASSERT_OK(db_->Abort(txn));
+  }
+  VerifyAgainstModel();
+}
+
+TEST_F(BankFixture, CheckpointsDoNotDisturbConsistency) {
+  Random rnd(13);
+  for (int i = 0; i < 30; ++i) {
+    FACE_ASSERT_OK(Transfer(i % kAccounts, (i + 7) % kAccounts, 10, true));
+    FACE_ASSERT_OK(db_->TakeCheckpoint().status());
+  }
+  VerifyAgainstModel();
+  // A crash right after heavy checkpointing recovers instantly but fully.
+  Crash();
+  VerifyAgainstModel();
+}
+
+}  // namespace
+}  // namespace face

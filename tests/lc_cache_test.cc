@@ -1,0 +1,183 @@
+// Unit tests: the Lazy Cleaning baseline — LRU-2 victim order, write-back
+// with lazy cleaning, checkpoint flush cost, cold restart.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "core/lc_cache.h"
+#include "tests/test_util.h"
+
+namespace face {
+namespace {
+
+class LcCacheTest : public ::testing::Test {
+ protected:
+  void Init(LcOptions options) {
+    db_dev_ = std::make_unique<SimDevice>("db", DeviceProfile::Raid0Seagate(8),
+                                          1 << 16);
+    storage_ = std::make_unique<DbStorage>(db_dev_.get());
+    flash_ = std::make_unique<SimDevice>(
+        "flash", DeviceProfile::MlcSamsung470(), options.n_frames);
+    cache_ = std::make_unique<LcCache>(options, flash_.get(), storage_.get());
+  }
+
+  std::string MakePage(PageId page_id, char fill = 'p') {
+    std::string page(kPageSize, '\0');
+    PageView v(page.data());
+    v.Format(page_id);
+    v.set_lsn(10);
+    memset(v.payload(), fill, 32);
+    return page;
+  }
+
+  Status Evict(PageId page_id, bool dirty, char fill = 'p') {
+    std::string page = MakePage(page_id, fill);
+    return cache_->OnDramEvict(page_id, page.data(), dirty, dirty, 42);
+  }
+
+  std::unique_ptr<SimDevice> db_dev_, flash_;
+  std::unique_ptr<DbStorage> storage_;
+  std::unique_ptr<LcCache> cache_;
+};
+
+TEST_F(LcCacheTest, KeepsSingleUpToDateCopy) {
+  LcOptions o;
+  o.n_frames = 8;
+  Init(o);
+  FACE_ASSERT_OK(Evict(1, true, 'a'));
+  FACE_ASSERT_OK(Evict(1, true, 'b'));  // overwrites in place
+  EXPECT_EQ(cache_->cached_pages(), 1u);
+  std::string out(kPageSize, '\0');
+  FACE_ASSERT_OK_AND_ASSIGN(FlashReadResult r, cache_->ReadPage(1, &out[0]));
+  EXPECT_TRUE(r.dirty);
+  EXPECT_EQ(r.rec_lsn, 42u);  // conservative recLSN survives
+  EXPECT_EQ(out[kPageHeaderSize], 'b');
+  FACE_ASSERT_OK(cache_->CheckInvariants());
+}
+
+TEST_F(LcCacheTest, InPlaceOverwritesAreRandomFlashWrites) {
+  LcOptions o;
+  o.n_frames = 64;
+  Init(o);
+  // Steady replacement over a skewed working set with re-references: the
+  // LRU-2 victim order diverges from frame-allocation order, so in-place
+  // replacement writes scatter across the frame space. (Under a pure
+  // one-touch scan LRU degenerates to FIFO and even LC writes
+  // sequentially — real workloads are not one-touch scans.)
+  Random rnd(31);
+  std::string out(kPageSize, '\0');
+  for (int i = 0; i < 600; ++i) {
+    FACE_ASSERT_OK(Evict(rnd.Uniform(200), true));
+    for (int t = 0; t < 3; ++t) {
+      const PageId touch = rnd.Uniform(200);
+      if (cache_->Contains(touch)) {
+        FACE_ASSERT_OK(cache_->ReadPage(touch, out.data()).status());
+      }
+    }
+  }
+  const DeviceStats& st = flash_->stats();
+  // Most writes are non-sequential — the exact opposite of FaCE's pattern
+  // and the core of the paper's comparison.
+  EXPECT_LT(st.seq_write_reqs, st.write_reqs / 2);
+}
+
+TEST_F(LcCacheTest, Lru2EvictsByPenultimateReference) {
+  LcOptions o;
+  o.n_frames = 2;
+  o.clean_threshold = 2.0;  // cleaner off for this test
+  Init(o);
+  FACE_ASSERT_OK(Evict(1, false));
+  FACE_ASSERT_OK(Evict(2, false));
+  // Touch page 1 twice: its penultimate reference is now recent; page 2
+  // was referenced once (-inf penultimate) and must be the victim.
+  std::string out(kPageSize, '\0');
+  FACE_ASSERT_OK(cache_->ReadPage(1, out.data()).status());
+  FACE_ASSERT_OK(cache_->ReadPage(1, out.data()).status());
+  FACE_ASSERT_OK(Evict(3, false));
+  EXPECT_TRUE(cache_->Contains(1));
+  EXPECT_FALSE(cache_->Contains(2));
+  EXPECT_TRUE(cache_->Contains(3));
+  FACE_ASSERT_OK(cache_->CheckInvariants());
+}
+
+TEST_F(LcCacheTest, LazyCleanerKicksInAboveThreshold) {
+  LcOptions o;
+  o.n_frames = 32;
+  o.clean_threshold = 0.50;
+  o.clean_target = 0.25;
+  o.clean_batch = 4;
+  Init(o);
+  for (PageId p = 0; p < 20; ++p) FACE_ASSERT_OK(Evict(p, true));
+  EXPECT_TRUE(cache_->HasBackgroundWork());
+  const uint64_t disk0 = cache_->stats().disk_writes;
+  while (cache_->HasBackgroundWork()) {
+    FACE_ASSERT_OK(cache_->RunBackgroundWork());
+  }
+  EXPECT_GT(cache_->stats().disk_writes, disk0);
+  EXPECT_LE(cache_->DirtyFraction(), 0.30);
+  // Cleaned pages remain cached (clean), still readable.
+  std::string out(kPageSize, '\0');
+  FACE_ASSERT_OK_AND_ASSIGN(FlashReadResult r, cache_->ReadPage(0, &out[0]));
+  EXPECT_FALSE(r.dirty);
+  FACE_ASSERT_OK(cache_->CheckInvariants());
+}
+
+TEST_F(LcCacheTest, EvictingDirtyVictimWritesItToDisk) {
+  LcOptions o;
+  o.n_frames = 2;
+  o.clean_threshold = 2.0;
+  Init(o);
+  FACE_ASSERT_OK(Evict(1, true, 'z'));
+  FACE_ASSERT_OK(Evict(2, true));
+  FACE_ASSERT_OK(Evict(3, true));  // evicts page 1 -> disk
+  std::string out(kPageSize, '\0');
+  FACE_ASSERT_OK(storage_->ReadPage(1, out.data()));
+  EXPECT_EQ(out[kPageHeaderSize], 'z');
+}
+
+TEST_F(LcCacheTest, PrepareCheckpointFlushesAllDirtyToDisk) {
+  LcOptions o;
+  o.n_frames = 32;
+  o.clean_threshold = 2.0;
+  Init(o);
+  for (PageId p = 0; p < 10; ++p) FACE_ASSERT_OK(Evict(p, true));
+  FACE_ASSERT_OK(cache_->PrepareCheckpoint());
+  EXPECT_EQ(cache_->dirty_pages(), 0u);
+  std::string out(kPageSize, '\0');
+  for (PageId p = 0; p < 10; ++p) {
+    FACE_ASSERT_OK(storage_->ReadPage(p, out.data()));
+    EXPECT_TRUE(cache_->Contains(p));  // still cached, now clean
+  }
+  FACE_ASSERT_OK(cache_->CheckInvariants());
+}
+
+TEST_F(LcCacheTest, RestartIsCold) {
+  LcOptions o;
+  o.n_frames = 16;
+  o.clean_threshold = 2.0;
+  Init(o);
+  FACE_ASSERT_OK(Evict(1, true));
+  // LC must stage dirty pages to disk before forgetting them — the cache
+  // directory is volatile but the data must not be lost.
+  FACE_ASSERT_OK(cache_->RecoverAfterCrash());
+  EXPECT_EQ(cache_->cached_pages(), 0u);
+  EXPECT_FALSE(cache_->Contains(1));
+}
+
+TEST_F(LcCacheTest, OnPageWrittenToDiskCleansEntry) {
+  LcOptions o;
+  o.n_frames = 16;
+  o.clean_threshold = 2.0;
+  Init(o);
+  FACE_ASSERT_OK(Evict(4, true));
+  EXPECT_EQ(cache_->dirty_pages(), 1u);
+  std::string page = MakePage(4);
+  FACE_ASSERT_OK(storage_->WritePage(4, page.data()));
+  cache_->OnPageWrittenToDisk(4);
+  EXPECT_EQ(cache_->dirty_pages(), 0u);
+  FACE_ASSERT_OK(cache_->CheckInvariants());
+}
+
+}  // namespace
+}  // namespace face

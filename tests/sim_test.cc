@@ -1,0 +1,243 @@
+// Unit tests: device cost model, simulated devices (sequentiality
+// detection, RAID striping, trim, clone, save/load), closed-loop scheduler.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "sim/device_model.h"
+#include "sim/scheduler.h"
+#include "sim/sim_device.h"
+#include "tests/test_util.h"
+
+namespace face {
+namespace {
+
+TEST(DeviceProfileTest, Table1Calibration) {
+  // Random service times must invert to the paper's IOPS figures.
+  const DeviceProfile mlc = DeviceProfile::MlcSamsung470();
+  EXPECT_NEAR(1e9 / mlc.random_read_ns, 28495, 30);
+  EXPECT_NEAR(1e9 / mlc.random_write_ns, 6314, 10);
+  // Sequential per-page transfer must invert to the bandwidth figures
+  // (decimal MB/s, as device vendors and the paper quote them).
+  EXPECT_NEAR(kPageSize / (mlc.seq_read_ns / 1e9) / 1e6, 251.33, 3.0);
+
+  const DeviceProfile disk = DeviceProfile::Seagate15k();
+  EXPECT_NEAR(1e9 / disk.random_read_ns, 409, 2);
+  EXPECT_NEAR(1e9 / disk.random_write_ns, 343, 2);
+}
+
+TEST(DeviceProfileTest, RandomCostsDwarfSequentialOnFlash) {
+  const DeviceProfile mlc = DeviceProfile::MlcSamsung470();
+  // The property the whole paper rests on: random writes are ~10x
+  // sequential writes on flash.
+  EXPECT_GT(mlc.random_write_ns / mlc.seq_write_ns, 8.0);
+  // Reads are much closer (paper: 48-60 % of sequential bandwidth).
+  EXPECT_LT(mlc.random_read_ns / mlc.seq_read_ns, 3.0);
+}
+
+TEST(DeviceProfileTest, ServiceTimeComposition) {
+  const DeviceProfile d = DeviceProfile::Seagate15k();
+  const SimNanos seq4 = d.ServiceNs(IoOp::kRead, true, 4);
+  const SimNanos rand1 = d.ServiceNs(IoOp::kRead, false, 1);
+  const SimNanos rand4 = d.ServiceNs(IoOp::kRead, false, 4);
+  EXPECT_NEAR(static_cast<double>(seq4), 4 * d.seq_read_ns, 2.0);
+  // positioning + 4 transfers == (positioning + 1 transfer) + 3 transfers,
+  // up to float->integer truncation.
+  EXPECT_NEAR(static_cast<double>(rand4),
+              static_cast<double>(rand1 + seq4) - d.seq_read_ns, 2.0);
+}
+
+TEST(SimDeviceTest, StoresAndReturnsBytes) {
+  SimDevice dev("d", DeviceProfile::Seagate15k(), 128);
+  std::string out(kPageSize, '\0');
+  std::string in(kPageSize, 'z');
+  FACE_ASSERT_OK(dev.Write(5, in.data()));
+  FACE_ASSERT_OK(dev.Read(5, out.data()));
+  EXPECT_EQ(in, out);
+  // Unwritten blocks read back as zeroes.
+  FACE_ASSERT_OK(dev.Read(6, out.data()));
+  EXPECT_EQ(out, std::string(kPageSize, '\0'));
+}
+
+TEST(SimDeviceTest, RejectsOutOfRangeIo) {
+  SimDevice dev("d", DeviceProfile::Seagate15k(), 16);
+  std::string page(kPageSize, 'x');
+  EXPECT_TRUE(dev.Write(16, page.data()).IsIOError());
+  EXPECT_TRUE(dev.ReadBatch(10, 7, page.data()).IsIOError());
+}
+
+TEST(SimDeviceTest, DetectsSequentialityFromOffsets) {
+  SimDevice dev("d", DeviceProfile::MlcSamsung470(), 4096);
+  std::string page(kPageSize, 'x');
+  // An append stream: first write random, rest sequential.
+  for (uint64_t b = 100; b < 110; ++b) FACE_ASSERT_OK(dev.Write(b, page.data()));
+  EXPECT_EQ(dev.stats().write_reqs, 10u);
+  EXPECT_EQ(dev.stats().seq_write_reqs, 9u);
+  // A jump breaks the run.
+  FACE_ASSERT_OK(dev.Write(500, page.data()));
+  EXPECT_EQ(dev.stats().seq_write_reqs, 9u);
+}
+
+TEST(SimDeviceTest, ReadAndWriteStreamsTrackedIndependently) {
+  SimDevice dev("d", DeviceProfile::MlcSamsung470(), 4096);
+  std::string page(kPageSize, 'x');
+  // Interleave an append-write stream with a sequential read stream
+  // (mvFIFO enqueue+dequeue): both must stay sequential.
+  FACE_ASSERT_OK(dev.Write(100, page.data()));
+  FACE_ASSERT_OK(dev.Read(200, page.data()));
+  for (int i = 1; i < 8; ++i) {
+    FACE_ASSERT_OK(dev.Write(100 + i, page.data()));
+    FACE_ASSERT_OK(dev.Read(200 + i, page.data()));
+  }
+  EXPECT_EQ(dev.stats().seq_write_reqs, 7u);
+  EXPECT_EQ(dev.stats().seq_read_reqs, 7u);
+}
+
+TEST(SimDeviceTest, SequentialIsFarCheaperThanRandomOnFlash) {
+  std::string page(kPageSize, 'x');
+  SimDevice seq("s", DeviceProfile::MlcSamsung470(), 1 << 16);
+  for (uint64_t b = 0; b < 1000; ++b) (void)seq.Write(b, page.data());
+  SimDevice rnd("r", DeviceProfile::MlcSamsung470(), 1 << 16);
+  Random r(3);
+  for (uint64_t i = 0; i < 1000; ++i) {
+    (void)rnd.Write(r.Uniform(1 << 16), page.data());
+  }
+  EXPECT_GT(rnd.stats().busy_ns, 5 * seq.stats().busy_ns);
+}
+
+TEST(SimDeviceTest, RaidStripesAcrossStationsAndStaysSequential) {
+  const DeviceProfile raid = DeviceProfile::Raid0Seagate(4);
+  IoScheduler sched(1);
+  SimDevice dev("raid", raid, 1 << 16, &sched);
+  // One full-stripe-width sequential stream.
+  std::string buf(64 * kPageSize, 'x');
+  for (uint64_t b = 0; b + 64 <= 4096; b += 64) {
+    FACE_ASSERT_OK(dev.WriteBatch(b, 64, buf.data()));
+  }
+  // Every spindle must have been busy (striping spreads load).
+  for (uint32_t s = 0; s < 4; ++s) {
+    EXPECT_GT(sched.station_busy_ns(s), 0u) << "station " << s;
+  }
+  // Spindle-local sequentiality: nearly all requests classify sequential.
+  const DeviceStats& st = dev.stats();
+  EXPECT_GT(st.seq_write_reqs, st.write_reqs * 9 / 10);
+}
+
+TEST(SimDeviceTest, TimingDisabledMovesBytesOnly) {
+  SimDevice dev("d", DeviceProfile::Seagate15k(), 64);
+  dev.set_timing_enabled(false);
+  std::string page(kPageSize, 'q');
+  FACE_ASSERT_OK(dev.Write(1, page.data()));
+  EXPECT_EQ(dev.stats().write_reqs, 0u);
+  EXPECT_EQ(dev.stats().busy_ns, 0u);
+  std::string out(kPageSize, '\0');
+  FACE_ASSERT_OK(dev.Read(1, out.data()));
+  EXPECT_EQ(out, page);
+}
+
+TEST(SimDeviceTest, CloneCopiesContents) {
+  SimDevice a("a", DeviceProfile::Seagate15k(), 2048);
+  std::string page(kPageSize, 'c');
+  FACE_ASSERT_OK(a.Write(1500, page.data()));
+  SimDevice b("b", DeviceProfile::MlcSamsung470(), 4096);
+  FACE_ASSERT_OK(b.CloneContentsFrom(a));
+  std::string out(kPageSize, '\0');
+  FACE_ASSERT_OK(b.Read(1500, out.data()));
+  EXPECT_EQ(out, page);
+}
+
+TEST(SimDeviceTest, TrimReleasesOnlyWholeChunksOutsideKeep) {
+  SimDevice dev("d", DeviceProfile::Seagate15k(), 4096);
+  std::string page(kPageSize, 't');
+  FACE_ASSERT_OK(dev.Write(0, page.data()));      // chunk 0 (protected)
+  FACE_ASSERT_OK(dev.Write(1030, page.data()));   // chunk 1
+  FACE_ASSERT_OK(dev.Write(2050, page.data()));   // chunk 2
+  dev.TrimBefore(/*block=*/2048, /*keep_below=*/1);
+  std::string out(kPageSize, '\0');
+  FACE_ASSERT_OK(dev.Read(0, out.data()));
+  EXPECT_EQ(out, page) << "block 0 must survive (keep_below)";
+  FACE_ASSERT_OK(dev.Read(1030, out.data()));
+  EXPECT_EQ(out, std::string(kPageSize, '\0')) << "chunk 1 trimmed";
+  FACE_ASSERT_OK(dev.Read(2050, out.data()));
+  EXPECT_EQ(out, page) << "chunk 2 beyond trim point";
+}
+
+TEST(SimDeviceTest, SaveLoadRoundTrip) {
+  SimDevice a("a", DeviceProfile::Seagate15k(), 4096);
+  std::string page(kPageSize, 's');
+  FACE_ASSERT_OK(a.Write(7, page.data()));
+  FACE_ASSERT_OK(a.Write(3000, page.data()));
+  const std::string path = ::testing::TempDir() + "/face_dev_image.bin";
+  FACE_ASSERT_OK(a.SaveContents(path));
+
+  SimDevice b("b", DeviceProfile::Seagate15k(), 4096);
+  FACE_ASSERT_OK(b.LoadContents(path));
+  std::string out(kPageSize, '\0');
+  FACE_ASSERT_OK(b.Read(7, out.data()));
+  EXPECT_EQ(out, page);
+  FACE_ASSERT_OK(b.Read(3000, out.data()));
+  EXPECT_EQ(out, page);
+  // Capacity mismatch is rejected.
+  SimDevice c("c", DeviceProfile::Seagate15k(), 1024);
+  EXPECT_FALSE(c.LoadContents(path).ok());
+  remove(path.c_str());
+}
+
+TEST(SchedulerTest, ClosedLoopAssignsEarliestFreeToken) {
+  IoScheduler sched(2);
+  const uint32_t st = sched.RegisterStations(1);
+  // Two txns on two tokens, each 100us of I/O: they queue on the single
+  // station, so completions land at 100 and 200us.
+  sched.BeginTxn();
+  sched.OnIo(st, 100 * kNanosPerMicro);
+  EXPECT_EQ(sched.EndTxn(), 100 * kNanosPerMicro);
+  sched.BeginTxn();
+  sched.OnIo(st, 100 * kNanosPerMicro);
+  EXPECT_EQ(sched.EndTxn(), 200 * kNanosPerMicro);
+  // Third txn goes to the token that freed first (t=100), but still waits
+  // for the station.
+  sched.BeginTxn();
+  sched.OnIo(st, 50 * kNanosPerMicro);
+  EXPECT_EQ(sched.EndTxn(), 250 * kNanosPerMicro);
+  EXPECT_EQ(sched.txns_completed(), 3u);
+  EXPECT_EQ(sched.station_busy_ns(st), 250 * kNanosPerMicro);
+}
+
+TEST(SchedulerTest, CpuTimeDoesNotContend) {
+  IoScheduler sched(2);
+  sched.BeginTxn();
+  sched.OnCpu(10 * kNanosPerMicro);
+  EXPECT_EQ(sched.EndTxn(), 10 * kNanosPerMicro);
+  sched.BeginTxn();
+  sched.OnCpu(10 * kNanosPerMicro);
+  // Second client token: starts at 0, no contention with the first.
+  EXPECT_EQ(sched.EndTxn(), 10 * kNanosPerMicro);
+}
+
+TEST(SchedulerTest, BackgroundTokensRunIndependently) {
+  IoScheduler sched(1);
+  const uint32_t st = sched.RegisterStations(1);
+  const uint32_t bg = sched.AddBackgroundToken();
+  sched.BeginTxn();
+  sched.OnIo(st, 100);
+  sched.EndTxn();
+  sched.BeginBackground(bg, 1000);
+  sched.OnIo(st, 50);
+  const SimNanos done = sched.EndBackground();
+  EXPECT_EQ(done, 1050u);  // started no earlier than 1000
+  EXPECT_EQ(sched.txns_completed(), 1u);  // background is not a txn
+}
+
+TEST(SchedulerTest, AdvanceAllTokensActsAsBarrier) {
+  IoScheduler sched(2);
+  sched.BeginTxn();
+  sched.OnCpu(10);
+  sched.EndTxn();
+  sched.AdvanceAllTokens(5000);
+  sched.BeginTxn();
+  sched.OnCpu(1);
+  EXPECT_EQ(sched.EndTxn(), 5001u);
+}
+
+}  // namespace
+}  // namespace face

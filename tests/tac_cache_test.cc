@@ -1,0 +1,168 @@
+// Unit tests: the TAC baseline — on-entry temperature-gated admission,
+// write-through coherence, persistent slot directory, restart recovery.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "core/tac_cache.h"
+#include "tests/test_util.h"
+
+namespace face {
+namespace {
+
+class TacCacheTest : public ::testing::Test {
+ protected:
+  void Init(TacOptions options) {
+    options_ = options;
+    db_dev_ = std::make_unique<SimDevice>("db", DeviceProfile::Raid0Seagate(8),
+                                          1 << 16);
+    storage_ = std::make_unique<DbStorage>(db_dev_.get());
+    flash_ = std::make_unique<SimDevice>(
+        "flash", DeviceProfile::MlcSamsung470(),
+        TacCache::DirBlocksFor(options.n_frames) + options.n_frames);
+    cache_ = std::make_unique<TacCache>(options_, flash_.get(),
+                                        storage_.get());
+    FACE_ASSERT_OK(cache_->Format());
+  }
+
+  void Reboot() {
+    cache_ = std::make_unique<TacCache>(options_, flash_.get(),
+                                        storage_.get());
+    FACE_ASSERT_OK(cache_->RecoverAfterCrash());
+  }
+
+  std::string MakePage(PageId page_id, char fill = 'p') {
+    std::string page(kPageSize, '\0');
+    PageView v(page.data());
+    v.Format(page_id);
+    memset(v.payload(), fill, 32);
+    return page;
+  }
+
+  TacOptions options_;
+  std::unique_ptr<SimDevice> db_dev_, flash_;
+  std::unique_ptr<DbStorage> storage_;
+  std::unique_ptr<TacCache> cache_;
+};
+
+TEST_F(TacCacheTest, CachesOnEntryFromDisk) {
+  TacOptions o;
+  o.n_frames = 8;
+  Init(o);
+  std::string page = MakePage(3, 'e');
+  FACE_ASSERT_OK(cache_->OnFetchFromDisk(3, page.data()));
+  EXPECT_TRUE(cache_->Contains(3));
+  std::string out(kPageSize, '\0');
+  FACE_ASSERT_OK_AND_ASSIGN(FlashReadResult r, cache_->ReadPage(3, &out[0]));
+  EXPECT_FALSE(r.dirty);  // write-through: never dirty
+  EXPECT_EQ(out[kPageHeaderSize], 'e');
+  FACE_ASSERT_OK(cache_->CheckInvariants());
+}
+
+TEST_F(TacCacheTest, TemperatureGateRejectsColdReplacements) {
+  TacOptions o;
+  o.n_frames = 2;
+  o.extent_pages = 1;  // per-page temperature for precision
+  Init(o);
+  std::string page = MakePage(1);
+  // Heat pages 1 and 2 (two fetches each).
+  for (PageId p : {1, 2, 1, 2}) {
+    page = MakePage(p);
+    FACE_ASSERT_OK(cache_->OnFetchFromDisk(p, page.data()));
+  }
+  // A colder page (first touch) must NOT displace them.
+  page = MakePage(9);
+  FACE_ASSERT_OK(cache_->OnFetchFromDisk(9, page.data()));
+  EXPECT_FALSE(cache_->Contains(9));
+  EXPECT_TRUE(cache_->Contains(1));
+  EXPECT_TRUE(cache_->Contains(2));
+  // After enough touches, page 9's extent heats past the coldest entry.
+  for (int i = 0; i < 4; ++i) {
+    page = MakePage(9);
+    FACE_ASSERT_OK(cache_->OnFetchFromDisk(9, page.data()));
+  }
+  EXPECT_TRUE(cache_->Contains(9));
+  FACE_ASSERT_OK(cache_->CheckInvariants());
+}
+
+TEST_F(TacCacheTest, WriteThroughKeepsDiskAndFlashCoherent) {
+  TacOptions o;
+  o.n_frames = 8;
+  Init(o);
+  std::string page = MakePage(5, 'a');
+  FACE_ASSERT_OK(cache_->OnFetchFromDisk(5, page.data()));
+  // A dirty eviction goes to disk AND refreshes the flash copy.
+  page = MakePage(5, 'b');
+  FACE_ASSERT_OK(cache_->OnDramEvict(5, page.data(), true, true, 1));
+  std::string out(kPageSize, '\0');
+  FACE_ASSERT_OK(storage_->ReadPage(5, out.data()));
+  EXPECT_EQ(out[kPageHeaderSize], 'b');
+  FACE_ASSERT_OK(cache_->ReadPage(5, out.data()).status());
+  EXPECT_EQ(out[kPageHeaderSize], 'b');
+  FACE_ASSERT_OK(cache_->CheckInvariants());
+}
+
+TEST_F(TacCacheTest, MetadataUpdatesAreRandomFlashWrites) {
+  TacOptions o;
+  o.n_frames = 16;
+  o.extent_pages = 1;
+  Init(o);
+  const uint64_t meta0 = cache_->stats().meta_flash_writes;
+  std::string page;
+  for (PageId p = 0; p < 16; ++p) {
+    page = MakePage(p);
+    FACE_ASSERT_OK(cache_->OnFetchFromDisk(p, page.data()));
+  }
+  // One directory write per admission (validation).
+  EXPECT_GE(cache_->stats().meta_flash_writes, meta0 + 16);
+  // Heat a fresh extent hot enough to force replacements: each one costs
+  // an invalidation write AND a validation write (the paper's point).
+  const uint64_t meta1 = cache_->stats().meta_flash_writes;
+  for (int i = 0; i < 3; ++i) {
+    page = MakePage(50);
+    FACE_ASSERT_OK(cache_->OnFetchFromDisk(50, page.data()));
+  }
+  ASSERT_TRUE(cache_->Contains(50));
+  EXPECT_GE(cache_->stats().meta_flash_writes, meta1 + 2);
+  FACE_ASSERT_OK(cache_->CheckInvariants());
+}
+
+TEST_F(TacCacheTest, DirectorySurvivesCrash) {
+  TacOptions o;
+  o.n_frames = 8;
+  Init(o);
+  std::string page;
+  for (PageId p = 0; p < 5; ++p) {
+    page = MakePage(p, static_cast<char>('A' + p));
+    FACE_ASSERT_OK(cache_->OnFetchFromDisk(p, page.data()));
+  }
+  Reboot();
+  EXPECT_EQ(cache_->cached_pages(), 5u);
+  std::string out(kPageSize, '\0');
+  for (PageId p = 0; p < 5; ++p) {
+    ASSERT_TRUE(cache_->Contains(p));
+    FACE_ASSERT_OK(cache_->ReadPage(p, out.data()).status());
+    EXPECT_EQ(out[kPageHeaderSize], static_cast<char>('A' + p));
+  }
+  FACE_ASSERT_OK(cache_->CheckInvariants());
+}
+
+TEST_F(TacCacheTest, CheckpointWriteInvalidatesStaleFlashCopy) {
+  TacOptions o;
+  o.n_frames = 8;
+  Init(o);
+  std::string page = MakePage(2, 'o');
+  FACE_ASSERT_OK(cache_->OnFetchFromDisk(2, page.data()));
+  // The buffer pool wrote the page to disk directly (checkpoint path of a
+  // non-absorbing policy) — the flash copy is now stale and must go.
+  cache_->OnPageWrittenToDisk(2);
+  EXPECT_FALSE(cache_->Contains(2));
+  FACE_ASSERT_OK(cache_->CheckInvariants());
+  // And the invalidation is persistent.
+  Reboot();
+  EXPECT_FALSE(cache_->Contains(2));
+}
+
+}  // namespace
+}  // namespace face

@@ -1,0 +1,104 @@
+// Shared fixtures and helpers for the test suite.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+#include "core/cache_ext.h"
+#include "engine/database.h"
+#include "sim/device_model.h"
+#include "sim/sim_device.h"
+#include "storage/db_storage.h"
+#include "wal/log_manager.h"
+
+#include "testbed/testbed.h"
+
+namespace face {
+
+/// gtest helper: assert a Status is OK with its message on failure.
+#define FACE_ASSERT_OK(expr)                                        \
+  do {                                                              \
+    const ::face::Status _s = (expr);                               \
+    ASSERT_TRUE(_s.ok()) << "status: " << _s.ToString();            \
+  } while (0)
+
+#define FACE_EXPECT_OK(expr)                                        \
+  do {                                                              \
+    const ::face::Status _s = (expr);                               \
+    EXPECT_TRUE(_s.ok()) << "status: " << _s.ToString();            \
+  } while (0)
+
+/// Unwrap a StatusOr into `lhs`, failing the test on error.
+#define FACE_ASSERT_OK_AND_ASSIGN(lhs, expr)                        \
+  FACE_ASSERT_OK_AND_ASSIGN_IMPL(                                   \
+      FACE_CONCAT_(_test_statusor_, __LINE__), lhs, expr)
+#define FACE_ASSERT_OK_AND_ASSIGN_IMPL(var, lhs, expr)              \
+  auto var = (expr);                                                \
+  ASSERT_TRUE(var.ok()) << "status: " << var.status().ToString();   \
+  lhs = std::move(var.value())
+
+/// A minimal single-device database stack (no flash cache, instant
+/// devices): storage + log + NullCache + Database, formatted and ready.
+/// Most engine/txn/recovery unit tests run on this.
+class EngineFixture : public ::testing::Test {
+ protected:
+  /// `db_pages` of database capacity, `buffer_frames` of DRAM.
+  void Init(uint64_t db_pages = 4096, uint32_t buffer_frames = 64) {
+    db_dev_ = std::make_unique<SimDevice>("db", DeviceProfile::Seagate15k(),
+                                          db_pages);
+    log_dev_ = std::make_unique<SimDevice>("log", DeviceProfile::Seagate15k(),
+                                           uint64_t{1} << 20);
+    storage_ = std::make_unique<DbStorage>(db_dev_.get());
+    log_ = std::make_unique<LogManager>(log_dev_.get());
+    cache_ = std::make_unique<NullCache>(storage_.get());
+    DatabaseOptions opts;
+    opts.buffer_frames = buffer_frames;
+    db_ = std::make_unique<Database>(opts, storage_.get(), log_.get(),
+                                     cache_.get());
+    FACE_ASSERT_OK(db_->Format());
+  }
+
+  /// Simulate a crash: rebuild every DRAM structure over the surviving
+  /// devices and run recovery.
+  void CrashAndRecover(uint32_t buffer_frames = 64) {
+    db_.reset();
+    cache_.reset();
+    log_.reset();
+    storage_.reset();
+    storage_ = std::make_unique<DbStorage>(db_dev_.get());
+    log_ = std::make_unique<LogManager>(log_dev_.get());
+    cache_ = std::make_unique<NullCache>(storage_.get());
+    DatabaseOptions opts;
+    opts.buffer_frames = buffer_frames;
+    db_ = std::make_unique<Database>(opts, storage_.get(), log_.get(),
+                                     cache_.get());
+    auto report = db_->Recover();
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+  }
+
+  std::unique_ptr<SimDevice> db_dev_;
+  std::unique_ptr<SimDevice> log_dev_;
+  std::unique_ptr<DbStorage> storage_;
+  std::unique_ptr<LogManager> log_;
+  std::unique_ptr<CacheExtension> cache_;
+  std::unique_ptr<Database> db_;
+};
+
+/// One 1-warehouse golden image shared by every test in the binary —
+/// building it is the expensive part of the system-level tests.
+inline const GoldenImage& SharedGolden() {
+  static GoldenImage* golden = [] {
+    auto g = GoldenImage::Build(1);
+    if (!g.ok()) {
+      ADD_FAILURE() << "golden build failed: " << g.status().ToString();
+      return new GoldenImage();
+    }
+    return new GoldenImage(std::move(g.value()));
+  }();
+  return *golden;
+}
+
+}  // namespace face
