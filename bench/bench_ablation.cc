@@ -29,7 +29,9 @@ void RunRows(const BenchFlags& flags, const char* title,
   printf("%-26s %8s %8s %10s %10s %10s\n", "configuration", "tpmC", "hit%",
          "flash wr", "disk wr", "meta wr");
   for (const Row& row : rows) {
-    Testbed tb(row.opts, &golden);
+    TestbedOptions opts = row.opts;
+    opts.seed = flags.seed;
+    Testbed tb(opts, &golden);
     const RunResult r = MeasureSteadyState(&tb, warmup, txns, kCheckpointEvery);
     printf("%-26s %8.0f %8.1f %10llu %10llu %10llu\n", row.name.c_str(),
            r.TpmC(), r.cache_stats.HitRate() * 100,

@@ -8,7 +8,11 @@
 //   --quick          ~1/4 of the default transaction counts
 //   --warmup=N       override warmup transactions per configuration
 //   --txns=N         override measured transactions per configuration
+//   --seed=S         override the workload request-stream seed (default 42)
 //   --no-cache       do not read/write the golden image file cache
+//
+// --txns and --seed together give CI a cheap deterministic smoke run:
+//   bench_workloads --txns=200 --warmup=100 --seed=7
 #pragma once
 
 #include <cinttypes>
@@ -19,6 +23,7 @@
 #include <vector>
 
 #include "testbed/testbed.h"
+#include "workload/tpcc_workload.h"
 
 namespace face {
 namespace bench {
@@ -30,6 +35,7 @@ struct BenchFlags {
   bool use_cache = true;
   uint64_t warmup_txns = 0;  ///< 0 = per-bench default
   uint64_t txns = 0;         ///< 0 = per-bench default
+  uint64_t seed = 42;        ///< workload request-stream seed
 
   uint64_t WarmupOr(uint64_t dflt) const {
     if (warmup_txns != 0) return warmup_txns;
@@ -55,6 +61,8 @@ inline BenchFlags ParseFlags(int argc, char** argv) {
       flags.warmup_txns = strtoull(arg.c_str() + 9, nullptr, 10);
     } else if (arg.rfind("--txns=", 0) == 0) {
       flags.txns = strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      flags.seed = strtoull(arg.c_str() + 7, nullptr, 10);
     } else {
       fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       exit(2);
@@ -75,6 +83,8 @@ inline const GoldenImage& GetGolden(const BenchFlags& flags) {
   if (flags.use_cache) {
     GoldenImage from_file;
     from_file.warehouses = flags.warehouses;
+    from_file.factory =
+        std::make_shared<workload::TpccFactory>(flags.warehouses);
     from_file.device = std::make_unique<SimDevice>(
         "golden", DeviceProfile::Seagate15k(),
         GoldenImage::CapacityPages(flags.warehouses));

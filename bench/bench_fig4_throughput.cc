@@ -35,12 +35,14 @@ void RunFigure(const BenchFlags& flags, bool slc) {
   double hdd_only = 0, ssd_only = 0;
   {
     TestbedOptions opts;
+    opts.seed = flags.seed;
     opts.policy = CachePolicy::kNone;
     Testbed tb(opts, &golden);
     hdd_only = MeasureSteadyState(&tb, warmup, txns, kCheckpointEvery).TpmC();
   }
   {
     TestbedOptions opts;
+    opts.seed = flags.seed;
     opts.policy = CachePolicy::kNone;
     opts.db_profile = ssd;
     Testbed tb(opts, &golden);
@@ -57,6 +59,7 @@ void RunFigure(const BenchFlags& flags, bool slc) {
     std::vector<std::string> cells;
     for (double ratio : kRatios) {
       TestbedOptions opts;
+      opts.seed = flags.seed;
       opts.policy = policy;
       opts.flash_pages = CachePagesForRatio(golden, ratio);
       opts.flash_profile = ssd;

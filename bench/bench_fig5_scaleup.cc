@@ -36,6 +36,7 @@ void RunFigure(const BenchFlags& flags) {
     std::vector<std::string> cells;
     for (uint32_t spindles : kSpindles) {
       TestbedOptions opts;
+      opts.seed = flags.seed;
       opts.policy = row.policy;
       opts.db_profile = DeviceProfile::Raid0Seagate(spindles);
       if (row.policy != CachePolicy::kNone) {

@@ -28,6 +28,7 @@ struct Timeline {
 Timeline CrashAndReplay(const BenchFlags& flags, CachePolicy policy) {
   const GoldenImage& golden = GetGolden(flags);
   TestbedOptions opts;
+  opts.seed = flags.seed;
   opts.policy = policy;
   if (policy != CachePolicy::kNone) {
     opts.flash_pages = CachePagesForRatio(golden, 0.08);
@@ -73,7 +74,7 @@ Timeline CrashAndReplay(const BenchFlags& flags, CachePolicy policy) {
     auto result = tb.Run(obs);
     die(result.status(), "post-restart run");
     for (const auto& [done, type] : result->completions) {
-      if (type != tpcc::TxnType::kNewOrder) continue;
+      if (type != static_cast<uint8_t>(tpcc::TxnType::kNewOrder)) continue;
       if (done < crash_time) continue;
       const uint64_t w = (done - crash_time) / kWindow;
       if (w < static_cast<uint64_t>(kWindows)) {

@@ -40,6 +40,7 @@ void RunTable(const BenchFlags& flags) {
   for (size_t p = 0; p < std::size(kPolicies); ++p) {
     for (size_t r = 0; r < std::size(kRatios); ++r) {
       TestbedOptions opts;
+      opts.seed = flags.seed;
       opts.policy = kPolicies[p];
       opts.flash_pages = CachePagesForRatio(golden, kRatios[r]);
       Testbed tb(opts, &golden);

@@ -34,6 +34,7 @@ void RunTable(const BenchFlags& flags) {
   std::vector<std::string> dram_cells;
   for (int k = 1; k <= 5; ++k) {
     TestbedOptions opts;
+    opts.seed = flags.seed;
     opts.policy = CachePolicy::kNone;
     opts.buffer_frames = base_frames + k * base_frames;
     Testbed tb(opts, &golden);
@@ -47,6 +48,7 @@ void RunTable(const BenchFlags& flags) {
   std::vector<std::string> flash_cells;
   for (int k = 1; k <= 5; ++k) {
     TestbedOptions opts;
+    opts.seed = flags.seed;
     opts.policy = CachePolicy::kFaceGSC;
     opts.buffer_frames = base_frames;
     opts.flash_pages = static_cast<uint64_t>(k) * flash_step;

@@ -40,6 +40,7 @@ Observed CrashAtMidInterval(const BenchFlags& flags, CachePolicy policy,
                             SimNanos interval) {
   const GoldenImage& golden = GetGolden(flags);
   TestbedOptions opts;
+  opts.seed = flags.seed;
   opts.policy = policy;
   if (policy != CachePolicy::kNone) {
     opts.flash_pages = CachePagesForRatio(golden, 0.08);  // paper: 4 GB/50 GB

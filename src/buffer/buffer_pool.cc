@@ -29,6 +29,7 @@ const char* PageHandle::data() const {
 void PageHandle::MarkDirty(Lsn lsn) {
   assert(valid());
   BufferPool::Frame& f = pool_->frames_[frame_];
+  if (pool_->trace_ != nullptr) pool_->trace_->OnPageAccess(f.page_id, true);
   f.dirty = true;
   f.fdirty = true;
   if (f.rec_lsn == kInvalidLsn) f.rec_lsn = lsn;
@@ -83,6 +84,7 @@ void BufferPool::LruTouch(uint32_t frame) {
 
 StatusOr<PageHandle> BufferPool::FetchPage(PageId page_id) {
   ++stats_.fetches;
+  if (trace_ != nullptr) trace_->OnPageAccess(page_id, false);
   auto it = table_.find(page_id);
   if (it != table_.end()) {
     ++stats_.hits;

@@ -24,6 +24,15 @@ namespace face {
 
 class BufferPool;
 
+/// Observer of the logical page-reference stream above the buffer pool:
+/// every FetchPage (hit or miss) and every MarkDirty is reported. Used by
+/// the workload subsystem's trace recorder; null by default.
+class PageTraceSink {
+ public:
+  virtual ~PageTraceSink() = default;
+  virtual void OnPageAccess(PageId page_id, bool write) = 0;
+};
+
 /// RAII pin on a buffered page. Move-only; unpins on destruction.
 class PageHandle {
  public:
@@ -107,6 +116,11 @@ class BufferPool final : public DramPullSource {
   /// DramPullSource: surrender an unpinned LRU-tail page to the cache.
   PageId PullVictim(char* page, bool* dirty, bool* fdirty) override;
 
+  /// Attach/detach the page-reference tracer (null = off). The sink sees
+  /// logical references (DRAM hits included), not device I/O.
+  void set_trace_sink(PageTraceSink* sink) { trace_ = sink; }
+  PageTraceSink* trace_sink() const { return trace_; }
+
   const Stats& stats() const { return stats_; }
   void ResetStats() { stats_ = Stats(); }
   uint32_t capacity() const { return static_cast<uint32_t>(frames_.size()); }
@@ -158,6 +172,7 @@ class BufferPool final : public DramPullSource {
   DbStorage* storage_;
   LogManager* log_;
   CacheExtension* cache_;
+  PageTraceSink* trace_ = nullptr;
   Stats stats_;
 };
 

@@ -52,7 +52,10 @@ struct Rid {
   PageId page_id = kInvalidPageId;
   uint16_t slot = 0;
 
-  bool operator==(const Rid&) const = default;
+  bool operator==(const Rid& other) const {
+    return page_id == other.page_id && slot == other.slot;
+  }
+  bool operator!=(const Rid& other) const { return !(*this == other); }
 };
 
 }  // namespace face

@@ -6,7 +6,8 @@
 #include "core/face_cache.h"
 #include "core/lc_cache.h"
 #include "core/tac_cache.h"
-#include "tpcc/schema.h"
+#include "workload/tpcc_workload.h"
+#include "workload/trace.h"
 
 namespace face {
 
@@ -23,11 +24,24 @@ const char* CachePolicyName(CachePolicy policy) {
   return "?";
 }
 
+uint64_t GoldenImage::CapacityPages(uint32_t warehouses) {
+  return workload::TpccFactory::CapacityPagesFor(warehouses);
+}
+
 StatusOr<GoldenImage> GoldenImage::Build(uint32_t warehouses, uint64_t seed) {
-  GoldenImage golden;
+  FACE_ASSIGN_OR_RETURN(
+      GoldenImage golden,
+      BuildFor(std::make_shared<workload::TpccFactory>(warehouses), seed));
   golden.warehouses = warehouses;
+  return golden;
+}
+
+StatusOr<GoldenImage> GoldenImage::BuildFor(
+    std::shared_ptr<const workload::WorkloadFactory> factory, uint64_t seed) {
+  GoldenImage golden;
+  golden.factory = factory;
   golden.device = std::make_unique<SimDevice>(
-      "golden", DeviceProfile::Seagate15k(), CapacityPages(warehouses));
+      "golden", DeviceProfile::Seagate15k(), factory->CapacityPages());
   golden.device->set_timing_enabled(false);
 
   // Scratch WAL: the unlogged load only writes checkpoint records into it,
@@ -43,18 +57,17 @@ StatusOr<GoldenImage> GoldenImage::Build(uint32_t warehouses, uint64_t seed) {
   Database db(db_opts, &storage, &log, &cache);
   FACE_RETURN_IF_ERROR(db.Format());
 
-  tpcc::LoadConfig load;
-  load.warehouses = warehouses;
-  load.seed = seed;
-  tpcc::Loader loader(&db, load);
-  FACE_RETURN_IF_ERROR(loader.Load().status());
+  FACE_RETURN_IF_ERROR(factory->Load(db, seed));
 
   golden.next_page_id = storage.next_page_id();
   return golden;
 }
 
 Testbed::Testbed(const TestbedOptions& options, const GoldenImage* golden)
-    : opts_(options), golden_(golden), sched_(options.clients),
+    : opts_(options), golden_(golden),
+      factory_(options.workload != nullptr ? options.workload
+                                           : golden->factory),
+      sched_(options.clients), client_rnd_(options.seed),
       txn_seed_(options.seed) {
   buffer_frames_ = opts_.buffer_frames != 0
                        ? opts_.buffer_frames
@@ -77,6 +90,20 @@ Testbed::Testbed(const TestbedOptions& options, const GoldenImage* golden)
 }
 
 Testbed::~Testbed() = default;
+
+workload::TpccDriver* Testbed::tpcc_driver() {
+  return dynamic_cast<workload::TpccDriver*>(workload_.get());
+}
+
+tpcc::Workload* Testbed::tpcc_workload() {
+  workload::TpccDriver* driver = tpcc_driver();
+  return driver != nullptr ? driver->inner() : nullptr;
+}
+
+tpcc::Tables* Testbed::tables() {
+  workload::TpccDriver* driver = tpcc_driver();
+  return driver != nullptr ? driver->tables() : nullptr;
+}
 
 uint32_t Testbed::EffectiveSegEntries() const {
   if (opts_.seg_entries != 0) return opts_.seg_entries;
@@ -164,6 +191,12 @@ Status Testbed::BuildDramStack(bool after_crash) {
 }
 
 Status Testbed::Start() {
+  if (factory_ == nullptr) {
+    return Status::InvalidArgument(
+        "no workload: neither the options nor the golden image carry a "
+        "workload factory");
+  }
+
   // Clone the golden image and wire the stack with timing disabled: setup
   // I/O (superblock formats, the anchoring checkpoint) is not measured.
   db_dev_->set_timing_enabled(false);
@@ -177,12 +210,9 @@ Status Testbed::Start() {
   FACE_RETURN_IF_ERROR(db_->Open());
   FACE_RETURN_IF_ERROR(db_->TakeCheckpoint().status());
 
-  FACE_ASSIGN_OR_RETURN(tpcc::Tables t, tpcc::Tables::Open(db_.get()));
-  tables_ = std::make_unique<tpcc::Tables>(std::move(t));
-  tpcc::WorkloadConfig wl;
-  wl.warehouses = golden_->warehouses;
-  wl.seed = txn_seed_;
-  workload_ = std::make_unique<tpcc::Workload>(db_.get(), tables_.get(), wl);
+  workload_ = factory_->Create();
+  FACE_RETURN_IF_ERROR(workload_->Setup(*db_, txn_seed_));
+  client_rnd_ = Random(txn_seed_ ^ 0x5eed5eed);
 
   db_dev_->set_timing_enabled(true);
   log_dev_->set_timing_enabled(true);
@@ -209,16 +239,25 @@ StatusOr<RunResult> Testbed::Run(const RunOptions& run) {
       flash_dev_ != nullptr ? flash_dev_->stats() : DeviceStats{};
   const CacheStats cache0 = cache_->stats();
   const BufferPool::Stats pool0 = db_->pool()->stats();
-  const uint64_t no0 = workload_->stats().new_orders();
+  const uint64_t primary0 = workload_->stats().primary;
   const uint64_t ab0 = workload_->stats().user_aborts;
 
   RunResult result;
   if (run.collect_completions) result.completions.reserve(run.txns);
 
+  // Report page references to the attached tracer for the whole batch; the
+  // sink is detached again on every exit path.
+  if (tracer_ != nullptr) db_->pool()->set_trace_sink(tracer_);
+  struct SinkGuard {
+    BufferPool* pool;
+    ~SinkGuard() { pool->set_trace_sink(nullptr); }
+  } sink_guard{db_->pool()};
+
   for (uint64_t i = 0; i < run.txns; ++i) {
+    if (tracer_ != nullptr) tracer_->OnTxnStart();
     sched_.BeginTxn();
     sched_.OnCpu(opts_.cpu_per_txn_ns);
-    const auto type = workload_->RunOne();
+    const auto type = workload_->NextTxn(*db_, client_rnd_);
     if (!type.ok()) {
       sched_.EndTxn();
       return type.status();
@@ -240,7 +279,7 @@ StatusOr<RunResult> Testbed::Run(const RunOptions& run) {
   }
 
   result.txns = run.txns;
-  result.new_orders = workload_->stats().new_orders() - no0;
+  result.primary_txns = workload_->stats().primary - primary0;
   result.user_aborts = workload_->stats().user_aborts - ab0;
   result.duration = sched_.makespan() - start;
 
@@ -323,24 +362,7 @@ Status Testbed::Warmup(uint64_t txns) {
 Status Testbed::InjectInflightTransactions(uint32_t n) {
   Random r(txn_seed_ ^ 0xC0FFEE);
   for (uint32_t i = 0; i < n; ++i) {
-    const TxnId txn = db_->Begin();
-    PageWriter w = db_->Writer(txn);
-    // A Payment-shaped update set, left uncommitted.
-    const uint32_t w_id =
-        static_cast<uint32_t>(r.UniformRange(1, golden_->warehouses));
-    const uint32_t d_id = static_cast<uint32_t>(
-        r.UniformRange(1, tpcc::kDistrictsPerWarehouse));
-    const uint32_t c_id = static_cast<uint32_t>(
-        r.UniformRange(1, tpcc::kCustomersPerDistrict));
-    std::string value, row;
-    FACE_RETURN_IF_ERROR(tables_->pk_customer.Get(
-        tpcc::CustomerKey(w_id, d_id, c_id), &value));
-    const Rid rid = tpcc::DecodeRid(value);
-    FACE_RETURN_IF_ERROR(tables_->customer.Read(rid, &row));
-    tpcc::CustomerRow customer = tpcc::CustomerRow::Decode(row);
-    customer.c_balance -= 12345;
-    customer.c_payment_cnt += 1;
-    FACE_RETURN_IF_ERROR(tables_->customer.Update(&w, rid, customer.Encode()));
+    FACE_RETURN_IF_ERROR(workload_->InjectStranded(*db_, r));
   }
   // In a live system other backends' commits continuously force the log,
   // carrying these records to disk with them (group commit). Model that
@@ -353,7 +375,6 @@ Status Testbed::Crash() {
   sched_.AdvanceAllTokens(sched_.makespan());
   // DRAM dies: every in-memory structure is discarded, in dependency order.
   workload_.reset();
-  tables_.reset();
   db_.reset();
   cache_.reset();
   log_.reset();
@@ -367,12 +388,10 @@ StatusOr<RestartReport> Testbed::Recover() {
   FACE_ASSIGN_OR_RETURN(RestartReport report,
                         db_->Recover(&sched_, recovery_token_));
 
-  FACE_ASSIGN_OR_RETURN(tpcc::Tables t, tpcc::Tables::Open(db_.get()));
-  tables_ = std::make_unique<tpcc::Tables>(std::move(t));
-  tpcc::WorkloadConfig wl;
-  wl.warehouses = golden_->warehouses;
-  wl.seed = ++txn_seed_;  // fresh request stream after the crash
-  workload_ = std::make_unique<tpcc::Workload>(db_.get(), tables_.get(), wl);
+  // Fresh request stream after the crash, like reconnecting clients.
+  workload_ = factory_->Create();
+  FACE_RETURN_IF_ERROR(workload_->Setup(*db_, ++txn_seed_));
+  client_rnd_ = Random(txn_seed_ ^ 0x5eed5eed);
 
   // Nobody runs during restart: clients resume where recovery left off.
   sched_.AdvanceAllTokens(sched_.makespan());

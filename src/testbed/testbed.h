@@ -1,7 +1,7 @@
 // The full experimental rig of the paper's Section 5, in one object:
 // devices (disk array + flash SSD + log disk) on a closed-loop scheduler,
-// the database engine, a cache-extension policy, the TPC-C workload, a
-// virtual-time checkpoint daemon, and a crash/recovery protocol.
+// the database engine, a cache-extension policy, a pluggable workload
+// driver, a virtual-time checkpoint daemon, and a crash/recovery protocol.
 //
 // Benches and examples use it like the paper's testbed was used:
 //
@@ -12,13 +12,17 @@
 //   auto result = tb.Run({.txns = 50000});         // measure steady state
 //
 // The golden image is built once and cloned per configuration, because the
-// TPC-C load dominates wall time otherwise.
+// bulk load dominates wall time otherwise. The workload is pluggable: any
+// workload::WorkloadFactory (TPC-C, YCSB, scan-heavy, trace replay) both
+// populates the golden image and drives the clones — TPC-C is just the
+// default. GoldenImage::BuildFor(factory) loads any of them.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <vector>
 
+#include "common/random.h"
 #include "common/status.h"
 #include "core/cache_ext.h"
 #include "engine/database.h"
@@ -27,12 +31,17 @@
 #include "sim/scheduler.h"
 #include "sim/sim_device.h"
 #include "storage/db_storage.h"
-#include "tpcc/loader.h"
 #include "tpcc/tables.h"
 #include "tpcc/workload.h"
 #include "wal/log_manager.h"
+#include "workload/workload.h"
 
 namespace face {
+
+namespace workload {
+class TpccDriver;
+class TraceRecorder;
+}  // namespace workload
 
 /// Which flash caching policy the testbed runs (Table 2 of the paper).
 enum class CachePolicy : uint8_t {
@@ -48,12 +57,14 @@ enum class CachePolicy : uint8_t {
 /// Printable policy name matching the paper's figure legends.
 const char* CachePolicyName(CachePolicy policy);
 
-/// A fully loaded TPC-C database image, built once and cloned per
-/// configuration.
+/// A fully loaded database image, built once by a workload factory and
+/// cloned per configuration.
 struct GoldenImage {
   std::unique_ptr<SimDevice> device;  ///< unscheduled, holds the page image
   PageId next_page_id = 0;            ///< allocator high-water mark
-  uint32_t warehouses = 0;
+  uint32_t warehouses = 0;            ///< TPC-C scale (0 for other loads)
+  /// The workload that loaded the image; clones drive it by default.
+  std::shared_ptr<const workload::WorkloadFactory> factory;
 
   /// Pages the image actually uses (= next_page_id).
   uint64_t db_pages() const { return next_page_id; }
@@ -62,10 +73,13 @@ struct GoldenImage {
   static StatusOr<GoldenImage> Build(uint32_t warehouses,
                                      uint64_t seed = 20120827);
 
-  /// Device capacity the testbed provisions for `warehouses`.
-  static uint64_t CapacityPages(uint32_t warehouses) {
-    return 40000ull * warehouses + 20000ull;
-  }
+  /// Load a fresh database with any workload factory's initial population.
+  static StatusOr<GoldenImage> BuildFor(
+      std::shared_ptr<const workload::WorkloadFactory> factory,
+      uint64_t seed = 20120827);
+
+  /// Device capacity the testbed provisions for `warehouses` (TPC-C).
+  static uint64_t CapacityPages(uint32_t warehouses);
 };
 
 /// Shape of one testbed configuration (a point in the paper's experiment
@@ -73,6 +87,10 @@ struct GoldenImage {
 struct TestbedOptions {
   uint32_t clients = 50;  ///< closed-loop client tokens (paper: 50)
   uint64_t seed = 42;
+
+  /// Workload driven against the clone. Null = the golden image's own
+  /// factory (TPC-C for images built via Build(warehouses)).
+  std::shared_ptr<const workload::WorkloadFactory> workload;
 
   DeviceProfile db_profile = DeviceProfile::Raid0Seagate(8);
   DeviceProfile flash_profile = DeviceProfile::MlcSamsung470();
@@ -114,7 +132,8 @@ struct RunOptions {
 /// Everything one run measured. Counter fields are deltas over the run.
 struct RunResult {
   uint64_t txns = 0;
-  uint64_t new_orders = 0;
+  /// Headline-metric transactions (NewOrder for TPC-C, all ops for YCSB).
+  uint64_t primary_txns = 0;
   uint64_t user_aborts = 0;
   SimNanos duration = 0;  ///< virtual makespan delta of this run
   uint64_t checkpoints = 0;
@@ -125,8 +144,9 @@ struct RunResult {
   CacheStats cache_stats;
   BufferPool::Stats pool_stats;
 
-  /// Completion stamp + type per transaction (if collected).
-  std::vector<std::pair<SimNanos, tpcc::TxnType>> completions;
+  /// Completion stamp + workload txn-type index per transaction (if
+  /// collected).
+  std::vector<std::pair<SimNanos, uint8_t>> completions;
 
   /// All transactions per virtual minute.
   double Tpm() const {
@@ -134,9 +154,10 @@ struct RunResult {
                           static_cast<double>(duration)
                     : 0.0;
   }
-  /// New-Order transactions per virtual minute — the paper's tpmC.
+  /// Primary transactions per virtual minute — the paper's tpmC under
+  /// TPC-C, plain throughput elsewhere.
   double TpmC() const {
-    return duration ? static_cast<double>(new_orders) * 60e9 /
+    return duration ? static_cast<double>(primary_txns) * 60e9 /
                           static_cast<double>(duration)
                     : 0.0;
   }
@@ -152,11 +173,12 @@ struct RunResult {
 class Testbed {
  public:
   /// `golden` must outlive the testbed and match no particular profile —
-  /// only its bytes and allocator mark are used.
+  /// only its bytes, allocator mark, and workload factory are used.
   Testbed(const TestbedOptions& options, const GoldenImage* golden);
   ~Testbed();
 
-  /// Clone the golden image, wire the stack, take the anchoring checkpoint.
+  /// Clone the golden image, wire the stack, take the anchoring checkpoint,
+  /// and bind the workload driver.
   Status Start();
 
   /// Run `txns` transactions, then zero every stat and clock: subsequent
@@ -170,6 +192,7 @@ class Testbed {
   /// Begin `n` transactions and leave them uncommitted with real updates
   /// applied — the in-flight work a mid-interval crash strands (the
   /// paper's kill -9 protocol always caught ~50 backends mid-flight).
+  /// Requires a workload that implements InjectStranded.
   Status InjectInflightTransactions(uint32_t n);
 
   /// Power loss: DRAM state (buffer pool, directories, active
@@ -182,8 +205,12 @@ class Testbed {
 
   // --- accessors ---------------------------------------------------------------
   Database* db() { return db_.get(); }
-  tpcc::Workload* workload() { return workload_.get(); }
-  tpcc::Tables* tables() { return tables_.get(); }
+  /// The bound workload driver (valid after Start).
+  workload::Workload* workload() { return workload_.get(); }
+  /// TPC-C internals, when the bound workload is the TPC-C driver (null
+  /// otherwise) — legacy surface for TPC-C-specific tests and tools.
+  tpcc::Workload* tpcc_workload();
+  tpcc::Tables* tables();
   IoScheduler* sched() { return &sched_; }
   SimDevice* db_dev() { return db_dev_.get(); }
   SimDevice* flash_dev() { return flash_dev_.get(); }
@@ -195,6 +222,11 @@ class Testbed {
   /// Virtual time of the most recent checkpoint (crash-protocol helper).
   SimNanos last_checkpoint_time() const { return last_ckpt_time_; }
 
+  /// Attach a trace recorder: Run() batches report every buffer-pool page
+  /// reference and transaction boundary to it (warmup batches included —
+  /// attach after Warmup for steady-state traces). Null detaches.
+  void set_tracer(workload::TraceRecorder* tracer) { tracer_ = tracer; }
+
  private:
   /// Create storage/log/cache/database. `after_crash` skips cache Format
   /// (RecoverAfterCrash will restore or reset it).
@@ -204,12 +236,15 @@ class Testbed {
   /// Flash device blocks the policy needs for `flash_pages` cache pages.
   uint64_t FlashDeviceBlocks() const;
   uint32_t EffectiveSegEntries() const;
+  /// The TPC-C adapter behind workload_, or null.
+  workload::TpccDriver* tpcc_driver();
   /// Run the checkpointer / lazy cleaner on their background tokens.
   Status RunBackgroundWork();
   void ResetAllStats();
 
   TestbedOptions opts_;
   const GoldenImage* golden_;
+  std::shared_ptr<const workload::WorkloadFactory> factory_;
   IoScheduler sched_;
   std::unique_ptr<SimDevice> db_dev_, log_dev_, flash_dev_;
   uint32_t ckpt_token_ = 0, cleaner_token_ = 0, recovery_token_ = 0;
@@ -219,8 +254,9 @@ class Testbed {
   std::unique_ptr<LogManager> log_;
   std::unique_ptr<CacheExtension> cache_;
   std::unique_ptr<Database> db_;
-  std::unique_ptr<tpcc::Tables> tables_;
-  std::unique_ptr<tpcc::Workload> workload_;
+  std::unique_ptr<workload::Workload> workload_;
+  Random client_rnd_;  ///< per-client request stream handed to NextTxn
+  workload::TraceRecorder* tracer_ = nullptr;
 
   SimNanos last_ckpt_time_ = 0;
   uint64_t txn_seed_ = 0;  ///< workload seed, advanced across crashes

@@ -54,18 +54,10 @@ inline constexpr const char* kItemPk = "pk_item";
 inline constexpr const char* kStockPk = "pk_stock";
 
 // --- Rid <-> index value codec ----------------------------------------------
-inline constexpr uint32_t kRidValueSize = 10;
-
-inline std::string EncodeRid(Rid rid) {
-  std::string v(kRidValueSize, '\0');
-  EncodeFixed64(v.data(), rid.page_id);
-  EncodeFixed16(v.data() + 8, rid.slot);
-  return v;
-}
-
-inline Rid DecodeRid(std::string_view v) {
-  return Rid{DecodeFixed64(v.data()), DecodeFixed16(v.data() + 8)};
-}
+// Shared with every other workload's indexes; lives in common/coding.h.
+using ::face::DecodeRid;
+using ::face::EncodeRid;
+using ::face::kRidValueSize;
 
 // --- fixed-width string helper ----------------------------------------------
 inline void PutChar(std::string* row, std::string_view s, uint32_t width) {

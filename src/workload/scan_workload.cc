@@ -1,0 +1,87 @@
+#include "workload/scan_workload.h"
+
+namespace face {
+namespace workload {
+
+const char* ScanHeavyWorkload::txn_type_name(uint8_t type) const {
+  switch (type) {
+    case kScan: return "Scan";
+    case kRead: return "Read";
+    case kUpdate: return "Update";
+  }
+  return "?";
+}
+
+Status ScanHeavyWorkload::Setup(Database& db, uint64_t seed) {
+  FACE_ASSIGN_OR_RETURN(table_, KvTable::Open(db));
+  version_ = seed << 20;
+  return Status::OK();
+}
+
+StatusOr<uint8_t> ScanHeavyWorkload::NextTxn(Database& db, Random& rnd) {
+  const int roll = static_cast<int>(rnd.Uniform(100));
+  const uint64_t key = rnd.Uniform(opts_.records);
+  uint8_t type;
+  Status s;
+  const TxnId txn = db.Begin();
+  if (roll < opts_.pct_scan) {
+    type = kScan;
+    const uint64_t rows =
+        opts_.min_scan_rows +
+        rnd.Uniform(opts_.max_scan_rows - opts_.min_scan_rows + 1);
+    const StatusOr<uint64_t> read = table_.Scan(key, rows);
+    s = read.status();
+    if (read.ok()) stats_.rows_read += *read;
+  } else if (roll < opts_.pct_scan + (100 - opts_.pct_scan) / 2) {
+    type = kRead;
+    std::string row;
+    s = table_.Read(key, &row);
+    if (s.ok()) ++stats_.rows_read;
+  } else {
+    type = kUpdate;
+    PageWriter w = db.Writer(txn);
+    s = table_.Update(&w, key, opts_.value_bytes, ++version_);
+    if (s.ok()) ++stats_.rows_written;
+  }
+  if (!s.ok()) {
+    FACE_RETURN_IF_ERROR(db.Abort(txn));
+    return s;
+  }
+  FACE_RETURN_IF_ERROR(db.Commit(txn));
+  RecordCompleted(type, /*primary=*/true);
+  return type;
+}
+
+Status ScanHeavyWorkload::InjectStranded(Database& db, Random& rnd) {
+  const TxnId txn = db.Begin();
+  PageWriter w = db.Writer(txn);
+  return table_.Update(&w, rnd.Uniform(opts_.records), opts_.value_bytes,
+                       ++version_);
+}
+
+// --- factory -----------------------------------------------------------------
+
+uint64_t ScanHeavyFactory::CapacityPages() const {
+  const uint64_t row_bytes = 8 + opts_.value_bytes + 8;
+  const uint64_t heap_pages = opts_.records * row_bytes / (kPageSize / 2) + 64;
+  const uint64_t index_pages = opts_.records / 64 + 64;
+  return (heap_pages + index_pages) * 2 + 8192;
+}
+
+Status ScanHeavyFactory::Load(Database& db, uint64_t seed) const {
+  (void)seed;
+  PageWriter bulk = db.BulkWriter();
+  FACE_ASSIGN_OR_RETURN(KvTable table, KvTable::Create(db, &bulk));
+  for (uint64_t id = 0; id < opts_.records; ++id) {
+    FACE_RETURN_IF_ERROR(
+        table.Insert(&bulk, id, opts_.value_bytes, /*version=*/0));
+  }
+  return db.CleanShutdown();
+}
+
+std::unique_ptr<Workload> ScanHeavyFactory::Create() const {
+  return std::make_unique<ScanHeavyWorkload>(opts_);
+}
+
+}  // namespace workload
+}  // namespace face

@@ -1,0 +1,65 @@
+// Scan-heavy workload: long range scans over the KV table with a thin
+// stream of point updates. Each scan touches hundreds of pages exactly
+// once, the access pattern that pollutes recency-blind caches — a FIFO
+// (mvFIFO) flash tier admits every scanned page and churns its queue, while
+// frequency-aware policies (TAC) shrug scans off. TPC-C has nothing like
+// it, which is why Table 3's hit rates alone cannot rank the policies.
+#pragma once
+
+#include "workload/kv_table.h"
+#include "workload/workload.h"
+
+namespace face {
+namespace workload {
+
+/// Shape of the scan-heavy mix.
+struct ScanHeavyOptions {
+  uint64_t records = 50000;
+  uint32_t value_bytes = 400;
+  /// Percent of transactions that are range scans (the rest split evenly
+  /// between point reads and point updates).
+  int pct_scan = 70;
+  /// Scan length range in rows (uniform).
+  uint64_t min_scan_rows = 100;
+  uint64_t max_scan_rows = 800;
+};
+
+/// Scan-heavy driver; see file comment.
+class ScanHeavyWorkload : public Workload {
+ public:
+  enum TxnType : uint8_t { kScan = 0, kRead = 1, kUpdate = 2 };
+
+  explicit ScanHeavyWorkload(const ScanHeavyOptions& options)
+      : opts_(options) {}
+
+  const char* name() const override { return "scan-heavy"; }
+  uint32_t num_txn_types() const override { return 3; }
+  const char* txn_type_name(uint8_t type) const override;
+
+  Status Setup(Database& db, uint64_t seed) override;
+  StatusOr<uint8_t> NextTxn(Database& db, Random& rnd) override;
+  Status InjectStranded(Database& db, Random& rnd) override;
+
+ private:
+  ScanHeavyOptions opts_;
+  KvTable table_;
+  uint64_t version_ = 0;
+};
+
+/// Builds scan-heavy golden images and drivers (same KV schema as YCSB).
+class ScanHeavyFactory : public WorkloadFactory {
+ public:
+  explicit ScanHeavyFactory(const ScanHeavyOptions& options)
+      : opts_(options) {}
+
+  const char* name() const override { return "scan-heavy"; }
+  uint64_t CapacityPages() const override;
+  Status Load(Database& db, uint64_t seed) const override;
+  std::unique_ptr<Workload> Create() const override;
+
+ private:
+  ScanHeavyOptions opts_;
+};
+
+}  // namespace workload
+}  // namespace face

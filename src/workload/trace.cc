@@ -1,0 +1,178 @@
+#include "workload/trace.h"
+
+#include <cstdio>
+
+#include "common/coding.h"
+#include "engine/page_writer.h"
+
+namespace face {
+namespace workload {
+
+namespace {
+constexpr uint32_t kTraceMagic = 0x52544346;  // "FCTR" little-endian
+constexpr uint32_t kTraceVersion = 1;
+constexpr uint8_t kTxnMarker = 0xFF;
+}  // namespace
+
+std::string Trace::Encode() const {
+  std::string out;
+  out.reserve(24 + events_.size() * 2);
+  PutFixed32(&out, kTraceMagic);
+  PutFixed32(&out, kTraceVersion);
+  PutFixed64(&out, txn_starts_.size());
+  PutFixed64(&out, events_.size());
+
+  uint64_t prev_page = 0;
+  uint64_t next_txn = 0;
+  for (uint64_t i = 0; i < events_.size(); ++i) {
+    while (next_txn < txn_starts_.size() && txn_starts_[next_txn] == i) {
+      out.push_back(static_cast<char>(kTxnMarker));
+      ++next_txn;
+    }
+    const TraceEvent& ev = events_[i];
+    out.push_back(ev.write ? 1 : 0);
+    PutVarint64(&out, ZigzagEncode(static_cast<int64_t>(ev.page) -
+                                   static_cast<int64_t>(prev_page)));
+    prev_page = ev.page;
+  }
+  // Trailing empty transactions.
+  while (next_txn < txn_starts_.size()) {
+    out.push_back(static_cast<char>(kTxnMarker));
+    ++next_txn;
+  }
+  return out;
+}
+
+StatusOr<Trace> Trace::Decode(std::string_view data) {
+  if (data.size() < 24) return Status::Corruption("trace too short");
+  if (DecodeFixed32(data.data()) != kTraceMagic) {
+    return Status::Corruption("bad trace magic");
+  }
+  if (DecodeFixed32(data.data() + 4) != kTraceVersion) {
+    return Status::Corruption("unsupported trace version");
+  }
+  const uint64_t txn_count = DecodeFixed64(data.data() + 8);
+  const uint64_t event_count = DecodeFixed64(data.data() + 16);
+  // Validate the counts against the body size (a txn marker is 1 byte, an
+  // event at least 2) before trusting them for allocation.
+  const uint64_t body = data.size() - 24;
+  if (txn_count > body || event_count > body / 2) {
+    return Status::Corruption("trace counts exceed file size");
+  }
+
+  Trace trace;
+  trace.events_.reserve(event_count);
+  trace.txn_starts_.reserve(txn_count);
+  const char* p = data.data() + 24;
+  const char* limit = data.data() + data.size();
+  uint64_t prev_page = 0;
+  while (p < limit) {
+    const uint8_t op = static_cast<uint8_t>(*p++);
+    if (op == kTxnMarker) {
+      trace.BeginTxn();
+      continue;
+    }
+    if (op > 1) return Status::Corruption("bad trace op byte");
+    if (trace.txn_starts_.empty()) {
+      return Status::Corruption("trace event before first transaction");
+    }
+    uint64_t delta = 0;
+    p = GetVarint64(p, limit, &delta);
+    if (p == nullptr) return Status::Corruption("truncated trace varint");
+    prev_page = static_cast<uint64_t>(static_cast<int64_t>(prev_page) +
+                                      ZigzagDecode(delta));
+    trace.Append(prev_page, op == 1);
+  }
+  if (trace.txn_count() != txn_count || trace.event_count() != event_count) {
+    return Status::Corruption("trace count mismatch");
+  }
+  return trace;
+}
+
+Status Trace::SaveTo(const std::string& path) const {
+  const std::string data = Encode();
+  FILE* f = fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  const bool ok = fwrite(data.data(), 1, data.size(), f) == data.size();
+  fclose(f);
+  if (!ok) return Status::IOError("short write to " + path);
+  return Status::OK();
+}
+
+StatusOr<Trace> Trace::LoadFrom(const std::string& path) {
+  FILE* f = fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  std::string data;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = fread(buf, 1, sizeof(buf), f)) > 0) data.append(buf, n);
+  fclose(f);
+  return Decode(data);
+}
+
+// --- recorder ----------------------------------------------------------------
+
+void TraceRecorder::OnTxnStart() {
+  trace_.BeginTxn();
+  in_txn_ = true;
+  last_ = TraceEvent();
+}
+
+void TraceRecorder::OnPageAccess(PageId page_id, bool write) {
+  if (!in_txn_) return;
+  const TraceEvent ev{page_id, write};
+  if (ev == last_) return;  // collapse MarkDirty bursts / re-pins
+  trace_.Append(page_id, write);
+  last_ = ev;
+}
+
+Trace TraceRecorder::TakeTrace() {
+  Trace out = std::move(trace_);
+  trace_ = Trace();
+  in_txn_ = false;
+  last_ = TraceEvent();
+  return out;
+}
+
+// --- replayer ----------------------------------------------------------------
+
+StatusOr<bool> TraceReplayer::ReplayNext(Database& db) {
+  if (trace_->txn_count() == 0) {
+    return Status::InvalidArgument("empty trace");
+  }
+  const uint64_t txn_idx = next_txn_;
+  next_txn_ = (next_txn_ + 1) % trace_->txn_count();
+  const auto [begin, end] = trace_->TxnSpan(txn_idx);
+
+  const TxnId txn = db.Begin();
+  PageWriter w = db.Writer(txn);
+  bool wrote = false;
+  for (uint64_t i = begin; i < end; ++i) {
+    const TraceEvent& ev = trace_->events()[i];
+    auto page = db.pool()->FetchPageForRedo(ev.page);
+    if (!page.ok()) {
+      FACE_RETURN_IF_ERROR(db.Abort(txn));
+      return page.status();
+    }
+    if (ev.write) {
+      // A logged single-word stamp at the page tail: enough to dirty the
+      // page under WAL like the recorded write did. Replay does not
+      // preserve row payloads (see class comment).
+      char stamp[8];
+      EncodeFixed64(stamp, ++stamp_);
+      const Status s =
+          w.Apply(&page.value(), kPageSize - sizeof(stamp), stamp,
+                  sizeof(stamp));
+      if (!s.ok()) {
+        FACE_RETURN_IF_ERROR(db.Abort(txn));
+        return s;
+      }
+      wrote = true;
+    }
+  }
+  FACE_RETURN_IF_ERROR(db.Commit(txn));
+  return wrote;
+}
+
+}  // namespace workload
+}  // namespace face

@@ -1,0 +1,133 @@
+// Page-access trace capture and deterministic replay.
+//
+// A Trace is the logical page-reference stream of a run, grouped into
+// transactions: every buffer-pool FetchPage (read reference) and MarkDirty
+// (write reference), in order. TraceRecorder captures one by plugging into
+// the buffer pool's PageTraceSink hook (Testbed::set_tracer wires it up and
+// marks transaction boundaries); TraceReplayer re-issues the stream against
+// any database clone — and therefore any CachePolicy — transaction by
+// transaction, deterministically.
+//
+// On-media format (compact binary, ~2 bytes per event):
+//   header:  magic "FCTR" (u32 LE), version (u32 LE),
+//            txn_count (u64 LE), event_count (u64 LE)
+//   body:    per transaction: 0xFF marker byte, then per event one op byte
+//            (0 = read, 1 = write) followed by the page id as a
+//            zigzag-varint delta against the previous event's page id
+//            (page streams are local, so deltas are short).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "buffer/buffer_pool.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "engine/database.h"
+
+namespace face {
+namespace workload {
+
+/// One recorded page reference.
+struct TraceEvent {
+  PageId page = kInvalidPageId;
+  bool write = false;
+
+  bool operator==(const TraceEvent& o) const {
+    return page == o.page && write == o.write;
+  }
+};
+
+/// A transaction-grouped page-reference stream; see file comment.
+class Trace {
+ public:
+  uint64_t txn_count() const { return txn_starts_.size(); }
+  uint64_t event_count() const { return events_.size(); }
+
+  /// Open a new (initially empty) transaction group.
+  void BeginTxn() { txn_starts_.push_back(events_.size()); }
+  /// Append an event to the currently open transaction. Events before the
+  /// first BeginTxn are dropped (the encoding cannot represent them, and
+  /// the recorder drops them too).
+  void Append(PageId page, bool write) {
+    if (txn_starts_.empty()) return;
+    events_.push_back({page, write});
+  }
+
+  /// Events of transaction `txn` as [begin, end) indexes into events().
+  std::pair<uint64_t, uint64_t> TxnSpan(uint64_t txn) const {
+    const uint64_t begin = txn_starts_[txn];
+    const uint64_t end = txn + 1 < txn_starts_.size() ? txn_starts_[txn + 1]
+                                                      : events_.size();
+    return {begin, end};
+  }
+  const std::vector<TraceEvent>& events() const { return events_; }
+
+  /// Serialize to the compact binary format.
+  std::string Encode() const;
+  /// Parse a serialized trace; Corruption on malformed input.
+  static StatusOr<Trace> Decode(std::string_view data);
+
+  /// Write/read the binary format to a host file.
+  Status SaveTo(const std::string& path) const;
+  static StatusOr<Trace> LoadFrom(const std::string& path);
+
+  bool operator==(const Trace& o) const {
+    return events_ == o.events_ && txn_starts_ == o.txn_starts_;
+  }
+
+ private:
+  std::vector<TraceEvent> events_;
+  std::vector<uint64_t> txn_starts_;
+};
+
+/// Captures a Trace from a live run via the buffer pool's trace hook.
+/// Consecutive duplicate references (a transaction re-touching the page it
+/// already holds, or per-byte-range MarkDirty bursts) are collapsed.
+class TraceRecorder : public PageTraceSink {
+ public:
+  /// Mark the start of the next transaction (the testbed calls this before
+  /// each NextTxn). Accesses before the first mark are dropped.
+  void OnTxnStart();
+
+  void OnPageAccess(PageId page_id, bool write) override;
+
+  const Trace& trace() const { return trace_; }
+  /// Move the captured trace out (the recorder resets to empty).
+  Trace TakeTrace();
+
+ private:
+  Trace trace_;
+  bool in_txn_ = false;
+  TraceEvent last_;
+};
+
+/// Replays a Trace transaction-by-transaction against a database: read
+/// references become buffer-pool fetches (virgin pages materialize as
+/// formatted zero pages, like redo), write references become logged
+/// single-word stamps, so WAL forces and cache/eviction traffic shape up
+/// exactly as the recorded run's did. Replay clobbers row payload bytes —
+/// it reproduces cache behavior, not row contents.
+class TraceReplayer {
+ public:
+  explicit TraceReplayer(std::shared_ptr<const Trace> trace)
+      : trace_(std::move(trace)) {}
+
+  /// Replay the next transaction (wraps around at the end). Returns true
+  /// if the transaction contained write references.
+  StatusOr<bool> ReplayNext(Database& db);
+
+  uint64_t position() const { return next_txn_; }
+  void Reset() { next_txn_ = 0; }
+  const Trace& trace() const { return *trace_; }
+
+ private:
+  std::shared_ptr<const Trace> trace_;
+  uint64_t next_txn_ = 0;
+  uint64_t stamp_ = 0;  ///< distinct bytes per write stamp
+};
+
+}  // namespace workload
+}  // namespace face

@@ -1,0 +1,76 @@
+// TraceWorkload: a recorded page-access stream as a first-class workload.
+// Pair a TraceReplayFactory with the golden image the trace was recorded
+// against and the testbed drives the identical reference stream through any
+// cache policy — the controlled-replay experiment (same accesses, different
+// policy) that live workloads cannot give, because policy changes perturb
+// timing and therefore the request stream itself.
+#pragma once
+
+#include <memory>
+
+#include "workload/trace.h"
+#include "workload/workload.h"
+
+namespace face {
+namespace workload {
+
+/// Replays a recorded trace as the transaction stream; see file comment.
+class TraceWorkload : public Workload {
+ public:
+  enum TxnType : uint8_t { kReadOnly = 0, kUpdate = 1 };
+
+  explicit TraceWorkload(std::shared_ptr<const Trace> trace)
+      : replayer_(std::move(trace)) {}
+
+  const char* name() const override { return "trace-replay"; }
+  uint32_t num_txn_types() const override { return 2; }
+  const char* txn_type_name(uint8_t type) const override {
+    return type == kUpdate ? "Update" : "ReadOnly";
+  }
+
+  Status Setup(Database& db, uint64_t seed) override {
+    (void)db;
+    (void)seed;  // replay is deterministic; the seed has no effect
+    replayer_.Reset();
+    return Status::OK();
+  }
+
+  StatusOr<uint8_t> NextTxn(Database& db, Random& rnd) override {
+    (void)rnd;
+    FACE_ASSIGN_OR_RETURN(const bool wrote, replayer_.ReplayNext(db));
+    const uint8_t type = wrote ? kUpdate : kReadOnly;
+    RecordCompleted(type, /*primary=*/true);
+    return type;
+  }
+
+  const TraceReplayer& replayer() const { return replayer_; }
+
+ private:
+  TraceReplayer replayer_;
+};
+
+/// Factory wrapper for replays. Load() refuses: a trace must run against
+/// the golden image of the run that recorded it, never a fresh load.
+class TraceReplayFactory : public WorkloadFactory {
+ public:
+  explicit TraceReplayFactory(std::shared_ptr<const Trace> trace)
+      : trace_(std::move(trace)) {}
+
+  const char* name() const override { return "trace-replay"; }
+  uint64_t CapacityPages() const override { return 0; }
+  Status Load(Database& db, uint64_t seed) const override {
+    (void)db;
+    (void)seed;
+    return Status::InvalidArgument(
+        "trace replays run against the recorded run's golden image");
+  }
+  std::unique_ptr<Workload> Create() const override {
+    return std::make_unique<TraceWorkload>(trace_);
+  }
+
+ private:
+  std::shared_ptr<const Trace> trace_;
+};
+
+}  // namespace workload
+}  // namespace face

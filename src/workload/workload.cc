@@ -1,0 +1,14 @@
+#include "workload/workload.h"
+
+namespace face {
+namespace workload {
+
+Status Workload::InjectStranded(Database& db, Random& rnd) {
+  (void)db;
+  (void)rnd;
+  return Status::InvalidArgument(
+      "workload does not support stranded-transaction injection");
+}
+
+}  // namespace workload
+}  // namespace face

@@ -1,0 +1,199 @@
+#include "workload/ycsb_workload.h"
+
+namespace face {
+namespace workload {
+
+const char* DistributionName(YcsbOptions::Distribution d) {
+  switch (d) {
+    case YcsbOptions::Distribution::kUniform: return "uniform";
+    case YcsbOptions::Distribution::kZipfian: return "zipfian";
+    case YcsbOptions::Distribution::kLatest: return "latest";
+  }
+  return "?";
+}
+
+namespace {
+
+// FNV-1a style scramble: spreads the Zipfian head across the key space so
+// hot keys land on distinct pages (standard YCSB "scrambled zipfian" —
+// without it the whole hot set shares a handful of heap pages and the DRAM
+// pool hides the flash tier entirely).
+uint64_t Scramble(uint64_t v) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (int i = 0; i < 8; ++i) {
+    h ^= v & 0xff;
+    h *= 0x100000001b3ull;
+    v >>= 8;
+  }
+  return h;
+}
+
+}  // namespace
+
+YcsbWorkload::YcsbWorkload(const YcsbOptions& options) : opts_(options) {}
+
+const char* YcsbWorkload::name() const {
+  switch (opts_.distribution) {
+    case YcsbOptions::Distribution::kUniform: return "ycsb-uniform";
+    case YcsbOptions::Distribution::kZipfian: return "ycsb-zipfian";
+    case YcsbOptions::Distribution::kLatest: return "ycsb-latest";
+  }
+  return "ycsb";
+}
+
+const char* YcsbWorkload::txn_type_name(uint8_t type) const {
+  switch (type) {
+    case kRead: return "Read";
+    case kUpdate: return "Update";
+    case kInsert: return "Insert";
+    case kScan: return "Scan";
+  }
+  return "?";
+}
+
+Status YcsbWorkload::Setup(Database& db, uint64_t seed) {
+  FACE_ASSIGN_OR_RETURN(table_, KvTable::Open(db));
+  // The Zipfian rank table is over the initially loaded population; inserts
+  // extend the key space but not the hot set (standard YCSB behavior).
+  zipf_ = std::make_unique<ZipfGenerator>(opts_.records, opts_.zipf_theta,
+                                          seed ^ 0x5ca1ab1e);
+  // Recover the insert high-water mark: inserted keys are exactly the index
+  // tail at ids >= records, so a post-crash Setup resumes without clashing.
+  FACE_ASSIGN_OR_RETURN(inserted_, table_.CountFrom(opts_.records));
+  version_ = seed << 20;  // fresh payload versions per incarnation
+  return Status::OK();
+}
+
+uint64_t YcsbWorkload::ChooseKey(Random& rnd) {
+  const uint64_t population = opts_.records + inserted_;
+  switch (opts_.distribution) {
+    case YcsbOptions::Distribution::kUniform:
+      return rnd.Uniform(population);
+    case YcsbOptions::Distribution::kZipfian:
+      return Scramble(zipf_->Next()) % opts_.records;
+    case YcsbOptions::Distribution::kLatest:
+      // Hottest key = most recently inserted, decaying Zipf-fast backwards.
+      return population - 1 - zipf_->Next();
+  }
+  return 0;
+}
+
+StatusOr<uint8_t> YcsbWorkload::NextTxn(Database& db, Random& rnd) {
+  const int roll = static_cast<int>(rnd.Uniform(100));
+  uint8_t type;
+  Status s;
+  if (roll < opts_.pct_read) {
+    type = kRead;
+    s = DoRead(db, ChooseKey(rnd));
+  } else if (roll < opts_.pct_read + opts_.pct_update) {
+    type = kUpdate;
+    s = DoUpdate(db, ChooseKey(rnd));
+  } else if (roll < opts_.pct_read + opts_.pct_update + opts_.pct_insert) {
+    type = kInsert;
+    s = DoInsert(db);
+  } else {
+    type = kScan;
+    const uint64_t rows = 1 + rnd.Uniform(opts_.max_scan_rows);
+    s = DoScan(db, ChooseKey(rnd), rows);
+  }
+  if (!s.ok()) return s;
+  RecordCompleted(type, /*primary=*/true);
+  return type;
+}
+
+Status YcsbWorkload::DoRead(Database& db, uint64_t key) {
+  const TxnId txn = db.Begin();
+  std::string row;
+  const Status s = table_.Read(key, &row);
+  if (!s.ok()) {
+    FACE_RETURN_IF_ERROR(db.Abort(txn));
+    return s;
+  }
+  ++stats_.rows_read;
+  return db.Commit(txn);
+}
+
+Status YcsbWorkload::DoUpdate(Database& db, uint64_t key) {
+  const TxnId txn = db.Begin();
+  PageWriter w = db.Writer(txn);
+  const Status s = table_.Update(&w, key, opts_.value_bytes, ++version_);
+  if (!s.ok()) {
+    FACE_RETURN_IF_ERROR(db.Abort(txn));
+    return s;
+  }
+  ++stats_.rows_written;
+  return db.Commit(txn);
+}
+
+Status YcsbWorkload::DoInsert(Database& db) {
+  const TxnId txn = db.Begin();
+  PageWriter w = db.Writer(txn);
+  const uint64_t key = opts_.records + inserted_;
+  const Status s = table_.Insert(&w, key, opts_.value_bytes, ++version_);
+  if (!s.ok()) {
+    FACE_RETURN_IF_ERROR(db.Abort(txn));
+    return s;
+  }
+  ++inserted_;
+  ++stats_.rows_written;
+  return db.Commit(txn);
+}
+
+Status YcsbWorkload::DoScan(Database& db, uint64_t key, uint64_t rows) {
+  const TxnId txn = db.Begin();
+  const StatusOr<uint64_t> read = table_.Scan(key, rows);
+  if (!read.ok()) {
+    FACE_RETURN_IF_ERROR(db.Abort(txn));
+    return read.status();
+  }
+  stats_.rows_read += *read;
+  return db.Commit(txn);
+}
+
+Status YcsbWorkload::InjectStranded(Database& db, Random& rnd) {
+  // An update applied but never committed — the in-flight work a crash
+  // strands (recovery must undo it).
+  const TxnId txn = db.Begin();
+  PageWriter w = db.Writer(txn);
+  return table_.Update(&w, rnd.Uniform(opts_.records), opts_.value_bytes,
+                       ++version_);
+}
+
+// --- factory -----------------------------------------------------------------
+
+const char* YcsbFactory::name() const {
+  switch (opts_.distribution) {
+    case YcsbOptions::Distribution::kUniform: return "ycsb-uniform";
+    case YcsbOptions::Distribution::kZipfian: return "ycsb-zipfian";
+    case YcsbOptions::Distribution::kLatest: return "ycsb-latest";
+  }
+  return "ycsb";
+}
+
+uint64_t YcsbFactory::CapacityPages() const {
+  // Heap rows pack ~kPageSize/2 usable bytes per page at worst; the index
+  // adds ~24 bytes per entry. Triple for insert growth plus fixed slack.
+  const uint64_t row_bytes = 8 + opts_.value_bytes + 8;
+  const uint64_t heap_pages = opts_.records * row_bytes / (kPageSize / 2) + 64;
+  const uint64_t index_pages = opts_.records / 64 + 64;
+  return (heap_pages + index_pages) * 3 + 8192;
+}
+
+Status YcsbFactory::Load(Database& db, uint64_t seed) const {
+  (void)seed;  // the load image is deterministic in (records, value_bytes)
+  PageWriter bulk = db.BulkWriter();
+  FACE_ASSIGN_OR_RETURN(KvTable table, KvTable::Create(db, &bulk));
+  for (uint64_t id = 0; id < opts_.records; ++id) {
+    FACE_RETURN_IF_ERROR(
+        table.Insert(&bulk, id, opts_.value_bytes, /*version=*/0));
+  }
+  // Flush + checkpoint: the on-media image is self-contained from here.
+  return db.CleanShutdown();
+}
+
+std::unique_ptr<Workload> YcsbFactory::Create() const {
+  return std::make_unique<YcsbWorkload>(opts_);
+}
+
+}  // namespace workload
+}  // namespace face

@@ -38,7 +38,7 @@ TEST(TestbedTest, RunsTransactionsWithoutCache) {
   FACE_ASSERT_OK_AND_ASSIGN(RunResult result, tb.Run(run));
   EXPECT_EQ(result.txns, 300u);
   EXPECT_GT(result.duration, 0u);
-  EXPECT_GT(result.new_orders, 60u);  // ~45 % of the mix
+  EXPECT_GT(result.primary_txns, 60u);  // NewOrders, ~45 % of the mix
   EXPECT_GT(result.Tpm(), 0.0);
   // Without a flash cache every miss is a disk fetch.
   EXPECT_EQ(result.pool_stats.flash_fetches, 0u);

@@ -142,7 +142,7 @@ TEST_F(TpccSystemTest, LoaderCardinalitiesMatchSpec) {
 }
 
 TEST_F(TpccSystemTest, NewOrderAdvancesDistrictAndInsertsRows) {
-  Workload* wl = tb_->workload();
+  Workload* wl = tb_->tpcc_workload();
   Tables* t = tb_->tables();
   std::string row;
   FACE_ASSERT_OK(t->pk_district.Get(DistrictKey(1, 1), &row));
@@ -164,7 +164,7 @@ TEST_F(TpccSystemTest, NewOrderAdvancesDistrictAndInsertsRows) {
 }
 
 TEST_F(TpccSystemTest, PaymentMovesMoneyConsistently) {
-  Workload* wl = tb_->workload();
+  Workload* wl = tb_->tpcc_workload();
   Tables* t = tb_->tables();
   for (int i = 0; i < 40; ++i) FACE_ASSERT_OK(wl->Payment(1));
 
@@ -187,7 +187,7 @@ TEST_F(TpccSystemTest, PaymentMovesMoneyConsistently) {
 }
 
 TEST_F(TpccSystemTest, DeliveryClearsOldestNewOrders) {
-  Workload* wl = tb_->workload();
+  Workload* wl = tb_->tpcc_workload();
   Tables* t = tb_->tables();
   FACE_ASSERT_OK_AND_ASSIGN(uint64_t no_before, t->new_order.CountRows());
   FACE_ASSERT_OK(wl->Delivery(1));
@@ -209,7 +209,7 @@ TEST_F(TpccSystemTest, DeliveryClearsOldestNewOrders) {
 }
 
 TEST_F(TpccSystemTest, ReadOnlyTransactionsComplete) {
-  Workload* wl = tb_->workload();
+  Workload* wl = tb_->tpcc_workload();
   for (int i = 0; i < 10; ++i) {
     FACE_ASSERT_OK(wl->OrderStatus(1));
     FACE_ASSERT_OK(wl->StockLevel(1, 1 + i % 10));
@@ -217,7 +217,7 @@ TEST_F(TpccSystemTest, ReadOnlyTransactionsComplete) {
 }
 
 TEST_F(TpccSystemTest, MixedRunKeepsConsistencyConditions) {
-  Workload* wl = tb_->workload();
+  Workload* wl = tb_->tpcc_workload();
   Tables* t = tb_->tables();
   for (int i = 0; i < 400; ++i) FACE_ASSERT_OK(wl->RunOne().status());
   EXPECT_EQ(wl->stats().total(), 400u);
@@ -263,7 +263,7 @@ TEST_F(TpccSystemTest, MixedRunKeepsConsistencyConditions) {
 
 TEST_F(TpccSystemTest, CustomerSelectionByNameFindsMidpoint) {
   // Payment by last name must work for every generated name.
-  Workload* wl = tb_->workload();
+  Workload* wl = tb_->tpcc_workload();
   for (int i = 0; i < 60; ++i) FACE_ASSERT_OK(wl->Payment(1));
   // At least some of those went through the by-name path (60 %); the
   // absence of failures is the assertion.
