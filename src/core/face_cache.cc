@@ -571,6 +571,40 @@ Status FaceCache::RecoverAfterCrash() {
   return Status::OK();
 }
 
+StatusOr<uint64_t> FaceCache::AuditFrames() {
+  FACE_RETURN_IF_ERROR(CheckInvariants());
+  uint64_t audited = 0;
+  std::string buf(kPageSize, '\0');
+  for (uint64_t seq = front_seq_; seq < rear_seq_; ++seq) {
+    const Entry& e = EntryAt(seq);
+    if (!e.valid) continue;
+    const char* bytes;
+    if (!staging_.empty() && seq >= staged_base_) {
+      bytes = staging_[seq - staged_base_].data();
+    } else {
+      FACE_RETURN_IF_ERROR(flash_->Read(layout_.FrameBlock(seq), buf.data()));
+      ++stats_.flash_reads;
+      bytes = buf.data();
+    }
+    ConstPageView view(bytes);
+    if (!view.VerifyChecksum()) {
+      return Status::Corruption("audit: mapped frame fails checksum (seq " +
+                                std::to_string(seq) + ")");
+    }
+    if (view.page_id() != e.page_id) {
+      return Status::Corruption("audit: frame page id mismatch (seq " +
+                                std::to_string(seq) + ")");
+    }
+    if (PageView(const_cast<char*>(bytes)).flags() !=
+        static_cast<uint32_t>(seq)) {
+      return Status::Corruption("audit: frame sequence stamp mismatch (seq " +
+                                std::to_string(seq) + ")");
+    }
+    ++audited;
+  }
+  return audited;
+}
+
 Status FaceCache::CheckInvariants() const {
   if (entries_.size() != rear_seq_ - front_seq_) {
     return Status::Internal("entry deque size != live range");

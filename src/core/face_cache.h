@@ -93,6 +93,14 @@ class FaceCache final : public CacheExtension {
   void SetPullSource(DramPullSource* source) override { pull_ = source; }
   Status CheckInvariants() const override;
 
+  /// Deep directory audit for crash tests: CheckInvariants plus a read-back
+  /// of every valid frame, verifying checksum, stamped page id, and the
+  /// enqueue-sequence stamp ("no frame mapped twice, every mapped frame
+  /// CRC-valid"). Frames still in the staging buffer are checked in memory.
+  /// Returns the number of frames verified; Corruption on the first
+  /// violation. Charges flash reads (callers audit with timing disabled).
+  StatusOr<uint64_t> AuditFrames();
+
   // Introspection ------------------------------------------------------------
   /// Live entries (valid + invalid versions + holes) in the queue.
   uint64_t live_entries() const { return rear_seq_ - front_seq_; }

@@ -1,5 +1,6 @@
 #include "core/tac_cache.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
 
@@ -176,20 +177,43 @@ Status TacCache::RecoverAfterCrash() {
   FACE_RETURN_IF_ERROR(flash_->ReadBatch(
       0, static_cast<uint32_t>(dir_blocks_), dir.data()));
   stats_.flash_reads += dir_blocks_;
-  for (uint64_t slot = 0; slot < options_.n_frames; ++slot) {
-    const FlashMetaEntry e = FlashMetaEntry::DecodeFrom(
-        dir.data() + (slot / kEntriesPerBlock) * kPageSize +
-        (slot % kEntriesPerBlock) * FlashMetaEntry::kEncodedSize);
-    if (!e.occupied || e.page_id == kInvalidPageId) {
-      free_slots_.push_back(slot);
-      continue;
+  // A second sequential sweep validates the frames themselves: the
+  // write-through in-place refresh (OnDramEvict) updates a frame without
+  // touching its directory entry, so a crash can tear a frame that the
+  // directory still advertises as valid. Dropping such a slot is always
+  // safe — write-through means disk holds the current copy.
+  constexpr uint32_t kSweepBatch = 64;
+  std::string frames(static_cast<size_t>(kSweepBatch) * kPageSize, '\0');
+  for (uint64_t base = 0; base < options_.n_frames; base += kSweepBatch) {
+    const uint32_t chunk = static_cast<uint32_t>(
+        std::min<uint64_t>(kSweepBatch, options_.n_frames - base));
+    FACE_RETURN_IF_ERROR(
+        flash_->ReadBatch(FrameBlock(base), chunk, frames.data()));
+    stats_.flash_reads += chunk;
+    for (uint32_t k = 0; k < chunk; ++k) {
+      const uint64_t slot = base + k;
+      const FlashMetaEntry e = FlashMetaEntry::DecodeFrom(
+          dir.data() + (slot / kEntriesPerBlock) * kPageSize +
+          (slot % kEntriesPerBlock) * FlashMetaEntry::kEncodedSize);
+      if (!e.occupied || e.page_id == kInvalidPageId) {
+        free_slots_.push_back(slot);
+        continue;
+      }
+      ConstPageView view(frames.data() + static_cast<size_t>(k) * kPageSize);
+      if (!view.VerifyChecksum() || view.page_id() != e.page_id) {
+        free_slots_.push_back(slot);
+        // Persist the invalidation so the next restart's sweep skips it.
+        FACE_RETURN_IF_ERROR(WriteDirEntry(slot, kInvalidPageId, false));
+        ++stats_.invalidations;
+        continue;
+      }
+      Entry entry;
+      entry.slot = slot;
+      entry.temp_snapshot = 0;  // temperatures do not survive a crash
+      entry.tick = ++clock_;
+      victim_order_.insert(KeyOf(e.page_id, entry));
+      index_.emplace(e.page_id, entry);
     }
-    Entry entry;
-    entry.slot = slot;
-    entry.temp_snapshot = 0;  // temperatures do not survive a crash
-    entry.tick = ++clock_;
-    victim_order_.insert(KeyOf(e.page_id, entry));
-    index_.emplace(e.page_id, entry);
   }
   return Status::OK();
 }

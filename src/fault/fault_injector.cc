@@ -1,0 +1,160 @@
+#include "fault/fault_injector.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <sstream>
+
+#include "sim/scheduler.h"
+#include "sim/sim_device.h"
+
+namespace face {
+
+std::string CrashSite::ToString() const {
+  if (!tripped) return "crash-site: not tripped";
+  std::ostringstream os;
+  os << "crash-site: dev=" << device << " block=" << block
+     << " req_pages=" << req_pages << " persisted=" << pages_persisted
+     << "p+" << sectors_persisted << "s write_no=" << write_no
+     << " vtime=" << ToSeconds(vtime) << "s";
+  return os.str();
+}
+
+void FaultInjector::ArmAfterWrites(uint64_t nth, uint64_t seed) {
+  mode_ = Mode::kCountdown;
+  countdown_ = std::max<uint64_t>(1, nth);
+  rnd_ = Random(seed ^ 0xFA017FEEDULL);
+  dead_ = false;
+  site_ = CrashSite();
+}
+
+void FaultInjector::ArmAtTime(SimNanos deadline, uint64_t seed) {
+  // Without a clock the deadline can never fire and the storm would pass
+  // vacuously, having injected nothing.
+  assert(sched_ != nullptr && "ArmAtTime requires AttachScheduler");
+  mode_ = Mode::kDeadline;
+  deadline_ = deadline;
+  rnd_ = Random(seed ^ 0xFA017FEEDULL);
+  dead_ = false;
+  site_ = CrashSite();
+}
+
+void FaultInjector::Disarm() {
+  mode_ = Mode::kOff;
+  dead_ = false;
+}
+
+FaultInjector::WriteVerdict FaultInjector::Trip(const std::string& device_id,
+                                                uint64_t block,
+                                                uint32_t n_pages,
+                                                uint32_t crash_page) {
+  WriteVerdict v;
+  v.trip = true;
+  v.keep_pages = crash_page;
+  if (GranularityFor(device_id) == TearGranularity::kSectorTear) {
+    // Sector-atomic cut: the crash page keeps a uniform prefix of sectors
+    // (0 = the page write was dropped whole; sectors beyond the prefix keep
+    // their pre-crash contents, as a real half-written page does).
+    v.keep_sectors = static_cast<uint32_t>(rnd_.Uniform(kSectorsPerPage));
+  } else {
+    v.keep_sectors = 0;  // page-atomic device: the crash page drops whole
+  }
+
+  mode_ = Mode::kOff;
+  dead_ = true;
+  site_.tripped = true;
+  site_.device = device_id;
+  site_.block = block;
+  site_.req_pages = n_pages;
+  site_.pages_persisted = v.keep_pages;
+  site_.sectors_persisted = v.keep_sectors;
+  site_.write_no = writes_observed_;
+  site_.vtime = sched_ != nullptr ? sched_->now() : 0;
+  return v;
+}
+
+FaultInjector::WriteVerdict FaultInjector::OnWrite(
+    const std::string& device_id, uint64_t block, uint32_t n_pages) {
+  if (dead_) {
+    WriteVerdict v;
+    v.dead = true;
+    return v;
+  }
+  const bool counted = target_.empty() || device_id == target_;
+  if (mode_ == Mode::kCountdown && counted) {
+    if (countdown_ <= n_pages) {
+      const uint32_t crash_page = static_cast<uint32_t>(countdown_ - 1);
+      writes_observed_ += countdown_;
+      per_device_writes_[device_id] += countdown_;
+      return Trip(device_id, block, n_pages, crash_page);
+    }
+    countdown_ -= n_pages;
+  } else if (mode_ == Mode::kDeadline && counted && sched_ != nullptr &&
+             sched_->now() >= deadline_) {
+    // The clock is only observable between requests, so the deadline cuts
+    // at the front of the first request past it.
+    writes_observed_ += 1;
+    per_device_writes_[device_id] += 1;
+    return Trip(device_id, block, n_pages, /*crash_page=*/0);
+  }
+  writes_observed_ += n_pages;
+  per_device_writes_[device_id] += n_pages;
+  return WriteVerdict();
+}
+
+namespace {
+
+/// Run `fn` with the device's timing disabled: aftermath surgery moves
+/// bytes the way a post-mortem disk editor would, charging nothing.
+template <typename Fn>
+Status WithTimingOff(SimDevice* dev, Fn fn) {
+  const bool was = dev->timing_enabled();
+  dev->set_timing_enabled(false);
+  const Status s = fn();
+  dev->set_timing_enabled(was);
+  return s;
+}
+
+}  // namespace
+
+Status FaultInjector::TearBlockBytes(SimDevice* dev, uint64_t block,
+                                     uint32_t keep_bytes, char junk) {
+  if (keep_bytes > kPageSize) {
+    return Status::InvalidArgument("torn prefix exceeds a block");
+  }
+  return WithTimingOff(dev, [&] {
+    std::string buf(kPageSize, '\0');
+    FACE_RETURN_IF_ERROR(dev->Read(block, buf.data()));
+    memset(buf.data() + keep_bytes, junk, kPageSize - keep_bytes);
+    return dev->Write(block, buf.data());
+  });
+}
+
+Status FaultInjector::TearBlockSectors(SimDevice* dev, uint64_t block,
+                                       uint32_t keep_sectors, char junk) {
+  if (keep_sectors > kSectorsPerPage) {
+    return Status::InvalidArgument("torn prefix exceeds a block");
+  }
+  return TearBlockBytes(dev, block, keep_sectors * kSectorSize, junk);
+}
+
+Status FaultInjector::GarbleBlocks(SimDevice* dev, uint64_t block,
+                                   uint32_t n_blocks, char junk) {
+  return WithTimingOff(dev, [&] {
+    std::string buf(kPageSize, junk);
+    for (uint32_t i = 0; i < n_blocks; ++i) {
+      FACE_RETURN_IF_ERROR(dev->Write(block + i, buf.data()));
+    }
+    return Status::OK();
+  });
+}
+
+Status FaultInjector::TearWalTail(SimDevice* log_dev, uint64_t cut, char junk,
+                                  uint32_t garble_blocks) {
+  const uint64_t block = cut / kPageSize;
+  FACE_RETURN_IF_ERROR(TearBlockBytes(
+      log_dev, block, static_cast<uint32_t>(cut % kPageSize), junk));
+  return GarbleBlocks(log_dev, block + 1, garble_blocks, junk);
+}
+
+}  // namespace face

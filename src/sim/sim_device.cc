@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <cstring>
 
+#include "fault/fault_injector.h"
+
 namespace face {
 
 namespace {
@@ -52,6 +54,35 @@ Status SimDevice::DoIo(IoOp op, uint64_t block, uint32_t n, char* rbuf,
   if (n == 0) return Status::InvalidArgument("zero-length I/O");
   if (block + n > capacity_pages_) {
     return Status::IOError(id_ + ": I/O beyond device capacity");
+  }
+
+  if (fault_ != nullptr) {
+    if (op == IoOp::kRead) {
+      if (fault_->dead()) {
+        // Power is off: nothing moves, nothing is charged.
+        return Status::IOError(id_ + ": simulated power loss");
+      }
+    } else {
+      const FaultInjector::WriteVerdict v = fault_->OnWrite(id_, block, n);
+      if (v.dead) {
+        return Status::IOError(id_ + ": simulated power loss");
+      }
+      if (v.trip) {
+        // The crash cut this request: full pages before the crash page
+        // persist, the crash page keeps a sector prefix (the rest of it and
+        // all later pages retain their pre-crash media contents).
+        for (uint32_t i = 0; i < v.keep_pages; ++i) {
+          memcpy(PagePtr(block + i),
+                 wbuf + static_cast<size_t>(i) * kPageSize, kPageSize);
+        }
+        if (v.keep_sectors > 0) {
+          memcpy(PagePtr(block + v.keep_pages),
+                 wbuf + static_cast<size_t>(v.keep_pages) * kPageSize,
+                 static_cast<size_t>(v.keep_sectors) * kSectorSize);
+        }
+        return Status::IOError(id_ + ": simulated power loss mid-write");
+      }
+    }
   }
 
   // Move the bytes.

@@ -19,6 +19,8 @@
 
 namespace face {
 
+class FaultInjector;
+
 /// Aggregate request/traffic counters for one device.
 struct DeviceStats {
   uint64_t read_reqs = 0;
@@ -89,6 +91,12 @@ class SimDevice {
   void set_timing_enabled(bool enabled) { timing_enabled_ = enabled; }
   bool timing_enabled() const { return timing_enabled_; }
 
+  /// Attach a crash injector (null detaches): every write request is
+  /// submitted to it first and may be cut short or rejected, and a dead
+  /// (crashed) injector fails reads too. See fault/fault_injector.h.
+  void set_fault_injector(FaultInjector* fault) { fault_ = fault; }
+  FaultInjector* fault_injector() const { return fault_; }
+
  private:
   Status DoIo(IoOp op, uint64_t block, uint32_t n, char* rbuf,
               const char* wbuf);
@@ -104,6 +112,7 @@ class SimDevice {
   DeviceProfile profile_;
   uint64_t capacity_pages_;
   IoScheduler* sched_;
+  FaultInjector* fault_ = nullptr;
   uint32_t station_base_ = 0;
   bool timing_enabled_ = true;
   DeviceStats stats_;

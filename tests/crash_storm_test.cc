@@ -1,0 +1,151 @@
+// The crash storm: seeded-random crash points against every cache policy,
+// each recovery validated by the differential checker (shadow logical table
+// + flash-directory audit). Deterministic per seed:
+//
+//   CRASH_STORM_SEEDS       storms per policy (default 20; CI's slow job
+//                           runs 200)
+//   CRASH_STORM_BASE_SEED   first seed (default 1) — to replay a failure,
+//                           run with CRASH_STORM_SEEDS=1 and the base seed
+//                           set to the failing seed
+//
+// Also here: the paper's recovery observation (Table 6) as a regression
+// guard — a FaCE restart after a warmed-up crash serves >90 % of its
+// recovery page fetches from flash — and the sabotage run proving the
+// checker catches a deliberately-broken recovery path.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "testbed/crash_storm.h"
+#include "tests/test_util.h"
+
+namespace face {
+namespace {
+
+uint64_t EnvOr(const char* name, uint64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return static_cast<uint64_t>(std::strtoull(v, nullptr, 10));
+}
+
+uint64_t StormSeeds() { return EnvOr("CRASH_STORM_SEEDS", 20); }
+uint64_t BaseSeed() { return EnvOr("CRASH_STORM_BASE_SEED", 1); }
+
+/// Run `seeds` storms for one policy; every recovery must pass the
+/// differential checker, and a healthy majority of storms must actually
+/// trip the injector mid-run (otherwise the test is not testing crashes).
+void RunStorms(CachePolicy policy) {
+  CrashStormOptions opts;
+  opts.policy = policy;
+  CrashStormHarness harness(opts);
+
+  const uint64_t seeds = StormSeeds();
+  const uint64_t base = BaseSeed();
+  uint64_t tripped = 0;
+  for (uint64_t seed = base; seed < base + seeds; ++seed) {
+    auto result = harness.RunStorm(seed);
+    ASSERT_TRUE(result.ok()) << "policy " << CachePolicyName(policy)
+                             << " seed " << seed << ": "
+                             << result.status().ToString();
+    EXPECT_TRUE(result->diff.ok())
+        << "policy " << CachePolicyName(policy) << " seed " << seed << "\n"
+        << result->ToString();
+    if (result->crashed_mid_body) ++tripped;
+  }
+  EXPECT_GE(tripped, seeds / 2)
+      << "too few storms tripped the injector — crash window mis-sized";
+  ::testing::Test::RecordProperty("storms", static_cast<int>(seeds));
+  ::testing::Test::RecordProperty("tripped", static_cast<int>(tripped));
+}
+
+TEST(CrashStormTest, Face) { RunStorms(CachePolicy::kFace); }
+TEST(CrashStormTest, Lc) { RunStorms(CachePolicy::kLc); }
+TEST(CrashStormTest, Tac) { RunStorms(CachePolicy::kTac); }
+TEST(CrashStormTest, NoCache) { RunStorms(CachePolicy::kNone); }
+
+TEST(CrashStormTest, GroupSecondChance) {
+  // Bonus coverage for the batched replacement paths (staged frames cut
+  // mid-batch-flush): a quarter of the default seed budget.
+  CrashStormOptions opts;
+  opts.policy = CachePolicy::kFaceGSC;
+  CrashStormHarness harness(opts);
+  const uint64_t seeds = std::max<uint64_t>(5, StormSeeds() / 4);
+  for (uint64_t seed = BaseSeed(); seed < BaseSeed() + seeds; ++seed) {
+    auto result = harness.RunStorm(seed);
+    ASSERT_TRUE(result.ok()) << "seed " << seed << ": "
+                             << result.status().ToString();
+    EXPECT_TRUE(result->diff.ok()) << "seed " << seed << "\n"
+                                   << result->ToString();
+  }
+}
+
+TEST(CrashStormTest, DeliberatelyBrokenRecoveryIsCaught) {
+  // Wipe the FaCE superblock after each crash: the cache cold-formats
+  // instead of restoring its metadata, so pages whose only current copy
+  // lived in flash come back stale. The differential checker must see it.
+  CrashStormOptions opts;
+  opts.policy = CachePolicy::kFace;
+  opts.sabotage = Sabotage::kWipeFlashSuperblock;
+  CrashStormHarness harness(opts);
+
+  uint64_t storms_with_divergence = 0;
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    auto result = harness.RunStorm(seed);
+    ASSERT_TRUE(result.ok()) << "seed " << seed << ": "
+                             << result.status().ToString();
+    if (result->diff.divergences > 0) ++storms_with_divergence;
+  }
+  EXPECT_GT(storms_with_divergence, 0u)
+      << "the checker failed to notice a recovery that discards the flash "
+         "cache's persistent metadata";
+}
+
+TEST(RecoveryFromFlashTest, FaceServesRecoveryPagesFromFlash) {
+  // Table 6's companion observation: with the cache warm, restart reads
+  // its pages from flash, not the disk array (paper: >98 %; we guard 0.9
+  // to leave slack for small-scale noise).
+  fault::ShadowKvOptions wo;
+  wo.records = 1000;
+  wo.value_bytes = 160;
+  auto shadow = std::make_shared<fault::ShadowState>();
+  auto factory = std::make_shared<fault::ShadowKvFactory>(wo, shadow);
+  shadow->Reset(wo.records, wo.value_bytes);
+  FACE_ASSERT_OK_AND_ASSIGN(GoldenImage golden, GoldenImage::BuildFor(factory));
+
+  TestbedOptions to;
+  to.clients = 8;
+  to.seed = 7;
+  to.workload = factory;
+  to.buffer_frames = 64;
+  to.flash_pages = 2048;  // ample: the whole working set fits on flash
+  to.policy = CachePolicy::kFace;
+  Testbed tb(to, &golden);
+  FACE_ASSERT_OK(tb.Start());
+
+  RunOptions warm;
+  warm.txns = 1200;  // push the working set through DRAM into flash
+  FACE_ASSERT_OK(tb.Run(warm).status());
+  FACE_ASSERT_OK(tb.db()->TakeCheckpoint().status());
+  RunOptions more;
+  more.txns = 300;  // post-checkpoint work = redo's fetch load
+  FACE_ASSERT_OK(tb.Run(more).status());
+  FACE_ASSERT_OK(tb.InjectInflightTransactions(3));
+
+  FACE_ASSERT_OK(tb.Crash());
+  FACE_ASSERT_OK_AND_ASSIGN(RestartReport report, tb.Recover());
+  ASSERT_GT(report.pages_fetched, 20u)
+      << "recovery did too little work to measure: " << report.ToString();
+  EXPECT_GT(report.FlashFetchFraction(), 0.9) << report.ToString();
+
+  // The recovered state must still be exactly the committed history.
+  FACE_ASSERT_OK_AND_ASSIGN(
+      fault::DiffReport diff,
+      fault::RunDifferentialCheck(*tb.db(), shadow.get(), tb.cache()));
+  EXPECT_TRUE(diff.ok()) << diff.ToString();
+}
+
+}  // namespace
+}  // namespace face

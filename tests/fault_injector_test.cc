@@ -1,0 +1,213 @@
+// Unit tests: the crash injector's device-level semantics — countdown
+// precision, batch cuts, sector-prefix tears, page-atomic drops, dead
+// devices, and the aftermath-surgery primitives.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "core/tac_cache.h"
+#include "fault/fault_injector.h"
+#include "sim/sim_device.h"
+#include "storage/page.h"
+#include "tests/test_util.h"
+
+namespace face {
+namespace {
+
+std::string PageOf(char fill) { return std::string(kPageSize, fill); }
+
+TEST(FaultInjectorTest, CountdownTripsOnExactlyTheNthWrite) {
+  SimDevice dev("d", DeviceProfile::Seagate15k(), 128);
+  FaultInjector inj;
+  dev.set_fault_injector(&inj);
+  inj.SetTearGranularity("d", TearGranularity::kPageAtomic);
+  inj.ArmAfterWrites(3, /*seed=*/1);
+
+  FACE_ASSERT_OK(dev.Write(0, PageOf('a').data()));
+  FACE_ASSERT_OK(dev.Write(1, PageOf('b').data()));
+  const Status s = dev.Write(2, PageOf('c').data());
+  EXPECT_TRUE(s.IsIOError());
+  EXPECT_TRUE(inj.tripped());
+  EXPECT_EQ(inj.site().device, "d");
+  EXPECT_EQ(inj.site().block, 2u);
+
+  // The first two writes persisted; the crash-point page dropped whole.
+  std::string buf(kPageSize, '\0');
+  inj.Disarm();
+  FACE_ASSERT_OK(dev.Read(0, buf.data()));
+  EXPECT_EQ(buf[0], 'a');
+  FACE_ASSERT_OK(dev.Read(1, buf.data()));
+  EXPECT_EQ(buf[100], 'b');
+  FACE_ASSERT_OK(dev.Read(2, buf.data()));
+  EXPECT_EQ(buf[0], '\0');
+}
+
+TEST(FaultInjectorTest, BatchWriteIsCutMidRequest) {
+  SimDevice dev("d", DeviceProfile::Seagate15k(), 128);
+  FaultInjector inj;
+  dev.set_fault_injector(&inj);
+  // Countdown 3 into a 5-page batch: 2 full pages persist, page 3 keeps a
+  // sector prefix, pages 4-5 never land.
+  inj.ArmAfterWrites(3, /*seed=*/42);
+
+  std::string batch;
+  for (char c : {'1', '2', '3', '4', '5'}) batch += PageOf(c);
+  EXPECT_TRUE(dev.WriteBatch(10, 5, batch.data()).IsIOError());
+  ASSERT_TRUE(inj.tripped());
+  EXPECT_EQ(inj.site().pages_persisted, 2u);
+  EXPECT_LT(inj.site().sectors_persisted, kSectorsPerPage);
+
+  inj.Disarm();
+  std::string buf(kPageSize, '\0');
+  FACE_ASSERT_OK(dev.Read(10, buf.data()));
+  EXPECT_EQ(buf[kPageSize - 1], '1');
+  FACE_ASSERT_OK(dev.Read(11, buf.data()));
+  EXPECT_EQ(buf[kPageSize - 1], '2');
+  // The torn page: exactly the persisted sector prefix is new.
+  FACE_ASSERT_OK(dev.Read(12, buf.data()));
+  const uint32_t cut = inj.site().sectors_persisted * kSectorSize;
+  for (uint32_t i = 0; i < cut; ++i) ASSERT_EQ(buf[i], '3') << i;
+  for (uint32_t i = cut; i < kPageSize; ++i) ASSERT_EQ(buf[i], '\0') << i;
+  FACE_ASSERT_OK(dev.Read(13, buf.data()));
+  EXPECT_EQ(buf[0], '\0');
+}
+
+TEST(FaultInjectorTest, TornPageKeepsOldContentsBeyondTheCut) {
+  SimDevice dev("d", DeviceProfile::Seagate15k(), 128);
+  FACE_ASSERT_OK(dev.Write(7, PageOf('o').data()));  // pre-crash contents
+
+  FaultInjector inj;
+  dev.set_fault_injector(&inj);
+  inj.ArmAfterWrites(1, /*seed=*/9);
+  EXPECT_TRUE(dev.Write(7, PageOf('n').data()).IsIOError());
+  ASSERT_TRUE(inj.tripped());
+
+  inj.Disarm();
+  std::string buf(kPageSize, '\0');
+  FACE_ASSERT_OK(dev.Read(7, buf.data()));
+  const uint32_t cut = inj.site().sectors_persisted * kSectorSize;
+  for (uint32_t i = 0; i < cut; ++i) ASSERT_EQ(buf[i], 'n') << i;
+  for (uint32_t i = cut; i < kPageSize; ++i) ASSERT_EQ(buf[i], 'o') << i;
+}
+
+TEST(FaultInjectorTest, DeadDeviceFailsAllIoUntilDisarm) {
+  SimDevice dev("d", DeviceProfile::Seagate15k(), 128);
+  FaultInjector inj;
+  dev.set_fault_injector(&inj);
+  inj.ArmAfterWrites(1, /*seed=*/3);
+  EXPECT_TRUE(dev.Write(0, PageOf('x').data()).IsIOError());
+
+  std::string buf(kPageSize, '\0');
+  EXPECT_TRUE(dev.Read(0, buf.data()).IsIOError());
+  EXPECT_TRUE(dev.Write(1, PageOf('y').data()).IsIOError());
+
+  inj.Disarm();
+  FACE_ASSERT_OK(dev.Read(0, buf.data()));
+  FACE_ASSERT_OK(dev.Write(1, PageOf('y').data()));
+}
+
+TEST(FaultInjectorTest, DeadlineModeTripsAtVirtualTime) {
+  IoScheduler sched(2);
+  SimDevice dev("d", DeviceProfile::Seagate15k(), 128, &sched);
+  FaultInjector inj;
+  inj.AttachScheduler(&sched);
+  dev.set_fault_injector(&inj);
+
+  // Accumulate some virtual time, then arm just past it.
+  sched.BeginTxn();
+  FACE_ASSERT_OK(dev.Write(0, PageOf('a').data()));
+  sched.EndTxn();
+  inj.ArmAtTime(sched.now() + 1, /*seed=*/5);
+
+  sched.BeginTxn();
+  FACE_ASSERT_OK(dev.Write(1, PageOf('b').data()));  // now() still behind
+  sched.EndTxn();
+  // The completed transaction advanced now() past the deadline.
+  EXPECT_TRUE(dev.Write(2, PageOf('c').data()).IsIOError());
+  EXPECT_TRUE(inj.tripped());
+}
+
+TEST(TacTornRefreshTest, RecoverySweepDropsTornInPlaceRefresh) {
+  // TAC's write-through eviction refreshes a cached frame in place without
+  // touching its (already validated) directory entry. A crash tearing that
+  // refresh leaves the directory advertising a frame that fails its
+  // checksum; the recovery sweep must drop the slot instead of serving
+  // Corruption on the first read. Deterministic regression for the rare
+  // storm path (flash crashes are a small minority of crash points).
+  SimDevice db_dev("db", DeviceProfile::Seagate15k(), 256);
+  DbStorage storage(&db_dev);
+  TacOptions to;
+  to.n_frames = 8;
+  SimDevice flash("flash", DeviceProfile::MlcSamsung470(),
+                  TacCache::DirBlocksFor(to.n_frames) + to.n_frames);
+  TacCache tac(to, &flash, &storage);
+  FACE_ASSERT_OK(tac.Format());
+
+  // Admit a page on entry (frame write + directory validation persist).
+  const PageId pid = 5;
+  std::string page(kPageSize, '\0');
+  PageView view(page.data());
+  view.Format(pid);
+  memset(page.data() + kPageHeaderSize, 'v', 64);
+  FACE_ASSERT_OK(tac.OnFetchFromDisk(pid, page.data()));
+  ASSERT_TRUE(tac.Contains(pid));
+
+  // Dirty eviction: disk write succeeds, the in-place flash refresh is
+  // torn mid-page (1..7 sectors). Arm the injector on the flash device
+  // only, so the countdown cannot land on the disk write.
+  memset(page.data() + kPageHeaderSize, 'w', kPageSize - kPageHeaderSize);
+  view.set_lsn(12345);
+  FaultInjector inj;
+  flash.set_fault_injector(&inj);
+  uint64_t seed = 1;
+  while (true) {  // find a seed whose tear keeps 1..7 sectors
+    inj.ArmAfterWrites(1, seed);
+    std::string evicted = page;
+    const Status s = tac.OnDramEvict(pid, evicted.data(), /*dirty=*/true,
+                                     /*fdirty=*/true, /*rec_lsn=*/12345);
+    ASSERT_FALSE(s.ok());
+    ASSERT_TRUE(inj.tripped());
+    if (inj.site().sectors_persisted > 0) break;
+    // K=0 dropped the refresh whole, leaving the old (valid) frame: retry
+    // the eviction under the next seed until the tear is mid-page.
+    inj.Disarm();
+    ++seed;
+  }
+  inj.Disarm();
+
+  // Restart: the sweep must notice the torn frame and free the slot.
+  FACE_ASSERT_OK(tac.RecoverAfterCrash());
+  EXPECT_FALSE(tac.Contains(pid))
+      << "recovery kept a directory entry for a checksum-invalid frame";
+  FACE_ASSERT_OK(tac.CheckInvariants());
+
+  // And the invalidation is durable: a second restart agrees.
+  FACE_ASSERT_OK(tac.RecoverAfterCrash());
+  EXPECT_FALSE(tac.Contains(pid));
+}
+
+TEST(FaultInjectorTest, AftermathPrimitives) {
+  SimDevice dev("d", DeviceProfile::Seagate15k(), 128);
+  FACE_ASSERT_OK(dev.Write(5, PageOf('k').data()));
+  FACE_ASSERT_OK(dev.Write(6, PageOf('k').data()));
+
+  FACE_ASSERT_OK(FaultInjector::TearBlockSectors(&dev, 5, 3, '\x5a'));
+  std::string buf(kPageSize, '\0');
+  FACE_ASSERT_OK(dev.Read(5, buf.data()));
+  for (uint32_t i = 0; i < 3 * kSectorSize; ++i) ASSERT_EQ(buf[i], 'k') << i;
+  for (uint32_t i = 3 * kSectorSize; i < kPageSize; ++i) {
+    ASSERT_EQ(buf[i], '\x5a') << i;
+  }
+
+  FACE_ASSERT_OK(FaultInjector::GarbleBlocks(&dev, 6, 1, '\xff'));
+  FACE_ASSERT_OK(dev.Read(6, buf.data()));
+  EXPECT_EQ(buf[0], '\xff');
+  EXPECT_EQ(buf[kPageSize - 1], '\xff');
+
+  // Surgery charges no stats and no time.
+  EXPECT_EQ(dev.stats().write_reqs, 2u);
+}
+
+}  // namespace
+}  // namespace face

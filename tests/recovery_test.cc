@@ -46,6 +46,7 @@ TEST_F(RecoveryTest, CommittedWorkSurvivesCrash) {
 TEST_F(RecoveryTest, UncommittedWorkIsUndone) {
   FACE_ASSERT_OK_AND_ASSIGN(PageHandle page, db_->pool()->NewPage());
   const PageId pid = page.page_id();
+  page.Release();  // CrashAndRecover destroys the pool this handle pins
   CommitWrite(pid, kPageHeaderSize, "baseline--");
 
   const TxnId loser = db_->Begin();
@@ -141,6 +142,7 @@ TEST_F(RecoveryTest, CheckpointBoundsRedoWork) {
 TEST_F(RecoveryTest, CrashDuringAbortFinishesRollback) {
   FACE_ASSERT_OK_AND_ASSIGN(PageHandle page, db_->pool()->NewPage());
   const PageId pid = page.page_id();
+  page.Release();  // CrashAndRecover destroys the pool this handle pins
   CommitWrite(pid, kPageHeaderSize, "0000000000");
 
   // A transaction writes twice; we emulate a crash half-way through its

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault_injector.h"
 #include "recovery/restart.h"
 #include "tests/test_util.h"
 #include "wal/log_manager.h"
@@ -18,16 +19,11 @@ namespace {
 
 /// Overwrite the log device with garbage from stream offset `cut` onward
 /// (a torn write: the tail blocks were in flight when power failed).
+/// Routed through the fault subsystem's torn-tail primitive so the fuzz
+/// corpus and the live crash injector share one corruption model.
 void TearLogAt(SimDevice* dev, Lsn cut, char junk) {
-  const uint64_t first_block = cut / kPageSize;
-  std::string block(kPageSize, '\0');
-  ASSERT_TRUE(dev->Read(first_block, block.data()).ok());
-  for (uint32_t i = cut % kPageSize; i < kPageSize; ++i) block[i] = junk;
-  ASSERT_TRUE(dev->Write(first_block, block.data()).ok());
-  std::string junk_block(kPageSize, junk);
-  for (uint64_t b = first_block + 1; b < first_block + 4; ++b) {
-    ASSERT_TRUE(dev->Write(b, junk_block.data()).ok());
-  }
+  FACE_ASSERT_OK(FaultInjector::TearWalTail(dev, cut, junk,
+                                            /*garble_blocks=*/3));
 }
 
 class WalTearingTest : public ::testing::TestWithParam<int> {};
@@ -89,6 +85,89 @@ TEST_P(WalTearingTest, AttachStopsAtBoundaryNoLaterThanCut) {
 
 INSTANTIATE_TEST_SUITE_P(CutPoints, WalTearingTest,
                          ::testing::Range(1, 13));
+
+class WalSectorTearTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(WalSectorTearTest, TailRecordTornExactlyAtSectorBoundary) {
+  // The injector's live model: sector writes are atomic, so a torn log
+  // flush cuts the stream at a 512-byte sector boundary. Find a record
+  // that straddles such a boundary, cut exactly there, and verify Attach
+  // lands exactly at that record's start — everything before is intact,
+  // the straddler is gone whole.
+  SimDevice dev("log", DeviceProfile::Seagate15k(), 1 << 16);
+  LogManager log(&dev);
+  FACE_ASSERT_OK(log.Format());
+
+  Random rnd(GetParam() * 131);
+  std::vector<std::pair<Lsn, Lsn>> records;  // [start, end) per record
+  for (int i = 0; i < 200; ++i) {
+    LogRecord rec;
+    rec.type = LogRecordType::kUpdate;
+    rec.txn_id = 1 + rnd.Uniform(4);
+    rec.page_id = rnd.Uniform(1000);
+    rec.before = rnd.AlphaString(0, 120);
+    rec.after = rnd.AlphaString(0, 120);
+    const Lsn start = log.Append(&rec);
+    records.emplace_back(start, log.next_lsn());
+  }
+  FACE_ASSERT_OK(log.FlushAll());
+
+  // Pick a record (past the first few) that straddles a sector boundary.
+  Lsn straddler_start = kInvalidLsn;
+  Lsn cut = 0;
+  for (size_t i = 5; i < records.size(); ++i) {
+    const auto [start, end] = records[i];
+    const Lsn boundary = (start / kSectorSize + 1) * kSectorSize;
+    if (boundary > start && boundary < end) {
+      straddler_start = start;
+      cut = boundary;
+      break;
+    }
+  }
+  ASSERT_NE(straddler_start, kInvalidLsn)
+      << "corpus produced no sector-straddling record";
+  ASSERT_EQ(cut % kSectorSize, 0u);
+
+  // The cut is sector-aligned, so the shared torn-tail primitive keeps
+  // exactly whole sectors and junks the rest.
+  FACE_ASSERT_OK(FaultInjector::TearWalTail(&dev, cut, '\x6b',
+                                            /*garble_blocks=*/3));
+
+  LogManager fresh(&dev);
+  FACE_ASSERT_OK(fresh.Attach());
+  EXPECT_EQ(fresh.next_lsn(), straddler_start)
+      << "attach must stop exactly where the sector-torn record began "
+         "(cut=" << cut << ")";
+
+  // Every record before the straddler scans back intact.
+  LogReader reader(&dev);
+  FACE_ASSERT_OK(reader.Seek(LogManager::kLogStartLsn));
+  Lsn pos = LogManager::kLogStartLsn;
+  uint64_t scanned = 0;
+  while (true) {
+    auto rec = reader.Next();
+    if (!rec.ok()) break;
+    EXPECT_EQ(rec->lsn, pos);
+    pos = reader.position();
+    ++scanned;
+  }
+  EXPECT_EQ(pos, straddler_start);
+  uint64_t expected = 0;
+  for (const auto& [start, end] : records) {
+    (void)start;
+    if (end <= straddler_start) ++expected;
+  }
+  EXPECT_EQ(scanned, expected);
+
+  // And appending over the junk tail works.
+  LogRecord rec;
+  rec.type = LogRecordType::kCommit;
+  rec.txn_id = 9;
+  fresh.Append(&rec);
+  FACE_ASSERT_OK(fresh.FlushAll());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WalSectorTearTest, ::testing::Range(1, 7));
 
 class TornRecoveryTest : public EngineFixture,
                          public ::testing::WithParamInterface<int> {
