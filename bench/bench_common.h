@@ -10,11 +10,15 @@
 //   --txns=N         override measured transactions per configuration
 //   --seed=S         override the workload request-stream seed (default 42)
 //   --no-cache       do not read/write the golden image file cache
+//   --json           also write BENCH_<bench>.json (see bench/README.md for
+//                    the schema) — the machine-readable perf trajectory CI
+//                    archives per run
 //
 // --txns and --seed together give CI a cheap deterministic smoke run:
 //   bench_workloads --txns=200 --warmup=100 --seed=7
 #pragma once
 
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
@@ -33,6 +37,7 @@ struct BenchFlags {
   uint32_t warehouses = 1;
   bool quick = false;
   bool use_cache = true;
+  bool json = false;         ///< write BENCH_<bench>.json
   uint64_t warmup_txns = 0;  ///< 0 = per-bench default
   uint64_t txns = 0;         ///< 0 = per-bench default
   uint64_t seed = 42;        ///< workload request-stream seed
@@ -55,6 +60,8 @@ inline BenchFlags ParseFlags(int argc, char** argv) {
       flags.quick = true;
     } else if (arg == "--no-cache") {
       flags.use_cache = false;
+    } else if (arg == "--json") {
+      flags.json = true;
     } else if (arg.rfind("--warehouses=", 0) == 0) {
       flags.warehouses = static_cast<uint32_t>(atoi(arg.c_str() + 13));
     } else if (arg.rfind("--warmup=", 0) == 0) {
@@ -71,63 +78,79 @@ inline BenchFlags ParseFlags(int argc, char** argv) {
   return flags;
 }
 
-/// Build (or load from the file cache) the golden image for `warehouses`.
-/// Exits on failure — benches have no meaningful degraded mode.
+/// Try to restore a golden image's device contents + allocator mark from
+/// the host-file cache at `cache_path` (+ ".meta"). The caller provides the
+/// GoldenImage with device and factory already wired.
+inline bool TryLoadImageFile(GoldenImage* golden,
+                             const std::string& cache_path) {
+  FILE* meta = fopen((cache_path + ".meta").c_str(), "rb");
+  if (meta == nullptr) return false;
+  uint64_t next_page_id = 0;
+  const bool meta_ok = fread(&next_page_id, 8, 1, meta) == 1;
+  fclose(meta);
+  if (!meta_ok || !golden->device->LoadContents(cache_path).ok()) return false;
+  golden->next_page_id = next_page_id;
+  fprintf(stderr, "[golden] loaded %s (%" PRIu64 " pages)\n",
+          cache_path.c_str(), golden->db_pages());
+  return true;
+}
+
+/// Save a golden image to the host-file cache (best effort).
+inline void SaveImageFile(const GoldenImage& golden,
+                          const std::string& cache_path) {
+  if (!golden.device->SaveContents(cache_path).ok()) return;
+  FILE* meta = fopen((cache_path + ".meta").c_str(), "wb");
+  if (meta == nullptr) return;
+  fwrite(&golden.next_page_id, 8, 1, meta);
+  fclose(meta);
+}
+
+/// Build (or load from the file cache) the golden image for any workload
+/// factory. `cache_tag` keys the cache file ("face_golden_<tag>.img");
+/// factories whose loads are byte-identical (same records/value_bytes KV
+/// populations) may share a tag, and a tag must change whenever the load
+/// format does. Empty tag or --no-cache disables the file cache. Exits on
+/// failure — benches have no meaningful degraded mode.
+inline GoldenImage LoadOrBuildGolden(
+    std::shared_ptr<const workload::WorkloadFactory> factory,
+    const BenchFlags& flags, const std::string& cache_tag) {
+  const std::string cache_path = "face_golden_" + cache_tag + ".img";
+  if (flags.use_cache && !cache_tag.empty()) {
+    GoldenImage from_file;
+    from_file.factory = factory;
+    from_file.device = std::make_unique<SimDevice>(
+        "golden", DeviceProfile::Seagate15k(), factory->CapacityPages());
+    from_file.device->set_timing_enabled(false);
+    if (TryLoadImageFile(&from_file, cache_path)) return from_file;
+  }
+
+  fprintf(stderr, "[golden] loading %s...\n", factory->name());
+  auto built = GoldenImage::BuildFor(std::move(factory));
+  if (!built.ok()) {
+    fprintf(stderr, "golden build failed: %s\n",
+            built.status().ToString().c_str());
+    exit(1);
+  }
+  fprintf(stderr, "[golden] built: %" PRIu64 " pages (%.1f MB)\n",
+          built->db_pages(), built->db_pages() * 4.0 / 1024);
+  if (flags.use_cache && !cache_tag.empty()) {
+    SaveImageFile(*built, cache_path);
+  }
+  return std::move(built.value());
+}
+
+/// Build (or load from the file cache) the golden TPC-C image for
+/// `warehouses`, shared process-wide. Exits on failure.
 inline const GoldenImage& GetGolden(const BenchFlags& flags) {
   static GoldenImage golden;
   static bool built = false;
   if (built) return golden;
 
-  const std::string cache_path =
-      "face_golden_w" + std::to_string(flags.warehouses) + ".img";
-  if (flags.use_cache) {
-    GoldenImage from_file;
-    from_file.warehouses = flags.warehouses;
-    from_file.factory =
-        std::make_shared<workload::TpccFactory>(flags.warehouses);
-    from_file.device = std::make_unique<SimDevice>(
-        "golden", DeviceProfile::Seagate15k(),
-        GoldenImage::CapacityPages(flags.warehouses));
-    from_file.device->set_timing_enabled(false);
-    const std::string meta_path = cache_path + ".meta";
-    FILE* meta = fopen(meta_path.c_str(), "rb");
-    if (meta != nullptr) {
-      uint64_t next_page_id = 0;
-      const bool meta_ok = fread(&next_page_id, 8, 1, meta) == 1;
-      fclose(meta);
-      if (meta_ok && from_file.device->LoadContents(cache_path).ok()) {
-        from_file.next_page_id = next_page_id;
-        golden = std::move(from_file);
-        built = true;
-        fprintf(stderr, "[golden] loaded %s (%" PRIu64 " pages)\n",
-                cache_path.c_str(), golden.db_pages());
-        return golden;
-      }
-    }
-  }
-
-  fprintf(stderr, "[golden] loading TPC-C, %u warehouse(s)...\n",
-          flags.warehouses);
-  auto built_golden = GoldenImage::Build(flags.warehouses);
-  if (!built_golden.ok()) {
-    fprintf(stderr, "golden build failed: %s\n",
-            built_golden.status().ToString().c_str());
-    exit(1);
-  }
-  golden = std::move(built_golden.value());
+  golden = LoadOrBuildGolden(
+      std::make_shared<workload::TpccFactory>(flags.warehouses), flags,
+      "w" + std::to_string(flags.warehouses));
+  golden.warehouses = flags.warehouses;
   built = true;
-  fprintf(stderr, "[golden] built: %" PRIu64 " pages (%.1f MB)\n",
-          golden.db_pages(), golden.db_pages() * 4.0 / 1024);
-
-  if (flags.use_cache) {
-    if (golden.device->SaveContents(cache_path).ok()) {
-      FILE* meta = fopen((cache_path + ".meta").c_str(), "wb");
-      if (meta != nullptr) {
-        fwrite(&golden.next_page_id, 8, 1, meta);
-        fclose(meta);
-      }
-    }
-  }
   return golden;
 }
 
@@ -182,6 +205,102 @@ inline std::string Fmt(const char* fmt, double v) {
 
 inline void PrintHeader(const char* title) {
   printf("\n=== %s ===\n", title);
+}
+
+/// Accumulates one flat JSON document per bench run and writes it to
+/// BENCH_<bench>.json: a `flags` object plus a `rows` array of
+/// (workload x policy) measurement objects. CI uploads the file as an
+/// artifact, so the perf trajectory of the reproduction is queryable
+/// across commits. Schema in bench/README.md.
+class JsonReporter {
+ public:
+  JsonReporter(std::string bench, const BenchFlags& flags)
+      : bench_(std::move(bench)) {
+    body_ += "{\n  \"bench\": \"" + bench_ + "\",\n";
+    body_ += "  \"flags\": {";
+    body_ += "\"warehouses\": " + std::to_string(flags.warehouses);
+    body_ += ", \"warmup\": " + std::to_string(flags.warmup_txns);
+    body_ += ", \"txns\": " + std::to_string(flags.txns);
+    body_ += ", \"seed\": " + std::to_string(flags.seed);
+    body_ += ", \"quick\": ";
+    body_ += flags.quick ? "true" : "false";
+    body_ += "},\n  \"rows\": [";
+  }
+
+  /// Start a measurement row; follow with Field() calls.
+  void BeginRow(const std::string& workload, const std::string& policy) {
+    body_ += first_row_ ? "\n" : ",\n";
+    first_row_ = false;
+    body_ += "    {\"workload\": \"" + workload + "\", \"policy\": \"" +
+             policy + "\"";
+  }
+
+  void Field(const char* key, uint64_t v) {
+    body_ += ", \"" + std::string(key) + "\": " + std::to_string(v);
+  }
+
+  void Field(const char* key, double v) {
+    char buf[64];
+    snprintf(buf, sizeof(buf), "%.10g", v);
+    body_ += ", \"" + std::string(key) + "\": " + buf;
+  }
+
+  /// Add the standard per-run metrics of one measured cell.
+  void AddRunRow(const std::string& workload, const std::string& policy,
+                 const RunResult& r, double wall_clock_sec) {
+    BeginRow(workload, policy);
+    Field("txns", r.txns);
+    Field("primary_txns", r.primary_txns);
+    Field("tpm", r.Tpm());
+    Field("tpmc", r.TpmC());
+    Field("txns_per_sec",
+          r.duration ? static_cast<double>(r.txns) * 1e9 /
+                           static_cast<double>(r.duration)
+                     : 0.0);
+    Field("makespan_ns", static_cast<uint64_t>(r.duration));
+    Field("checkpoints", r.checkpoints);
+    Field("hit_pct", 100.0 * r.cache_stats.HitRate());
+    Field("db_utilization", r.db_utilization);
+    Field("flash_utilization", r.flash_utilization);
+    Field("flash_seq_write_pct",
+          r.flash_stats.write_reqs
+              ? 100.0 * static_cast<double>(r.flash_stats.seq_write_reqs) /
+                    static_cast<double>(r.flash_stats.write_reqs)
+              : 0.0);
+    Field("db_seq_write_pct",
+          r.db_stats.write_reqs
+              ? 100.0 * static_cast<double>(r.db_stats.seq_write_reqs) /
+                    static_cast<double>(r.db_stats.write_reqs)
+              : 0.0);
+    Field("wall_clock_sec", wall_clock_sec);
+  }
+
+  /// Close the current row. (Kept explicit so callers may append extra
+  /// fields after AddRunRow.)
+  void EndRow() { body_ += "}"; }
+
+  /// Write BENCH_<bench>.json to the working directory; false on I/O error.
+  bool WriteFile() const {
+    const std::string path = "BENCH_" + bench_ + ".json";
+    FILE* f = fopen(path.c_str(), "wb");
+    if (f == nullptr) return false;
+    const std::string doc = body_ + "\n  ]\n}\n";
+    const bool ok = fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+    if (fclose(f) != 0 || !ok) return false;
+    fprintf(stderr, "[json] wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  std::string bench_;
+  std::string body_;
+  bool first_row_ = true;
+};
+
+/// Monotonic wall-clock seconds since `since` (host time, not simulated).
+using WallClock = std::chrono::steady_clock;
+inline double WallSecondsSince(WallClock::time_point since) {
+  return std::chrono::duration<double>(WallClock::now() - since).count();
 }
 
 }  // namespace bench

@@ -6,8 +6,14 @@
 // ones) — per workload, where an LRU-style policy cannot.
 //
 //   bench_workloads [--warehouses=N] [--quick] [--txns=N] [--warmup=N]
-//                   [--seed=S] [--no-cache]
+//                   [--seed=S] [--no-cache] [--json]
+//
+// --json additionally writes BENCH_workloads.json (schema in
+// bench/README.md): the policy x workload matrix as machine-readable rows
+// with throughput, simulated makespan, device utilization, and host
+// wall-clock per cell. CI archives it per run.
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "bench_common.h"
@@ -49,18 +55,24 @@ double Pct(uint64_t part, uint64_t whole) {
                     : 0.0;
 }
 
-Cell MeasureCell(const GoldenImage& golden,
+Cell MeasureCell(const char* workload_name, const GoldenImage& golden,
                  std::shared_ptr<const WorkloadFactory> factory,
                  CachePolicy policy, const BenchFlags& flags,
-                 uint64_t warmup, uint64_t txns) {
+                 uint64_t warmup, uint64_t txns, JsonReporter* json) {
   TestbedOptions opts;
   opts.policy = policy;
   opts.flash_pages = golden.db_pages() / 10;
   opts.seed = flags.seed;
   opts.workload = std::move(factory);
   Testbed tb(opts, &golden);
+  const WallClock::time_point start = WallClock::now();
   const RunResult r =
       MeasureSteadyState(&tb, warmup, txns, kCheckpointEvery);
+  if (json != nullptr) {
+    json->AddRunRow(workload_name, CachePolicyName(policy), r,
+                    WallSecondsSince(start));
+    json->EndRow();
+  }
 
   Cell cell;
   cell.tpm = r.Tpm();
@@ -88,20 +100,22 @@ void PrintWorkloadTable(const char* workload_name,
   }
 }
 
-GoldenImage BuildKvGolden(std::shared_ptr<const WorkloadFactory> factory) {
-  fprintf(stderr, "[golden] loading %s...\n", factory->name());
-  auto golden = GoldenImage::BuildFor(std::move(factory));
-  if (!golden.ok()) {
-    fprintf(stderr, "golden build failed: %s\n",
-            golden.status().ToString().c_str());
-    exit(1);
-  }
-  return std::move(golden.value());
+/// KV golden-image cache tag: the load image is deterministic in
+/// (records, value_bytes, load path), and the file additionally embeds the
+/// device capacity, so factories agreeing on all four share one cache
+/// file (the three YCSB distributions do — their loads are byte-identical).
+std::string KvCacheTag(uint64_t records, uint32_t value_bytes, bool bulk,
+                       uint64_t capacity_pages) {
+  return "kv_r" + std::to_string(records) + "_v" +
+         std::to_string(value_bytes) + (bulk ? "_bulk" : "_incr") + "_c" +
+         std::to_string(capacity_pages);
 }
 
 void RunMatrix(const BenchFlags& flags) {
   const uint64_t warmup = flags.WarmupOr(4000);
   const uint64_t txns = flags.TxnsOr(6000);
+  JsonReporter json_reporter("workloads", flags);
+  JsonReporter* json = flags.json ? &json_reporter : nullptr;
 
   PrintHeader(
       "Policy x workload matrix: throughput, flash hit rate, and "
@@ -114,14 +128,15 @@ void RunMatrix(const BenchFlags& flags) {
     const GoldenImage& golden = GetGolden(flags);
     std::vector<Cell> cells;
     for (CachePolicy policy : kPolicies) {
-      cells.push_back(MeasureCell(golden, /*factory=*/nullptr, policy,
-                                  flags, warmup, txns));
+      cells.push_back(MeasureCell("tpcc", golden, /*factory=*/nullptr,
+                                  policy, flags, warmup, txns, json));
     }
     PrintWorkloadTable("tpcc", cells);
   }
 
   // The KV workloads share scale; each still loads its own golden image so
   // latest-mode inserts and scan wear never leak across configurations.
+  // (The image file cache is shared where the loads are byte-identical.)
   YcsbOptions base;
   base.records = 40000;
 
@@ -134,11 +149,14 @@ void RunMatrix(const BenchFlags& flags) {
     YcsbOptions yo = base;
     yo.distribution = dist;
     auto factory = std::make_shared<YcsbFactory>(yo);
-    GoldenImage golden = BuildKvGolden(factory);
+    GoldenImage golden = LoadOrBuildGolden(
+        factory, flags,
+        KvCacheTag(yo.records, yo.value_bytes, yo.bulk_load,
+                   factory->CapacityPages()));
     std::vector<Cell> cells;
     for (CachePolicy policy : kPolicies) {
-      cells.push_back(
-          MeasureCell(golden, factory, policy, flags, warmup, txns));
+      cells.push_back(MeasureCell(factory->name(), golden, factory, policy,
+                                  flags, warmup, txns, json));
     }
     PrintWorkloadTable(factory->name(), cells);
     if (dist == YcsbOptions::Distribution::kZipfian) {
@@ -152,13 +170,17 @@ void RunMatrix(const BenchFlags& flags) {
     ScanHeavyOptions so;
     so.records = base.records;
     auto factory = std::make_shared<ScanHeavyFactory>(so);
-    GoldenImage golden = BuildKvGolden(factory);
+    GoldenImage golden = LoadOrBuildGolden(
+        factory, flags,
+        KvCacheTag(so.records, so.value_bytes, so.bulk_load,
+                   factory->CapacityPages()));
     std::vector<Cell> cells;
     // Scans touch hundreds of rows per txn: scale counts down to keep the
     // cell cost comparable.
     for (CachePolicy policy : kPolicies) {
-      cells.push_back(MeasureCell(golden, factory, policy, flags,
-                                  warmup / 10 + 1, txns / 10 + 1));
+      cells.push_back(MeasureCell("scan-heavy", golden, factory, policy,
+                                  flags, warmup / 10 + 1, txns / 10 + 1,
+                                  json));
     }
     PrintWorkloadTable("scan-heavy", cells);
   }
@@ -194,10 +216,16 @@ void RunMatrix(const BenchFlags& flags) {
     std::vector<Cell> cells;
     for (CachePolicy policy : kPolicies) {
       // Replays wrap: warm up with one pass, measure the next.
-      cells.push_back(MeasureCell(zipf_golden, factory, policy, flags,
-                                  trace->txn_count(), trace->txn_count()));
+      cells.push_back(MeasureCell("trace-ycsb-zipfian", zipf_golden, factory,
+                                  policy, flags, trace->txn_count(),
+                                  trace->txn_count(), json));
     }
     PrintWorkloadTable("trace(ycsb-zipfian)", cells);
+  }
+
+  if (json != nullptr && !json->WriteFile()) {
+    fprintf(stderr, "failed to write BENCH_workloads.json\n");
+    exit(1);
   }
 
   printf("\npaper shape: FaCE variants keep fseqW%% near 100 (mvFIFO "

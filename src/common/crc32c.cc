@@ -1,40 +1,98 @@
 #include "common/crc32c.h"
 
 #include <array>
+#include <cstring>
 
 namespace face {
 namespace crc32c {
 namespace {
 
-// Table-driven CRC32-C, one byte at a time. Table generated at startup from
-// the Castagnoli polynomial (reflected form 0x82f63b78).
+// Slicing-by-8 CRC32-C: eight lookup tables generated at startup from the
+// Castagnoli polynomial (reflected form 0x82f63b78). Table 0 alone is the
+// classic one-byte-at-a-time table; tables 1..7 fold 8 input bytes per
+// iteration, ~8x fewer dependent table lookups on the page-checksum hot
+// path. Same polynomial, same function, bit-identical results.
 constexpr uint32_t kPoly = 0x82f63b78u;
 
-std::array<uint32_t, 256> MakeTable() {
-  std::array<uint32_t, 256> table{};
+struct Tables {
+  std::array<std::array<uint32_t, 256>, 8> t;
+};
+
+Tables MakeTables() {
+  Tables tables;
   for (uint32_t i = 0; i < 256; ++i) {
     uint32_t crc = i;
     for (int k = 0; k < 8; ++k) {
       crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
     }
-    table[i] = crc;
+    tables.t[0][i] = crc;
   }
-  return table;
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = tables.t[0][i];
+    for (int k = 1; k < 8; ++k) {
+      crc = (crc >> 8) ^ tables.t[0][crc & 0xff];
+      tables.t[k][i] = crc;
+    }
+  }
+  return tables;
 }
 
-const std::array<uint32_t, 256>& Table() {
-  static const std::array<uint32_t, 256> table = MakeTable();
-  return table;
+const Tables& GetTables() {
+  static const Tables tables = MakeTables();
+  return tables;
 }
+
+#if defined(__x86_64__) && defined(__GNUC__)
+// SSE4.2 CRC32 instruction path: the same Castagnoli polynomial the tables
+// implement, so results are bit-identical; ~10x the table throughput.
+// Selected once at startup via cpuid.
+__attribute__((target("sse4.2"))) uint32_t ExtendHw(uint32_t init_crc,
+                                                    const char* data,
+                                                    size_t n) {
+  const auto* p = reinterpret_cast<const unsigned char*>(data);
+  uint64_t crc = init_crc ^ 0xffffffffu;
+  while (n >= 8) {
+    uint64_t v;
+    memcpy(&v, p, 8);
+    crc = __builtin_ia32_crc32di(crc, v);
+    p += 8;
+    n -= 8;
+  }
+  uint32_t crc32 = static_cast<uint32_t>(crc);
+  while (n > 0) {
+    crc32 = __builtin_ia32_crc32qi(crc32, *p++);
+    --n;
+  }
+  return crc32 ^ 0xffffffffu;
+}
+
+const bool kHaveHwCrc = __builtin_cpu_supports("sse4.2");
+#endif
 
 }  // namespace
 
 uint32_t Extend(uint32_t init_crc, const char* data, size_t n) {
-  const auto& table = Table();
+#if defined(__x86_64__) && defined(__GNUC__)
+  if (kHaveHwCrc) return ExtendHw(init_crc, data, n);
+#endif
+  const auto& t = GetTables().t;
   uint32_t crc = init_crc ^ 0xffffffffu;
   const auto* p = reinterpret_cast<const unsigned char*>(data);
+
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+  while (n >= 8) {
+    uint64_t v;
+    memcpy(&v, p, 8);
+    v ^= crc;
+    crc = t[7][v & 0xff] ^ t[6][(v >> 8) & 0xff] ^ t[5][(v >> 16) & 0xff] ^
+          t[4][(v >> 24) & 0xff] ^ t[3][(v >> 32) & 0xff] ^
+          t[2][(v >> 40) & 0xff] ^ t[1][(v >> 48) & 0xff] ^ t[0][v >> 56];
+    p += 8;
+    n -= 8;
+  }
+#endif
   for (size_t i = 0; i < n; ++i) {
-    crc = table[(crc ^ p[i]) & 0xff] ^ (crc >> 8);
+    crc = t[0][(crc ^ p[i]) & 0xff] ^ (crc >> 8);
   }
   return crc ^ 0xffffffffu;
 }

@@ -445,6 +445,116 @@ Status BPlusTree::InsertRec(PageWriter* writer, PageId page_id,
                         std::move(cells), rightmost, split_key, split_page);
 }
 
+Status BPlusTree::BulkLoad(PageWriter* writer, const EntrySource& source) {
+  // Usable payload bytes per node (cells + slot array).
+  constexpr uint32_t kUsable = kPayload - kNodeHeaderSize;
+
+  FACE_ASSIGN_OR_RETURN(PageHandle page, pool_->FetchPage(root_page()));
+  {
+    NodeView v(page.data());
+    if (!v.leaf() || v.nkeys() != 0) {
+      return Status::InvalidArgument("bulk load requires an empty btree");
+    }
+  }
+
+  // Reset to an empty tree on a mid-load error: leaves already written
+  // would otherwise be reachable through the leaf chain but not through
+  // the (never-updated) root — scans and point reads would disagree.
+  auto fail = [&](Status s) -> Status {
+    auto root = pool_->FetchPage(root_page());
+    if (root.ok()) {
+      NodeBuilder nb(0, 0);
+      (void)WriteWholeNode(writer, &root.value(), nb.Finish());
+    }
+    return s;
+  };
+
+  // (first key, page id) of every node on the level under construction;
+  // starts as the leaf level. OwnedCell.child doubles as the page id.
+  std::vector<OwnedCell> level;
+
+  // --- leaves, left to right, chained as they are built ---------------------
+  // The first leaf reuses the existing empty root page; each subsequent
+  // leaf page is allocated one step ahead so the chain pointer is known
+  // when the node image is finished.
+  std::string key, value, prev_key;
+  bool pending = source(&key, &value);
+  while (pending) {
+    std::vector<OwnedCell> cells;
+    uint32_t used = 0;
+    while (pending) {
+      if (key.empty() || key.size() + value.size() > kMaxEntryBytes) {
+        return fail(Status::InvalidArgument("btree entry empty or too large"));
+      }
+      if (!prev_key.empty() && !(prev_key < key)) {
+        return fail(Status::InvalidArgument("bulk load keys not ascending"));
+      }
+      const uint32_t sz =
+          4 + static_cast<uint32_t>(key.size() + value.size()) + kSlotSize;
+      if (!cells.empty() && used + sz > kUsable) break;
+      used += sz;
+      OwnedCell c;
+      c.key = std::move(key);
+      c.value = std::move(value);
+      prev_key = c.key;
+      cells.push_back(std::move(c));
+      pending = source(&key, &value);
+    }
+
+    PageHandle next_page;
+    uint64_t next_leaf = 0;
+    if (pending) {
+      FACE_ASSIGN_OR_RETURN(next_page, pool_->NewPage());
+      next_leaf = next_page.page_id();
+    }
+    NodeBuilder nb(0, next_leaf);
+    for (const auto& c : cells) nb.AppendLeafCell(c.key, c.value);
+    FACE_RETURN_IF_ERROR(WriteWholeNode(writer, &page, nb.Finish()));
+
+    OwnedCell sep;
+    sep.key = std::move(cells.front().key);
+    sep.child = page.page_id();
+    level.push_back(std::move(sep));
+    page = std::move(next_page);
+  }
+  if (level.size() <= 1) return Status::OK();  // empty or single-leaf root
+
+  // --- internal levels, bottom up -------------------------------------------
+  for (uint8_t lvl = 1; level.size() > 1; ++lvl) {
+    std::vector<OwnedCell> parent;
+    size_t i = 0;
+    while (i < level.size()) {
+      NodeBuilder nb(lvl, level[i].child);
+      OwnedCell sep;
+      sep.key = std::move(level[i].key);
+      ++i;
+      uint32_t used = 0;
+      while (i < level.size()) {
+        const uint32_t sz =
+            10 + static_cast<uint32_t>(level[i].key.size()) + kSlotSize;
+        if (used + sz > kUsable) break;
+        if (i + 2 == level.size()) {
+          // Never strand a lone child for the next node: alone it could not
+          // form a valid internal node (one is needed as the leftmost, a
+          // second as its separator cell). Keep the last two together.
+          const uint32_t last_sz =
+              10 + static_cast<uint32_t>(level[i + 1].key.size()) + kSlotSize;
+          if (used + sz + last_sz > kUsable) break;
+        }
+        nb.AppendInternalCell(level[i].key, level[i].child);
+        used += sz;
+        ++i;
+      }
+      FACE_ASSIGN_OR_RETURN(PageHandle node, pool_->NewPage());
+      FACE_RETURN_IF_ERROR(WriteWholeNode(writer, &node, nb.Finish()));
+      sep.child = node.page_id();
+      parent.push_back(std::move(sep));
+    }
+    level = std::move(parent);
+  }
+  return catalog_->SetRootPage(writer, idx_, level.front().child);
+}
+
 StatusOr<PageId> BPlusTree::FindLeaf(std::string_view key) const {
   PageId page_id = root_page();
   while (true) {

@@ -22,6 +22,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
 
@@ -52,6 +53,21 @@ class BPlusTree {
   /// Insert a new entry. Duplicate keys are rejected (InvalidArgument).
   Status Insert(PageWriter* writer, std::string_view key,
                 std::string_view value);
+
+  /// Pulls the next entry during BulkLoad: fill `key`/`value` and return
+  /// true, or return false when the input is exhausted.
+  using EntrySource = std::function<bool(std::string* key, std::string* value)>;
+
+  /// Sorted bulk load into an EMPTY tree: builds leaves left-to-right from
+  /// strictly ascending entries (no top-down descents, no splits), packs
+  /// them to ~100 %, then builds each internal level bottom-up. Leaves come
+  /// out device-contiguous, which incremental insertion cannot achieve.
+  /// Rejects a non-empty tree, out-of-order or duplicate keys, and
+  /// oversized entries — on such an input error the tree is reset to
+  /// empty (never left half-built). A `source` that simply stops
+  /// returning entries leaves the tree consistent with exactly the
+  /// entries consumed so far.
+  Status BulkLoad(PageWriter* writer, const EntrySource& source);
 
   /// Remove `key`. NotFound if absent.
   Status Delete(PageWriter* writer, std::string_view key);

@@ -49,6 +49,74 @@ char* SimDevice::PagePtr(uint64_t block) {
   return chunk.get() + (block % kChunkPages) * kPageSize;
 }
 
+void SimDevice::CopyOut(uint64_t block, uint32_t n, char* out) const {
+  while (n > 0) {
+    const auto& chunk = chunks_[block / kChunkPages];
+    const uint64_t in_chunk = block % kChunkPages;
+    const uint32_t span =
+        static_cast<uint32_t>(std::min<uint64_t>(n, kChunkPages - in_chunk));
+    const size_t bytes = static_cast<size_t>(span) * kPageSize;
+    if (chunk == nullptr) {
+      memset(out, 0, bytes);
+    } else {
+      memcpy(out, chunk.get() + in_chunk * kPageSize, bytes);
+    }
+    out += bytes;
+    block += span;
+    n -= span;
+  }
+}
+
+void SimDevice::CopyIn(uint64_t block, uint32_t n, const char* in) {
+  while (n > 0) {
+    auto& chunk = chunks_[block / kChunkPages];
+    const uint64_t in_chunk = block % kChunkPages;
+    const uint32_t span =
+        static_cast<uint32_t>(std::min<uint64_t>(n, kChunkPages - in_chunk));
+    const size_t bytes = static_cast<size_t>(span) * kPageSize;
+    if (chunk == nullptr) {
+      if (span == kChunkPages) {
+        // The write covers the whole chunk: no need to zero it first.
+        chunk.reset(new char[kChunkPages * kPageSize]);
+      } else {
+        chunk = std::make_unique<char[]>(kChunkPages * kPageSize);
+      }
+    }
+    memcpy(chunk.get() + in_chunk * kPageSize, in, bytes);
+    in += bytes;
+    block += span;
+    n -= span;
+  }
+}
+
+Status SimDevice::ConsultFaultInjector(IoOp op, uint64_t block, uint32_t n,
+                                       const char* wbuf) {
+  if (op == IoOp::kRead) {
+    if (fault_->dead()) {
+      // Power is off: nothing moves, nothing is charged.
+      return Status::IOError(id_ + ": simulated power loss");
+    }
+    return Status::OK();
+  }
+  const FaultInjector::WriteVerdict v = fault_->OnWrite(id_, block, n);
+  if (v.dead) {
+    return Status::IOError(id_ + ": simulated power loss");
+  }
+  if (v.trip) {
+    // The crash cut this request: full pages before the crash page
+    // persist, the crash page keeps a sector prefix (the rest of it and
+    // all later pages retain their pre-crash media contents).
+    if (v.keep_pages > 0) CopyIn(block, v.keep_pages, wbuf);
+    if (v.keep_sectors > 0) {
+      memcpy(PagePtr(block + v.keep_pages),
+             wbuf + static_cast<size_t>(v.keep_pages) * kPageSize,
+             static_cast<size_t>(v.keep_sectors) * kSectorSize);
+    }
+    return Status::IOError(id_ + ": simulated power loss mid-write");
+  }
+  return Status::OK();
+}
+
 Status SimDevice::DoIo(IoOp op, uint64_t block, uint32_t n, char* rbuf,
                        const char* wbuf) {
   if (n == 0) return Status::InvalidArgument("zero-length I/O");
@@ -57,42 +125,14 @@ Status SimDevice::DoIo(IoOp op, uint64_t block, uint32_t n, char* rbuf,
   }
 
   if (fault_ != nullptr) {
-    if (op == IoOp::kRead) {
-      if (fault_->dead()) {
-        // Power is off: nothing moves, nothing is charged.
-        return Status::IOError(id_ + ": simulated power loss");
-      }
-    } else {
-      const FaultInjector::WriteVerdict v = fault_->OnWrite(id_, block, n);
-      if (v.dead) {
-        return Status::IOError(id_ + ": simulated power loss");
-      }
-      if (v.trip) {
-        // The crash cut this request: full pages before the crash page
-        // persist, the crash page keeps a sector prefix (the rest of it and
-        // all later pages retain their pre-crash media contents).
-        for (uint32_t i = 0; i < v.keep_pages; ++i) {
-          memcpy(PagePtr(block + i),
-                 wbuf + static_cast<size_t>(i) * kPageSize, kPageSize);
-        }
-        if (v.keep_sectors > 0) {
-          memcpy(PagePtr(block + v.keep_pages),
-                 wbuf + static_cast<size_t>(v.keep_pages) * kPageSize,
-                 static_cast<size_t>(v.keep_sectors) * kSectorSize);
-        }
-        return Status::IOError(id_ + ": simulated power loss mid-write");
-      }
-    }
+    FACE_RETURN_IF_ERROR(ConsultFaultInjector(op, block, n, wbuf));
   }
 
-  // Move the bytes.
-  for (uint32_t i = 0; i < n; ++i) {
-    char* page = PagePtr(block + i);
-    if (op == IoOp::kRead) {
-      memcpy(rbuf + static_cast<size_t>(i) * kPageSize, page, kPageSize);
-    } else {
-      memcpy(page, wbuf + static_cast<size_t>(i) * kPageSize, kPageSize);
-    }
+  // Move the bytes, one memcpy per chunk span.
+  if (op == IoOp::kRead) {
+    CopyOut(block, n, rbuf);
+  } else {
+    CopyIn(block, n, wbuf);
   }
 
   if (!timing_enabled_) return Status::OK();
@@ -165,6 +205,8 @@ void SimDevice::TrimBefore(uint64_t block, uint64_t keep_below) {
 }
 
 void SimDevice::Erase() {
+  // Contents and sequentiality history reset together; stats survive (see
+  // header comment for why).
   for (auto& chunk : chunks_) chunk.reset();
   for (auto& ends : last_end_) ends = {UINT64_MAX, UINT64_MAX};
 }
@@ -194,18 +236,24 @@ Status SimDevice::LoadContents(const std::string& path) {
   bool ok = fread(&magic, 8, 1, f) == 1 && fread(&capacity, 8, 1, f) == 1 &&
             fread(&n_chunks, 8, 1, f) == 1 && magic == kImageMagic &&
             capacity == capacity_pages_ && n_chunks == chunks_.size();
-  if (ok) Erase();
+  // Stage into a scratch chunk vector and swap only once the whole image
+  // has been read: a short or corrupt file must not leave the device
+  // half-loaded.
+  std::vector<std::unique_ptr<char[]>> loaded(chunks_.size());
   for (uint64_t i = 0; ok && i < n_chunks; ++i) {
     uint8_t present = 0;
     ok = fread(&present, 1, 1, f) == 1;
     if (ok && present != 0) {
-      chunks_[i] = std::make_unique<char[]>(kChunkPages * kPageSize);
-      ok = fread(chunks_[i].get(), kChunkPages * kPageSize, 1, f) == 1;
+      loaded[i].reset(new char[kChunkPages * kPageSize]);
+      ok = fread(loaded[i].get(), kChunkPages * kPageSize, 1, f) == 1;
     }
   }
   fclose(f);
-  return ok ? Status::OK()
-            : Status::Corruption("bad device image: " + path);
+  if (!ok) return Status::Corruption("bad device image: " + path);
+  chunks_ = std::move(loaded);
+  // Fresh media contents restart the sequentiality history, as Erase does.
+  for (auto& ends : last_end_) ends = {UINT64_MAX, UINT64_MAX};
+  return Status::OK();
 }
 
 Status SimDevice::CloneContentsFrom(const SimDevice& src) {

@@ -65,14 +65,20 @@ class SimDevice {
   /// makespan. Multi-station devices average across stations.
   double Utilization(SimNanos makespan) const;
 
-  /// Wipe contents to zero without touching stats (used by tests).
+  /// Wipe contents to zero. Media state resets with the contents: the
+  /// sequentiality history restarts (the next request on every station
+  /// classifies random). Stats deliberately survive — Erase models
+  /// reformatting the media mid-experiment, not resetting the measurement;
+  /// callers that want fresh counters pair it with ResetStats().
   void Erase();
 
-  /// Release the backing memory of blocks in [keep_below, block) (shrunk
-  /// inward to whole allocation chunks). The blocks read back as zero
-  /// afterwards. No virtual time is charged — this models reclaiming
-  /// recycled WAL extents, not an I/O. `keep_below` protects a leading
-  /// superblock region from reclamation.
+  /// Release the backing memory of blocks in [keep_below, block), shrunk
+  /// INWARD to whole allocation chunks: only chunks lying entirely inside
+  /// the range are freed, so a partially covered chunk at either end is
+  /// kept in full (trimming can never discard a byte outside the range).
+  /// The freed blocks read back as zero afterwards. No virtual time is
+  /// charged — this models reclaiming recycled WAL extents, not an I/O.
+  /// `keep_below` protects a leading superblock region from reclamation.
   void TrimBefore(uint64_t block, uint64_t keep_below = 0);
 
   /// Copy another device's full contents (bulk load once, clone per bench
@@ -83,7 +89,9 @@ class SimDevice {
   /// Serialize the device contents to a host file (sparse: only allocated
   /// chunks are written). Benches cache the loaded TPC-C image this way.
   Status SaveContents(const std::string& path) const;
-  /// Restore contents saved by SaveContents. Capacity must match.
+  /// Restore contents saved by SaveContents. Capacity must match. All or
+  /// nothing: a short or corrupt image leaves the device contents exactly
+  /// as they were.
   Status LoadContents(const std::string& path);
 
   /// When false, requests move bytes but charge no time and no stats — used
@@ -100,6 +108,15 @@ class SimDevice {
  private:
   Status DoIo(IoOp op, uint64_t block, uint32_t n, char* rbuf,
               const char* wbuf);
+  /// Cold path of DoIo: consult the attached injector. OK = proceed with
+  /// the request; any error ends it (possibly after a partial torn write).
+  Status ConsultFaultInjector(IoOp op, uint64_t block, uint32_t n,
+                              const char* wbuf);
+  /// Copy `n` pages at `block` into `out`, one memcpy per chunk span.
+  /// Absent chunks read back as zeroes without being materialized.
+  void CopyOut(uint64_t block, uint32_t n, char* out) const;
+  /// Copy `n` pages from `in` to `block`, one memcpy per chunk span.
+  void CopyIn(uint64_t block, uint32_t n, const char* in);
   /// RAID-0 stripe routing.
   uint32_t StationFor(uint64_t block) const;
   /// Spindle-local LBA of `block` (sequentiality is judged per spindle).

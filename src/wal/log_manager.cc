@@ -46,28 +46,37 @@ Status LogManager::Attach() {
 
 Lsn LogManager::Append(LogRecord* rec) {
   rec->lsn = next_lsn_;
-  const std::string encoded = rec->Encode();
-  tail_.append(encoded);
-  next_lsn_ += encoded.size();
+  const uint32_t len = rec->EncodedSize();
+  // Encode straight into the tail buffer: no per-record std::string.
+  const size_t old_size = tail_.size();
+  tail_.resize(old_size + len);
+  rec->EncodeTo(tail_.data() + old_size);
+  next_lsn_ += len;
   ++stats_.records_appended;
-  stats_.bytes_appended += encoded.size();
+  stats_.bytes_appended += len;
   return rec->lsn;
 }
 
 Status LogManager::FlushTo(Lsn lsn) {
-  if (lsn < durable_lsn_ || next_lsn_ == buffer_base_) return Status::OK();
+  // Nothing new since the last flush: in particular, do NOT rewrite the
+  // already-durable partial tail block. (Checking `next_lsn_ ==
+  // buffer_base_` here used to miss exactly that case.)
+  if (lsn < durable_lsn_ || next_lsn_ == durable_lsn_) return Status::OK();
   (void)lsn;  // Force the whole tail: group commit absorbs co-buffered txns.
 
   const uint64_t first_block = buffer_base_ / kPageSize;
   const uint64_t last_block = (next_lsn_ - 1) / kPageSize;
   const uint32_t n_blocks = static_cast<uint32_t>(last_block - first_block + 1);
 
-  // Assemble full block images (the final partial block is zero-padded, and
-  // rewritten by the next flush — the PostgreSQL partial-page rewrite).
-  std::string blocks(static_cast<size_t>(n_blocks) * kPageSize, '\0');
-  memcpy(blocks.data(), tail_.data(), tail_.size());
+  // Assemble full block images in the reusable flush buffer (the final
+  // partial block is zero-padded, and rewritten by the next flush — the
+  // PostgreSQL partial-page rewrite).
+  const size_t block_bytes = static_cast<size_t>(n_blocks) * kPageSize;
+  if (flush_buf_.size() < block_bytes) flush_buf_.resize(block_bytes);
+  memcpy(flush_buf_.data(), tail_.data(), tail_.size());
+  memset(flush_buf_.data() + tail_.size(), 0, block_bytes - tail_.size());
   FACE_RETURN_IF_ERROR(
-      device_->WriteBatch(first_block, n_blocks, blocks.data()));
+      device_->WriteBatch(first_block, n_blocks, flush_buf_.data()));
   ++stats_.flushes;
   stats_.pages_flushed += n_blocks;
 

@@ -72,9 +72,13 @@ class LogManager {
   Lsn next_lsn_ = kLogStartLsn;
   Lsn durable_lsn_ = kLogStartLsn;
   /// Unflushed stream bytes; buffer_base_ is the stream offset of tail_[0],
-  /// always block-aligned.
+  /// always block-aligned. Append encodes records in place at the end of
+  /// this buffer (see src/wal/README.md).
   std::string tail_;
   Lsn buffer_base_ = kLogStartLsn;
+  /// Reusable block-image staging buffer for FlushTo (grown on demand,
+  /// never shrunk): flushes allocate nothing in steady state.
+  std::string flush_buf_;
   Stats stats_;
 };
 

@@ -1,16 +1,14 @@
 #include "wal/log_record.h"
 
+#include <cassert>
+#include <cstring>
+
 #include "common/coding.h"
 #include "common/crc32c.h"
 
 namespace face {
 
 namespace {
-
-void PutLengthPrefixed(std::string* dst, const std::string& s) {
-  PutFixed32(dst, static_cast<uint32_t>(s.size()));
-  dst->append(s);
-}
 
 Status GetLengthPrefixed(const char* data, uint32_t len, uint32_t* pos,
                          std::string* out) {
@@ -25,41 +23,54 @@ Status GetLengthPrefixed(const char* data, uint32_t len, uint32_t* pos,
 
 }  // namespace
 
-std::string LogRecord::Encode() const {
-  std::string out;
-  out.reserve(kLogRecordHeaderSize + 64 + before.size() + after.size());
-  // Frame: len + crc patched by the caller after the full body is known.
-  PutFixed32(&out, 0);  // len placeholder
-  PutFixed32(&out, 0);  // crc placeholder
-  PutFixed64(&out, lsn);
-  PutFixed64(&out, txn_id);
-  PutFixed64(&out, prev_lsn);
-  out.push_back(static_cast<char>(type));
+void LogRecord::EncodeTo(char* dst) const {
+  const uint32_t len = EncodedSize();
+  char* p = dst;
+  EncodeFixed32(p, len);
+  p += 4;
+  p += 4;  // crc patched below, once the full body is in place
+  EncodeFixed64(p, lsn);
+  EncodeFixed64(p + 8, txn_id);
+  EncodeFixed64(p + 16, prev_lsn);
+  p[24] = static_cast<char>(type);
+  p += 25;
+
+  auto put_string = [&p](const std::string& s) {
+    EncodeFixed32(p, static_cast<uint32_t>(s.size()));
+    memcpy(p + 4, s.data(), s.size());
+    p += 4 + s.size();
+  };
 
   switch (type) {
     case LogRecordType::kUpdate:
-      PutFixed64(&out, page_id);
-      PutFixed16(&out, offset);
-      PutLengthPrefixed(&out, before);
-      PutLengthPrefixed(&out, after);
+      EncodeFixed64(p, page_id);
+      EncodeFixed16(p + 8, offset);
+      p += 10;
+      put_string(before);
+      put_string(after);
       break;
     case LogRecordType::kClr:
-      PutFixed64(&out, page_id);
-      PutFixed16(&out, offset);
-      PutLengthPrefixed(&out, after);
-      PutFixed64(&out, undo_next_lsn);
+      EncodeFixed64(p, page_id);
+      EncodeFixed16(p + 8, offset);
+      p += 10;
+      put_string(after);
+      EncodeFixed64(p, undo_next_lsn);
+      p += 8;
       break;
     case LogRecordType::kCheckpointBegin:
-      PutFixed64(&out, next_page_id);
-      PutFixed32(&out, static_cast<uint32_t>(dirty_pages.size()));
-      PutFixed32(&out, static_cast<uint32_t>(active_txns.size()));
+      EncodeFixed64(p, next_page_id);
+      EncodeFixed32(p + 8, static_cast<uint32_t>(dirty_pages.size()));
+      EncodeFixed32(p + 12, static_cast<uint32_t>(active_txns.size()));
+      p += 16;
       for (const auto& e : dirty_pages) {
-        PutFixed64(&out, e.page_id);
-        PutFixed64(&out, e.rec_lsn);
+        EncodeFixed64(p, e.page_id);
+        EncodeFixed64(p + 8, e.rec_lsn);
+        p += 16;
       }
       for (const auto& e : active_txns) {
-        PutFixed64(&out, e.txn_id);
-        PutFixed64(&out, e.last_lsn);
+        EncodeFixed64(p, e.txn_id);
+        EncodeFixed64(p + 8, e.last_lsn);
+        p += 16;
       }
       break;
     case LogRecordType::kBegin:
@@ -68,12 +79,17 @@ std::string LogRecord::Encode() const {
     case LogRecordType::kCheckpointEnd:
       break;
   }
+  assert(p == dst + len);
 
-  EncodeFixed32(out.data(), static_cast<uint32_t>(out.size()));
   // CRC over everything after the crc field (lsn included, so a record
   // copied to the wrong offset is rejected).
-  const uint32_t crc = crc32c::Value(out.data() + 8, out.size() - 8);
-  EncodeFixed32(out.data() + 4, crc32c::Mask(crc));
+  const uint32_t crc = crc32c::Value(dst + 8, len - 8);
+  EncodeFixed32(dst + 4, crc32c::Mask(crc));
+}
+
+std::string LogRecord::Encode() const {
+  std::string out(EncodedSize(), '\0');
+  EncodeTo(out.data());
   return out;
 }
 

@@ -59,8 +59,13 @@ struct LogRecord {
   std::vector<DptEntry> dirty_pages;
   std::vector<AttEntry> active_txns;
 
-  /// Serialize to the on-media format (without knowing the LSN — the
-  /// manager patches lsn and crc during append).
+  /// Serialize to the on-media format into `dst`, which must have exactly
+  /// EncodedSize() bytes. The hot path: LogManager::Append encodes straight
+  /// into its tail buffer, no per-record allocation.
+  void EncodeTo(char* dst) const;
+
+  /// Serialize to the on-media format (convenience wrapper over EncodeTo
+  /// for tests and tools).
   std::string Encode() const;
 
   /// Decode from `data` (one full record, length already framed).

@@ -39,6 +39,16 @@ struct KvTable {
   /// Insert `id`'s row and index entry.
   Status Insert(PageWriter* writer, uint64_t id, uint32_t value_bytes,
                 uint64_t version);
+  /// Populate ids [0, records) in one pass: heap rows appended in id order,
+  /// the index built through the sorted B+tree bulk-load path (same row
+  /// images as `records` Insert calls, far fewer page touches). The table
+  /// must be freshly created.
+  Status BulkLoad(PageWriter* writer, uint64_t records, uint32_t value_bytes);
+  /// Populate ids [0, records) through either load path — the shared
+  /// factory Load() body of the KV workloads. `bulk` selects BulkLoad;
+  /// false replays the per-record insert path (see YcsbOptions::bulk_load).
+  Status Populate(PageWriter* writer, uint64_t records, uint32_t value_bytes,
+                  bool bulk);
   /// Point-read `id` into `out`; NotFound if absent.
   Status Read(uint64_t id, std::string* out) const;
   /// Overwrite `id`'s row in place with a new version.

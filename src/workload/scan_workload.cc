@@ -72,10 +72,8 @@ Status ScanHeavyFactory::Load(Database& db, uint64_t seed) const {
   (void)seed;
   PageWriter bulk = db.BulkWriter();
   FACE_ASSIGN_OR_RETURN(KvTable table, KvTable::Create(db, &bulk));
-  for (uint64_t id = 0; id < opts_.records; ++id) {
-    FACE_RETURN_IF_ERROR(
-        table.Insert(&bulk, id, opts_.value_bytes, /*version=*/0));
-  }
+  FACE_RETURN_IF_ERROR(table.Populate(&bulk, opts_.records, opts_.value_bytes,
+                                      opts_.bulk_load));
   return db.CleanShutdown();
 }
 

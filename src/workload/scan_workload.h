@@ -22,6 +22,8 @@ struct ScanHeavyOptions {
   /// Scan length range in rows (uniform).
   uint64_t min_scan_rows = 100;
   uint64_t max_scan_rows = 800;
+  /// See YcsbOptions::bulk_load.
+  bool bulk_load = true;
 };
 
 /// Scan-heavy driver; see file comment.

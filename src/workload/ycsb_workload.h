@@ -38,6 +38,12 @@ struct YcsbOptions {
   /// Scans read 1..max_scan_rows rows (uniform length).
   uint32_t max_scan_rows = 25;
 
+  /// Populate the golden image through the sorted B+tree bulk-load path
+  /// (leaves built left-to-right, device-contiguous). False routes the load
+  /// through per-record inserts — slower, but reproduces the physical page
+  /// layout of an incrementally grown tree (the timing guard pins it).
+  bool bulk_load = true;
+
   // --- standard mixes -------------------------------------------------------
   static YcsbOptions A() {  // update heavy: 50/50 read/update, Zipfian
     YcsbOptions o;

@@ -110,6 +110,112 @@ TEST_F(BtreeTest, ReverseInsertAlsoWorks) {
   EXPECT_EQ(n, 3000u);
 }
 
+TEST_F(BtreeTest, BulkLoadMatchesIncrementalInsert) {
+  // Structural equivalence of the two load paths: same entries in, same
+  // logical tree out — identical key/value sequence under full iteration,
+  // invariants clean, lookups agree. Physical layout may differ (bulk
+  // leaves are allocated contiguously), which is the point of the path.
+  constexpr uint64_t kKeys = 4000;
+  auto value_of = [](uint64_t k) {
+    // Varying value lengths exercise uneven node fills.
+    return std::string(1 + k % 37, static_cast<char>('a' + k % 26));
+  };
+
+  PageWriter bulk;
+  auto bulk_tree_or =
+      BPlusTree::Create(db_->pool(), db_->catalog(), &bulk, "idx_bulk");
+  FACE_ASSERT_OK(bulk_tree_or.status());
+  BPlusTree bulk_tree = std::move(bulk_tree_or.value());
+  uint64_t fed = 0;
+  FACE_ASSERT_OK(bulk_tree.BulkLoad(
+      &bulk, [&](std::string* key, std::string* value) {
+        if (fed >= kKeys) return false;
+        *key = Key(fed);
+        *value = value_of(fed);
+        ++fed;
+        return true;
+      }));
+
+  for (uint64_t k = 0; k < kKeys; ++k) {
+    FACE_ASSERT_OK(tree_.Insert(&bulk, Key(k), value_of(k)));
+  }
+
+  FACE_ASSERT_OK(bulk_tree.CheckInvariants());
+  FACE_ASSERT_OK(tree_.CheckInvariants());
+
+  FACE_ASSERT_OK_AND_ASSIGN(BPlusTree::Iterator a, tree_.SeekFirst());
+  FACE_ASSERT_OK_AND_ASSIGN(BPlusTree::Iterator b, bulk_tree.SeekFirst());
+  uint64_t entries = 0;
+  while (a.Valid() && b.Valid()) {
+    EXPECT_EQ(a.key(), b.key());
+    EXPECT_EQ(a.value(), b.value());
+    ++entries;
+    FACE_ASSERT_OK(a.Next());
+    FACE_ASSERT_OK(b.Next());
+  }
+  EXPECT_FALSE(a.Valid());
+  EXPECT_FALSE(b.Valid());
+  EXPECT_EQ(entries, kKeys);
+
+  // Bulk leaves pack to ~100 %, so the bulk tree can never be taller.
+  FACE_ASSERT_OK_AND_ASSIGN(uint32_t h_incr, tree_.Height());
+  FACE_ASSERT_OK_AND_ASSIGN(uint32_t h_bulk, bulk_tree.Height());
+  EXPECT_LE(h_bulk, h_incr);
+
+  // Point operations keep working on a bulk-loaded tree, including ones
+  // that trigger post-load splits.
+  std::string out;
+  for (uint64_t k = 1; k < kKeys; k *= 3) {
+    FACE_ASSERT_OK(bulk_tree.Get(Key(k), &out));
+    EXPECT_EQ(out, value_of(k));
+  }
+  FACE_ASSERT_OK(bulk_tree.Insert(&bulk, Key(kKeys + 1), "post-load"));
+  FACE_ASSERT_OK(bulk_tree.Get(Key(kKeys + 1), &out));
+  EXPECT_EQ(out, "post-load");
+  FACE_ASSERT_OK(bulk_tree.CheckInvariants());
+}
+
+TEST_F(BtreeTest, BulkLoadRejectsMisuse) {
+  PageWriter bulk;
+  // Out-of-order input late in the stream (after whole leaves were already
+  // written): the load fails and the tree resets to empty, never half-built.
+  auto tree_or =
+      BPlusTree::Create(db_->pool(), db_->catalog(), &bulk, "idx_bad");
+  FACE_ASSERT_OK(tree_or.status());
+  BPlusTree bad = std::move(tree_or.value());
+  uint64_t i = 0;
+  EXPECT_TRUE(bad.BulkLoad(&bulk,
+                           [&](std::string* key, std::string* value) {
+                             // Descends at 600, several leaves in.
+                             *key = Key(i < 600 ? i : 1200 - i);
+                             *value = std::string(100, 'v');
+                             ++i;
+                             return true;
+                           })
+                  .IsInvalidArgument());
+  FACE_ASSERT_OK(bad.CheckInvariants());
+  FACE_ASSERT_OK_AND_ASSIGN(uint64_t bad_n, bad.CountEntries());
+  EXPECT_EQ(bad_n, 0u);
+  std::string probe;
+  EXPECT_TRUE(bad.Get(Key(1), &probe).IsNotFound());
+
+  // Non-empty target tree.
+  FACE_ASSERT_OK(tree_.Insert(&bulk, Key(1), "x"));
+  EXPECT_TRUE(tree_.BulkLoad(&bulk,
+                             [](std::string*, std::string*) { return false; })
+                  .IsInvalidArgument());
+
+  // Empty input is a no-op on an empty tree.
+  auto empty_or =
+      BPlusTree::Create(db_->pool(), db_->catalog(), &bulk, "idx_empty");
+  FACE_ASSERT_OK(empty_or.status());
+  BPlusTree empty = std::move(empty_or.value());
+  FACE_ASSERT_OK(empty.BulkLoad(
+      &bulk, [](std::string*, std::string*) { return false; }));
+  FACE_ASSERT_OK_AND_ASSIGN(uint64_t n, empty.CountEntries());
+  EXPECT_EQ(n, 0u);
+}
+
 TEST_F(BtreeTest, RangeScanVisitsInOrder) {
   PageWriter bulk;
   for (uint64_t k = 0; k < 1000; k += 2) {  // even keys only

@@ -113,6 +113,32 @@ TEST_F(LogManagerTest, NothingDurableUntilFlush) {
   EXPECT_GT(log_.durable_lsn(), la);
 }
 
+TEST_F(LogManagerTest, FlushWithNoNewAppendsWritesNothing) {
+  // Regression: the early-out used to test `next_lsn_ == buffer_base_`, so
+  // a flush with no new appends but a retained partial tail block rewrote
+  // that already-durable block on every call.
+  LogRecord a = MakeUpdate(1, 1, 0, "x", "y");  // not block-aligned
+  log_.Append(&a);
+  const uint64_t writes_before = dev_.stats().write_reqs;
+  FACE_ASSERT_OK(log_.FlushAll());
+  EXPECT_EQ(dev_.stats().write_reqs, writes_before + 1);
+
+  // Back-to-back forces with nothing new: exactly zero further device
+  // writes, whatever LSN the caller asks for.
+  FACE_ASSERT_OK(log_.FlushAll());
+  FACE_ASSERT_OK(log_.FlushTo(log_.durable_lsn()));
+  FACE_ASSERT_OK(log_.FlushTo(log_.next_lsn()));
+  EXPECT_EQ(dev_.stats().write_reqs, writes_before + 1);
+  EXPECT_EQ(log_.stats().flushes, 1u);
+
+  // The next real append still lands in the retained partial block.
+  LogRecord b = MakeUpdate(1, 2, 0, "x", "y");
+  const Lsn lb = log_.Append(&b);
+  FACE_ASSERT_OK(log_.FlushTo(lb));
+  EXPECT_EQ(dev_.stats().write_reqs, writes_before + 2);
+  EXPECT_EQ(log_.durable_lsn(), log_.next_lsn());
+}
+
 TEST_F(LogManagerTest, ReaderScansExactlyWhatWasAppended) {
   std::vector<Lsn> lsns;
   for (int i = 0; i < 100; ++i) {

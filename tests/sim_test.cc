@@ -2,6 +2,9 @@
 // detection, RAID striping, trim, clone, save/load), closed-loop scheduler.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <cstdio>
 #include <string>
 
 #include "sim/device_model.h"
@@ -180,6 +183,111 @@ TEST(SimDeviceTest, SaveLoadRoundTrip) {
   // Capacity mismatch is rejected.
   SimDevice c("c", DeviceProfile::Seagate15k(), 1024);
   EXPECT_FALSE(c.LoadContents(path).ok());
+  remove(path.c_str());
+}
+
+TEST(SimDeviceTest, BatchIoCrossesChunkBoundaries) {
+  // Lazy chunks are 1024 pages; batch requests must span them seamlessly
+  // (the span-copy fast path works chunk by chunk).
+  SimDevice dev("d", DeviceProfile::Seagate15k(), 4096);
+  std::string in(40 * kPageSize, '\0');
+  for (size_t i = 0; i < in.size(); ++i) {
+    in[i] = static_cast<char>('a' + i % 23);
+  }
+  FACE_ASSERT_OK(dev.WriteBatch(1004, 40, in.data()));  // spans 1024
+  std::string out(40 * kPageSize, '\0');
+  FACE_ASSERT_OK(dev.ReadBatch(1004, 40, out.data()));
+  EXPECT_EQ(in, out);
+  // A batch read over written + never-written pages zero-fills the
+  // unwritten span.
+  std::string tail(8 * kPageSize, 'x');
+  FACE_ASSERT_OK(dev.ReadBatch(1040, 8, tail.data()));
+  EXPECT_EQ(tail.substr(0, 4 * kPageSize), in.substr(36 * kPageSize));
+  EXPECT_EQ(tail.substr(4 * kPageSize), std::string(4 * kPageSize, '\0'));
+}
+
+TEST(SimDeviceTest, EraseKeepsStatsButResetsSequentiality) {
+  // Erase models reformatting the media, not resetting the measurement:
+  // counters survive, but the head-position history restarts with the
+  // contents.
+  SimDevice dev("d", DeviceProfile::MlcSamsung470(), 4096);
+  std::string page(kPageSize, 'e');
+  for (uint64_t b = 10; b < 14; ++b) FACE_ASSERT_OK(dev.Write(b, page.data()));
+  EXPECT_EQ(dev.stats().write_reqs, 4u);
+  EXPECT_EQ(dev.stats().seq_write_reqs, 3u);
+  const uint64_t busy = dev.stats().busy_ns;
+  EXPECT_GT(busy, 0u);
+
+  dev.Erase();
+  EXPECT_EQ(dev.stats().write_reqs, 4u) << "stats survive Erase";
+  EXPECT_EQ(dev.stats().busy_ns, busy);
+  std::string out(kPageSize, 'x');
+  FACE_ASSERT_OK(dev.Read(10, out.data()));
+  EXPECT_EQ(out, std::string(kPageSize, '\0')) << "contents wiped";
+  // Block 14 would have continued the pre-Erase write run; it must now
+  // classify random.
+  FACE_ASSERT_OK(dev.Write(14, page.data()));
+  EXPECT_EQ(dev.stats().seq_write_reqs, 3u);
+  EXPECT_EQ(dev.stats().write_reqs, 5u);
+}
+
+TEST(SimDeviceTest, TrimRoundsInwardAtChunkBoundaries) {
+  SimDevice dev("d", DeviceProfile::Seagate15k(), 8192);
+  std::string page(kPageSize, 'r');
+  FACE_ASSERT_OK(dev.Write(1023, page.data()));  // chunk 0 tail
+  FACE_ASSERT_OK(dev.Write(1024, page.data()));  // chunk 1 head
+  FACE_ASSERT_OK(dev.Write(2047, page.data()));  // chunk 1 tail
+  FACE_ASSERT_OK(dev.Write(2048, page.data()));  // chunk 2 head
+
+  // keep_below inside chunk 0 protects all of chunk 0 (rounded up);
+  // block exactly on the chunk-2 boundary frees chunk 1 in full but
+  // cannot touch chunk 2.
+  dev.TrimBefore(/*block=*/2048, /*keep_below=*/1);
+  std::string out(kPageSize, '\0');
+  FACE_ASSERT_OK(dev.Read(1023, out.data()));
+  EXPECT_EQ(out, page) << "partially protected chunk kept in full";
+  FACE_ASSERT_OK(dev.Read(1024, out.data()));
+  EXPECT_EQ(out, std::string(kPageSize, '\0')) << "chunk 1 freed";
+  FACE_ASSERT_OK(dev.Read(2048, out.data()));
+  EXPECT_EQ(out, page) << "chunk at the trim point kept";
+
+  // A trim point in the middle of a chunk keeps that whole chunk.
+  SimDevice mid("m", DeviceProfile::Seagate15k(), 8192);
+  FACE_ASSERT_OK(mid.Write(1024, page.data()));
+  FACE_ASSERT_OK(mid.Write(1500, page.data()));
+  mid.TrimBefore(/*block=*/1400, /*keep_below=*/1);
+  FACE_ASSERT_OK(mid.Read(1024, out.data()));
+  EXPECT_EQ(out, page) << "chunk straddling the trim point survives whole";
+}
+
+TEST(SimDeviceTest, TruncatedImageLeavesDeviceUntouched) {
+  // Regression: LoadContents used to Erase() before reading, so a short
+  // image left the device half-loaded with no rollback.
+  SimDevice a("a", DeviceProfile::Seagate15k(), 4096);
+  std::string page(kPageSize, 'i');
+  FACE_ASSERT_OK(a.Write(5, page.data()));
+  FACE_ASSERT_OK(a.Write(2050, page.data()));
+  const std::string path = ::testing::TempDir() + "/face_trunc_image.bin";
+  FACE_ASSERT_OK(a.SaveContents(path));
+
+  // Truncate the file in the middle of the second chunk's payload.
+  FILE* f = fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  fseek(f, 0, SEEK_END);
+  const long full_size = ftell(f);
+  fclose(f);
+  ASSERT_EQ(truncate(path.c_str(), full_size - 1000), 0);
+
+  SimDevice b("b", DeviceProfile::Seagate15k(), 4096);
+  std::string prior(kPageSize, 'p');
+  FACE_ASSERT_OK(b.Write(7, prior.data()));
+  EXPECT_TRUE(b.LoadContents(path).IsCorruption());
+  std::string out(kPageSize, '\0');
+  FACE_ASSERT_OK(b.Read(7, out.data()));
+  EXPECT_EQ(out, prior) << "failed load must not disturb existing contents";
+  FACE_ASSERT_OK(b.Read(5, out.data()));
+  EXPECT_EQ(out, std::string(kPageSize, '\0'))
+      << "no partial image may leak in";
   remove(path.c_str());
 }
 

@@ -1,0 +1,198 @@
+// Timing-invariance differential guard for the simulator/WAL hot-path
+// optimizations: the span-copy SimDevice::DoIo, the in-place WAL record
+// encoding, and the reusable flush block buffer must not change a single
+// simulated nanosecond. The golden fingerprints below were captured from
+// the pre-optimization code (commit "PR 2") at small scale; every
+// optimized build must reproduce them bit-for-bit.
+//
+// The KV images here are loaded through the *incremental-insert* path on
+// purpose: the sorted bulk-load path intentionally changes the physical
+// page layout (leaves become device-contiguous), which legitimately moves
+// simulated numbers. Bulk load is covered by the structural-equivalence
+// test in btree_test.cc instead.
+//
+// To re-capture after an intentional simulated-behavior change:
+//   TIMING_GUARD_CAPTURE=1 ./timing_guard_test
+// and paste the printed rows over kGolden.
+#include <gtest/gtest.h>
+
+#include <cinttypes>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "testbed/testbed.h"
+#include "tests/test_util.h"
+#include "workload/scan_workload.h"
+#include "workload/ycsb_workload.h"
+
+namespace face {
+namespace {
+
+using workload::ScanHeavyFactory;
+using workload::ScanHeavyOptions;
+using workload::WorkloadFactory;
+using workload::YcsbFactory;
+using workload::YcsbOptions;
+
+constexpr CachePolicy kPolicies[] = {
+    CachePolicy::kNone, CachePolicy::kFace, CachePolicy::kFaceGSC,
+    CachePolicy::kLc,   CachePolicy::kTac,  CachePolicy::kExadata,
+};
+
+/// Everything a run simulates, as exact integers. Any drift — one
+/// nanosecond of makespan, one page of traffic — fails the guard.
+struct Fingerprint {
+  const char* workload;
+  const char* policy;
+  uint64_t duration;        ///< virtual makespan delta of the measured run
+  uint64_t txns;
+  uint64_t primary;
+  uint64_t lookups;         ///< cache probes (DRAM misses)
+  uint64_t hits;            ///< probes served from flash
+  uint64_t db_busy;         ///< per-device virtual busy nanoseconds
+  uint64_t flash_busy;
+  uint64_t log_busy;
+  uint64_t db_pages;        ///< pages moved (reads + writes)
+  uint64_t flash_pages;
+  uint64_t log_pages;
+};
+
+Fingerprint Measure(const char* workload_name, const GoldenImage& golden,
+                    std::shared_ptr<const WorkloadFactory> factory,
+                    CachePolicy policy, uint64_t warmup, uint64_t txns) {
+  TestbedOptions opts;
+  opts.policy = policy;
+  opts.flash_pages = golden.db_pages() / 10;
+  opts.seed = 42;
+  opts.workload = std::move(factory);
+  Testbed tb(opts, &golden);
+  FACE_EXPECT_OK(tb.Start());
+  FACE_EXPECT_OK(tb.Warmup(warmup));
+  RunOptions run;
+  run.txns = txns;
+  run.checkpoint_interval = 3 * kNanosPerSecond;  // exercise the WAL/ckpt path
+  auto result = tb.Run(run);
+  FACE_EXPECT_OK(result.status());
+  const RunResult& r = *result;
+
+  Fingerprint fp;
+  fp.workload = workload_name;
+  fp.policy = CachePolicyName(policy);
+  fp.duration = r.duration;
+  fp.txns = r.txns;
+  fp.primary = r.primary_txns;
+  fp.lookups = r.cache_stats.lookups;
+  fp.hits = r.cache_stats.hits;
+  fp.db_busy = r.db_stats.busy_ns;
+  fp.flash_busy = r.flash_stats.busy_ns;
+  fp.log_busy = r.log_stats.busy_ns;
+  fp.db_pages = r.db_stats.total_pages();
+  fp.flash_pages = r.flash_stats.total_pages();
+  fp.log_pages = r.log_stats.total_pages();
+  return fp;
+}
+
+/// Captured from the pre-optimization hot path; see file comment.
+constexpr Fingerprint kGolden[] = {
+    // clang-format off
+    {"tpcc", "none", 25736853780, 250, 120, 7170, 0, 27506389796, 0, 766043670, 9292, 0, 779},
+    {"tpcc", "FaCE", 12601179605, 250, 120, 7170, 3902, 13012675092, 242013097, 739778013, 4319, 9504, 769},
+    {"tpcc", "FaCE+GSC", 10861989372, 250, 120, 7251, 4511, 11462575024, 341061755, 731031659, 3767, 15897, 766},
+    {"tpcc", "LC", 13306087411, 250, 120, 7170, 4687, 13371504053, 620384742, 722285306, 4352, 9990, 763},
+    {"tpcc", "TAC", 15470485260, 250, 120, 7170, 4468, 14674205202, 1562225564, 739778011, 4797, 16975, 769},
+    {"tpcc", "Exadata", 16815909503, 250, 120, 7170, 3802, 16632188030, 578978458, 748550967, 5449, 7170, 773},
+    {"ycsb-zipfian", "none", 552427793, 400, 400, 186, 0, 758513346, 0, 552163953, 246, 0, 232},
+    {"ycsb-zipfian", "FaCE", 552427793, 400, 400, 186, 10, 580638104, 3276774, 552163953, 190, 156, 232},
+    {"ycsb-zipfian", "FaCE+GSC", 552427793, 400, 400, 193, 16, 609296931, 3820016, 552163953, 199, 201, 232},
+    {"ycsb-zipfian", "LC", 552427793, 400, 400, 186, 10, 583835546, 3859107, 552163953, 191, 157, 232},
+    {"ycsb-zipfian", "TAC", 552973113, 400, 400, 186, 0, 758513346, 89025959, 552163953, 246, 817, 232},
+    {"ycsb-zipfian", "Exadata", 552444662, 400, 400, 186, 0, 758513346, 3420652, 552163953, 246, 186, 232},
+    {"scan-heavy", "none", 393697175, 50, 50, 1428, 0, 776754150, 0, 26292255, 1434, 0, 11},
+    {"scan-heavy", "FaCE", 718347801, 50, 50, 1428, 100, 718158350, 29064339, 26292255, 1334, 1541, 11},
+    {"scan-heavy", "FaCE+GSC", 413927319, 50, 50, 1500, 139, 749996795, 61303007, 26292255, 1368, 3440, 11},
+    {"scan-heavy", "LC", 719470571, 50, 50, 1428, 109, 702293747, 62993977, 26292255, 1323, 1418, 11},
+    {"scan-heavy", "TAC", 570869021, 50, 50, 1428, 89, 742908601, 204500888, 26292255, 1345, 1941, 11},
+    {"scan-heavy", "Exadata", 685727192, 50, 50, 1428, 0, 776754150, 26211567, 26292255, 1434, 1428, 11},
+    // clang-format on
+};
+
+std::vector<Fingerprint> MeasureAll() {
+  std::vector<Fingerprint> rows;
+
+  {  // TPC-C at 1 warehouse (the paper's workload).
+    auto golden = GoldenImage::Build(1);
+    FACE_EXPECT_OK(golden.status());
+    for (CachePolicy policy : kPolicies) {
+      rows.push_back(Measure("tpcc", *golden, /*factory=*/nullptr, policy,
+                             /*warmup=*/150, /*txns=*/250));
+    }
+  }
+
+  {  // YCSB-zipfian, incremental-insert load (see file comment).
+    YcsbOptions yo;
+    yo.records = 8000;
+    yo.bulk_load = false;
+    auto factory = std::make_shared<YcsbFactory>(yo);
+    auto golden = GoldenImage::BuildFor(factory);
+    FACE_EXPECT_OK(golden.status());
+    for (CachePolicy policy : kPolicies) {
+      rows.push_back(Measure("ycsb-zipfian", *golden, factory, policy,
+                             /*warmup=*/250, /*txns=*/400));
+    }
+  }
+
+  {  // Scan-heavy, incremental-insert load.
+    ScanHeavyOptions so;
+    so.records = 8000;
+    so.bulk_load = false;
+    auto factory = std::make_shared<ScanHeavyFactory>(so);
+    auto golden = GoldenImage::BuildFor(factory);
+    FACE_EXPECT_OK(golden.status());
+    for (CachePolicy policy : kPolicies) {
+      rows.push_back(Measure("scan-heavy", *golden, factory, policy,
+                             /*warmup=*/30, /*txns=*/50));
+    }
+  }
+  return rows;
+}
+
+TEST(TimingGuardTest, SimulatedResultsMatchPreOptimizationGolden) {
+  const std::vector<Fingerprint> rows = MeasureAll();
+
+  if (getenv("TIMING_GUARD_CAPTURE") != nullptr) {
+    for (const Fingerprint& f : rows) {
+      printf("    {\"%s\", \"%s\", %" PRIu64 ", %" PRIu64 ", %" PRIu64
+             ", %" PRIu64 ", %" PRIu64 ", %" PRIu64 ", %" PRIu64 ", %" PRIu64
+             ", %" PRIu64 ", %" PRIu64 ", %" PRIu64 "},\n",
+             f.workload, f.policy, f.duration, f.txns, f.primary, f.lookups,
+             f.hits, f.db_busy, f.flash_busy, f.log_busy, f.db_pages,
+             f.flash_pages, f.log_pages);
+    }
+    GTEST_SKIP() << "capture mode: golden rows printed, nothing asserted";
+  }
+
+  ASSERT_EQ(rows.size(), sizeof(kGolden) / sizeof(kGolden[0]));
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Fingerprint& got = rows[i];
+    const Fingerprint& want = kGolden[i];
+    SCOPED_TRACE(std::string(want.workload) + " / " + want.policy);
+    EXPECT_STREQ(got.workload, want.workload);
+    EXPECT_STREQ(got.policy, want.policy);
+    EXPECT_EQ(got.duration, want.duration);
+    EXPECT_EQ(got.txns, want.txns);
+    EXPECT_EQ(got.primary, want.primary);
+    EXPECT_EQ(got.lookups, want.lookups);
+    EXPECT_EQ(got.hits, want.hits);
+    EXPECT_EQ(got.db_busy, want.db_busy);
+    EXPECT_EQ(got.flash_busy, want.flash_busy);
+    EXPECT_EQ(got.log_busy, want.log_busy);
+    EXPECT_EQ(got.db_pages, want.db_pages);
+    EXPECT_EQ(got.flash_pages, want.flash_pages);
+    EXPECT_EQ(got.log_pages, want.log_pages);
+  }
+}
+
+}  // namespace
+}  // namespace face
