@@ -245,6 +245,11 @@ class JsonReporter {
     body_ += ", \"" + std::string(key) + "\": " + buf;
   }
 
+  /// String field (value must not need JSON escaping — bench labels only).
+  void Field(const char* key, const std::string& v) {
+    body_ += ", \"" + std::string(key) + "\": \"" + v + "\"";
+  }
+
   /// Add the standard per-run metrics of one measured cell.
   void AddRunRow(const std::string& workload, const std::string& policy,
                  const RunResult& r, double wall_clock_sec) {

@@ -9,6 +9,7 @@
 // (faster random writes) but GSC keeps >= 25 % over LC.
 #include <cstdio>
 #include <cstring>
+#include <string>
 
 #include "bench/bench_common.h"
 
@@ -21,12 +22,13 @@ constexpr CachePolicy kPolicies[] = {CachePolicy::kFaceGSC,
                                      CachePolicy::kFaceGR, CachePolicy::kFace,
                                      CachePolicy::kLc};
 
-void RunFigure(const BenchFlags& flags, bool slc) {
+void RunFigure(const BenchFlags& flags, bool slc, JsonReporter* json) {
   const GoldenImage& golden = GetGolden(flags);
   const uint64_t warmup = flags.WarmupOr(2000);
   const uint64_t txns = flags.TxnsOr(3000);
   const DeviceProfile ssd =
       slc ? DeviceProfile::SlcIntelX25E() : DeviceProfile::MlcSamsung470();
+  const std::string ssd_name = slc ? "slc" : "mlc";
 
   PrintHeader(slc ? "Figure 4(b): tpmC vs cache size, SLC SSD (Intel X25-E)"
                   : "Figure 4(a): tpmC vs cache size, MLC SSD (Samsung 470)");
@@ -38,7 +40,14 @@ void RunFigure(const BenchFlags& flags, bool slc) {
     opts.seed = flags.seed;
     opts.policy = CachePolicy::kNone;
     Testbed tb(opts, &golden);
-    hdd_only = MeasureSteadyState(&tb, warmup, txns, kCheckpointEvery).TpmC();
+    const WallClock::time_point start = WallClock::now();
+    const RunResult r = MeasureSteadyState(&tb, warmup, txns, kCheckpointEvery);
+    hdd_only = r.TpmC();
+    if (json != nullptr) {
+      json->AddRunRow("tpcc", "hdd-only", r, WallSecondsSince(start));
+      json->Field("ssd", ssd_name);
+      json->EndRow();
+    }
   }
   {
     TestbedOptions opts;
@@ -46,7 +55,14 @@ void RunFigure(const BenchFlags& flags, bool slc) {
     opts.policy = CachePolicy::kNone;
     opts.db_profile = ssd;
     Testbed tb(opts, &golden);
-    ssd_only = MeasureSteadyState(&tb, warmup, txns, kCheckpointEvery).TpmC();
+    const WallClock::time_point start = WallClock::now();
+    const RunResult r = MeasureSteadyState(&tb, warmup, txns, kCheckpointEvery);
+    ssd_only = r.TpmC();
+    if (json != nullptr) {
+      json->AddRunRow("tpcc", "ssd-only", r, WallSecondsSince(start));
+      json->Field("ssd", ssd_name);
+      json->EndRow();
+    }
   }
   printf("%-14s %10.0f\n", "HDD only", hdd_only);
   printf("%-14s %10.0f\n", "SSD only", ssd_only);
@@ -64,7 +80,17 @@ void RunFigure(const BenchFlags& flags, bool slc) {
       opts.flash_pages = CachePagesForRatio(golden, ratio);
       opts.flash_profile = ssd;
       Testbed tb(opts, &golden);
-      const double tpmc = MeasureSteadyState(&tb, warmup, txns, kCheckpointEvery).TpmC();
+      const WallClock::time_point start = WallClock::now();
+      const RunResult r =
+          MeasureSteadyState(&tb, warmup, txns, kCheckpointEvery);
+      const double tpmc = r.TpmC();
+      if (json != nullptr) {
+        json->AddRunRow("tpcc", CachePolicyName(policy), r,
+                        WallSecondsSince(start));
+        json->Field("ssd", ssd_name);
+        json->Field("cache_pct", 100.0 * ratio);
+        json->EndRow();
+      }
       cells.push_back(Fmt("%.0f", tpmc));
       fprintf(stderr, "[fig4%s] %-8s %4.0f%%: tpmC=%.0f\n", slc ? "b" : "a",
               CachePolicyName(policy), ratio * 100, tpmc);
@@ -98,7 +124,13 @@ int main(int argc, char** argv) {
   }
   const face::bench::BenchFlags flags =
       face::bench::ParseFlags(static_cast<int>(rest.size()), rest.data());
-  if (both || !slc) face::bench::RunFigure(flags, /*slc=*/false);
-  if (both || slc) face::bench::RunFigure(flags, /*slc=*/true);
+  face::bench::JsonReporter json_reporter("fig4_throughput", flags);
+  face::bench::JsonReporter* json = flags.json ? &json_reporter : nullptr;
+  if (both || !slc) face::bench::RunFigure(flags, /*slc=*/false, json);
+  if (both || slc) face::bench::RunFigure(flags, /*slc=*/true, json);
+  if (json != nullptr && !json->WriteFile()) {
+    fprintf(stderr, "failed to write BENCH_fig4_throughput.json\n");
+    return 1;
+  }
   return 0;
 }

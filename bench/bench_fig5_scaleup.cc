@@ -19,6 +19,8 @@ void RunFigure(const BenchFlags& flags) {
   const GoldenImage& golden = GetGolden(flags);
   const uint64_t warmup = flags.WarmupOr(2000);
   const uint64_t txns = flags.TxnsOr(3000);
+  JsonReporter json_reporter("fig5_scaleup", flags);
+  JsonReporter* json = flags.json ? &json_reporter : nullptr;
 
   PrintHeader("Figure 5: tpmC vs RAID-0 spindle count (cache = 12% of DB)");
   std::vector<std::string> head;
@@ -43,7 +45,15 @@ void RunFigure(const BenchFlags& flags) {
         opts.flash_pages = CachePagesForRatio(golden, 0.12);
       }
       Testbed tb(opts, &golden);
-      const double tpmc = MeasureSteadyState(&tb, warmup, txns, kCheckpointEvery).TpmC();
+      const WallClock::time_point start = WallClock::now();
+      const RunResult r =
+          MeasureSteadyState(&tb, warmup, txns, kCheckpointEvery);
+      const double tpmc = r.TpmC();
+      if (json != nullptr) {
+        json->AddRunRow("tpcc", row.name, r, WallSecondsSince(start));
+        json->Field("spindles", static_cast<uint64_t>(spindles));
+        json->EndRow();
+      }
       cells.push_back(Fmt("%.0f", tpmc));
       fprintf(stderr, "[fig5] %-8s %2u disks: tpmC=%.0f\n", row.name,
               spindles, tpmc);
@@ -52,6 +62,10 @@ void RunFigure(const BenchFlags& flags) {
   }
   printf("\npaper shape: FaCE+GSC and HDD-only scale with spindles; LC "
          "flattens at 8 and\nfalls below HDD-only at 16.\n");
+  if (json != nullptr && !json->WriteFile()) {
+    fprintf(stderr, "failed to write BENCH_fig5_scaleup.json\n");
+    exit(1);
+  }
 }
 
 }  // namespace

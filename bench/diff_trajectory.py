@@ -1,0 +1,169 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_*.json trajectory artifacts (see bench/README.md).
+
+Rows are joined positionally (the emitters are deterministic) and verified
+to agree on their identity fields (workload/policy and any distinguishing
+extras such as cache_pct or spindles). Two classes of fields are compared:
+
+  - host-time fields (wall_clock_sec): reported as per-cell and aggregate
+    deltas — the perf trajectory. Never an error; machines differ.
+  - every other numeric field is a SIMULATED metric (virtual makespans,
+    txn counts, hit rates, utilizations, ...), fully determined by the
+    simulation. Any difference means the simulated behavior changed; with
+    --require-simulated-equal the script exits 1 on the first drift, which
+    is how CI turns the bench smoke into a cross-platform differential
+    guard against unintended simulated-behavior changes.
+
+Usage:
+  diff_trajectory.py BASELINE.json CURRENT.json [--require-simulated-equal]
+                     [--allow-flag-drift]
+
+Exit codes: 0 ok, 1 simulated drift (or flag mismatch), 2 usage/shape error.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+HOST_FIELDS = {"wall_clock_sec"}
+IDENTITY_FIELDS = ("workload", "policy")
+# Derived-from-integers doubles (tpm, utilizations, ...) are deterministic
+# IEEE arithmetic, but allow a hair of slack for cross-libc printf/strtod
+# round-trips of the %.10g encoding.
+REL_TOL = 1e-9
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    if "rows" not in doc or "bench" not in doc:
+        print(f"error: {path} is not a BENCH_*.json artifact", file=sys.stderr)
+        sys.exit(2)
+    return doc
+
+
+def numbers_equal(a, b):
+    if isinstance(a, bool) or isinstance(b, bool):
+        return a == b
+    if isinstance(a, int) and isinstance(b, int):
+        return a == b  # integer counters/nanoseconds: exact, always
+    if isinstance(a, (int, float)) and isinstance(b, (int, float)):
+        return math.isclose(a, b, rel_tol=REL_TOL, abs_tol=0.0)
+    return a == b
+
+
+def row_label(row):
+    label = "/".join(str(row.get(k, "?")) for k in IDENTITY_FIELDS)
+    extras = [
+        f"{k}={row[k]}"
+        for k in sorted(row)
+        if k not in IDENTITY_FIELDS and isinstance(row[k], str)
+    ]
+    for k in ("cache_pct", "spindles", "ckpt_interval_s"):
+        if k in row:
+            extras.append(f"{k}={row[k]}")
+    return label + (" [" + ", ".join(extras) + "]" if extras else "")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument(
+        "--require-simulated-equal",
+        action="store_true",
+        help="exit 1 if any simulated (non-host-time) metric differs",
+    )
+    ap.add_argument(
+        "--allow-flag-drift",
+        action="store_true",
+        help="compare artifacts produced with different bench flags",
+    )
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cur = load(args.current)
+
+    if base["bench"] != cur["bench"]:
+        print(
+            f"error: different benches: {base['bench']} vs {cur['bench']}",
+            file=sys.stderr,
+        )
+        sys.exit(2)
+    if base.get("flags") != cur.get("flags") and not args.allow_flag_drift:
+        print(
+            "error: bench flags differ (pass --allow-flag-drift to compare "
+            f"anyway):\n  baseline: {base.get('flags')}\n  current:  "
+            f"{cur.get('flags')}",
+            file=sys.stderr,
+        )
+        sys.exit(1)
+
+    if len(base["rows"]) != len(cur["rows"]):
+        print(
+            f"error: row count differs: {len(base['rows'])} vs "
+            f"{len(cur['rows'])}",
+            file=sys.stderr,
+        )
+        sys.exit(1 if args.require_simulated_equal else 2)
+
+    sim_drift = []
+    host_base_total = 0.0
+    host_cur_total = 0.0
+    print(f"bench: {base['bench']}  rows: {len(base['rows'])}")
+    print(f"{'cell':44s} {'base s':>9s} {'cur s':>9s} {'speedup':>8s}")
+    for i, (rb, rc) in enumerate(zip(base["rows"], cur["rows"])):
+        for k in IDENTITY_FIELDS:
+            if rb.get(k) != rc.get(k):
+                print(
+                    f"error: row {i} identity mismatch: "
+                    f"{rb.get(k)} vs {rc.get(k)}",
+                    file=sys.stderr,
+                )
+                sys.exit(1 if args.require_simulated_equal else 2)
+        for k in sorted(set(rb) | set(rc)):
+            if k in HOST_FIELDS or k in IDENTITY_FIELDS:
+                continue
+            if k not in rb or k not in rc:
+                sim_drift.append((row_label(rb), k, rb.get(k), rc.get(k)))
+            elif not numbers_equal(rb[k], rc[k]):
+                sim_drift.append((row_label(rb), k, rb[k], rc[k]))
+        wb = rb.get("wall_clock_sec")
+        wc = rc.get("wall_clock_sec")
+        if wb is not None and wc is not None:
+            host_base_total += wb
+            host_cur_total += wc
+            ratio = wb / wc if wc > 0 else float("inf")
+            print(f"{row_label(rb):44s} {wb:9.3f} {wc:9.3f} {ratio:7.2f}x")
+
+    if host_cur_total > 0:
+        print(
+            f"{'AGGREGATE host wall-clock':44s} {host_base_total:9.3f} "
+            f"{host_cur_total:9.3f} {host_base_total / host_cur_total:7.2f}x"
+        )
+
+    if sim_drift:
+        print(f"\nSIMULATED METRIC DRIFT ({len(sim_drift)} fields):")
+        for label, key, vb, vc in sim_drift[:40]:
+            print(f"  {label}: {key}: {vb} -> {vc}")
+        if len(sim_drift) > 40:
+            print(f"  ... and {len(sim_drift) - 40} more")
+        if args.require_simulated_equal:
+            print(
+                "\nFAIL: simulated metrics changed. If intentional, refresh "
+                "the committed baseline (see bench/README.md).",
+                file=sys.stderr,
+            )
+            sys.exit(1)
+    else:
+        print("\nsimulated metrics: identical")
+    sys.exit(0)
+
+
+if __name__ == "__main__":
+    main()

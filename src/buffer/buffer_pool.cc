@@ -1,5 +1,6 @@
 #include "buffer/buffer_pool.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
 
@@ -48,6 +49,7 @@ BufferPool::BufferPool(uint32_t capacity_frames, DbStorage* storage,
                        LogManager* log, CacheExtension* cache)
     : frames_(capacity_frames), storage_(storage), log_(log), cache_(cache) {
   assert(capacity_frames >= 8);
+  table_.Reserve(capacity_frames);  // steady state never rehashes
   free_list_.reserve(capacity_frames);
   for (uint32_t i = 0; i < capacity_frames; ++i) {
     frames_[i].data = std::make_unique<char[]>(kPageSize);
@@ -58,40 +60,15 @@ BufferPool::BufferPool(uint32_t capacity_frames, DbStorage* storage,
 
 BufferPool::~BufferPool() { cache_->SetPullSource(nullptr); }
 
-void BufferPool::LruPushFront(uint32_t frame) {
-  Frame& f = frames_[frame];
-  f.prev = -1;
-  f.next = lru_head_;
-  if (lru_head_ >= 0) frames_[lru_head_].prev = static_cast<int32_t>(frame);
-  lru_head_ = static_cast<int32_t>(frame);
-  if (lru_tail_ < 0) lru_tail_ = static_cast<int32_t>(frame);
-}
-
-void BufferPool::LruRemove(uint32_t frame) {
-  Frame& f = frames_[frame];
-  if (f.prev >= 0) frames_[f.prev].next = f.next;
-  else lru_head_ = f.next;
-  if (f.next >= 0) frames_[f.next].prev = f.prev;
-  else lru_tail_ = f.prev;
-  f.prev = f.next = -1;
-}
-
-void BufferPool::LruTouch(uint32_t frame) {
-  if (lru_head_ == static_cast<int32_t>(frame)) return;
-  LruRemove(frame);
-  LruPushFront(frame);
-}
-
 StatusOr<PageHandle> BufferPool::FetchPage(PageId page_id) {
   ++stats_.fetches;
   if (trace_ != nullptr) trace_->OnPageAccess(page_id, false);
-  auto it = table_.find(page_id);
-  if (it != table_.end()) {
+  if (const uint32_t* slot = table_.Find(page_id)) {
+    const uint32_t frame = *slot;
     ++stats_.hits;
-    Frame& f = frames_[it->second];
-    ++f.pins;
-    LruTouch(it->second);
-    return PageHandle(this, it->second, page_id);
+    ++frames_[frame].pins;
+    lru_.MoveToFront(FrameLinks(), frame);
+    return PageHandle(this, frame, page_id);
   }
 
   ++stats_.misses;
@@ -130,8 +107,8 @@ StatusOr<PageHandle> BufferPool::FetchPage(PageId page_id) {
   f.page_id = page_id;
   f.pins = 1;
   f.in_use = true;
-  table_.emplace(page_id, frame);
-  LruPushFront(frame);
+  table_.TryEmplace(page_id, frame);
+  lru_.PushFront(FrameLinks(), frame);
   return PageHandle(this, frame, page_id);
 }
 
@@ -148,8 +125,8 @@ StatusOr<PageHandle> BufferPool::NewPage() {
   f.dirty = false;
   f.fdirty = false;
   f.rec_lsn = kInvalidLsn;
-  table_.emplace(page_id, frame);
-  LruPushFront(frame);
+  table_.TryEmplace(page_id, frame);
+  lru_.PushFront(FrameLinks(), frame);
   ++stats_.new_pages;
   return PageHandle(this, frame, page_id);
 }
@@ -168,8 +145,8 @@ StatusOr<PageHandle> BufferPool::FetchPageForRedo(PageId page_id) {
   f.dirty = false;
   f.fdirty = false;
   f.rec_lsn = kInvalidLsn;
-  table_.emplace(page_id, frame);
-  LruPushFront(frame);
+  table_.TryEmplace(page_id, frame);
+  lru_.PushFront(FrameLinks(), frame);
   return PageHandle(this, frame, page_id);
 }
 
@@ -180,10 +157,10 @@ StatusOr<uint32_t> BufferPool::GetFreeFrame() {
     return frame;
   }
   // Evict from the LRU tail, skipping pinned frames.
-  for (int32_t i = lru_tail_; i >= 0; i = frames_[i].prev) {
+  for (int32_t i = lru_.tail(); i >= 0; i = frames_[i].lru.prev) {
     if (frames_[i].pins == 0) {
       const uint32_t frame = static_cast<uint32_t>(i);
-      LruRemove(frame);
+      lru_.Remove(FrameLinks(), frame);
       FACE_RETURN_IF_ERROR(EvictFrame(frame));
       return frame;
     }
@@ -200,7 +177,7 @@ Status BufferPool::EvictFrame(uint32_t frame) {
   if (f.dirty || f.fdirty) {
     FACE_RETURN_IF_ERROR(log_->FlushTo(PageView(f.data.get()).lsn()));
   }
-  table_.erase(f.page_id);
+  table_.Erase(f.page_id);
   Status s = cache_->OnDramEvict(f.page_id, f.data.get(), f.dirty, f.fdirty,
                                  f.rec_lsn);
   f.in_use = false;
@@ -211,7 +188,7 @@ Status BufferPool::EvictFrame(uint32_t frame) {
 }
 
 PageId BufferPool::PullVictim(char* page, bool* dirty, bool* fdirty) {
-  for (int32_t i = lru_tail_; i >= 0; i = frames_[i].prev) {
+  for (int32_t i = lru_.tail(); i >= 0; i = frames_[i].lru.prev) {
     if (frames_[i].pins != 0) continue;
     const uint32_t frame = static_cast<uint32_t>(i);
     Frame& f = frames_[frame];
@@ -222,8 +199,8 @@ PageId BufferPool::PullVictim(char* page, bool* dirty, bool* fdirty) {
     memcpy(page, f.data.get(), kPageSize);
     *dirty = f.dirty;
     *fdirty = f.fdirty;
-    LruRemove(frame);
-    table_.erase(page_id);
+    lru_.Remove(FrameLinks(), frame);
+    table_.Erase(page_id);
     f.in_use = false;
     f.page_id = kInvalidPageId;
     f.dirty = f.fdirty = false;
@@ -238,8 +215,12 @@ PageId BufferPool::PullVictim(char* page, bool* dirty, bool* fdirty) {
 
 Status BufferPool::FlushAllToDisk() {
   FACE_RETURN_IF_ERROR(log_->FlushAll());
-  for (auto& [page_id, frame] : table_) {
-    Frame& f = frames_[frame];
+  // Ascending-page order (see SnapshotResidentPages): shutdown writes are
+  // deterministic and adjacent dirty pages coalesce into sequential I/O.
+  for (PageId page_id : SnapshotResidentPages()) {
+    const uint32_t* slot = table_.Find(page_id);
+    if (slot == nullptr) continue;  // a cache callback may mutate the table
+    Frame& f = frames_[*slot];
     if (!f.dirty) continue;
     FACE_RETURN_IF_ERROR(storage_->WritePage(page_id, f.data.get()));
     cache_->OnPageWrittenToDisk(page_id);
@@ -253,17 +234,22 @@ Status BufferPool::FlushAllToDisk() {
 std::vector<PageId> BufferPool::SnapshotResidentPages() const {
   std::vector<PageId> ids;
   ids.reserve(table_.size());
-  for (const auto& [page_id, frame] : table_) ids.push_back(page_id);
+  table_.ForEach([&ids](PageId page_id, const uint32_t&) {
+    ids.push_back(page_id);
+  });
+  // Sorted, so checkpoint/trace iteration order is a function of the
+  // resident set alone — not of hash-table layout or stdlib internals.
+  std::sort(ids.begin(), ids.end());
   return ids;
 }
 
 Status BufferPool::EvictAll() {
-  while (lru_tail_ >= 0) {
+  while (lru_.tail() >= 0) {
     bool evicted = false;
-    for (int32_t i = lru_tail_; i >= 0; i = frames_[i].prev) {
+    for (int32_t i = lru_.tail(); i >= 0; i = frames_[i].lru.prev) {
       if (frames_[i].pins == 0) {
         const uint32_t frame = static_cast<uint32_t>(i);
-        LruRemove(frame);
+        lru_.Remove(FrameLinks(), frame);
         FACE_RETURN_IF_ERROR(EvictFrame(frame));
         free_list_.push_back(frame);
         evicted = true;
@@ -277,10 +263,15 @@ Status BufferPool::EvictAll() {
 
 std::vector<DptEntry> BufferPool::CollectDirtyPages() const {
   std::vector<DptEntry> dpt;
-  for (const auto& [page_id, frame] : table_) {
+  table_.ForEach([this, &dpt](PageId page_id, const uint32_t& frame) {
     const Frame& f = frames_[frame];
     if (PersistentlyDirty(f)) dpt.push_back({page_id, f.rec_lsn});
-  }
+  });
+  // Deterministic checkpoint-record content regardless of table layout.
+  std::sort(dpt.begin(), dpt.end(),
+            [](const DptEntry& a, const DptEntry& b) {
+              return a.page_id < b.page_id;
+            });
   return dpt;
 }
 
@@ -289,10 +280,9 @@ Status BufferPool::SyncDirtyPagesForCheckpoint() {
   // Snapshot first: absorbing a page into FaCE can trigger a Group Second
   // Chance replacement, which pulls victims and mutates the page table.
   for (PageId page_id : SnapshotResidentPages()) {
-    auto it = table_.find(page_id);
-    if (it == table_.end()) continue;  // pulled into the cache meanwhile
-    const uint32_t frame = it->second;
-    Frame& f = frames_[frame];
+    const uint32_t* slot = table_.Find(page_id);
+    if (slot == nullptr) continue;  // pulled into the cache meanwhile
+    Frame& f = frames_[*slot];
     if (!PersistentlyDirty(f)) continue;
     FACE_ASSIGN_OR_RETURN(bool absorbed,
                           cache_->CheckpointPage(page_id, f.data.get()));

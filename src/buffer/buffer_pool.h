@@ -10,9 +10,10 @@
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
+#include "common/intrusive_list.h"
+#include "common/page_map.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "core/cache_ext.h"
@@ -145,14 +146,13 @@ class BufferPool final : public DramPullSource {
     Lsn rec_lsn = kInvalidLsn;  ///< first LSN to have dirtied the page since
                                 ///< its persistent copy was last current
     bool in_use = false;
-    // Intrusive LRU list links (head = most recent).
-    int32_t prev = -1;
-    int32_t next = -1;
+    IntrusiveLinks lru;  ///< LRU chain links (head = most recent)
   };
 
-  void LruPushFront(uint32_t frame);
-  void LruRemove(uint32_t frame);
-  void LruTouch(uint32_t frame);
+  /// Link accessor for the intrusive LRU over frames_.
+  auto FrameLinks() {
+    return [this](uint32_t i) -> IntrusiveLinks& { return frames_[i].lru; };
+  }
 
   /// Free a frame for reuse, evicting the LRU-tail victim if needed.
   StatusOr<uint32_t> GetFreeFrame();
@@ -165,9 +165,8 @@ class BufferPool final : public DramPullSource {
 
   std::vector<Frame> frames_;
   std::vector<uint32_t> free_list_;
-  std::unordered_map<PageId, uint32_t> table_;
-  int32_t lru_head_ = -1;
-  int32_t lru_tail_ = -1;
+  PageMap<uint32_t> table_;  ///< page id -> frame index
+  IntrusiveList lru_;
 
   DbStorage* storage_;
   LogManager* log_;

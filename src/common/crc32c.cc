@@ -44,13 +44,92 @@ const Tables& GetTables() {
 
 #if defined(__x86_64__) && defined(__GNUC__)
 // SSE4.2 CRC32 instruction path: the same Castagnoli polynomial the tables
-// implement, so results are bit-identical; ~10x the table throughput.
-// Selected once at startup via cpuid.
+// implement, so results are bit-identical. Large inputs (page checksums,
+// 4 KB each) run THREE independent crc32q chains over adjacent thirds of
+// the buffer — the instruction has 3-cycle latency but 1-cycle throughput,
+// so one chain leaves the unit ~2/3 idle — and the partial results are
+// recombined with a precomputed zero-extension operator (a 4x256 table
+// applying "advance this CRC register through kLaneBytes zero bytes", the
+// standard GF(2) linearity trick behind every multi-lane CRC). Selected
+// once at startup via cpuid.
+
+/// Bytes per interleaved lane. 3 lanes x 168 qwords = 4032 bytes per
+/// tri-block: a 4 KB page checksum is one tri-block plus a short tail.
+constexpr size_t kLaneBytes = 1344;
+
+/// Zero-extension operator Z(r) = raw CRC register r advanced through
+/// kLaneBytes zero bytes, as four byte-indexed lookup tables.
+struct ShiftTables {
+  std::array<std::array<uint32_t, 256>, 4> t;
+
+  uint32_t Apply(uint32_t r) const {
+    return t[0][r & 0xff] ^ t[1][(r >> 8) & 0xff] ^ t[2][(r >> 16) & 0xff] ^
+           t[3][r >> 24];
+  }
+};
+
+ShiftTables MakeShiftTables() {
+  const auto& t0 = GetTables().t[0];
+  // Advance each single-bit basis register through kLaneBytes zero bytes
+  // with the raw one-byte table step; every Z table entry is an XOR of
+  // basis images (Z is linear over GF(2)).
+  std::array<uint32_t, 32> basis;
+  for (uint32_t bit = 0; bit < 32; ++bit) {
+    uint32_t r = 1u << bit;
+    for (size_t i = 0; i < kLaneBytes; ++i) {
+      r = t0[r & 0xff] ^ (r >> 8);
+    }
+    basis[bit] = r;
+  }
+  ShiftTables s;
+  for (uint32_t b = 0; b < 4; ++b) {
+    for (uint32_t v = 0; v < 256; ++v) {
+      uint32_t r = 0;
+      for (uint32_t j = 0; j < 8; ++j) {
+        if (v & (1u << j)) r ^= basis[8 * b + j];
+      }
+      s.t[b][v] = r;
+    }
+  }
+  return s;
+}
+
+const ShiftTables& GetShiftTables() {
+  static const ShiftTables tables = MakeShiftTables();
+  return tables;
+}
+
 __attribute__((target("sse4.2"))) uint32_t ExtendHw(uint32_t init_crc,
                                                     const char* data,
                                                     size_t n) {
   const auto* p = reinterpret_cast<const unsigned char*>(data);
   uint64_t crc = init_crc ^ 0xffffffffu;
+
+  if (n >= 3 * kLaneBytes) {
+    const ShiftTables& shift = GetShiftTables();
+    do {
+      // c0 continues the running register; c1/c2 are seeded zero so the
+      // recombination below is a pure XOR of zero-extended lanes.
+      uint64_t c0 = crc;
+      uint64_t c1 = 0;
+      uint64_t c2 = 0;
+      for (size_t i = 0; i < kLaneBytes; i += 8) {
+        uint64_t v0, v1, v2;
+        memcpy(&v0, p + i, 8);
+        memcpy(&v1, p + kLaneBytes + i, 8);
+        memcpy(&v2, p + 2 * kLaneBytes + i, 8);
+        c0 = __builtin_ia32_crc32di(c0, v0);
+        c1 = __builtin_ia32_crc32di(c1, v1);
+        c2 = __builtin_ia32_crc32di(c2, v2);
+      }
+      crc = shift.Apply(shift.Apply(static_cast<uint32_t>(c0)) ^
+                        static_cast<uint32_t>(c1)) ^
+            static_cast<uint32_t>(c2);
+      p += 3 * kLaneBytes;
+      n -= 3 * kLaneBytes;
+    } while (n >= 3 * kLaneBytes);
+  }
+
   while (n >= 8) {
     uint64_t v;
     memcpy(&v, p, 8);

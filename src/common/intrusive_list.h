@@ -1,0 +1,72 @@
+// Index-intrusive doubly-linked list, for LRU chains over slot arrays
+// (buffer-pool frames, flash-cache frames). The links live inside the
+// caller's own slot records and nodes are addressed by array index, so:
+//   - no per-node heap allocation or pointer chasing (unlike std::list);
+//   - links survive vector reallocation (indexes, not pointers);
+//   - the same slot storage the hot path already touches carries the chain.
+// -1 is the null index. Single-threaded, like everything else here.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+namespace face {
+
+/// Per-slot links; embed one in each slot record.
+struct IntrusiveLinks {
+  int32_t prev = -1;
+  int32_t next = -1;
+};
+
+/// Head/tail of a list threaded through externally stored IntrusiveLinks.
+/// Every operation takes `links`: any callable mapping a slot index
+/// (uint32_t) to that slot's IntrusiveLinks&.
+class IntrusiveList {
+ public:
+  int32_t head() const { return head_; }
+  int32_t tail() const { return tail_; }
+  bool empty() const { return head_ < 0; }
+  void Clear() { head_ = tail_ = -1; }
+
+  template <typename LinksOf>
+  void PushFront(LinksOf&& links, uint32_t i) {
+    IntrusiveLinks& l = links(i);
+    assert(l.prev == -1 && l.next == -1);
+    l.prev = -1;
+    l.next = head_;
+    if (head_ >= 0) links(static_cast<uint32_t>(head_)).prev = Idx(i);
+    head_ = Idx(i);
+    if (tail_ < 0) tail_ = Idx(i);
+  }
+
+  template <typename LinksOf>
+  void Remove(LinksOf&& links, uint32_t i) {
+    IntrusiveLinks& l = links(i);
+    if (l.prev >= 0) {
+      links(static_cast<uint32_t>(l.prev)).next = l.next;
+    } else {
+      head_ = l.next;
+    }
+    if (l.next >= 0) {
+      links(static_cast<uint32_t>(l.next)).prev = l.prev;
+    } else {
+      tail_ = l.prev;
+    }
+    l.prev = l.next = -1;
+  }
+
+  template <typename LinksOf>
+  void MoveToFront(LinksOf&& links, uint32_t i) {
+    if (head_ == Idx(i)) return;
+    Remove(links, i);
+    PushFront(links, i);
+  }
+
+ private:
+  static int32_t Idx(uint32_t i) { return static_cast<int32_t>(i); }
+
+  int32_t head_ = -1;
+  int32_t tail_ = -1;
+};
+
+}  // namespace face

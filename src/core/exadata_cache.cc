@@ -11,46 +11,47 @@ ExadataCache::ExadataCache(uint64_t n_frames, SimDevice* flash,
                            DbStorage* storage)
     : n_frames_(n_frames), flash_(flash), storage_(storage) {
   assert(n_frames_ >= 2);
+  assert(n_frames_ <= static_cast<uint64_t>(INT32_MAX));  // int32 LRU links
   assert(flash_->capacity_pages() >= n_frames_);
+  index_.Reserve(n_frames_);  // steady state never rehashes
+  frame_page_.assign(n_frames_, kInvalidPageId);
+  links_.assign(n_frames_, IntrusiveLinks());
   free_frames_.reserve(n_frames_);
   for (uint64_t i = 0; i < n_frames_; ++i) {
-    free_frames_.push_back(n_frames_ - 1 - i);
+    free_frames_.push_back(static_cast<uint32_t>(n_frames_ - 1 - i));
   }
   scratch_.resize(kPageSize);
 }
 
 StatusOr<FlashReadResult> ExadataCache::ReadPage(PageId page_id, char* out) {
-  auto it = index_.find(page_id);
-  if (it == index_.end()) {
+  const uint32_t* found = index_.Find(page_id);
+  if (found == nullptr) {
     return Status::NotFound("page not in Exadata cache");
   }
-  Entry& e = it->second;
-  FACE_RETURN_IF_ERROR(flash_->Read(e.frame, out));
+  const uint32_t frame = *found;
+  FACE_RETURN_IF_ERROR(flash_->Read(frame, out));
   ++stats_.flash_reads;
   ConstPageView view(out);
   if (!view.VerifyChecksum() || view.page_id() != page_id) {
     return Status::Corruption("Exadata cache frame failed validation");
   }
-  lru_.erase(e.lru_pos);
-  lru_.push_front(page_id);
-  e.lru_pos = lru_.begin();
+  lru_.MoveToFront(FrameLinks(), frame);
   return FlashReadResult{false, kInvalidLsn};  // clean-only cache
 }
 
 Status ExadataCache::OnFetchFromDisk(PageId page_id, const char* page) {
   if (Contains(page_id)) return Status::OK();
 
-  uint64_t frame;
+  uint32_t frame;
   if (!free_frames_.empty()) {
     frame = free_frames_.back();
     free_frames_.pop_back();
   } else {
     // LRU replacement: victims are always clean, so they are just dropped.
-    const PageId victim = lru_.back();
-    auto vit = index_.find(victim);
-    frame = vit->second.frame;
-    lru_.pop_back();
-    index_.erase(vit);
+    frame = static_cast<uint32_t>(lru_.tail());
+    lru_.Remove(FrameLinks(), frame);
+    index_.Erase(frame_page_[frame]);
+    frame_page_[frame] = kInvalidPageId;
     ++stats_.invalidations;
   }
 
@@ -61,8 +62,9 @@ Status ExadataCache::OnFetchFromDisk(PageId page_id, const char* page) {
   FACE_RETURN_IF_ERROR(flash_->Write(frame, scratch_.data()));
   ++stats_.flash_writes;
 
-  lru_.push_front(page_id);
-  index_.emplace(page_id, Entry{frame, lru_.begin()});
+  frame_page_[frame] = page_id;
+  lru_.PushFront(FrameLinks(), frame);
+  index_.TryEmplace(page_id, frame);
   ++stats_.enqueues;
   return Status::OK();
 }
@@ -77,45 +79,52 @@ Status ExadataCache::OnDramEvict(PageId page_id, char* page, bool dirty,
   ++stats_.disk_writes;
   // The cached copy (if any) is stale now; a clean-only cache invalidates
   // rather than updates it.
-  auto it = index_.find(page_id);
-  if (it != index_.end()) DropEntry(it);
+  if (const uint32_t* frame = index_.Find(page_id)) DropFrame(*frame);
   return Status::OK();
 }
 
 void ExadataCache::OnPageWrittenToDisk(PageId page_id) {
-  auto it = index_.find(page_id);
-  if (it != index_.end()) DropEntry(it);
+  if (const uint32_t* frame = index_.Find(page_id)) DropFrame(*frame);
 }
 
-void ExadataCache::DropEntry(
-    std::unordered_map<PageId, Entry>::iterator it) {
-  free_frames_.push_back(it->second.frame);
-  lru_.erase(it->second.lru_pos);
-  index_.erase(it);
+void ExadataCache::DropFrame(uint32_t frame) {
+  free_frames_.push_back(frame);
+  lru_.Remove(FrameLinks(), frame);
+  index_.Erase(frame_page_[frame]);
+  frame_page_[frame] = kInvalidPageId;
   ++stats_.invalidations;
 }
 
 Status ExadataCache::RecoverAfterCrash() {
-  index_.clear();
-  lru_.clear();
+  index_.Clear();
+  lru_.Clear();
+  frame_page_.assign(n_frames_, kInvalidPageId);
+  links_.assign(n_frames_, IntrusiveLinks());
   free_frames_.clear();
   for (uint64_t i = 0; i < n_frames_; ++i) {
-    free_frames_.push_back(n_frames_ - 1 - i);
+    free_frames_.push_back(static_cast<uint32_t>(n_frames_ - 1 - i));
   }
   return Status::OK();
 }
 
 Status ExadataCache::CheckInvariants() const {
-  if (index_.size() != lru_.size()) {
+  uint64_t chained = 0;
+  for (int32_t i = lru_.head(); i >= 0; i = links_[i].next) {
+    ++chained;
+    const PageId page_id = frame_page_[i];
+    const uint32_t* frame = index_.Find(page_id);
+    if (frame == nullptr || *frame != static_cast<uint32_t>(i)) {
+      return Status::Internal("Exadata LRU frame missing from index");
+    }
+    if (chained > n_frames_) {
+      return Status::Internal("Exadata LRU chain cycles");
+    }
+  }
+  if (index_.size() != chained) {
     return Status::Internal("Exadata index / LRU size mismatch");
   }
   if (index_.size() + free_frames_.size() != n_frames_) {
     return Status::Internal("Exadata frame accounting broken");
-  }
-  for (PageId page_id : lru_) {
-    if (index_.find(page_id) == index_.end()) {
-      return Status::Internal("Exadata LRU page missing from index");
-    }
   }
   return Status::OK();
 }

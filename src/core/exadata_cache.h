@@ -8,13 +8,18 @@
 // dirty pages are written through to disk and a cached copy is simply
 // invalidated, so flash never holds the only current copy of anything.
 // Metadata lives in DRAM; a crash resets the cache cold.
+//
+// The directory is a PageMap from page id to flash frame, and the LRU is
+// index-intrusive over the per-frame state (like the buffer pool's): no
+// per-reference list-node churn.
 #pragma once
 
 #include <cstdint>
-#include <list>
-#include <unordered_map>
+#include <string>
 #include <vector>
 
+#include "common/intrusive_list.h"
+#include "common/page_map.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "core/cache_ext.h"
@@ -33,7 +38,7 @@ class ExadataCache final : public CacheExtension {
   const char* name() const override { return "Exadata"; }
   bool IsPersistent() const override { return false; }
   bool Contains(PageId page_id) const override {
-    return index_.find(page_id) != index_.end();
+    return index_.Contains(page_id);
   }
   StatusOr<FlashReadResult> ReadPage(PageId page_id, char* out) override;
   Status OnDramEvict(PageId page_id, char* page, bool dirty, bool fdirty,
@@ -48,20 +53,23 @@ class ExadataCache final : public CacheExtension {
   uint64_t n_frames() const { return n_frames_; }
 
  private:
-  struct Entry {
-    uint64_t frame = 0;
-    std::list<PageId>::iterator lru_pos;
-  };
+  /// Link accessor for the intrusive LRU over frames.
+  auto FrameLinks() {
+    return [this](uint32_t i) -> IntrusiveLinks& { return links_[i]; };
+  }
 
-  void DropEntry(std::unordered_map<PageId, Entry>::iterator it);
+  /// Drop the entry cached in `frame` and free the frame.
+  void DropFrame(uint32_t frame);
 
   uint64_t n_frames_;
   SimDevice* flash_;
   DbStorage* storage_;
 
-  std::unordered_map<PageId, Entry> index_;
-  std::list<PageId> lru_;  ///< front = most recently used
-  std::vector<uint64_t> free_frames_;
+  PageMap<uint32_t> index_;           ///< page id -> flash frame
+  std::vector<PageId> frame_page_;    ///< frame -> cached page id
+  std::vector<IntrusiveLinks> links_; ///< frame LRU links (head = MRU)
+  IntrusiveList lru_;
+  std::vector<uint32_t> free_frames_;
   std::string scratch_;
 };
 

@@ -79,7 +79,11 @@ FaceCache::FaceCache(const FaceOptions& options, SimDevice* flash,
          (options_.group_replace = true));  // GSC implies GR
   if (options_.second_chance) options_.group_replace = true;
   assert(flash_->capacity_pages() >= layout_.total_blocks);
+  newest_.Reserve(options_.n_frames);  // steady state never rehashes
   scratch_.resize(kPageSize);
+  if (options_.group_replace) {
+    staging_buf_.resize(static_cast<size_t>(options_.group_size) * kPageSize);
+  }
 }
 
 const char* FaceCache::name() const {
@@ -90,9 +94,9 @@ const char* FaceCache::name() const {
 
 Status FaceCache::Format() {
   front_seq_ = rear_seq_ = staged_base_ = 0;
+  staged_count_ = 0;
   entries_.clear();
-  newest_.clear();
-  staging_.clear();
+  newest_.Clear();
   seg_buf_.clear();
   sb_front_seq_ = sb_rear_seq_ = 0;
   return WriteSuperblock();
@@ -107,10 +111,10 @@ Status FaceCache::WriteSuperblock() {
   return flash_->Write(0, block.data());
 }
 
-const char* FaceCache::StampedCopy(const char* page, PageId page_id, Lsn lsn,
-                                   uint64_t seq) {
-  memcpy(scratch_.data(), page, kPageSize);
-  PageView view(scratch_.data());
+void FaceCache::StampInto(char* dst, const char* page, PageId page_id,
+                          Lsn lsn, uint64_t seq) {
+  memcpy(dst, page, kPageSize);
+  PageView view(dst);
   view.set_page_id(page_id);
   if (view.lsn() == kInvalidLsn && lsn != kInvalidLsn) view.set_lsn(lsn);
   // Stamp the enqueue sequence number into the (otherwise unused) page
@@ -119,43 +123,39 @@ const char* FaceCache::StampedCopy(const char* page, PageId page_id, Lsn lsn,
   // share a device block but differ in the stamp (see RecoverAfterCrash).
   view.set_flags(static_cast<uint32_t>(seq));
   view.StampChecksum();
-  return scratch_.data();
 }
 
 Status FaceCache::WriteFrame(uint64_t seq, const char* page, PageId page_id,
                              Lsn lsn) {
-  const char* stamped = StampedCopy(page, page_id, lsn, seq);
   if (options_.group_replace) {
-    if (staging_.empty()) staged_base_ = seq;
-    assert(staged_base_ + staging_.size() == seq);
-    staging_.emplace_back(stamped, kPageSize);
-    if (staging_.size() >= options_.group_size) return FlushStaging();
+    if (staged_count_ == 0) staged_base_ = seq;
+    assert(staged_base_ + staged_count_ == seq);
+    StampInto(StagingSlot(staged_count_), page, page_id, lsn, seq);
+    ++staged_count_;
+    if (staged_count_ >= options_.group_size) return FlushStaging();
     return Status::OK();
   }
+  StampInto(scratch_.data(), page, page_id, lsn, seq);
   ++stats_.flash_writes;
-  return flash_->Write(layout_.FrameBlock(seq), stamped);
+  return flash_->Write(layout_.FrameBlock(seq), scratch_.data());
 }
 
 Status FaceCache::FlushStaging() {
-  if (staging_.empty()) return Status::OK();
-  const uint64_t count = staging_.size();
+  if (staged_count_ == 0) return Status::OK();
+  const uint64_t count = staged_count_;
   const uint64_t frame0 = staged_base_ % layout_.n_frames;
   const uint64_t span1 = std::min<uint64_t>(count, layout_.n_frames - frame0);
 
-  std::string buf(static_cast<size_t>(count) * kPageSize, '\0');
-  for (uint64_t i = 0; i < count; ++i) {
-    memcpy(buf.data() + i * kPageSize, staging_[i].data(), kPageSize);
-  }
   FACE_RETURN_IF_ERROR(flash_->WriteBatch(layout_.frame_base + frame0,
                                           static_cast<uint32_t>(span1),
-                                          buf.data()));
+                                          staging_buf_.data()));
   if (span1 < count) {
-    FACE_RETURN_IF_ERROR(
-        flash_->WriteBatch(layout_.frame_base, static_cast<uint32_t>(count - span1),
-                           buf.data() + span1 * kPageSize));
+    FACE_RETURN_IF_ERROR(flash_->WriteBatch(
+        layout_.frame_base, static_cast<uint32_t>(count - span1),
+        StagingSlot(span1)));
   }
   stats_.flash_writes += count;
-  staging_.clear();
+  staged_count_ = 0;
   staged_base_ = rear_seq_;
   return Status::OK();
 }
@@ -204,15 +204,15 @@ Status FaceCache::FlushSegment(uint64_t seg_no) {
 }
 
 StatusOr<FlashReadResult> FaceCache::ReadPage(PageId page_id, char* out) {
-  auto it = newest_.find(page_id);
-  if (it == newest_.end()) return Status::NotFound("page not in flash cache");
-  const uint64_t seq = it->second;
+  const uint64_t* found = newest_.Find(page_id);
+  if (found == nullptr) return Status::NotFound("page not in flash cache");
+  const uint64_t seq = *found;
   Entry& e = EntryAt(seq);
   e.referenced = true;
 
-  if (options_.group_replace && seq >= staged_base_ && !staging_.empty()) {
+  if (options_.group_replace && seq >= staged_base_ && staged_count_ > 0) {
     // Still in the controller write buffer: serve from memory.
-    memcpy(out, staging_[seq - staged_base_].data(), kPageSize);
+    memcpy(out, StagingSlot(seq - staged_base_), kPageSize);
   } else {
     FACE_RETURN_IF_ERROR(flash_->Read(layout_.FrameBlock(seq), out));
     ++stats_.flash_reads;
@@ -229,11 +229,11 @@ Status FaceCache::Enqueue(PageId page_id, const char* page, bool dirty,
   assert(live_entries() < options_.n_frames);
   const uint64_t seq = rear_seq_;
 
-  auto [it, inserted] = newest_.try_emplace(page_id, seq);
+  auto [slot, inserted] = newest_.TryEmplace(page_id, seq);
   if (!inserted) {
-    EntryAt(it->second).valid = false;
+    EntryAt(*slot).valid = false;
     ++stats_.invalidations;
-    it->second = seq;
+    *slot = seq;
   }
   entries_.push_back(Entry{page_id, lsn, dirty, true, false});
   ++rear_seq_;
@@ -248,20 +248,19 @@ Status FaceCache::DequeueOne() {
   const Entry e = entries_.front();
   if (e.page_id != kInvalidPageId && e.valid) {
     if (e.dirty) {
-      // Read the frame back and stage it out to disk.
-      std::string buf(kPageSize, '\0');
+      // Read the frame back into the scratch page and stage it out to disk.
       if (options_.group_replace && front_seq_ >= staged_base_ &&
-          !staging_.empty()) {
+          staged_count_ > 0) {
         FACE_RETURN_IF_ERROR(FlushStaging());
       }
       FACE_RETURN_IF_ERROR(flash_->Read(layout_.FrameBlock(front_seq_),
-                                        buf.data()));
+                                        scratch_.data()));
       ++stats_.flash_reads;
-      FACE_RETURN_IF_ERROR(storage_->WritePage(e.page_id, buf.data()));
+      FACE_RETURN_IF_ERROR(storage_->WritePage(e.page_id, scratch_.data()));
       ++stats_.disk_writes;
     }
-    auto it = newest_.find(e.page_id);
-    if (it != newest_.end() && it->second == front_seq_) newest_.erase(it);
+    const uint64_t* seq = newest_.Find(e.page_id);
+    if (seq != nullptr && *seq == front_seq_) newest_.Erase(e.page_id);
   }
   entries_.pop_front();
   ++front_seq_;
@@ -273,11 +272,14 @@ Status FaceCache::DequeueGroup() {
       std::min<uint64_t>(options_.group_size, live_entries()));
   if (batch == 0) return Status::OK();
   // Never read frames whose bytes are still staged in memory.
-  if (!staging_.empty() && front_seq_ + batch > staged_base_) {
+  if (staged_count_ > 0 && front_seq_ + batch > staged_base_) {
     FACE_RETURN_IF_ERROR(FlushStaging());
   }
-  std::string buf(static_cast<size_t>(batch) * kPageSize, '\0');
-  FACE_RETURN_IF_ERROR(ReadFrames(front_seq_, batch, buf.data()));
+  if (dequeue_buf_.size() < static_cast<size_t>(batch) * kPageSize) {
+    dequeue_buf_.resize(static_cast<size_t>(batch) * kPageSize);
+  }
+  char* buf = dequeue_buf_.data();
+  FACE_RETURN_IF_ERROR(ReadFrames(front_seq_, batch, buf));
 
   // Decide each page's fate.
   struct Survivor {
@@ -285,7 +287,7 @@ Status FaceCache::DequeueGroup() {
     const char* bytes;
     bool dirty;
     Lsn lsn;
-  };
+  };  // bytes point into dequeue_buf_; disjoint from the pages written below
   std::vector<Survivor> survivors;
   uint32_t referenced_valid = 0;
   if (options_.second_chance) {
@@ -301,14 +303,15 @@ Status FaceCache::DequeueGroup() {
   for (uint32_t k = 0; k < batch; ++k) {
     const Entry& e = EntryAt(front_seq_ + k);
     if (e.page_id == kInvalidPageId || !e.valid) continue;
-    const char* bytes = buf.data() + static_cast<size_t>(k) * kPageSize;
+    char* bytes = buf + static_cast<size_t>(k) * kPageSize;
     const bool second_chance = options_.second_chance && e.referenced &&
                                !(all_referenced && k == 0);
     if (second_chance) {
       survivors.push_back(Survivor{e.page_id, bytes, e.dirty, e.lsn});
     } else if (e.dirty) {
-      std::string page(bytes, kPageSize);
-      FACE_RETURN_IF_ERROR(storage_->WritePage(e.page_id, page.data()));
+      // WritePage stamps id+checksum in place; this batch slot is dead
+      // afterwards (a page is either written out or a survivor, never both).
+      FACE_RETURN_IF_ERROR(storage_->WritePage(e.page_id, bytes));
       ++stats_.disk_writes;
     }
   }
@@ -317,8 +320,8 @@ Status FaceCache::DequeueGroup() {
   for (uint32_t k = 0; k < batch; ++k) {
     const Entry& e = entries_.front();
     if (e.page_id != kInvalidPageId && e.valid) {
-      auto it = newest_.find(e.page_id);
-      if (it != newest_.end() && it->second == front_seq_) newest_.erase(it);
+      const uint64_t* seq = newest_.Find(e.page_id);
+      if (seq != nullptr && *seq == front_seq_) newest_.Erase(e.page_id);
     }
     entries_.pop_front();
     ++front_seq_;
@@ -340,10 +343,10 @@ Status FaceCache::MakeRoom() {
 }
 
 Status FaceCache::FillBatchFromDram() {
-  if (pull_ == nullptr || staging_.empty()) return Status::OK();
+  if (pull_ == nullptr || staged_count_ == 0) return Status::OK();
   std::string page(kPageSize, '\0');
   uint32_t attempts = 0;
-  while (staging_.size() < options_.group_size &&
+  while (staged_count_ < options_.group_size &&
          live_entries() < options_.n_frames &&
          attempts < options_.group_size) {
     ++attempts;
@@ -356,10 +359,9 @@ Status FaceCache::FillBatchFromDram() {
     // Normal mvFIFO admission rule for the pulled page.
     if (fdirty || !Contains(pid)) {
       if ((dirty && !options_.cache_dirty)) {
-        auto it = newest_.find(pid);
-        if (it != newest_.end()) {
-          EntryAt(it->second).valid = false;
-          newest_.erase(it);
+        if (const uint64_t* seq = newest_.Find(pid)) {
+          EntryAt(*seq).valid = false;
+          newest_.Erase(pid);
           ++stats_.invalidations;
         }
         FACE_RETURN_IF_ERROR(storage_->WritePage(pid, page.data()));
@@ -383,10 +385,9 @@ Status FaceCache::OnDramEvict(PageId page_id, char* page, bool dirty,
   // page bypasses the cache to disk, any older flash copy is now stale and
   // must be invalidated or later reads would serve it.
   if (dirty && !options_.cache_dirty) {
-    auto it = newest_.find(page_id);
-    if (it != newest_.end()) {
-      EntryAt(it->second).valid = false;
-      newest_.erase(it);
+    if (const uint64_t* seq = newest_.Find(page_id)) {
+      EntryAt(*seq).valid = false;
+      newest_.Erase(page_id);
       ++stats_.invalidations;
     }
     FACE_RETURN_IF_ERROR(storage_->WritePage(page_id, page));
@@ -435,8 +436,8 @@ Status FaceCache::OnCheckpoint() {
 
 Status FaceCache::RecoverAfterCrash() {
   entries_.clear();
-  newest_.clear();
-  staging_.clear();
+  newest_.Clear();
+  staged_count_ = 0;
   seg_buf_.clear();
   recovery_info_ = RecoveryInfo();
 
@@ -536,16 +537,16 @@ Status FaceCache::RecoverAfterCrash() {
   for (uint64_t seq = front_seq_; seq < rear_seq_; ++seq) {
     Entry& e = EntryAt(seq);
     if (e.page_id == kInvalidPageId) continue;
-    auto [it, inserted] = newest_.try_emplace(e.page_id, seq);
+    auto [slot, inserted] = newest_.TryEmplace(e.page_id, seq);
     if (inserted) {
       e.valid = true;
       continue;
     }
-    Entry& old = EntryAt(it->second);
+    Entry& old = EntryAt(*slot);
     if (e.lsn >= old.lsn) {
       old.valid = false;
       e.valid = true;
-      it->second = seq;
+      *slot = seq;
     } else {
       e.valid = false;
     }
@@ -579,8 +580,8 @@ StatusOr<uint64_t> FaceCache::AuditFrames() {
     const Entry& e = EntryAt(seq);
     if (!e.valid) continue;
     const char* bytes;
-    if (!staging_.empty() && seq >= staged_base_) {
-      bytes = staging_[seq - staged_base_].data();
+    if (staged_count_ > 0 && seq >= staged_base_) {
+      bytes = StagingSlot(seq - staged_base_);
     } else {
       FACE_RETURN_IF_ERROR(flash_->Read(layout_.FrameBlock(seq), buf.data()));
       ++stats_.flash_reads;
@@ -612,8 +613,8 @@ Status FaceCache::CheckInvariants() const {
   if (live_entries() > options_.n_frames) {
     return Status::Internal("queue over capacity");
   }
-  if (options_.group_replace && !staging_.empty() &&
-      staged_base_ + staging_.size() != rear_seq_) {
+  if (options_.group_replace && staged_count_ > 0 &&
+      staged_base_ + staged_count_ != rear_seq_) {
     return Status::Internal("staging range out of sync with rear");
   }
   uint64_t valid_count = 0;
@@ -621,8 +622,8 @@ Status FaceCache::CheckInvariants() const {
     const Entry& e = EntryAt(seq);
     if (!e.valid) continue;
     ++valid_count;
-    auto it = newest_.find(e.page_id);
-    if (it == newest_.end() || it->second != seq) {
+    const uint64_t* mapped = newest_.Find(e.page_id);
+    if (mapped == nullptr || *mapped != seq) {
       return Status::Internal("valid entry not indexed as newest");
     }
   }

@@ -22,9 +22,9 @@
 #include <cstdint>
 #include <deque>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "common/page_map.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "core/cache_ext.h"
@@ -82,7 +82,7 @@ class FaceCache final : public CacheExtension {
   const char* name() const override;
   bool IsPersistent() const override { return true; }
   bool Contains(PageId page_id) const override {
-    return newest_.find(page_id) != newest_.end();
+    return newest_.Contains(page_id);
   }
   StatusOr<FlashReadResult> ReadPage(PageId page_id, char* out) override;
   Status OnDramEvict(PageId page_id, char* page, bool dirty, bool fdirty,
@@ -150,7 +150,8 @@ class FaceCache final : public CacheExtension {
 
   /// Write `page` into the frame for `seq` (immediate or staged).
   Status WriteFrame(uint64_t seq, const char* page, PageId page_id, Lsn lsn);
-  /// Flush staged frames as (wrap-split) batch writes.
+  /// Flush staged frames as (wrap-split) batch writes straight out of the
+  /// staging arena.
   Status FlushStaging();
   /// Read `count` frames starting at `seq` into `out` (wrap-split batches).
   Status ReadFrames(uint64_t seq, uint32_t count, char* out);
@@ -162,11 +163,19 @@ class FaceCache final : public CacheExtension {
   Status FlushSegment(uint64_t seg_no);
   Status WriteSuperblock();
 
-  /// Stamp page id, the enqueue sequence (into the flags field, for
-  /// restart-time lap detection) and a checksum on a scratch copy of `page`
-  /// before a flash write.
-  const char* StampedCopy(const char* page, PageId page_id, Lsn lsn,
-                          uint64_t seq);
+  /// Copy `page` into `dst` and stamp page id, the enqueue sequence (into
+  /// the flags field, for restart-time lap detection) and a checksum —
+  /// the one and only byte copy on the enqueue path.
+  void StampInto(char* dst, const char* page, PageId page_id, Lsn lsn,
+                 uint64_t seq);
+
+  /// Frame image `i` of the staging arena.
+  char* StagingSlot(uint64_t i) {
+    return staging_buf_.data() + static_cast<size_t>(i) * kPageSize;
+  }
+  const char* StagingSlot(uint64_t i) const {
+    return staging_buf_.data() + static_cast<size_t>(i) * kPageSize;
+  }
 
   FaceOptions options_;
   FlashLayout layout_;
@@ -176,12 +185,16 @@ class FaceCache final : public CacheExtension {
 
   uint64_t front_seq_ = 0;
   uint64_t rear_seq_ = 0;
-  std::deque<Entry> entries_;                     // seqs [front_, rear_)
-  std::unordered_map<PageId, uint64_t> newest_;   // page -> valid seq
+  std::deque<Entry> entries_;          // seqs [front_, rear_)
+  PageMap<uint64_t> newest_;           // page -> valid seq
 
-  /// Staged (not yet written) rear frames: seqs [staged_base_, rear_seq_).
+  /// Staged (not yet written) rear frames: seqs [staged_base_, rear_seq_),
+  /// stamped frame images living contiguously in the reusable staging
+  /// arena (group_size pages; no per-frame allocation, and FlushStaging
+  /// hands the arena to the device directly).
   uint64_t staged_base_ = 0;
-  std::vector<std::string> staging_;
+  uint64_t staged_count_ = 0;
+  std::string staging_buf_;
 
   /// Current metadata segment accumulation (entries since last boundary).
   std::string seg_buf_;
@@ -190,7 +203,8 @@ class FaceCache final : public CacheExtension {
   uint64_t sb_front_seq_ = 0;
   uint64_t sb_rear_seq_ = 0;
 
-  std::string scratch_;  // one-page checksum staging
+  std::string scratch_;      // one-page stamp/read-back staging
+  std::string dequeue_buf_;  // reusable group-dequeue read buffer
   bool in_group_replace_ = false;  // guards GSC reentrancy
   RecoveryInfo recovery_info_;
 };

@@ -1,7 +1,9 @@
 #include "core/lc_cache.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
+#include <functional>
 
 #include "storage/page.h"
 
@@ -13,6 +15,7 @@ LcCache::LcCache(const LcOptions& options, SimDevice* flash,
   assert(options_.n_frames >= 2);
   assert(options_.clean_target <= options_.clean_threshold);
   assert(flash_->capacity_pages() >= options_.n_frames);
+  index_.Reserve(options_.n_frames);  // steady state never rehashes
   free_frames_.reserve(options_.n_frames);
   for (uint64_t i = 0; i < options_.n_frames; ++i) {
     free_frames_.push_back(options_.n_frames - 1 - i);
@@ -21,10 +24,12 @@ LcCache::LcCache(const LcOptions& options, SimDevice* flash,
 }
 
 void LcCache::Touch(PageId page_id, Entry& e) {
-  victim_order_.erase(KeyOf(page_id, e));
+  // The old key goes stale in place; PeekMin/MaybeCompact discard it later.
   e.penult_ref = e.last_ref;
   e.last_ref = ++clock_;
-  victim_order_.insert(KeyOf(page_id, e));
+  victim_order_.Push(KeyOf(page_id, e));
+  victim_order_.MaybeCompact(
+      index_.size(), [this](const VictimKey& k) { return IsCurrentKey(k); });
 }
 
 Status LcCache::WriteFrame(uint64_t frame, const char* page, PageId page_id) {
@@ -37,9 +42,9 @@ Status LcCache::WriteFrame(uint64_t frame, const char* page, PageId page_id) {
 }
 
 StatusOr<FlashReadResult> LcCache::ReadPage(PageId page_id, char* out) {
-  auto it = index_.find(page_id);
-  if (it == index_.end()) return Status::NotFound("page not in LC cache");
-  Entry& e = it->second;
+  Entry* found = index_.Find(page_id);
+  if (found == nullptr) return Status::NotFound("page not in LC cache");
+  Entry& e = *found;
   FACE_RETURN_IF_ERROR(flash_->Read(e.frame, out));
   ++stats_.flash_reads;
   ConstPageView view(out);
@@ -64,16 +69,20 @@ Status LcCache::CleanEntry(PageId page_id, Entry& e) {
 }
 
 Status LcCache::EvictVictim() {
-  assert(!victim_order_.empty());
-  const PageId victim = std::get<2>(*victim_order_.begin());
-  auto it = index_.find(victim);
-  assert(it != index_.end());
-  if (it->second.dirty) {
-    FACE_RETURN_IF_ERROR(CleanEntry(victim, it->second));
+  VictimKey key;
+  const bool found = victim_order_.PeekMin(
+      [this](const VictimKey& k) { return IsCurrentKey(k); }, &key);
+  if (!found) return Status::Internal("LC victim order empty");
+  const PageId victim = std::get<2>(key);
+  Entry* e = index_.Find(victim);
+  if (e->dirty) {
+    // CleanEntry flips dirty/recLSN only — the reference-history key stays
+    // current, so the heap top is still this victim afterwards.
+    FACE_RETURN_IF_ERROR(CleanEntry(victim, *e));
   }
-  victim_order_.erase(victim_order_.begin());
-  free_frames_.push_back(it->second.frame);
-  index_.erase(it);
+  victim_order_.PopMin();
+  free_frames_.push_back(e->frame);
+  index_.Erase(victim);
   ++stats_.invalidations;
   return Status::OK();
 }
@@ -82,9 +91,8 @@ Status LcCache::OnDramEvict(PageId page_id, char* page, bool dirty,
                             bool fdirty, Lsn rec_lsn) {
   if (dirty) ++stats_.dirty_evictions;
 
-  auto it = index_.find(page_id);
-  if (it != index_.end()) {
-    Entry& e = it->second;
+  if (Entry* found = index_.Find(page_id)) {
+    Entry& e = *found;
     // Single-copy discipline: overwrite the existing frame in place — but
     // only when the DRAM copy is actually newer (fdirty); otherwise the
     // flash copy is identical and no write is needed.
@@ -121,16 +129,24 @@ Status LcCache::OnDramEvict(PageId page_id, char* page, bool dirty,
   e.penult_ref = 0;  // first visit: -inf history, prime eviction candidate
   e.last_ref = ++clock_;
   if (dirty) ++dirty_count_;
-  victim_order_.insert(KeyOf(page_id, e));
-  index_.emplace(page_id, e);
+  victim_order_.Push(KeyOf(page_id, e));
+  index_.TryEmplace(page_id, e);
   ++stats_.enqueues;
   return Status::OK();
 }
 
 Status LcCache::PrepareCheckpoint() {
-  for (auto& [page_id, e] : index_) {
-    if (!e.dirty) continue;
-    FACE_RETURN_IF_ERROR(CleanEntry(page_id, e));
+  // Ascending-page order: the checkpoint flush is deterministic in the
+  // cached set alone (not the directory's hash layout), and adjacent dirty
+  // pages coalesce into sequential disk writes.
+  std::vector<PageId> dirty;
+  dirty.reserve(dirty_count_);
+  index_.ForEach([&dirty](PageId page_id, const Entry& e) {
+    if (e.dirty) dirty.push_back(page_id);
+  });
+  std::sort(dirty.begin(), dirty.end());
+  for (PageId page_id : dirty) {
+    FACE_RETURN_IF_ERROR(CleanEntry(page_id, *index_.Find(page_id)));
   }
   return Status::OK();
 }
@@ -138,19 +154,18 @@ Status LcCache::PrepareCheckpoint() {
 void LcCache::OnPageWrittenToDisk(PageId page_id) {
   // The disk copy just became current; a cached copy is stale now. Drop it
   // (an in-memory invalidation — no flash I/O).
-  auto it = index_.find(page_id);
-  if (it == index_.end()) return;
-  if (it->second.dirty) --dirty_count_;
-  victim_order_.erase(KeyOf(page_id, it->second));
-  free_frames_.push_back(it->second.frame);
-  index_.erase(it);
+  Entry* e = index_.Find(page_id);
+  if (e == nullptr) return;
+  if (e->dirty) --dirty_count_;
+  free_frames_.push_back(e->frame);
+  index_.Erase(page_id);  // the heap key goes stale with the entry
   ++stats_.invalidations;
 }
 
 Status LcCache::RecoverAfterCrash() {
   // Directory was DRAM-only: all cached state is unreachable after a crash.
-  index_.clear();
-  victim_order_.clear();
+  index_.Clear();
+  victim_order_.Clear();
   free_frames_.clear();
   for (uint64_t i = 0; i < options_.n_frames; ++i) {
     free_frames_.push_back(options_.n_frames - 1 - i);
@@ -170,14 +185,23 @@ Status LcCache::RunBackgroundWork() {
   if (!HasBackgroundWork()) return Status::OK();
   cleaning_ = true;
   // Clean coldest-first so pages likely to be re-dirtied soon stay dirty in
-  // flash and keep absorbing writes.
+  // flash and keep absorbing writes. Ascending traversal over a heapified
+  // snapshot of the victim keys (cleaning flips dirty bits, never keys, so
+  // current keys stay current while we walk).
+  cleaner_keys_.assign(victim_order_.keys().begin(),
+                       victim_order_.keys().end());
+  std::make_heap(cleaner_keys_.begin(), cleaner_keys_.end(),
+                 std::greater<VictimKey>());
   uint32_t flushed = 0;
-  for (auto it = victim_order_.begin();
-       it != victim_order_.end() && flushed < options_.clean_batch &&
-       DirtyFraction() > options_.clean_target;
-       ++it) {
-    const PageId page_id = std::get<2>(*it);
-    Entry& e = index_.at(page_id);
+  while (!cleaner_keys_.empty() && flushed < options_.clean_batch &&
+         DirtyFraction() > options_.clean_target) {
+    std::pop_heap(cleaner_keys_.begin(), cleaner_keys_.end(),
+                  std::greater<VictimKey>());
+    const VictimKey key = cleaner_keys_.back();
+    cleaner_keys_.pop_back();
+    if (!IsCurrentKey(key)) continue;
+    const PageId page_id = std::get<2>(key);
+    Entry& e = *index_.Find(page_id);
     if (!e.dirty) continue;
     FACE_RETURN_IF_ERROR(CleanEntry(page_id, e));
     ++flushed;
@@ -187,22 +211,33 @@ Status LcCache::RunBackgroundWork() {
 }
 
 Status LcCache::CheckInvariants() const {
-  if (index_.size() != victim_order_.size()) {
-    return Status::Internal("LC index / victim-order size mismatch");
-  }
   if (index_.size() + free_frames_.size() != options_.n_frames) {
     return Status::Internal("LC frame accounting broken");
   }
+  // Exactly index_.size() heap keys must be current, and every entry's
+  // current key must be among them (stale keys are expected and ignored).
+  std::vector<VictimKey> keys(victim_order_.keys());
+  std::sort(keys.begin(), keys.end());
+  uint64_t current = 0;
+  for (const VictimKey& k : keys) {
+    if (IsCurrentKey(k)) ++current;
+  }
+  if (current != index_.size()) {
+    return Status::Internal("LC victim order out of sync with index");
+  }
   uint64_t dirty = 0;
-  for (const auto& [page_id, e] : index_) {
-    if (victim_order_.find(KeyOf(page_id, e)) == victim_order_.end()) {
-      return Status::Internal("LC entry missing from victim order");
+  Status audit = Status::OK();
+  index_.ForEach([this, &dirty, &audit, &keys](PageId page_id,
+                                               const Entry& e) {
+    if (!std::binary_search(keys.begin(), keys.end(), KeyOf(page_id, e))) {
+      audit = Status::Internal("LC entry missing from victim order");
     }
     if (e.dirty) ++dirty;
     if (e.penult_ref > e.last_ref) {
-      return Status::Internal("LC reference history out of order");
+      audit = Status::Internal("LC reference history out of order");
     }
-  }
+  });
+  FACE_RETURN_IF_ERROR(audit);
   if (dirty != dirty_count_) {
     return Status::Internal("LC dirty count out of sync");
   }

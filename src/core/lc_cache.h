@@ -16,11 +16,11 @@
 #pragma once
 
 #include <cstdint>
-#include <set>
 #include <tuple>
-#include <unordered_map>
 #include <vector>
 
+#include "common/lazy_min_heap.h"
+#include "common/page_map.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "core/cache_ext.h"
@@ -52,7 +52,7 @@ class LcCache final : public CacheExtension {
   const char* name() const override { return "LC"; }
   bool IsPersistent() const override { return false; }
   bool Contains(PageId page_id) const override {
-    return index_.find(page_id) != index_.end();
+    return index_.Contains(page_id);
   }
   StatusOr<FlashReadResult> ReadPage(PageId page_id, char* out) override;
   Status OnDramEvict(PageId page_id, char* page, bool dirty, bool fdirty,
@@ -98,6 +98,14 @@ class LcCache final : public CacheExtension {
     return {e.penult_ref, e.last_ref, page_id};
   }
 
+  /// A heap key is current iff its page is cached and the key matches the
+  /// entry's present reference history (clock ticks are monotonic, so a
+  /// superseded key can never become current again).
+  bool IsCurrentKey(const VictimKey& key) const {
+    const Entry* e = index_.Find(std::get<2>(key));
+    return e != nullptr && KeyOf(std::get<2>(key), *e) == key;
+  }
+
   /// Record a reference to an existing entry (maintains the victim order).
   void Touch(PageId page_id, Entry& e);
   /// Stage the dirty page in `e` out to disk and mark it clean.
@@ -111,8 +119,9 @@ class LcCache final : public CacheExtension {
   SimDevice* flash_;
   DbStorage* storage_;
 
-  std::unordered_map<PageId, Entry> index_;
-  std::set<VictimKey> victim_order_;
+  PageMap<Entry> index_;
+  LazyMinHeap<VictimKey> victim_order_;  ///< lazy-deletion LRU-2 order
+  std::vector<VictimKey> cleaner_keys_;  ///< reusable traversal snapshot
   std::vector<uint64_t> free_frames_;
   uint64_t clock_ = 0;       ///< logical reference tick
   uint64_t dirty_count_ = 0;

@@ -17,6 +17,7 @@ TacCache::TacCache(const TacOptions& options, SimDevice* flash,
   assert(options_.n_frames >= 2);
   assert(options_.extent_pages >= 1);
   assert(flash_->capacity_pages() >= dir_blocks_ + options_.n_frames);
+  index_.Reserve(options_.n_frames);  // steady state never rehashes
   free_slots_.reserve(options_.n_frames);
   for (uint64_t i = 0; i < options_.n_frames; ++i) {
     free_slots_.push_back(options_.n_frames - 1 - i);
@@ -25,9 +26,9 @@ TacCache::TacCache(const TacOptions& options, SimDevice* flash,
 }
 
 Status TacCache::Format() {
-  index_.clear();
-  victim_order_.clear();
-  extent_temp_.clear();
+  index_.Clear();
+  victim_order_.Clear();
+  extent_temp_.Clear();
   free_slots_.clear();
   for (uint64_t i = 0; i < options_.n_frames; ++i) {
     free_slots_.push_back(options_.n_frames - 1 - i);
@@ -46,8 +47,8 @@ uint64_t TacCache::Heat(PageId page_id) {
 }
 
 uint64_t TacCache::ExtentTemperature(PageId page_id) const {
-  auto it = extent_temp_.find(ExtentOf(page_id));
-  return it == extent_temp_.end() ? 0 : it->second;
+  const uint64_t* temp = extent_temp_.Find(ExtentOf(page_id));
+  return temp == nullptr ? 0 : *temp;
 }
 
 Status TacCache::WriteDirEntry(uint64_t slot, PageId page_id, bool occupied) {
@@ -77,20 +78,22 @@ Status TacCache::WriteFrame(uint64_t slot, const char* page, PageId page_id) {
 }
 
 StatusOr<FlashReadResult> TacCache::ReadPage(PageId page_id, char* out) {
-  auto it = index_.find(page_id);
-  if (it == index_.end()) return Status::NotFound("page not in TAC cache");
-  Entry& e = it->second;
+  Entry* found = index_.Find(page_id);
+  if (found == nullptr) return Status::NotFound("page not in TAC cache");
+  Entry& e = *found;
   FACE_RETURN_IF_ERROR(flash_->Read(FrameBlock(e.slot), out));
   ++stats_.flash_reads;
   ConstPageView view(out);
   if (!view.VerifyChecksum() || view.page_id() != page_id) {
     return Status::Corruption("TAC cache frame failed validation");
   }
-  // Cache hits heat the extent and refresh this entry's standing.
-  victim_order_.erase(KeyOf(page_id, e));
+  // Cache hits heat the extent and refresh this entry's standing; the old
+  // key goes stale in place.
   e.temp_snapshot = Heat(page_id);
   e.tick = ++clock_;
-  victim_order_.insert(KeyOf(page_id, e));
+  victim_order_.Push(KeyOf(page_id, e));
+  victim_order_.MaybeCompact(
+      index_.size(), [this](const VictimKey& k) { return IsCurrentKey(k); });
   return FlashReadResult{false, kInvalidLsn};  // write-through: never dirty
 }
 
@@ -105,13 +108,15 @@ Status TacCache::OnFetchFromDisk(PageId page_id, const char* page) {
   } else {
     // Temperature gate: replace the coldest cached page only if the
     // incoming page's extent is strictly hotter.
-    assert(!victim_order_.empty());
-    const auto& coldest = *victim_order_.begin();
+    VictimKey coldest;
+    const bool found = victim_order_.PeekMin(
+        [this](const VictimKey& k) { return IsCurrentKey(k); }, &coldest);
+    if (!found) return Status::Internal("TAC victim order empty");
     if (temp <= std::get<0>(coldest)) return Status::OK();
     const PageId victim = std::get<2>(coldest);
-    auto vit = index_.find(victim);
-    slot = vit->second.slot;
-    FACE_RETURN_IF_ERROR(Invalidate(vit));
+    slot = index_.Find(victim)->slot;
+    victim_order_.PopMin();
+    FACE_RETURN_IF_ERROR(Invalidate(victim, slot));
   }
 
   FACE_RETURN_IF_ERROR(WriteFrame(slot, page, page_id));
@@ -121,16 +126,17 @@ Status TacCache::OnFetchFromDisk(PageId page_id, const char* page) {
   e.slot = slot;
   e.temp_snapshot = temp;
   e.tick = ++clock_;
-  victim_order_.insert(KeyOf(page_id, e));
-  index_.emplace(page_id, e);
+  victim_order_.Push(KeyOf(page_id, e));
+  index_.TryEmplace(page_id, e);
   ++stats_.enqueues;
   return Status::OK();
 }
 
-Status TacCache::Invalidate(std::unordered_map<PageId, Entry>::iterator it) {
-  const uint64_t slot = it->second.slot;
-  victim_order_.erase(KeyOf(it->first, it->second));
-  index_.erase(it);
+Status TacCache::Invalidate(PageId page_id, uint64_t slot) {
+  // No heap maintenance: the key goes stale when the entry leaves the
+  // index (the replacement path already popped it; the checkpoint path
+  // leaves it for lazy discard).
+  index_.Erase(page_id);
   ++stats_.invalidations;
   // Persist the invalidation — the first of the two random metadata writes
   // TAC pays per replacement.
@@ -145,9 +151,9 @@ Status TacCache::OnDramEvict(PageId page_id, char* page, bool dirty,
   // Write-through: disk first, then keep a cached copy coherent.
   FACE_RETURN_IF_ERROR(storage_->WritePage(page_id, page));
   ++stats_.disk_writes;
-  auto it = index_.find(page_id);
-  if (it != index_.end() && fdirty) {
-    FACE_RETURN_IF_ERROR(WriteFrame(it->second.slot, page, page_id));
+  const Entry* e = index_.Find(page_id);
+  if (e != nullptr && fdirty) {
+    FACE_RETURN_IF_ERROR(WriteFrame(e->slot, page, page_id));
   }
   return Status::OK();
 }
@@ -155,20 +161,20 @@ Status TacCache::OnDramEvict(PageId page_id, char* page, bool dirty,
 void TacCache::OnPageWrittenToDisk(PageId page_id) {
   // Checkpoint wrote the page without handing us bytes: the flash copy is
   // stale, so it must be invalidated (persistently).
-  auto it = index_.find(page_id);
-  if (it == index_.end()) return;
-  const uint64_t slot = it->second.slot;
+  const Entry* e = index_.Find(page_id);
+  if (e == nullptr) return;
+  const uint64_t slot = e->slot;
   // Invalidate() returns a Status for the metadata write; a failure here is
   // ignored deliberately — the in-memory drop already guarantees the stale
   // copy can never be served.
-  (void)Invalidate(it);
+  (void)Invalidate(page_id, slot);
   free_slots_.push_back(slot);
 }
 
 Status TacCache::RecoverAfterCrash() {
-  index_.clear();
-  victim_order_.clear();
-  extent_temp_.clear();
+  index_.Clear();
+  victim_order_.Clear();
+  extent_temp_.Clear();
   free_slots_.clear();
   clock_ = 0;
 
@@ -211,29 +217,38 @@ Status TacCache::RecoverAfterCrash() {
       entry.slot = slot;
       entry.temp_snapshot = 0;  // temperatures do not survive a crash
       entry.tick = ++clock_;
-      victim_order_.insert(KeyOf(e.page_id, entry));
-      index_.emplace(e.page_id, entry);
+      victim_order_.Push(KeyOf(e.page_id, entry));
+      index_.TryEmplace(e.page_id, entry);
     }
   }
   return Status::OK();
 }
 
 Status TacCache::CheckInvariants() const {
-  if (index_.size() != victim_order_.size()) {
-    return Status::Internal("TAC index / victim-order size mismatch");
-  }
   if (index_.size() + free_slots_.size() != options_.n_frames) {
     return Status::Internal("TAC slot accounting broken");
   }
-  for (const auto& [page_id, e] : index_) {
-    if (victim_order_.find(KeyOf(page_id, e)) == victim_order_.end()) {
-      return Status::Internal("TAC entry missing from victim order");
+  // Exactly index_.size() heap keys must be current, and every entry's
+  // current key must be among them (stale keys are expected and ignored).
+  std::vector<VictimKey> keys(victim_order_.keys());
+  std::sort(keys.begin(), keys.end());
+  uint64_t current = 0;
+  for (const VictimKey& k : keys) {
+    if (IsCurrentKey(k)) ++current;
+  }
+  if (current != index_.size()) {
+    return Status::Internal("TAC victim order out of sync with index");
+  }
+  Status audit = Status::OK();
+  index_.ForEach([this, &audit, &keys](PageId page_id, const Entry& e) {
+    if (!std::binary_search(keys.begin(), keys.end(), KeyOf(page_id, e))) {
+      audit = Status::Internal("TAC entry missing from victim order");
     }
     if (e.slot >= options_.n_frames) {
-      return Status::Internal("TAC slot out of range");
+      audit = Status::Internal("TAC slot out of range");
     }
-  }
-  return Status::OK();
+  });
+  return audit;
 }
 
 }  // namespace face

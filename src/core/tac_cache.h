@@ -20,11 +20,11 @@
 #pragma once
 
 #include <cstdint>
-#include <set>
 #include <tuple>
-#include <unordered_map>
 #include <vector>
 
+#include "common/lazy_min_heap.h"
+#include "common/page_map.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "core/cache_ext.h"
@@ -65,7 +65,7 @@ class TacCache final : public CacheExtension {
   const char* name() const override { return "TAC"; }
   bool IsPersistent() const override { return false; }
   bool Contains(PageId page_id) const override {
-    return index_.find(page_id) != index_.end();
+    return index_.Contains(page_id);
   }
   StatusOr<FlashReadResult> ReadPage(PageId page_id, char* out) override;
   Status OnDramEvict(PageId page_id, char* page, bool dirty, bool fdirty,
@@ -100,6 +100,14 @@ class TacCache final : public CacheExtension {
     return {e.temp_snapshot, e.tick, page_id};
   }
 
+  /// A heap key is current iff its page is cached and the key matches the
+  /// entry's present (temperature, tick) standing — ticks are monotonic,
+  /// so a superseded key can never become current again.
+  bool IsCurrentKey(const VictimKey& key) const {
+    const Entry* e = index_.Find(std::get<2>(key));
+    return e != nullptr && KeyOf(std::get<2>(key), *e) == key;
+  }
+
   uint64_t ExtentOf(PageId page_id) const {
     return page_id / options_.extent_pages;
   }
@@ -109,8 +117,9 @@ class TacCache final : public CacheExtension {
   uint64_t FrameBlock(uint64_t slot) const { return dir_blocks_ + slot; }
   /// Persist the directory entry for `slot` (one random flash write).
   Status WriteDirEntry(uint64_t slot, PageId page_id, bool occupied);
-  /// Remove `it` from the in-memory map and persist the invalidation.
-  Status Invalidate(std::unordered_map<PageId, Entry>::iterator it);
+  /// Remove `page_id` (cached at `slot`) from the in-memory map and
+  /// persist the invalidation.
+  Status Invalidate(PageId page_id, uint64_t slot);
   /// Write page bytes into `slot`'s frame.
   Status WriteFrame(uint64_t slot, const char* page, PageId page_id);
 
@@ -119,10 +128,10 @@ class TacCache final : public CacheExtension {
   SimDevice* flash_;
   DbStorage* storage_;
 
-  std::unordered_map<PageId, Entry> index_;
-  std::set<VictimKey> victim_order_;  ///< coldest extent first
+  PageMap<Entry> index_;
+  LazyMinHeap<VictimKey> victim_order_;  ///< coldest extent first (lazy)
   std::vector<uint64_t> free_slots_;
-  std::unordered_map<uint64_t, uint64_t> extent_temp_;
+  PageMap<uint64_t> extent_temp_;  ///< extent number -> access temperature
   uint64_t clock_ = 0;
   std::string scratch_;  ///< one-page staging buffer
 };

@@ -95,6 +95,7 @@ class Workload {
   TpccRandom rnd_;
   WorkloadStats stats_;
   uint64_t date_counter_ = 1000;  ///< monotonically increasing "now"
+  std::string rid_buf_;  ///< reused index-lookup value buffer
 };
 
 }  // namespace tpcc

@@ -6,11 +6,18 @@
 // forget. Commit forces the log (durability); abort walks the transaction's
 // in-memory undo list backwards, writing a compensation record (CLR) for
 // each undone update so that a crash mid-abort never undoes twice.
+//
+// Hot-path discipline: the first logged write of a transaction reserves
+// WAL tail-buffer space once (LogManager::BeginTxnBatch); every record of
+// the transaction is then encoded in place into the tail via AppendBatch —
+// no LogRecord structs, no per-record std::strings, one identical LSN
+// hand-out sequence and byte stream. Undo images live in a per-transaction
+// arena instead of one heap string per update.
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "buffer/buffer_pool.h"
@@ -51,7 +58,7 @@ class TransactionManager {
   /// Abort: undo all updates in reverse order with CLRs, then log Abort.
   Status Abort(TxnId txn_id);
 
-  /// Active-transaction table snapshot for a checkpoint.
+  /// Active-transaction table snapshot for a checkpoint (ascending txn id).
   std::vector<AttEntry> ActiveTxns() const;
 
   /// Whether `txn_id` is currently active.
@@ -73,7 +80,8 @@ class TransactionManager {
   struct UndoEntry {
     PageId page_id;
     uint16_t offset;
-    std::string before;
+    uint32_t image_offset;  ///< into Transaction::undo_images
+    uint32_t image_len;
     Lsn lsn;  ///< LSN of the update record this entry undoes
   };
 
@@ -81,11 +89,18 @@ class TransactionManager {
     Lsn first_lsn = kInvalidLsn;
     Lsn last_lsn = kInvalidLsn;
     std::vector<UndoEntry> undo;
+    /// Concatenated before-images, one arena append per update.
+    std::string undo_images;
   };
+
+  /// Tail-buffer reservation made at a transaction's first logged write;
+  /// covers a typical transaction's full record volume so subsequent
+  /// appends never grow the buffer.
+  static constexpr uint32_t kTxnReserveBytes = 4096;
 
   LogManager* log_;
   BufferPool* pool_;
-  std::map<TxnId, Transaction> active_;
+  std::unordered_map<TxnId, Transaction> active_;
   TxnId next_txn_id_ = 1;
   Stats stats_;
 };

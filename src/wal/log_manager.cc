@@ -18,7 +18,7 @@ Status LogManager::Format() {
   next_lsn_ = kLogStartLsn;
   durable_lsn_ = kLogStartLsn;
   buffer_base_ = kLogStartLsn;
-  tail_.clear();
+  tail_used_ = 0;
   return WriteControlBlock(kInvalidLsn);
 }
 
@@ -35,25 +35,20 @@ Status LogManager::Attach() {
   durable_lsn_ = next_lsn_;
   buffer_base_ = (next_lsn_ / kPageSize) * kPageSize;
   // Preserve the partial last block so future flushes rewrite it intact.
-  tail_.assign(static_cast<size_t>(next_lsn_ - buffer_base_), '\0');
-  if (!tail_.empty()) {
+  tail_used_ = static_cast<size_t>(next_lsn_ - buffer_base_);
+  if (tail_used_ > 0) {
+    EnsureTailRoom(0);
     std::string block(kPageSize, '\0');
     FACE_RETURN_IF_ERROR(device_->Read(buffer_base_ / kPageSize, block.data()));
-    memcpy(tail_.data(), block.data(), tail_.size());
+    memcpy(tail_.data(), block.data(), tail_used_);
   }
   return Status::OK();
 }
 
 Lsn LogManager::Append(LogRecord* rec) {
-  rec->lsn = next_lsn_;
-  const uint32_t len = rec->EncodedSize();
   // Encode straight into the tail buffer: no per-record std::string.
-  const size_t old_size = tail_.size();
-  tail_.resize(old_size + len);
-  rec->EncodeTo(tail_.data() + old_size);
-  next_lsn_ += len;
-  ++stats_.records_appended;
-  stats_.bytes_appended += len;
+  char* dst = AppendBatch(rec->EncodedSize(), &rec->lsn);
+  rec->EncodeTo(dst);
   return rec->lsn;
 }
 
@@ -73,8 +68,8 @@ Status LogManager::FlushTo(Lsn lsn) {
   // PostgreSQL partial-page rewrite).
   const size_t block_bytes = static_cast<size_t>(n_blocks) * kPageSize;
   if (flush_buf_.size() < block_bytes) flush_buf_.resize(block_bytes);
-  memcpy(flush_buf_.data(), tail_.data(), tail_.size());
-  memset(flush_buf_.data() + tail_.size(), 0, block_bytes - tail_.size());
+  memcpy(flush_buf_.data(), tail_.data(), tail_used_);
+  memset(flush_buf_.data() + tail_used_, 0, block_bytes - tail_used_);
   FACE_RETURN_IF_ERROR(
       device_->WriteBatch(first_block, n_blocks, flush_buf_.data()));
   ++stats_.flushes;
@@ -83,7 +78,9 @@ Status LogManager::FlushTo(Lsn lsn) {
   durable_lsn_ = next_lsn_;
   // Retain only the partial last block in the buffer.
   const Lsn new_base = (next_lsn_ / kPageSize) * kPageSize;
-  tail_.erase(0, static_cast<size_t>(new_base - buffer_base_));
+  const size_t drop = static_cast<size_t>(new_base - buffer_base_);
+  tail_used_ -= drop;
+  memmove(tail_.data(), tail_.data() + drop, tail_used_);
   buffer_base_ = new_base;
   return Status::OK();
 }

@@ -38,6 +38,28 @@ class LogManager {
   /// Does NOT hit the device until a flush. Returns the record's LSN.
   Lsn Append(LogRecord* rec);
 
+  /// Reserve tail-buffer room for roughly `bytes_hint` of upcoming record
+  /// appends. TransactionManager calls this once per transaction (at the
+  /// first logged write), so the per-record AppendBatch calls below never
+  /// grow the buffer in steady state — one reservation per transaction
+  /// instead of one resize per record.
+  void BeginTxnBatch(uint32_t bytes_hint) { EnsureTailRoom(bytes_hint); }
+
+  /// Hand out the next LSN and the `len`-byte tail destination for one
+  /// record; the caller encodes in place (see wal/log_record.h's in-place
+  /// encoders). The LSN sequence and on-media stream are byte-identical to
+  /// the Append path.
+  char* AppendBatch(uint32_t len, Lsn* lsn) {
+    EnsureTailRoom(len);
+    char* dst = tail_.data() + tail_used_;
+    *lsn = next_lsn_;
+    next_lsn_ += len;
+    tail_used_ += len;
+    ++stats_.records_appended;
+    stats_.bytes_appended += len;
+    return dst;
+  }
+
   /// Force the log through `lsn` (inclusive). No-op if already durable.
   Status FlushTo(Lsn lsn);
   /// Force everything appended so far.
@@ -68,13 +90,24 @@ class LogManager {
   static constexpr Lsn kLogStartLsn = kPageSize;
 
  private:
+  /// Grow the tail storage to hold `more` additional bytes (geometric, so
+  /// growth is amortized away; never shrinks).
+  void EnsureTailRoom(size_t more) {
+    const size_t want = tail_used_ + more;
+    if (want > tail_.size()) {
+      tail_.resize(want < 2 * tail_.size() ? 2 * tail_.size() : want);
+    }
+  }
+
   SimDevice* device_;
   Lsn next_lsn_ = kLogStartLsn;
   Lsn durable_lsn_ = kLogStartLsn;
-  /// Unflushed stream bytes; buffer_base_ is the stream offset of tail_[0],
-  /// always block-aligned. Append encodes records in place at the end of
-  /// this buffer (see src/wal/README.md).
+  /// Tail storage: the unflushed stream bytes live in tail_[0, tail_used_),
+  /// where buffer_base_ is the stream offset of tail_[0], always
+  /// block-aligned. tail_.size() is capacity, not content length; records
+  /// are encoded in place at tail_used_ (see src/wal/README.md).
   std::string tail_;
+  size_t tail_used_ = 0;
   Lsn buffer_base_ = kLogStartLsn;
   /// Reusable block-image staging buffer for FlushTo (grown on demand,
   /// never shrunk): flushes allocate nothing in steady state.

@@ -21,42 +21,92 @@ Status GetLengthPrefixed(const char* data, uint32_t len, uint32_t* pos,
   return Status::OK();
 }
 
+/// Write the common framing (length, lsn, txn, prev, type); the crc at
+/// [4..8) is patched by FinishRecordCrc once the body is in place.
+char* EncodeRecordHeader(char* dst, uint32_t len, Lsn lsn, TxnId txn_id,
+                         Lsn prev_lsn, LogRecordType type) {
+  EncodeFixed32(dst, len);
+  EncodeFixed64(dst + 8, lsn);
+  EncodeFixed64(dst + 16, txn_id);
+  EncodeFixed64(dst + 24, prev_lsn);
+  dst[32] = static_cast<char>(type);
+  return dst + kLogRecordHeaderSize;
+}
+
+/// CRC over everything after the crc field (lsn included, so a record
+/// copied to the wrong offset is rejected).
+void FinishRecordCrc(char* dst, uint32_t len) {
+  const uint32_t crc = crc32c::Value(dst + 8, len - 8);
+  EncodeFixed32(dst + 4, crc32c::Mask(crc));
+}
+
 }  // namespace
+
+void EncodeControlRecordTo(char* dst, LogRecordType type, Lsn lsn,
+                           TxnId txn_id, Lsn prev_lsn) {
+  const uint32_t len = ControlRecordSize();
+  EncodeRecordHeader(dst, len, lsn, txn_id, prev_lsn, type);
+  FinishRecordCrc(dst, len);
+}
+
+void EncodeUpdateRecordTo(char* dst, Lsn lsn, TxnId txn_id, Lsn prev_lsn,
+                          PageId page_id, uint16_t offset, const char* before,
+                          uint32_t nb, const char* after, uint32_t na) {
+  const uint32_t len = UpdateRecordSize(nb, na);
+  char* p = EncodeRecordHeader(dst, len, lsn, txn_id, prev_lsn,
+                               LogRecordType::kUpdate);
+  EncodeFixed64(p, page_id);
+  EncodeFixed16(p + 8, offset);
+  p += 10;
+  EncodeFixed32(p, nb);
+  memcpy(p + 4, before, nb);
+  p += 4 + nb;
+  EncodeFixed32(p, na);
+  memcpy(p + 4, after, na);
+  FinishRecordCrc(dst, len);
+}
+
+void EncodeClrRecordTo(char* dst, Lsn lsn, TxnId txn_id, Lsn prev_lsn,
+                       PageId page_id, uint16_t offset, const char* image,
+                       uint32_t n, Lsn undo_next_lsn) {
+  const uint32_t len = ClrRecordSize(n);
+  char* p = EncodeRecordHeader(dst, len, lsn, txn_id, prev_lsn,
+                               LogRecordType::kClr);
+  EncodeFixed64(p, page_id);
+  EncodeFixed16(p + 8, offset);
+  p += 10;
+  EncodeFixed32(p, n);
+  memcpy(p + 4, image, n);
+  p += 4 + n;
+  EncodeFixed64(p, undo_next_lsn);
+  FinishRecordCrc(dst, len);
+}
 
 void LogRecord::EncodeTo(char* dst) const {
   const uint32_t len = EncodedSize();
-  char* p = dst;
-  EncodeFixed32(p, len);
-  p += 4;
-  p += 4;  // crc patched below, once the full body is in place
-  EncodeFixed64(p, lsn);
-  EncodeFixed64(p + 8, txn_id);
-  EncodeFixed64(p + 16, prev_lsn);
-  p[24] = static_cast<char>(type);
-  p += 25;
-
-  auto put_string = [&p](const std::string& s) {
-    EncodeFixed32(p, static_cast<uint32_t>(s.size()));
-    memcpy(p + 4, s.data(), s.size());
-    p += 4 + s.size();
-  };
-
   switch (type) {
     case LogRecordType::kUpdate:
-      EncodeFixed64(p, page_id);
-      EncodeFixed16(p + 8, offset);
-      p += 10;
-      put_string(before);
-      put_string(after);
-      break;
+      EncodeUpdateRecordTo(dst, lsn, txn_id, prev_lsn, page_id, offset,
+                           before.data(), static_cast<uint32_t>(before.size()),
+                           after.data(), static_cast<uint32_t>(after.size()));
+      return;
     case LogRecordType::kClr:
-      EncodeFixed64(p, page_id);
-      EncodeFixed16(p + 8, offset);
-      p += 10;
-      put_string(after);
-      EncodeFixed64(p, undo_next_lsn);
-      p += 8;
-      break;
+      EncodeClrRecordTo(dst, lsn, txn_id, prev_lsn, page_id, offset,
+                        after.data(), static_cast<uint32_t>(after.size()),
+                        undo_next_lsn);
+      return;
+    case LogRecordType::kBegin:
+    case LogRecordType::kCommit:
+    case LogRecordType::kAbort:
+    case LogRecordType::kCheckpointEnd:
+      EncodeControlRecordTo(dst, type, lsn, txn_id, prev_lsn);
+      return;
+    case LogRecordType::kCheckpointBegin:
+      break;  // encoded below
+  }
+
+  char* p = EncodeRecordHeader(dst, len, lsn, txn_id, prev_lsn, type);
+  switch (type) {
     case LogRecordType::kCheckpointBegin:
       EncodeFixed64(p, next_page_id);
       EncodeFixed32(p + 8, static_cast<uint32_t>(dirty_pages.size()));
@@ -73,18 +123,11 @@ void LogRecord::EncodeTo(char* dst) const {
         p += 16;
       }
       break;
-    case LogRecordType::kBegin:
-    case LogRecordType::kCommit:
-    case LogRecordType::kAbort:
-    case LogRecordType::kCheckpointEnd:
-      break;
+    default:
+      break;  // handled above
   }
   assert(p == dst + len);
-
-  // CRC over everything after the crc field (lsn included, so a record
-  // copied to the wrong offset is rejected).
-  const uint32_t crc = crc32c::Value(dst + 8, len - 8);
-  EncodeFixed32(dst + 4, crc32c::Mask(crc));
+  FinishRecordCrc(dst, len);
 }
 
 std::string LogRecord::Encode() const {

@@ -81,4 +81,34 @@ inline constexpr uint32_t kLogRecordHeaderSize = 4 + 4 + 8 + 8 + 8 + 1;
 /// Upper bound accepted when scanning (guards against garbage lengths).
 inline constexpr uint32_t kMaxLogRecordSize = 16 * 1024 * 1024;
 
+// --- In-place encoders for the transaction hot path -------------------------
+// TransactionManager encodes its records straight into the WAL tail buffer
+// handed out by LogManager::AppendBatch — no LogRecord struct, no before/
+// after std::strings. Byte-for-byte the same stream as LogRecord::EncodeTo
+// (EncodeTo is implemented on top of these).
+
+/// Stream size of a header-only record (Begin/Commit/Abort/CheckpointEnd).
+inline constexpr uint32_t ControlRecordSize() { return kLogRecordHeaderSize; }
+/// Stream size of an update record with nb-byte before / na-byte after
+/// images (equal on the Update path; Decode tolerates either).
+inline constexpr uint32_t UpdateRecordSize(uint32_t nb, uint32_t na) {
+  return kLogRecordHeaderSize + 8 + 2 + 4 + nb + 4 + na;
+}
+/// Stream size of a CLR with an n-byte compensation image.
+inline constexpr uint32_t ClrRecordSize(uint32_t n) {
+  return kLogRecordHeaderSize + 8 + 2 + 4 + n + 8;
+}
+
+/// Encode a header-only record into `dst` (ControlRecordSize() bytes).
+void EncodeControlRecordTo(char* dst, LogRecordType type, Lsn lsn,
+                           TxnId txn_id, Lsn prev_lsn);
+/// Encode an update record into `dst` (UpdateRecordSize(nb, na) bytes).
+void EncodeUpdateRecordTo(char* dst, Lsn lsn, TxnId txn_id, Lsn prev_lsn,
+                          PageId page_id, uint16_t offset, const char* before,
+                          uint32_t nb, const char* after, uint32_t na);
+/// Encode a CLR into `dst` (ClrRecordSize(n) bytes).
+void EncodeClrRecordTo(char* dst, Lsn lsn, TxnId txn_id, Lsn prev_lsn,
+                       PageId page_id, uint16_t offset, const char* image,
+                       uint32_t n, Lsn undo_next_lsn);
+
 }  // namespace face

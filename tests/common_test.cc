@@ -100,6 +100,42 @@ TEST(Crc32cTest, DetectsCorruption) {
   EXPECT_NE(crc32c::Value(a.data(), a.size()), crc);
 }
 
+// Regression guard for the multi-lane large-input path: a one-shot crc of
+// a large buffer must equal the crc composed from sub-lane-sized Extend
+// chunks, which never enter the interleaved kernel. Covers the lane
+// threshold (3 x 1344 = 4032), page-sized inputs (the checksum hot path),
+// multi-tri-block inputs, and splits that land mid-lane — so a bug in the
+// lane recombination cannot stay self-consistent.
+TEST(Crc32cTest, LargeInputsMatchChunkedExtend) {
+  std::string data(20000, '\0');
+  uint64_t x = 0x9e3779b97f4a7c15ull;
+  for (size_t i = 0; i < data.size(); ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    data[i] = static_cast<char>(x);
+  }
+  auto chunked = [&](size_t n, size_t chunk) {
+    uint32_t crc = crc32c::Value(data.data(), std::min(chunk, n));
+    for (size_t off = chunk; off < n; off += chunk) {
+      crc = crc32c::Extend(crc, data.data() + off,
+                           std::min(chunk, n - off));
+    }
+    return crc;
+  };
+  for (size_t n : {4031u, 4032u, 4033u, 4076u, 4096u, 8064u, 20000u}) {
+    const uint32_t one_shot = crc32c::Value(data.data(), n);
+    EXPECT_EQ(chunked(n, 512), one_shot) << "n=" << n;
+    EXPECT_EQ(chunked(n, 1000), one_shot) << "n=" << n;
+  }
+  // Splits at and around the lane boundaries of a page-sized input.
+  for (size_t split : {1u, 1343u, 1344u, 1345u, 2688u, 4031u, 4032u}) {
+    uint32_t crc = crc32c::Value(data.data(), split);
+    crc = crc32c::Extend(crc, data.data() + split, 4096 - split);
+    EXPECT_EQ(crc, crc32c::Value(data.data(), 4096)) << "split=" << split;
+  }
+}
+
 TEST(RandomTest, DeterministicAcrossInstances) {
   Random a(99), b(99);
   for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());

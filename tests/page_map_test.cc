@@ -1,0 +1,324 @@
+// PageMap (flat open-addressing page directory) and IntrusiveList tests:
+// unit coverage for insert/erase/rehash/backward-shift edge cases and
+// iteration across growth, plus a randomized differential test against
+// std::unordered_map over ~1M mixed operations.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <unordered_map>
+#include <vector>
+
+#include "common/intrusive_list.h"
+#include "common/page_map.h"
+#include "common/types.h"
+
+namespace face {
+namespace {
+
+/// Mirror of PageMap's splitmix64 finalizer, to craft colliding keys.
+uint64_t Mix(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+/// First `count` keys whose home slot is `home` in a `capacity`-slot map.
+std::vector<PageId> KeysWithHome(size_t home, size_t capacity, size_t count) {
+  std::vector<PageId> keys;
+  for (PageId k = 0; keys.size() < count; ++k) {
+    if ((Mix(k) & (capacity - 1)) == home) keys.push_back(k);
+  }
+  return keys;
+}
+
+TEST(PageMapTest, InsertFindErase) {
+  PageMap<uint32_t> map;
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.Find(7), nullptr);
+  EXPECT_FALSE(map.Erase(7));
+
+  auto [v, inserted] = map.TryEmplace(7, 42);
+  EXPECT_TRUE(inserted);
+  EXPECT_EQ(*v, 42u);
+  EXPECT_EQ(map.size(), 1u);
+
+  auto [v2, inserted2] = map.TryEmplace(7, 99);
+  EXPECT_FALSE(inserted2);
+  EXPECT_EQ(*v2, 42u);  // TryEmplace never overwrites
+
+  *map.Find(7) = 43;
+  EXPECT_EQ(*map.Find(7), 43u);
+
+  EXPECT_TRUE(map.Erase(7));
+  EXPECT_FALSE(map.Contains(7));
+  EXPECT_TRUE(map.empty());
+}
+
+TEST(PageMapTest, InsertOrAssignAndBracket) {
+  PageMap<uint64_t> map;
+  map.InsertOrAssign(3, 10);
+  map.InsertOrAssign(3, 20);
+  EXPECT_EQ(*map.Find(3), 20u);
+
+  // Counter idiom: default-constructed then incremented.
+  ++map[5];
+  ++map[5];
+  EXPECT_EQ(map[5], 2u);
+  EXPECT_EQ(map.size(), 2u);
+}
+
+TEST(PageMapTest, GrowthKeepsEveryEntryFindable) {
+  PageMap<uint64_t> map;  // starts at minimum capacity, grows repeatedly
+  constexpr uint64_t kN = 10000;
+  for (uint64_t i = 0; i < kN; ++i) {
+    map.TryEmplace(i * 977, i);
+  }
+  EXPECT_EQ(map.size(), kN);
+  for (uint64_t i = 0; i < kN; ++i) {
+    const uint64_t* v = map.Find(i * 977);
+    ASSERT_NE(v, nullptr) << "key " << i * 977;
+    EXPECT_EQ(*v, i);
+  }
+  // Iteration across the grown table visits every entry exactly once.
+  uint64_t visits = 0, key_xor = 0;
+  map.ForEach([&](PageId k, const uint64_t&) {
+    ++visits;
+    key_xor ^= k;
+  });
+  uint64_t want_xor = 0;
+  for (uint64_t i = 0; i < kN; ++i) want_xor ^= i * 977;
+  EXPECT_EQ(visits, kN);
+  EXPECT_EQ(key_xor, want_xor);
+}
+
+TEST(PageMapTest, ReserveAvoidsRehash) {
+  PageMap<uint64_t> map;
+  map.Reserve(1000);
+  const size_t cap = map.capacity();
+  for (uint64_t i = 0; i < 1000; ++i) map.TryEmplace(i, i);
+  EXPECT_EQ(map.capacity(), cap) << "Reserve(1000) still rehashed";
+}
+
+TEST(PageMapTest, BackwardShiftClosesClusterHoles) {
+  // Build a cluster of keys that all hash to the same home slot, then
+  // erase from the middle/front and verify every survivor stays findable
+  // (the backward shift must slide displaced entries over the hole).
+  PageMap<uint64_t> map;
+  map.Reserve(12);  // capacity 16: one home, cluster of 6
+  const size_t cap = map.capacity();
+  std::vector<PageId> keys = KeysWithHome(3, cap, 6);
+  for (size_t i = 0; i < keys.size(); ++i) map.TryEmplace(keys[i], i);
+
+  EXPECT_TRUE(map.Erase(keys[0]));  // head of the cluster
+  EXPECT_TRUE(map.Erase(keys[3]));  // middle
+  for (size_t i : {1u, 2u, 4u, 5u}) {
+    const uint64_t* v = map.Find(keys[i]);
+    ASSERT_NE(v, nullptr) << "survivor " << i << " lost after backward shift";
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_EQ(map.size(), 4u);
+}
+
+TEST(PageMapTest, BackwardShiftAcrossWraparound) {
+  // Cluster homed at the last slot of the table: probes and backward
+  // shifts must wrap to slot 0 correctly.
+  PageMap<uint64_t> map;
+  map.Reserve(12);
+  const size_t cap = map.capacity();
+  std::vector<PageId> keys = KeysWithHome(cap - 1, cap, 5);
+  for (size_t i = 0; i < keys.size(); ++i) map.TryEmplace(keys[i], i);
+  EXPECT_TRUE(map.Erase(keys[1]));
+  EXPECT_TRUE(map.Erase(keys[0]));
+  for (size_t i : {2u, 3u, 4u}) {
+    const uint64_t* v = map.Find(keys[i]);
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(*v, i);
+  }
+}
+
+TEST(PageMapTest, BackwardShiftDoesNotLiftEntriesPastTheirHome) {
+  // Mixed cluster: keys homed at h and at h+1 overflow into one run.
+  // Erasing an h-homed key must never shift an (h+1)-homed key to h.
+  PageMap<uint64_t> map;
+  map.Reserve(12);
+  const size_t cap = map.capacity();
+  std::vector<PageId> at_h = KeysWithHome(5, cap, 2);
+  std::vector<PageId> at_h1 = KeysWithHome(6, cap, 2);
+  map.TryEmplace(at_h[0], 0);    // slot 5
+  map.TryEmplace(at_h1[0], 10);  // slot 6 (its home)
+  map.TryEmplace(at_h[1], 1);    // displaced past 5 and 6 -> slot 7
+  map.TryEmplace(at_h1[1], 11);  // displaced -> slot 8
+  ASSERT_EQ(map.size(), 4u);
+  EXPECT_TRUE(map.Erase(at_h[0]));
+  for (auto [k, want] : {std::pair<PageId, uint64_t>{at_h[1], 1},
+                         {at_h1[0], 10},
+                         {at_h1[1], 11}}) {
+    const uint64_t* v = map.Find(k);
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(*v, want);
+  }
+}
+
+TEST(PageMapTest, ClearKeepsCapacityDropsEntries) {
+  PageMap<uint64_t> map;
+  for (uint64_t i = 0; i < 100; ++i) map.TryEmplace(i, i);
+  const size_t cap = map.capacity();
+  map.Clear();
+  EXPECT_EQ(map.size(), 0u);
+  EXPECT_EQ(map.capacity(), cap);
+  EXPECT_EQ(map.Find(5), nullptr);
+  map.TryEmplace(5, 55);
+  EXPECT_EQ(*map.Find(5), 55u);
+}
+
+TEST(PageMapTest, PodValueStruct) {
+  struct Entry {
+    uint64_t frame;
+    bool dirty;
+    Lsn rec_lsn;
+  };
+  PageMap<Entry> map;
+  map.TryEmplace(9, Entry{3, true, 77});
+  Entry* e = map.Find(9);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->frame, 3u);
+  EXPECT_TRUE(e->dirty);
+  e->dirty = false;
+  EXPECT_FALSE(map.Find(9)->dirty);
+}
+
+TEST(PageMapTest, DifferentialAgainstUnorderedMap) {
+  // ~1M mixed operations over a key space small enough to force constant
+  // insert/erase collisions and cluster churn, checked against
+  // std::unordered_map after every phase and op-by-op on lookups.
+  std::mt19937_64 rng(20120827);
+  PageMap<uint64_t> map;
+  std::unordered_map<PageId, uint64_t> ref;
+
+  auto check_full = [&]() {
+    ASSERT_EQ(map.size(), ref.size());
+    uint64_t visits = 0;
+    map.ForEach([&](PageId k, const uint64_t& v) {
+      ++visits;
+      auto it = ref.find(k);
+      ASSERT_NE(it, ref.end()) << "phantom key " << k;
+      ASSERT_EQ(it->second, v) << "wrong value for key " << k;
+    });
+    ASSERT_EQ(visits, ref.size());
+  };
+
+  constexpr uint64_t kOps = 1000000;
+  constexpr uint64_t kKeySpace = 40000;
+  for (uint64_t op = 0; op < kOps; ++op) {
+    const PageId key = rng() % kKeySpace;
+    switch (rng() % 8) {
+      case 0:
+      case 1:
+      case 2: {  // insert-if-absent
+        const uint64_t value = rng();
+        auto [slot, inserted] = map.TryEmplace(key, value);
+        auto [it, ref_inserted] = ref.try_emplace(key, value);
+        ASSERT_EQ(inserted, ref_inserted);
+        ASSERT_EQ(*slot, it->second);
+        break;
+      }
+      case 3: {  // overwrite
+        const uint64_t value = rng();
+        map.InsertOrAssign(key, value);
+        ref[key] = value;
+        break;
+      }
+      case 4:
+      case 5: {  // erase
+        ASSERT_EQ(map.Erase(key), ref.erase(key) > 0);
+        break;
+      }
+      default: {  // lookup
+        const uint64_t* v = map.Find(key);
+        auto it = ref.find(key);
+        if (it == ref.end()) {
+          ASSERT_EQ(v, nullptr);
+        } else {
+          ASSERT_NE(v, nullptr);
+          ASSERT_EQ(*v, it->second);
+        }
+        break;
+      }
+    }
+    if (op % 200000 == 199999) check_full();
+  }
+  check_full();
+}
+
+TEST(IntrusiveListTest, PushRemoveMoveToFront) {
+  std::vector<IntrusiveLinks> links(5);
+  auto at = [&](uint32_t i) -> IntrusiveLinks& { return links[i]; };
+  IntrusiveList list;
+  EXPECT_TRUE(list.empty());
+
+  list.PushFront(at, 0);
+  list.PushFront(at, 1);
+  list.PushFront(at, 2);  // order: 2 1 0
+  EXPECT_EQ(list.head(), 2);
+  EXPECT_EQ(list.tail(), 0);
+
+  list.MoveToFront(at, 0);  // order: 0 2 1
+  EXPECT_EQ(list.head(), 0);
+  EXPECT_EQ(list.tail(), 1);
+
+  list.MoveToFront(at, 0);  // no-op on the head
+  EXPECT_EQ(list.head(), 0);
+
+  list.Remove(at, 2);  // order: 0 1
+  EXPECT_EQ(links[0].next, 1);
+  EXPECT_EQ(links[1].prev, 0);
+
+  list.Remove(at, 0);  // order: 1
+  EXPECT_EQ(list.head(), 1);
+  EXPECT_EQ(list.tail(), 1);
+  list.Remove(at, 1);
+  EXPECT_TRUE(list.empty());
+}
+
+TEST(IntrusiveListTest, WalkMatchesStdListSemantics) {
+  std::vector<IntrusiveLinks> links(64);
+  auto at = [&](uint32_t i) -> IntrusiveLinks& { return links[i]; };
+  IntrusiveList list;
+  std::vector<uint32_t> ref;  // front..back
+  std::mt19937 rng(7);
+  for (int op = 0; op < 2000; ++op) {
+    const uint32_t i = rng() % 64;
+    const bool present = std::find(ref.begin(), ref.end(), i) != ref.end();
+    if (!present) {
+      list.PushFront(at, i);
+      ref.insert(ref.begin(), i);
+    } else if (rng() % 2 == 0) {
+      list.MoveToFront(at, i);
+      ref.erase(std::find(ref.begin(), ref.end(), i));
+      ref.insert(ref.begin(), i);
+    } else {
+      list.Remove(at, i);
+      ref.erase(std::find(ref.begin(), ref.end(), i));
+    }
+    // Full forward and backward walk against the reference order.
+    std::vector<uint32_t> walk;
+    for (int32_t j = list.head(); j >= 0; j = links[j].next) {
+      walk.push_back(static_cast<uint32_t>(j));
+    }
+    ASSERT_EQ(walk, ref);
+    std::vector<uint32_t> back;
+    for (int32_t j = list.tail(); j >= 0; j = links[j].prev) {
+      back.push_back(static_cast<uint32_t>(j));
+    }
+    std::reverse(back.begin(), back.end());
+    ASSERT_EQ(back, ref);
+  }
+}
+
+}  // namespace
+}  // namespace face
