@@ -13,6 +13,10 @@
 //   --json           also write BENCH_<bench>.json (see bench/README.md for
 //                    the schema) — the machine-readable perf trajectory CI
 //                    archives per run
+//   --stats-json     enable the metrics registry and embed its snapshot as
+//                    a top-level "obs" block in BENCH_<bench>.json
+//   --trace=<file>   enable metrics + tracing and write a Chrome
+//                    trace-event JSON (Perfetto-loadable) to <file>
 //
 // --txns and --seed together give CI a cheap deterministic smoke run:
 //   bench_workloads --txns=200 --warmup=100 --seed=7
@@ -26,6 +30,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "testbed/testbed.h"
 #include "workload/tpcc_workload.h"
 
@@ -41,6 +47,8 @@ struct BenchFlags {
   uint64_t warmup_txns = 0;  ///< 0 = per-bench default
   uint64_t txns = 0;         ///< 0 = per-bench default
   uint64_t seed = 42;        ///< workload request-stream seed
+  bool stats_json = false;   ///< embed an "obs" metrics block in the JSON
+  std::string trace_path;    ///< Chrome trace output ("" = tracing off)
 
   uint64_t WarmupOr(uint64_t dflt) const {
     if (warmup_txns != 0) return warmup_txns;
@@ -70,10 +78,23 @@ inline BenchFlags ParseFlags(int argc, char** argv) {
       flags.txns = strtoull(arg.c_str() + 7, nullptr, 10);
     } else if (arg.rfind("--seed=", 0) == 0) {
       flags.seed = strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg == "--stats-json") {
+      flags.stats_json = true;
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      flags.trace_path = arg.substr(8);
     } else {
       fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       exit(2);
     }
+  }
+  if (flags.stats_json || !flags.trace_path.empty()) {
+    if (!FACE_OBS_ENABLED) {
+      fprintf(stderr,
+              "[obs] warning: built with FACE_OBS=OFF; --stats-json/--trace "
+              "produce empty output\n");
+    }
+    obs::SetEnabled(true);
+    if (!flags.trace_path.empty()) obs::Tracer::Instance().SetEnabled(true);
   }
   return flags;
 }
@@ -284,12 +305,25 @@ class JsonReporter {
   /// fields after AddRunRow.)
   void EndRow() { body_ += "}"; }
 
+  /// Raw-JSON field: `raw` is spliced into the row verbatim (for arrays /
+  /// nested objects the typed Field overloads cannot express).
+  void FieldRaw(const char* key, const std::string& raw) {
+    body_ += ", \"" + std::string(key) + "\": " + raw;
+  }
+
+  /// Append a top-level block after "rows": `raw_json` must be one valid
+  /// JSON value. Comparison tooling (bench/diff_trajectory.py) only reads
+  /// "rows" and "flags", so extra blocks never affect trajectory diffs.
+  void AddTopLevelBlock(const char* key, const std::string& raw_json) {
+    extra_ += ",\n  \"" + std::string(key) + "\": " + raw_json;
+  }
+
   /// Write BENCH_<bench>.json to the working directory; false on I/O error.
   bool WriteFile() const {
     const std::string path = "BENCH_" + bench_ + ".json";
     FILE* f = fopen(path.c_str(), "wb");
     if (f == nullptr) return false;
-    const std::string doc = body_ + "\n  ]\n}\n";
+    const std::string doc = body_ + "\n  ]" + extra_ + "\n}\n";
     const bool ok = fwrite(doc.data(), 1, doc.size(), f) == doc.size();
     if (fclose(f) != 0 || !ok) return false;
     fprintf(stderr, "[json] wrote %s\n", path.c_str());
@@ -299,8 +333,31 @@ class JsonReporter {
  private:
   std::string bench_;
   std::string body_;
+  std::string extra_;
   bool first_row_ = true;
 };
+
+/// End-of-run observability output: embed the metrics snapshot as the
+/// "obs" block (--stats-json) and write the Chrome trace (--trace=<file>).
+/// Call once, after the measured work and before json->WriteFile().
+inline void FinalizeObs(const BenchFlags& flags, JsonReporter* json) {
+  if (flags.stats_json && json != nullptr) {
+    json->AddTopLevelBlock("obs",
+                           obs::MetricsRegistry::Instance().ToJson());
+  }
+  if (!flags.trace_path.empty()) {
+    const Status s =
+        obs::Tracer::Instance().WriteChromeTrace(flags.trace_path);
+    if (s.ok()) {
+      fprintf(stderr, "[obs] wrote %s (%zu spans, %zu dropped)\n",
+              flags.trace_path.c_str(), obs::Tracer::Instance().span_count(),
+              obs::Tracer::Instance().dropped());
+    } else {
+      fprintf(stderr, "[obs] trace write failed: %s\n",
+              s.ToString().c_str());
+    }
+  }
+}
 
 /// Monotonic wall-clock seconds since `since` (host time, not simulated).
 using WallClock = std::chrono::steady_clock;

@@ -4,6 +4,10 @@
 // Paper shape to reproduce: FaCE resumes normal throughput within a couple
 // of windows of the crash and stays higher; HDD-only spends hundreds of
 // virtual seconds recovering and ramps slowly (cold buffer, all disk).
+//
+// --json writes BENCH_fig6_restart.json: one row per policy with the full
+// recovery-phase breakdown (attach/meta_restore/analysis/redo/undo/
+// checkpoint seconds), fetch provenance, and the raw tpmC window array.
 #include <algorithm>
 #include <cstdio>
 #include <vector>
@@ -22,10 +26,13 @@ constexpr int kWindows = 24;
 
 struct Timeline {
   double restart_s = 0;
+  RestartReport report;      ///< full per-phase recovery breakdown
+  double wall_clock_sec = 0;
   std::vector<double> tpmc;  ///< per window after the crash instant
 };
 
 Timeline CrashAndReplay(const BenchFlags& flags, CachePolicy policy) {
+  const WallClock::time_point wall_start = WallClock::now();
   const GoldenImage& golden = GetGolden(flags);
   TestbedOptions opts;
   opts.seed = flags.seed;
@@ -62,6 +69,7 @@ Timeline CrashAndReplay(const BenchFlags& flags, CachePolicy policy) {
 
   Timeline timeline;
   timeline.restart_s = ToSeconds(report->total_ns);
+  timeline.report = *report;
   timeline.tpmc.assign(kWindows, 0.0);
 
   // Replay until the observation horizon, recording completions.
@@ -82,7 +90,40 @@ Timeline CrashAndReplay(const BenchFlags& flags, CachePolicy policy) {
       }
     }
   }
+  timeline.wall_clock_sec = WallSecondsSince(wall_start);
   return timeline;
+}
+
+/// One JSON row per policy: the recovery-phase breakdown (satellite of the
+/// BENCH schema, bench/README.md) plus the raw per-window tpmC array.
+void AddTimelineRow(JsonReporter* json, const char* policy,
+                    const Timeline& t) {
+  json->BeginRow("tpcc", policy);
+  json->Field("restart_s", t.restart_s);
+  json->Field("attach_s", ToSeconds(t.report.attach_ns));
+  json->Field("meta_restore_s", ToSeconds(t.report.meta_restore_ns));
+  json->Field("analysis_s", ToSeconds(t.report.analysis_ns));
+  json->Field("redo_s", ToSeconds(t.report.redo_ns));
+  json->Field("undo_s", ToSeconds(t.report.undo_ns));
+  json->Field("checkpoint_s", ToSeconds(t.report.checkpoint_ns));
+  json->Field("redo_records", t.report.redo_records);
+  json->Field("redo_applied", t.report.redo_applied);
+  json->Field("undo_records", t.report.undo_records);
+  json->Field("losers", t.report.losers);
+  json->Field("pages_fetched", t.report.pages_fetched);
+  json->Field("pages_from_flash", t.report.pages_from_flash);
+  json->Field("pages_from_disk", t.report.pages_from_disk);
+  std::string windows = "[";
+  for (int w = 0; w < kWindows; ++w) {
+    if (w != 0) windows += ", ";
+    char buf[32];
+    snprintf(buf, sizeof(buf), "%.10g", t.tpmc[w]);
+    windows += buf;
+  }
+  windows += "]";
+  json->FieldRaw("tpmc_windows", windows);
+  json->Field("wall_clock_sec", t.wall_clock_sec);
+  json->EndRow();
 }
 
 void RunFigure(const BenchFlags& flags) {
@@ -103,6 +144,19 @@ void RunFigure(const BenchFlags& flags) {
   printf("paper shape: FaCE resumes within ~2 windows and stays higher; "
          "HDD-only stays at\nzero for several hundred seconds, then ramps "
          "slowly.\n");
+
+  if (flags.json) {
+    JsonReporter json("fig6_restart", flags);
+    AddTimelineRow(&json, "FaCE+GSC", face_line);
+    AddTimelineRow(&json, "none", hdd_line);
+    FinalizeObs(flags, &json);
+    if (!json.WriteFile()) {
+      fprintf(stderr, "failed to write BENCH_fig6_restart.json\n");
+      exit(1);
+    }
+  } else {
+    FinalizeObs(flags, nullptr);
+  }
 }
 
 }  // namespace

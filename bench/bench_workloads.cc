@@ -12,6 +12,7 @@
 // bench/README.md): the policy x workload matrix as machine-readable rows
 // with throughput, simulated makespan, device utilization, and host
 // wall-clock per cell. CI archives it per run.
+#include <algorithm>
 #include <memory>
 #include <string>
 #include <vector>
@@ -109,6 +110,39 @@ std::string KvCacheTag(uint64_t records, uint32_t value_bytes, bool bulk,
   return "kv_r" + std::to_string(records) + "_v" +
          std::to_string(value_bytes) + (bulk ? "_bulk" : "_incr") + "_c" +
          std::to_string(capacity_pages);
+}
+
+/// Trace-mode showcase: a crash + ARIES restart on the Zipfian/FaCE+GSC
+/// cell, so the emitted Chrome trace carries every recovery phase span
+/// (attach / meta_restore / analysis / redo / undo / checkpoint) alongside
+/// the steady-state matrix. Only runs when --trace is set — the matrix
+/// itself never crashes anything.
+void RunRecoveryShowcase(const BenchFlags& flags, const GoldenImage& golden,
+                         std::shared_ptr<const WorkloadFactory> factory,
+                         uint64_t txns) {
+  auto die = [](const Status& s, const char* what) {
+    if (!s.ok()) {
+      fprintf(stderr, "%s: %s\n", what, s.ToString().c_str());
+      exit(1);
+    }
+  };
+  TestbedOptions opts;
+  opts.policy = CachePolicy::kFaceGSC;
+  opts.flash_pages = golden.db_pages() / 10;
+  opts.seed = flags.seed;
+  opts.workload = std::move(factory);
+  Testbed tb(opts, &golden);
+  die(tb.Start(), "showcase start");
+  RunOptions run;
+  run.txns = txns;
+  run.checkpoint_interval = kCheckpointEvery;
+  die(tb.Run(run).status(), "showcase run");
+  die(tb.InjectInflightTransactions(5), "showcase inject");
+  die(tb.Crash(), "showcase crash");
+  auto report = tb.Recover();
+  die(report.status(), "showcase recover");
+  fprintf(stderr, "[obs] recovery showcase: %s\n",
+          report->ToString().c_str());
 }
 
 void RunMatrix(const BenchFlags& flags) {
@@ -223,6 +257,11 @@ void RunMatrix(const BenchFlags& flags) {
     PrintWorkloadTable("trace(ycsb-zipfian)", cells);
   }
 
+  if (!flags.trace_path.empty()) {
+    RunRecoveryShowcase(flags, zipf_golden, zipf_factory,
+                        std::min<uint64_t>(txns, 500));
+  }
+  FinalizeObs(flags, json);
   if (json != nullptr && !json->WriteFile()) {
     fprintf(stderr, "failed to write BENCH_workloads.json\n");
     exit(1);

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON emitted by --trace=<file>.
+
+Checks (all fatal, exit 1):
+  - the file parses as JSON and has a "traceEvents" list
+  - every event has a known phase ("X" complete, "M" metadata, "i" instant)
+  - every "X" event carries name/cat/ts/dur/pid/tid with non-negative times
+  - at least --min-components distinct categories appear (default 1)
+  - with --require-recovery-phases: all six ARIES restart phases appear as
+    "X" events under the "recovery" category
+
+Usage:
+  python3 bench/check_trace.py trace.json --min-components 5 \
+      --require-recovery-phases
+"""
+import argparse
+import json
+import sys
+
+RECOVERY_PHASES = {
+    "attach", "meta_restore", "analysis", "redo", "undo", "checkpoint",
+}
+
+
+def fail(msg):
+    print(f"FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("trace", help="Chrome trace-event JSON file")
+    ap.add_argument("--min-components", type=int, default=1,
+                    help="minimum distinct span categories required")
+    ap.add_argument("--require-recovery-phases", action="store_true",
+                    help="require all six recovery phase spans")
+    args = ap.parse_args()
+
+    try:
+        with open(args.trace, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{args.trace}: {e}")
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail('missing or non-list "traceEvents"')
+
+    components = set()
+    recovery_spans = set()
+    n_complete = 0
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            fail(f"event #{i} is not an object")
+        ph = ev.get("ph")
+        if ph not in ("X", "M", "i"):
+            fail(f"event #{i}: unexpected phase {ph!r}")
+        if ph != "X":
+            continue
+        n_complete += 1
+        missing = {"name", "cat", "ts", "dur", "pid", "tid"} - ev.keys()
+        if missing:
+            fail(f"event #{i}: missing keys {sorted(missing)}")
+        if ev["ts"] < 0 or ev["dur"] < 0:
+            fail(f"event #{i}: negative ts/dur ({ev['ts']}, {ev['dur']})")
+        components.add(ev["cat"])
+        if ev["cat"] == "recovery":
+            recovery_spans.add(ev["name"])
+
+    if n_complete == 0:
+        fail("no complete ('X') spans recorded")
+    if len(components) < args.min_components:
+        fail(f"only {len(components)} distinct components "
+             f"({sorted(components)}), need {args.min_components}")
+    if args.require_recovery_phases:
+        absent = RECOVERY_PHASES - recovery_spans
+        if absent:
+            fail(f"recovery phases missing from trace: {sorted(absent)}")
+
+    print(f"OK: {n_complete} spans across {len(components)} components "
+          f"({', '.join(sorted(components))})")
+
+
+if __name__ == "__main__":
+    main()

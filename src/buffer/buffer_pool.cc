@@ -4,7 +4,47 @@
 #include <cassert>
 #include <cstring>
 
+#include "obs/metrics.h"
+
 namespace face {
+
+namespace {
+
+/// "buffer.*" handles, registered on first use; mirrors BufferPool::Stats
+/// plus the miss-path virtual latency distribution Stats cannot express.
+struct PoolObs {
+  obs::Counter* fetches;
+  obs::Counter* hits;
+  obs::Counter* misses;
+  obs::Counter* disk_fetches;
+  obs::Counter* flash_fetches;
+  obs::Counter* evictions;
+  obs::Counter* dirty_evictions;
+  obs::Counter* pulls;
+  obs::Hist* miss_fetch_ns;
+  obs::Hist* ckpt_sync_pages;
+};
+
+PoolObs& GetPoolObs() {
+  static PoolObs o = [] {
+    auto& reg = obs::MetricsRegistry::Instance();
+    PoolObs p;
+    p.fetches = reg.GetCounter("buffer.fetches");
+    p.hits = reg.GetCounter("buffer.hits");
+    p.misses = reg.GetCounter("buffer.misses");
+    p.disk_fetches = reg.GetCounter("buffer.disk_fetches");
+    p.flash_fetches = reg.GetCounter("buffer.flash_fetches");
+    p.evictions = reg.GetCounter("buffer.evictions");
+    p.dirty_evictions = reg.GetCounter("buffer.dirty_evictions");
+    p.pulls = reg.GetCounter("buffer.pulls");
+    p.miss_fetch_ns = reg.GetHistogram("buffer.miss_fetch_ns");
+    p.ckpt_sync_pages = reg.GetHistogram("buffer.ckpt_sync_pages");
+    return p;
+  }();
+  return o;
+}
+
+}  // namespace
 
 PageHandle& PageHandle::operator=(PageHandle&& other) noexcept {
   if (this != &other) {
@@ -62,16 +102,20 @@ BufferPool::~BufferPool() { cache_->SetPullSource(nullptr); }
 
 StatusOr<PageHandle> BufferPool::FetchPage(PageId page_id) {
   ++stats_.fetches;
+  const bool obs_on = obs::Enabled();
+  if (obs_on) GetPoolObs().fetches->Increment();
   if (trace_ != nullptr) trace_->OnPageAccess(page_id, false);
   if (const uint32_t* slot = table_.Find(page_id)) {
     const uint32_t frame = *slot;
     ++stats_.hits;
+    if (obs_on) GetPoolObs().hits->Increment();
     ++frames_[frame].pins;
     lru_.MoveToFront(FrameLinks(), frame);
     return PageHandle(this, frame, page_id);
   }
 
   ++stats_.misses;
+  const uint64_t miss_start = obs_on ? obs::VirtualNow() : 0;
   FACE_ASSIGN_OR_RETURN(uint32_t frame, GetFreeFrame());
   Frame& f = frames_[frame];
 
@@ -84,6 +128,7 @@ StatusOr<PageHandle> BufferPool::FetchPage(PageId page_id) {
       return read.status();
     }
     ++stats_.flash_fetches;
+    if (obs_on) GetPoolObs().flash_fetches->Increment();
     f.dirty = read->dirty;
     f.fdirty = false;  // synced with the flash copy we just read
     // Persistent caches are part of the durable database: a dirty flash
@@ -98,6 +143,7 @@ StatusOr<PageHandle> BufferPool::FetchPage(PageId page_id) {
       return s;
     }
     ++stats_.disk_fetches;
+    if (obs_on) GetPoolObs().disk_fetches->Increment();
     f.dirty = false;
     f.fdirty = false;
     f.rec_lsn = kInvalidLsn;
@@ -109,6 +155,11 @@ StatusOr<PageHandle> BufferPool::FetchPage(PageId page_id) {
   f.in_use = true;
   table_.TryEmplace(page_id, frame);
   lru_.PushFront(FrameLinks(), frame);
+  if (obs_on) {
+    PoolObs& o = GetPoolObs();
+    o.misses->Increment();
+    o.miss_fetch_ns->Add(obs::VirtualNow() - miss_start);
+  }
   return PageHandle(this, frame, page_id);
 }
 
@@ -172,6 +223,11 @@ Status BufferPool::EvictFrame(uint32_t frame) {
   Frame& f = frames_[frame];
   ++stats_.evictions;
   if (f.dirty) ++stats_.dirty_evictions;
+  if (obs::Enabled()) {
+    PoolObs& o = GetPoolObs();
+    o.evictions->Increment();
+    if (f.dirty) o.dirty_evictions->Increment();
+  }
   // WAL-before-data: nothing newer than the durable log may reach
   // persistent storage (flash cache included).
   if (f.dirty || f.fdirty) {
@@ -208,6 +264,11 @@ PageId BufferPool::PullVictim(char* page, bool* dirty, bool* fdirty) {
     free_list_.push_back(frame);
     ++stats_.evictions;
     ++stats_.pulls;
+    if (obs::Enabled()) {
+      PoolObs& o = GetPoolObs();
+      o.evictions->Increment();
+      o.pulls->Increment();
+    }
     return page_id;
   }
   return kInvalidPageId;
@@ -277,6 +338,7 @@ std::vector<DptEntry> BufferPool::CollectDirtyPages() const {
 
 Status BufferPool::SyncDirtyPagesForCheckpoint() {
   FACE_RETURN_IF_ERROR(log_->FlushAll());
+  uint64_t synced = 0;
   // Snapshot first: absorbing a page into FaCE can trigger a Group Second
   // Chance replacement, which pulls victims and mutates the page table.
   for (PageId page_id : SnapshotResidentPages()) {
@@ -284,6 +346,7 @@ Status BufferPool::SyncDirtyPagesForCheckpoint() {
     if (slot == nullptr) continue;  // pulled into the cache meanwhile
     Frame& f = frames_[*slot];
     if (!PersistentlyDirty(f)) continue;
+    ++synced;
     FACE_ASSIGN_OR_RETURN(bool absorbed,
                           cache_->CheckpointPage(page_id, f.data.get()));
     if (absorbed) {
@@ -298,6 +361,7 @@ Status BufferPool::SyncDirtyPagesForCheckpoint() {
       f.rec_lsn = kInvalidLsn;
     }
   }
+  if (obs::Enabled()) GetPoolObs().ckpt_sync_pages->Add(synced);
   return Status::OK();
 }
 

@@ -56,7 +56,11 @@ double Histogram::Percentile(double p) const {
       const double frac =
           (target - static_cast<double>(seen)) / static_cast<double>(buckets_[i]);
       const double v = lo + (hi - lo) * frac;
-      return std::min(v, static_cast<double>(max_));
+      // Clamp to the observed range: in-bucket interpolation can land below
+      // the smallest recorded sample (a single sample of 5 used to report
+      // Percentile(0) == 4, the bucket floor), not just above the largest.
+      return std::min(std::max(v, static_cast<double>(min_)),
+                      static_cast<double>(max_));
     }
     seen += buckets_[i];
   }

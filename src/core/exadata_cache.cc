@@ -3,9 +3,33 @@
 #include <cassert>
 #include <cstring>
 
+#include "obs/metrics.h"
 #include "storage/page.h"
 
 namespace face {
+
+namespace {
+
+/// "core.exadata.*" handles: clean-only admission and invalidation churn.
+struct ExaObs {
+  obs::Counter* admissions;
+  obs::Counter* invalidations;
+  obs::Counter* dirty_evictions;
+};
+
+ExaObs& GetExaObs() {
+  static ExaObs o = [] {
+    auto& reg = obs::MetricsRegistry::Instance();
+    ExaObs e;
+    e.admissions = reg.GetCounter("core.exadata.admissions");
+    e.invalidations = reg.GetCounter("core.exadata.invalidations");
+    e.dirty_evictions = reg.GetCounter("core.exadata.dirty_evictions");
+    return e;
+  }();
+  return o;
+}
+
+}  // namespace
 
 ExadataCache::ExadataCache(uint64_t n_frames, SimDevice* flash,
                            DbStorage* storage)
@@ -53,6 +77,7 @@ Status ExadataCache::OnFetchFromDisk(PageId page_id, const char* page) {
     index_.Erase(frame_page_[frame]);
     frame_page_[frame] = kInvalidPageId;
     ++stats_.invalidations;
+    if (obs::Enabled()) GetExaObs().invalidations->Increment();
   }
 
   memcpy(scratch_.data(), page, kPageSize);
@@ -66,6 +91,7 @@ Status ExadataCache::OnFetchFromDisk(PageId page_id, const char* page) {
   lru_.PushFront(FrameLinks(), frame);
   index_.TryEmplace(page_id, frame);
   ++stats_.enqueues;
+  if (obs::Enabled()) GetExaObs().admissions->Increment();
   return Status::OK();
 }
 
@@ -75,6 +101,7 @@ Status ExadataCache::OnDramEvict(PageId page_id, char* page, bool dirty,
   (void)rec_lsn;
   if (!dirty) return Status::OK();
   ++stats_.dirty_evictions;
+  if (obs::Enabled()) GetExaObs().dirty_evictions->Increment();
   FACE_RETURN_IF_ERROR(storage_->WritePage(page_id, page));
   ++stats_.disk_writes;
   // The cached copy (if any) is stale now; a clean-only cache invalidates
@@ -93,6 +120,7 @@ void ExadataCache::DropFrame(uint32_t frame) {
   index_.Erase(frame_page_[frame]);
   frame_page_[frame] = kInvalidPageId;
   ++stats_.invalidations;
+  if (obs::Enabled()) GetExaObs().invalidations->Increment();
 }
 
 Status ExadataCache::RecoverAfterCrash() {

@@ -5,11 +5,38 @@
 #include <cstring>
 
 #include "common/crc32c.h"
+#include "obs/trace.h"
 #include "storage/page.h"
 
 namespace face {
 
 namespace {
+
+/// "core.face.*" handles: the mvFIFO admission/replacement counters plus
+/// the group-size distributions the paper's Figure 9 is about.
+struct FaceObs {
+  obs::Counter* enqueues;
+  obs::Counter* invalidations;
+  obs::Counter* second_chances;
+  obs::Counter* meta_seg_flushes;
+  obs::Hist* group_flush_pages;
+  obs::Hist* group_dequeue_pages;
+};
+
+FaceObs& GetFaceObs() {
+  static FaceObs o = [] {
+    auto& reg = obs::MetricsRegistry::Instance();
+    FaceObs f;
+    f.enqueues = reg.GetCounter("core.face.enqueues");
+    f.invalidations = reg.GetCounter("core.face.invalidations");
+    f.second_chances = reg.GetCounter("core.face.second_chances");
+    f.meta_seg_flushes = reg.GetCounter("core.face.meta_seg_flushes");
+    f.group_flush_pages = reg.GetHistogram("core.face.group_flush_pages");
+    f.group_dequeue_pages = reg.GetHistogram("core.face.group_dequeue_pages");
+    return f;
+  }();
+  return o;
+}
 
 constexpr uint64_t kSuperMagic = 0xFACEAC4E2012ull;
 
@@ -142,7 +169,9 @@ Status FaceCache::WriteFrame(uint64_t seq, const char* page, PageId page_id,
 
 Status FaceCache::FlushStaging() {
   if (staged_count_ == 0) return Status::OK();
+  obs::ScopedSpan span("core.face", "group_flush");
   const uint64_t count = staged_count_;
+  if (obs::Enabled()) GetFaceObs().group_flush_pages->Add(count);
   const uint64_t frame0 = staged_base_ % layout_.n_frames;
   const uint64_t span1 = std::min<uint64_t>(count, layout_.n_frames - frame0);
 
@@ -197,6 +226,7 @@ Status FaceCache::FlushSegment(uint64_t seg_no) {
   FACE_RETURN_IF_ERROR(flash_->WriteBatch(layout_.SegmentBlock(seg_no),
                                           layout_.seg_blocks, blocks.data()));
   stats_.meta_flash_writes += layout_.seg_blocks;
+  if (obs::Enabled()) GetFaceObs().meta_seg_flushes->Increment();
   seg_buf_.clear();
   sb_front_seq_ = front_seq_;
   sb_rear_seq_ = (seg_no + 1) * static_cast<uint64_t>(options_.seg_entries);
@@ -233,11 +263,13 @@ Status FaceCache::Enqueue(PageId page_id, const char* page, bool dirty,
   if (!inserted) {
     EntryAt(*slot).valid = false;
     ++stats_.invalidations;
+    if (obs::Enabled()) GetFaceObs().invalidations->Increment();
     *slot = seq;
   }
   entries_.push_back(Entry{page_id, lsn, dirty, true, false});
   ++rear_seq_;
   ++stats_.enqueues;
+  if (obs::Enabled()) GetFaceObs().enqueues->Increment();
 
   FACE_RETURN_IF_ERROR(WriteFrame(seq, page, page_id, lsn));
   return AppendMeta(seq, FlashMetaEntry{page_id, lsn, dirty, true});
@@ -271,6 +303,8 @@ Status FaceCache::DequeueGroup() {
   const uint32_t batch = static_cast<uint32_t>(
       std::min<uint64_t>(options_.group_size, live_entries()));
   if (batch == 0) return Status::OK();
+  obs::ScopedSpan span("core.face", "group_dequeue");
+  if (obs::Enabled()) GetFaceObs().group_dequeue_pages->Add(batch);
   // Never read frames whose bytes are still staged in memory.
   if (staged_count_ > 0 && front_seq_ + batch > staged_base_) {
     FACE_RETURN_IF_ERROR(FlushStaging());
@@ -329,6 +363,7 @@ Status FaceCache::DequeueGroup() {
 
   for (const Survivor& s : survivors) {
     ++stats_.second_chances;
+    if (obs::Enabled()) GetFaceObs().second_chances->Increment();
     FACE_RETURN_IF_ERROR(Enqueue(s.page_id, s.bytes, s.dirty, s.lsn));
   }
   return Status::OK();

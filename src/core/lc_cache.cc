@@ -5,6 +5,7 @@
 #include <cstring>
 #include <functional>
 
+#include "obs/trace.h"
 #include "storage/page.h"
 
 namespace face {
@@ -183,6 +184,7 @@ bool LcCache::HasBackgroundWork() const {
 
 Status LcCache::RunBackgroundWork() {
   if (!HasBackgroundWork()) return Status::OK();
+  obs::ScopedSpan span("core.lc", "clean_batch");
   cleaning_ = true;
   // Clean coldest-first so pages likely to be re-dirtied soon stay dirty in
   // flash and keep absorbing writes. Ascending traversal over a heapified
@@ -207,6 +209,13 @@ Status LcCache::RunBackgroundWork() {
     ++flushed;
   }
   if (DirtyFraction() <= options_.clean_target) cleaning_ = false;
+  if (obs::Enabled()) {
+    auto& reg = obs::MetricsRegistry::Instance();
+    static obs::Counter* runs = reg.GetCounter("core.lc.cleaner_runs");
+    static obs::Hist* pages = reg.GetHistogram("core.lc.clean_batch_pages");
+    runs->Increment();
+    pages->Add(flushed);
+  }
   return Status::OK();
 }
 

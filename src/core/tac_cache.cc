@@ -4,9 +4,33 @@
 #include <cassert>
 #include <cstring>
 
+#include "obs/metrics.h"
 #include "storage/page.h"
 
 namespace face {
+
+namespace {
+
+/// "core.tac.*" handles: temperature-gated admission and victim churn.
+struct TacObs {
+  obs::Counter* admissions;
+  obs::Counter* invalidations;
+  obs::Counter* dirty_evictions;
+};
+
+TacObs& GetTacObs() {
+  static TacObs o = [] {
+    auto& reg = obs::MetricsRegistry::Instance();
+    TacObs t;
+    t.admissions = reg.GetCounter("core.tac.admissions");
+    t.invalidations = reg.GetCounter("core.tac.invalidations");
+    t.dirty_evictions = reg.GetCounter("core.tac.dirty_evictions");
+    return t;
+  }();
+  return o;
+}
+
+}  // namespace
 
 TacCache::TacCache(const TacOptions& options, SimDevice* flash,
                    DbStorage* storage)
@@ -129,6 +153,7 @@ Status TacCache::OnFetchFromDisk(PageId page_id, const char* page) {
   victim_order_.Push(KeyOf(page_id, e));
   index_.TryEmplace(page_id, e);
   ++stats_.enqueues;
+  if (obs::Enabled()) GetTacObs().admissions->Increment();
   return Status::OK();
 }
 
@@ -138,6 +163,7 @@ Status TacCache::Invalidate(PageId page_id, uint64_t slot) {
   // leaves it for lazy discard).
   index_.Erase(page_id);
   ++stats_.invalidations;
+  if (obs::Enabled()) GetTacObs().invalidations->Increment();
   // Persist the invalidation — the first of the two random metadata writes
   // TAC pays per replacement.
   return WriteDirEntry(slot, kInvalidPageId, false);
@@ -148,6 +174,7 @@ Status TacCache::OnDramEvict(PageId page_id, char* page, bool dirty,
   (void)rec_lsn;
   if (!dirty) return Status::OK();  // clean pages were cached on entry
   ++stats_.dirty_evictions;
+  if (obs::Enabled()) GetTacObs().dirty_evictions->Increment();
   // Write-through: disk first, then keep a cached copy coherent.
   FACE_RETURN_IF_ERROR(storage_->WritePage(page_id, page));
   ++stats_.disk_writes;

@@ -1,0 +1,155 @@
+// Unified metrics registry: named counters, gauges, and Histogram-backed
+// latency/size distributions, shared by every layer of the stack
+// (sim devices, buffer pool, cache policies, WAL, transactions, recovery).
+//
+// Design rules (see src/obs/README.md):
+//   - Hierarchical names: "<component>.<metric>" ("buffer.misses",
+//     "sim.flash.busy_ns", "recovery.redo_ns").
+//   - Handle-based hot path: call GetCounter()/GetHistogram() once (cold)
+//     and keep the pointer; handles stay valid for the process lifetime,
+//     across Clear() included.
+//   - Runtime-off by default: every instrumentation site is guarded by
+//     obs::Enabled(), so unconfigured runs pay one predictable branch.
+//   - Compile-out: building with -DFACE_OBS_ENABLED=0 (CMake: -DFACE_OBS=OFF)
+//     swaps every type below for a no-op stub with the identical surface;
+//     call sites compile unchanged and constant-fold away.
+//   - Perturbation-free by construction: nothing in this subsystem touches
+//     the IoScheduler, a device, or any simulated state. Instrumentation
+//     reads virtual time; it never advances it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/histogram.h"
+
+#ifndef FACE_OBS_ENABLED
+#define FACE_OBS_ENABLED 1
+#endif
+
+namespace face {
+
+class IoScheduler;
+
+namespace obs {
+
+#if FACE_OBS_ENABLED
+
+/// Monotonic event counter. Hot-path Add is one guarded add.
+struct Counter {
+  uint64_t value = 0;
+  void Add(uint64_t n) { value += n; }
+  void Increment() { ++value; }
+};
+
+/// Point-in-time level (queue depths, resident pages, ...).
+struct Gauge {
+  int64_t value = 0;
+  void Set(int64_t v) { value = v; }
+  void Add(int64_t d) { value += d; }
+};
+
+/// Histograms are the shared power-of-two-bucket face::Histogram.
+using Hist = ::face::Histogram;
+
+/// Process-wide runtime switch. Default off: a run that never calls
+/// SetEnabled(true) takes exactly one predicted-false branch per site.
+inline bool g_enabled = false;
+inline bool Enabled() { return g_enabled; }
+inline void SetEnabled(bool on) { g_enabled = on; }
+
+/// The registry; a process-wide singleton (the simulation is
+/// single-threaded by design, like everything else in this codebase).
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Instance();
+
+  /// Find-or-create by name. Returned pointers are stable for the process
+  /// lifetime — register once, increment through the handle forever.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Hist* GetHistogram(const std::string& name);
+
+  /// Zero every value. Handles stay valid (values reset, pointers do not).
+  void Clear();
+
+  /// Snapshot as one JSON object: {"counters": {...}, "gauges": {...},
+  /// "histograms": {name: {count,min,max,mean,sum,p50,p95,p99}}}.
+  /// Zero-valued entries are omitted; key order is name-sorted (std::map),
+  /// so identical runs serialize identically.
+  std::string ToJson() const;
+
+  /// Human-readable dump, one metric per line, name-sorted.
+  std::string ToText() const;
+
+ private:
+  MetricsRegistry() = default;
+
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Hist>> hists_;
+};
+
+/// Register the scheduler whose clock stamps metrics and trace spans
+/// (Testbed::Start does this; null detaches). Reads only — the clock is
+/// never advanced through this pointer.
+void SetVirtualClock(const IoScheduler* sched);
+const IoScheduler* virtual_clock();
+
+/// Current virtual time: the active span's clock while inside a
+/// transaction/background span, the last completion time otherwise, and 0
+/// when no clock is registered.
+uint64_t VirtualNow();
+
+#else  // !FACE_OBS_ENABLED — no-op stubs, identical surface.
+
+struct Counter {
+  static constexpr uint64_t value = 0;
+  void Add(uint64_t) {}
+  void Increment() {}
+};
+
+struct Gauge {
+  static constexpr int64_t value = 0;
+  void Set(int64_t) {}
+  void Add(int64_t) {}
+};
+
+struct Hist {
+  void Add(uint64_t) {}
+  void Clear() {}
+  uint64_t count() const { return 0; }
+};
+
+constexpr bool Enabled() { return false; }
+inline void SetEnabled(bool) {}
+
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Instance() {
+    static MetricsRegistry r;
+    return r;
+  }
+  Counter* GetCounter(const std::string&) { return &counter_; }
+  Gauge* GetGauge(const std::string&) { return &gauge_; }
+  Hist* GetHistogram(const std::string&) { return &hist_; }
+  void Clear() {}
+  std::string ToJson() const { return "{}"; }
+  std::string ToText() const { return std::string(); }
+
+ private:
+  Counter counter_;
+  Gauge gauge_;
+  Hist hist_;
+};
+
+inline void SetVirtualClock(const IoScheduler*) {}
+inline const IoScheduler* virtual_clock() { return nullptr; }
+inline uint64_t VirtualNow() { return 0; }
+
+#endif  // FACE_OBS_ENABLED
+
+}  // namespace obs
+}  // namespace face

@@ -1,0 +1,100 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+
+#if FACE_OBS_ENABLED
+
+namespace face {
+namespace obs {
+
+uint64_t HostNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+Tracer& Tracer::Instance() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+void Tracer::AddSpan(const Span& span) {
+  if (spans_.size() >= kMaxSpans) {
+    ++dropped_;
+    return;
+  }
+  spans_.push_back(span);
+}
+
+const char* Tracer::Intern(const std::string& name) {
+  return interned_.insert(name).first->c_str();
+}
+
+void Tracer::Clear() {
+  spans_.clear();
+  dropped_ = 0;
+}
+
+Status Tracer::WriteChromeTrace(const std::string& path) const {
+  FILE* f = fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot open trace file " + path);
+  }
+
+  // One pseudo-thread per component, so Perfetto shows each subsystem as
+  // its own track. tids are assigned in first-appearance order.
+  std::map<std::string, int> tids;
+  for (const Span& s : spans_) {
+    tids.emplace(s.component, 0);
+  }
+  int next_tid = 1;
+  for (auto& [component, tid] : tids) tid = next_tid++;
+
+  fputs("{\"traceEvents\": [\n", f);
+  bool first = true;
+  for (const auto& [component, tid] : tids) {
+    if (!first) fputs(",\n", f);
+    first = false;
+    fprintf(f,
+            "  {\"ph\": \"M\", \"pid\": 1, \"tid\": %d, "
+            "\"name\": \"thread_name\", \"args\": {\"name\": \"%s\"}}",
+            tid, component.c_str());
+  }
+  for (const Span& s : spans_) {
+    if (!first) fputs(",\n", f);
+    first = false;
+    // Virtual nanoseconds -> trace microseconds; three decimals keep the
+    // full nanosecond resolution.
+    const double ts = static_cast<double>(s.v_start_ns) / 1000.0;
+    const double dur = static_cast<double>(s.v_end_ns - s.v_start_ns) / 1000.0;
+    const double host_dur =
+        static_cast<double>(s.host_end_ns - s.host_start_ns) / 1000.0;
+    fprintf(f,
+            "  {\"ph\": \"X\", \"pid\": 1, \"tid\": %d, \"name\": \"%s\", "
+            "\"cat\": \"%s\", \"ts\": %.3f, \"dur\": %.3f, "
+            "\"args\": {\"host_dur_us\": %.3f}}",
+            tids[s.component], s.name, s.component, ts, dur, host_dur);
+  }
+  if (dropped_ > 0) {
+    if (!first) fputs(",\n", f);
+    fprintf(f,
+            "  {\"ph\": \"i\", \"pid\": 1, \"tid\": 0, "
+            "\"name\": \"spans_dropped:%zu\", \"cat\": \"obs\", "
+            "\"ts\": 0, \"s\": \"g\"}",
+            dropped_);
+  }
+  fputs("\n]}\n", f);
+  if (fclose(f) != 0) {
+    return Status::IOError("cannot write trace file " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace obs
+}  // namespace face
+
+#endif  // FACE_OBS_ENABLED

@@ -1,0 +1,150 @@
+// Scoped-span tracer with dual clocks: every span records virtual
+// (scheduler) time AND host wall time, and exports as Chrome trace-event
+// JSON loadable in Perfetto / chrome://tracing. The virtual timestamps
+// drive the timeline (they are the simulated truth: deterministic across
+// machines); the host duration rides along in args for profiling the
+// simulator itself.
+//
+// Like the metrics registry, the tracer only ever *reads* clocks — spans
+// charge zero virtual time, so traced and untraced runs simulate
+// identically. Compile-out mirrors metrics.h: -DFACE_OBS_ENABLED=0 turns
+// ScopedSpan into an empty object.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace face {
+namespace obs {
+
+#if FACE_OBS_ENABLED
+
+/// Host monotonic clock, nanoseconds (std::chrono::steady_clock).
+uint64_t HostNowNs();
+
+/// Append-only span store; a process-wide singleton, off by default.
+/// Enable it separately from metrics (tracing costs memory per event,
+/// metrics do not).
+class Tracer {
+ public:
+  struct Span {
+    const char* component;  ///< trace category ("wal", "recovery", ...)
+    const char* name;       ///< event name ("force", "redo", ...)
+    uint64_t v_start_ns;    ///< virtual time
+    uint64_t v_end_ns;
+    uint64_t host_start_ns;  ///< host time (steady clock)
+    uint64_t host_end_ns;
+  };
+
+  static Tracer& Instance();
+
+  void SetEnabled(bool on) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+
+  /// Record one finished span. Beyond the cap the span is counted as
+  /// dropped instead of stored (a runaway trace must not OOM a bench).
+  void AddSpan(const Span& span);
+
+  /// Copy a runtime-built name ("io.flash") into storage that outlives the
+  /// object that built it; the returned pointer stays valid until process
+  /// exit. Span name/component fields must be literals or interned.
+  const char* Intern(const std::string& name);
+
+  /// Drop all recorded spans (interned names are kept — handles survive).
+  void Clear();
+
+  size_t span_count() const { return spans_.size(); }
+  size_t dropped() const { return dropped_; }
+  const std::vector<Span>& spans() const { return spans_; }
+
+  /// Write {"traceEvents": [...]} — "X" complete events on the virtual
+  /// timeline (ts/dur in microseconds), one pseudo-thread per component
+  /// named via "M" metadata events, host-time duration in args.
+  Status WriteChromeTrace(const std::string& path) const;
+
+ private:
+  Tracer() = default;
+
+  static constexpr size_t kMaxSpans = 1u << 20;
+
+  bool enabled_ = false;
+  size_t dropped_ = 0;
+  std::vector<Span> spans_;
+  std::set<std::string> interned_;  // node-based: stable c_str() pointers
+};
+
+/// RAII span: captures both clocks at construction, records on destruction
+/// (or an early End()). No-op unless the tracer is enabled at entry.
+class ScopedSpan {
+ public:
+  ScopedSpan(const char* component, const char* name)
+      : ScopedSpan(component, name, /*enabled=*/true) {}
+
+  /// `enabled=false` makes this span unconditionally inert — for sites
+  /// that only trace large batches (e.g. device requests >= 8 pages).
+  ScopedSpan(const char* component, const char* name, bool enabled) {
+    if (!enabled || !Tracer::Instance().enabled()) return;
+    active_ = true;
+    component_ = component;
+    name_ = name;
+    v_start_ = VirtualNow();
+    host_start_ = HostNowNs();
+  }
+
+  ~ScopedSpan() { End(); }
+
+  void End() {
+    if (!active_) return;
+    active_ = false;
+    Tracer::Instance().AddSpan(
+        {component_, name_, v_start_, VirtualNow(), host_start_, HostNowNs()});
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  bool active_ = false;
+  const char* component_ = nullptr;
+  const char* name_ = nullptr;
+  uint64_t v_start_ = 0;
+  uint64_t host_start_ = 0;
+};
+
+#else  // !FACE_OBS_ENABLED — no-op stubs, identical surface.
+
+inline uint64_t HostNowNs() { return 0; }
+
+class Tracer {
+ public:
+  static Tracer& Instance() {
+    static Tracer t;
+    return t;
+  }
+  void SetEnabled(bool) {}
+  bool enabled() const { return false; }
+  const char* Intern(const std::string&) { return ""; }
+  void Clear() {}
+  size_t span_count() const { return 0; }
+  size_t dropped() const { return 0; }
+  Status WriteChromeTrace(const std::string&) const {
+    return Status::NotSupported("tracing compiled out (FACE_OBS=OFF)");
+  }
+};
+
+class ScopedSpan {
+ public:
+  ScopedSpan(const char*, const char*) {}
+  ScopedSpan(const char*, const char*, bool) {}
+  void End() {}
+};
+
+#endif  // FACE_OBS_ENABLED
+
+}  // namespace obs
+}  // namespace face

@@ -1,8 +1,14 @@
 #include "recovery/checkpointer.h"
 
+#include "obs/trace.h"
+
 namespace face {
 
 StatusOr<Lsn> Checkpointer::TakeCheckpoint() {
+  // Component "checkpoint", not "recovery": the recovery category is
+  // reserved for the restart phases, one of which runs this very code.
+  obs::ScopedSpan span("checkpoint", "take_checkpoint");
+
   // 1. Non-persistent write-back caches stage their flash-dirty pages to
   //    disk first, so that "all dirty pages synced" below really covers
   //    everything the post-checkpoint redo will skip.
@@ -36,6 +42,13 @@ StatusOr<Lsn> Checkpointer::TakeCheckpoint() {
   //    reaches back past it.
   if (begin.active_txns.empty()) log_->TruncateBefore(begin_lsn);
   ++stats_.checkpoints;
+  if (obs::Enabled()) {
+    auto& reg = obs::MetricsRegistry::Instance();
+    static obs::Counter* ckpts = reg.GetCounter("checkpoint.checkpoints");
+    static obs::Hist* dpt = reg.GetHistogram("checkpoint.dpt_pages");
+    ckpts->Increment();
+    dpt->Add(begin.dirty_pages.size());
+  }
   return begin_lsn;
 }
 

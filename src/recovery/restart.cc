@@ -4,9 +4,24 @@
 #include <cstring>
 #include <sstream>
 
+#include "obs/trace.h"
 #include "storage/page.h"
 
 namespace face {
+
+namespace {
+
+/// Record one phase's virtual duration under "recovery.<phase>_ns"; the
+/// phase names match the trace span names below and the RestartReport
+/// fields, so metrics / traces / reports cross-reference directly.
+void RecordPhaseNs(const char* phase, SimNanos ns) {
+  if (!obs::Enabled()) return;
+  obs::MetricsRegistry::Instance()
+      .GetHistogram(std::string("recovery.") + phase + "_ns")
+      ->Add(ns);
+}
+
+}  // namespace
 
 std::string RestartReport::ToString() const {
   std::ostringstream os;
@@ -41,45 +56,75 @@ Status RestartManager::RunPhases(RestartReport* report) {
   const BufferPool::Stats before = pool_->stats();
 
   // Phase 0: locate the valid end of the durable log.
-  FACE_RETURN_IF_ERROR(log_->Attach());
+  {
+    obs::ScopedSpan span("recovery", "attach");
+    FACE_RETURN_IF_ERROR(log_->Attach());
+  }
   const SimNanos t_attach = SpanTime();
   report->attach_ns = t_attach - t0;
+  RecordPhaseNs("attach", report->attach_ns);
 
   // Phase 1: restore the cache extension's metadata before touching any
   // data page, so analysis/redo/undo fetches can hit flash (paper §4.2).
-  FACE_RETURN_IF_ERROR(cache_->RecoverAfterCrash());
+  {
+    obs::ScopedSpan span("recovery", "meta_restore");
+    FACE_RETURN_IF_ERROR(cache_->RecoverAfterCrash());
+  }
   const SimNanos t_meta = SpanTime();
   report->meta_restore_ns = t_meta - t_attach;
+  RecordPhaseNs("meta_restore", report->meta_restore_ns);
 
   // Phase 2: analysis from the last complete checkpoint.
-  FACE_ASSIGN_OR_RETURN(Lsn ckpt_lsn, log_->ReadControlBlock());
-  report->checkpoint_lsn = ckpt_lsn;
   std::map<TxnId, Lsn> losers;
-  FACE_RETURN_IF_ERROR(Analysis(report, ckpt_lsn, &losers));
+  {
+    obs::ScopedSpan span("recovery", "analysis");
+    FACE_ASSIGN_OR_RETURN(Lsn ckpt_lsn, log_->ReadControlBlock());
+    report->checkpoint_lsn = ckpt_lsn;
+    FACE_RETURN_IF_ERROR(Analysis(report, ckpt_lsn, &losers));
+  }
   const SimNanos t_ana = SpanTime();
   report->analysis_ns = t_ana - t_meta;
+  RecordPhaseNs("analysis", report->analysis_ns);
 
   // Phase 3: redo history from the checkpoint's BEGIN (every page dirty at
   // BEGIN was synced before END, so no older update can be missing).
-  const Lsn redo_lsn =
-      ckpt_lsn == kInvalidLsn ? LogManager::kLogStartLsn : ckpt_lsn;
-  FACE_RETURN_IF_ERROR(Redo(report, redo_lsn));
+  const Lsn redo_lsn = report->checkpoint_lsn == kInvalidLsn
+                           ? LogManager::kLogStartLsn
+                           : report->checkpoint_lsn;
+  {
+    obs::ScopedSpan span("recovery", "redo");
+    FACE_RETURN_IF_ERROR(Redo(report, redo_lsn));
+  }
   const SimNanos t_redo = SpanTime();
   report->redo_ns = t_redo - t_ana;
+  RecordPhaseNs("redo", report->redo_ns);
 
   // Phase 4: roll back losers, writing CLRs.
   report->losers = losers.size();
-  FACE_RETURN_IF_ERROR(Undo(report, &losers));
+  {
+    obs::ScopedSpan span("recovery", "undo");
+    FACE_RETURN_IF_ERROR(Undo(report, &losers));
+  }
   const SimNanos t_undo = SpanTime();
   report->undo_ns = t_undo - t_redo;
+  RecordPhaseNs("undo", report->undo_ns);
 
   // Phase 5: checkpoint, so a crash during normal operation never has to
   // redo the recovery work itself.
-  Checkpointer ckpt(log_, pool_, txns_, storage_, cache_);
-  FACE_RETURN_IF_ERROR(ckpt.TakeCheckpoint().status());
+  {
+    obs::ScopedSpan span("recovery", "checkpoint");
+    Checkpointer ckpt(log_, pool_, txns_, storage_, cache_);
+    FACE_RETURN_IF_ERROR(ckpt.TakeCheckpoint().status());
+  }
   const SimNanos t_ckpt = SpanTime();
   report->checkpoint_ns = t_ckpt - t_undo;
+  RecordPhaseNs("checkpoint", report->checkpoint_ns);
   report->total_ns = t_ckpt - t0;
+  RecordPhaseNs("total", report->total_ns);
+  if (obs::Enabled()) {
+    obs::MetricsRegistry::Instance().GetCounter("recovery.restarts")
+        ->Increment();
+  }
 
   const BufferPool::Stats after = pool_->stats();
   report->pages_from_flash = after.flash_fetches - before.flash_fetches;

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "fault/fault_injector.h"
+#include "obs/trace.h"
 
 namespace face {
 
@@ -23,6 +24,25 @@ SimDevice::SimDevice(std::string id, DeviceProfile profile,
   if (sched_ != nullptr) {
     station_base_ = sched_->RegisterStations(profile_.stations);
   }
+  RegisterObs();
+}
+
+void SimDevice::RegisterObs() {
+  auto& reg = obs::MetricsRegistry::Instance();
+  const std::string p = "sim." + id_ + ".";
+  obs_reqs_[static_cast<int>(IoOp::kRead)] = reg.GetCounter(p + "read_reqs");
+  obs_reqs_[static_cast<int>(IoOp::kWrite)] = reg.GetCounter(p + "write_reqs");
+  obs_seq_reqs_[static_cast<int>(IoOp::kRead)] =
+      reg.GetCounter(p + "seq_read_reqs");
+  obs_seq_reqs_[static_cast<int>(IoOp::kWrite)] =
+      reg.GetCounter(p + "seq_write_reqs");
+  obs_pages_[static_cast<int>(IoOp::kRead)] = reg.GetCounter(p + "pages_read");
+  obs_pages_[static_cast<int>(IoOp::kWrite)] =
+      reg.GetCounter(p + "pages_written");
+  obs_busy_ns_ = reg.GetCounter(p + "busy_ns");
+  obs_service_ns_ = reg.GetHistogram(p + "service_ns");
+  obs_req_pages_ = reg.GetHistogram(p + "req_pages");
+  obs_span_name_ = obs::Tracer::Instance().Intern("io." + id_);
 }
 
 uint32_t SimDevice::StationFor(uint64_t block) const {
@@ -137,6 +157,12 @@ Status SimDevice::DoIo(IoOp op, uint64_t block, uint32_t n, char* rbuf,
 
   if (!timing_enabled_) return Status::OK();
 
+  // Only large batches (group flushes, multi-block WAL forces, recovery
+  // read-ahead) get trace spans; per-page traffic stays counter-only so
+  // traces hold thousands of events, not millions.
+  obs::ScopedSpan io_span("sim", obs_span_name_, /*enabled=*/n >= 8);
+  if (obs::Enabled()) obs_req_pages_->Add(n);
+
   // Price the request, splitting across RAID stripes so each spindle sees
   // its own positioning + transfer and its own sequentiality history.
   uint64_t pos = block;
@@ -166,6 +192,14 @@ Status SimDevice::DoIo(IoOp op, uint64_t block, uint32_t n, char* rbuf,
       ++stats_.write_reqs;
       if (sequential) ++stats_.seq_write_reqs;
       stats_.pages_written += span;
+    }
+    if (obs::Enabled()) {
+      const int opi = static_cast<int>(op);
+      obs_reqs_[opi]->Increment();
+      if (sequential) obs_seq_reqs_[opi]->Increment();
+      obs_pages_[opi]->Add(span);
+      obs_busy_ns_->Add(service);
+      obs_service_ns_->Add(service);
     }
     last_end_[st][static_cast<int>(op)] = local + span;
     pos += span;

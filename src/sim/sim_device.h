@@ -14,6 +14,7 @@
 
 #include "common/status.h"
 #include "common/types.h"
+#include "obs/metrics.h"
 #include "sim/device_model.h"
 #include "sim/scheduler.h"
 
@@ -117,6 +118,10 @@ class SimDevice {
   void CopyOut(uint64_t block, uint32_t n, char* out) const;
   /// Copy `n` pages from `in` to `block`, one memcpy per chunk span.
   void CopyIn(uint64_t block, uint32_t n, const char* in);
+  /// Register this device's "sim.<id>.*" metric handles (ctor-time; the
+  /// registry hands out process-lifetime pointers, so the handles are valid
+  /// even if observability is only enabled later).
+  void RegisterObs();
   /// RAID-0 stripe routing.
   uint32_t StationFor(uint64_t block) const;
   /// Spindle-local LBA of `block` (sequentiality is judged per spindle).
@@ -140,6 +145,18 @@ class SimDevice {
   /// scheduling does on real hardware.
   std::vector<std::array<uint64_t, 2>> last_end_;
   std::vector<std::unique_ptr<char[]>> chunks_;
+
+  /// "sim.<id>.*" handles, indexed by IoOp where it is a pair. Metrics
+  /// mirror DeviceStats (so snapshots cover devices uniformly) and add the
+  /// per-request service-time and request-size distributions DeviceStats
+  /// cannot express.
+  obs::Counter* obs_reqs_[2] = {nullptr, nullptr};
+  obs::Counter* obs_seq_reqs_[2] = {nullptr, nullptr};
+  obs::Counter* obs_pages_[2] = {nullptr, nullptr};
+  obs::Counter* obs_busy_ns_ = nullptr;
+  obs::Hist* obs_service_ns_ = nullptr;
+  obs::Hist* obs_req_pages_ = nullptr;
+  const char* obs_span_name_ = nullptr;  ///< interned "io.<id>"
 };
 
 }  // namespace face

@@ -5,6 +5,34 @@
 
 namespace face {
 
+void RecoveryPhaseAggregate::Record(const RestartReport& r) {
+  attach_us.Add(r.attach_ns / 1000);
+  meta_restore_us.Add(r.meta_restore_ns / 1000);
+  analysis_us.Add(r.analysis_ns / 1000);
+  redo_us.Add(r.redo_ns / 1000);
+  undo_us.Add(r.undo_ns / 1000);
+  checkpoint_us.Add(r.checkpoint_ns / 1000);
+  total_us.Add(r.total_ns / 1000);
+}
+
+std::string RecoveryPhaseAggregate::ToString() const {
+  std::ostringstream os;
+  os << "recovery phases over " << restarts() << " restarts (us):";
+  const struct {
+    const char* name;
+    const Histogram* h;
+  } rows[] = {
+      {"attach", &attach_us},   {"meta_restore", &meta_restore_us},
+      {"analysis", &analysis_us}, {"redo", &redo_us},
+      {"undo", &undo_us},       {"checkpoint", &checkpoint_us},
+      {"total", &total_us},
+  };
+  for (const auto& row : rows) {
+    os << "\n  " << row.name << ": " << row.h->ToString();
+  }
+  return os.str();
+}
+
 std::string CrashStormResult::ToString() const {
   std::ostringstream os;
   os << (crashed_mid_body ? site.ToString() : "crash: quiescent point")
@@ -136,6 +164,7 @@ StatusOr<CrashStormResult> CrashStormHarness::RunStorm(uint64_t seed) {
         FaultInjector::GarbleBlocks(tb.flash_dev(), 0, 1, '\0'));
   }
   FACE_ASSIGN_OR_RETURN(result.restart, tb.Recover());
+  phases_.Record(result.restart);
 
   auto checked = [&]() -> StatusOr<fault::DiffReport> {
     // The sweep's I/O is diagnostic, not part of the experiment: free.

@@ -17,6 +17,7 @@
 #include <memory>
 #include <string>
 
+#include "common/histogram.h"
 #include "common/status.h"
 #include "fault/diff_checker.h"
 #include "fault/fault_injector.h"
@@ -24,6 +25,20 @@
 #include "testbed/testbed.h"
 
 namespace face {
+
+/// Accumulates per-phase recovery durations across a storm campaign, one
+/// RestartReport per seed. Derived from the reports directly (not the obs
+/// registry), so the aggregate works with observability compiled out.
+struct RecoveryPhaseAggregate {
+  Histogram attach_us, meta_restore_us, analysis_us, redo_us, undo_us,
+      checkpoint_us, total_us;
+
+  void Record(const RestartReport& r);
+  uint64_t restarts() const { return total_us.count(); }
+
+  /// Multi-line per-phase summary (count/mean/p95/max in microseconds).
+  std::string ToString() const;
+};
 
 /// Deliberate recovery breakage, to prove the checker has teeth.
 enum class Sabotage : uint8_t {
@@ -73,10 +88,14 @@ class CrashStormHarness {
 
   const CrashStormOptions& options() const { return opts_; }
 
+  /// Per-phase recovery durations across every storm this harness ran.
+  const RecoveryPhaseAggregate& phase_aggregate() const { return phases_; }
+
  private:
   Status EnsureGolden();
 
   CrashStormOptions opts_;
+  RecoveryPhaseAggregate phases_;
   std::shared_ptr<fault::ShadowState> shadow_;
   std::shared_ptr<fault::ShadowKvFactory> factory_;
   GoldenImage golden_;

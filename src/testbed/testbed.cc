@@ -6,10 +6,28 @@
 #include "core/face_cache.h"
 #include "core/lc_cache.h"
 #include "core/tac_cache.h"
+#include "obs/trace.h"
 #include "workload/tpcc_workload.h"
 #include "workload/trace.h"
 
 namespace face {
+
+namespace {
+
+/// Resolve one "testbed.txn_latency_ns.<type>" histogram handle per
+/// transaction type of the bound workload. Registration is idempotent, so
+/// re-binding after a crash just re-resolves the same handles.
+void BindTxnLatencyHists(const workload::Workload& w,
+                         std::vector<obs::Hist*>* out) {
+  out->clear();
+  auto& reg = obs::MetricsRegistry::Instance();
+  for (uint32_t t = 0; t < w.num_txn_types(); ++t) {
+    out->push_back(reg.GetHistogram(std::string("testbed.txn_latency_ns.") +
+                                    w.txn_type_name(static_cast<uint8_t>(t))));
+  }
+}
+
+}  // namespace
 
 const char* CachePolicyName(CachePolicy policy) {
   switch (policy) {
@@ -89,7 +107,11 @@ Testbed::Testbed(const TestbedOptions& options, const GoldenImage* golden)
   recovery_token_ = sched_.AddBackgroundToken();
 }
 
-Testbed::~Testbed() = default;
+Testbed::~Testbed() {
+  // Unhook the virtual clock if it points at this testbed's scheduler, so
+  // later instrumentation never dereferences a destroyed object.
+  if (obs::virtual_clock() == &sched_) obs::SetVirtualClock(nullptr);
+}
 
 workload::TpccDriver* Testbed::tpcc_driver() {
   return dynamic_cast<workload::TpccDriver*>(workload_.get());
@@ -197,6 +219,11 @@ Status Testbed::Start() {
         "workload factory");
   }
 
+  // Stamp metrics and trace spans with this testbed's virtual clock. The
+  // single-threaded harness runs one testbed at a time; the most recently
+  // started one owns the clock.
+  obs::SetVirtualClock(&sched_);
+
   // Clone the golden image and wire the stack with timing disabled: setup
   // I/O (superblock formats, the anchoring checkpoint) is not measured.
   db_dev_->set_timing_enabled(false);
@@ -213,6 +240,7 @@ Status Testbed::Start() {
   workload_ = factory_->Create();
   FACE_RETURN_IF_ERROR(workload_->Setup(*db_, txn_seed_));
   client_rnd_ = Random(txn_seed_ ^ 0x5eed5eed);
+  BindTxnLatencyHists(*workload_, &txn_lat_);
 
   db_dev_->set_timing_enabled(true);
   log_dev_->set_timing_enabled(true);
@@ -253,9 +281,11 @@ StatusOr<RunResult> Testbed::Run(const RunOptions& run) {
     ~SinkGuard() { pool->set_trace_sink(nullptr); }
   } sink_guard{db_->pool()};
 
+  const bool obs_on = obs::Enabled();
   for (uint64_t i = 0; i < run.txns; ++i) {
     if (tracer_ != nullptr) tracer_->OnTxnStart();
     sched_.BeginTxn();
+    const SimNanos t_begin = sched_.span_time();
     sched_.OnCpu(opts_.cpu_per_txn_ns);
     const auto type = workload_->NextTxn(*db_, client_rnd_);
     if (!type.ok()) {
@@ -264,11 +294,15 @@ StatusOr<RunResult> Testbed::Run(const RunOptions& run) {
     }
     const SimNanos done = sched_.EndTxn();
     if (run.collect_completions) result.completions.emplace_back(done, *type);
+    if (obs_on && *type < txn_lat_.size()) {
+      txn_lat_[*type]->Add(done - t_begin);
+    }
 
     FACE_RETURN_IF_ERROR(RunBackgroundWork());
 
     if (run.checkpoint_interval != 0 &&
         sched_.now() - last_ckpt_time_ >= run.checkpoint_interval) {
+      obs::ScopedSpan ckpt_span("testbed", "checkpoint");
       sched_.BeginBackground(ckpt_token_, sched_.now());
       const auto ckpt = db_->TakeCheckpoint();
       sched_.EndBackground();
@@ -384,6 +418,7 @@ Status Testbed::Crash() {
 
 StatusOr<RestartReport> Testbed::Recover() {
   if (db_ != nullptr) return Status::InvalidArgument("recover without crash");
+  obs::ScopedSpan span("testbed", "recover");
   FACE_RETURN_IF_ERROR(BuildDramStack(/*after_crash=*/true));
   FACE_ASSIGN_OR_RETURN(RestartReport report,
                         db_->Recover(&sched_, recovery_token_));
@@ -392,10 +427,16 @@ StatusOr<RestartReport> Testbed::Recover() {
   workload_ = factory_->Create();
   FACE_RETURN_IF_ERROR(workload_->Setup(*db_, ++txn_seed_));
   client_rnd_ = Random(txn_seed_ ^ 0x5eed5eed);
+  BindTxnLatencyHists(*workload_, &txn_lat_);
 
   // Nobody runs during restart: clients resume where recovery left off.
   sched_.AdvanceAllTokens(sched_.makespan());
   return report;
+}
+
+std::string Testbed::DumpStats(bool as_json) const {
+  const auto& reg = obs::MetricsRegistry::Instance();
+  return as_json ? reg.ToJson() : reg.ToText();
 }
 
 }  // namespace face

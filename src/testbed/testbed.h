@@ -20,12 +20,14 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/random.h"
 #include "common/status.h"
 #include "core/cache_ext.h"
 #include "engine/database.h"
+#include "obs/metrics.h"
 #include "recovery/restart.h"
 #include "sim/device_model.h"
 #include "sim/scheduler.h"
@@ -222,6 +224,11 @@ class Testbed {
   /// Virtual time of the most recent checkpoint (crash-protocol helper).
   SimNanos last_checkpoint_time() const { return last_ckpt_time_; }
 
+  /// Snapshot of the observability registry: the metrics JSON object when
+  /// `as_json`, a human-readable name = value listing otherwise. Empty-ish
+  /// ("{}" / "") when obs is disabled or compiled out.
+  std::string DumpStats(bool as_json = false) const;
+
   /// Attach a trace recorder: Run() batches report every buffer-pool page
   /// reference and transaction boundary to it (warmup batches included —
   /// attach after Warmup for steady-state traces). Null detaches.
@@ -257,6 +264,11 @@ class Testbed {
   std::unique_ptr<workload::Workload> workload_;
   Random client_rnd_;  ///< per-client request stream handed to NextTxn
   workload::TraceRecorder* tracer_ = nullptr;
+
+  /// Per-transaction-type latency histograms, indexed by the workload's
+  /// type index ("testbed.txn_latency_ns.<type>"). Rebuilt on every
+  /// workload bind; null handles while obs is compiled out or unbound.
+  std::vector<obs::Hist*> txn_lat_;
 
   SimNanos last_ckpt_time_ = 0;
   uint64_t txn_seed_ = 0;  ///< workload seed, advanced across crashes

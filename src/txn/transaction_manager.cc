@@ -4,7 +4,34 @@
 #include <cassert>
 #include <cstring>
 
+#include "obs/metrics.h"
+
 namespace face {
+
+namespace {
+
+/// "txn.*" handles mirroring TransactionManager::Stats.
+struct TxnObs {
+  obs::Counter* begun;
+  obs::Counter* committed;
+  obs::Counter* aborted;
+  obs::Counter* updates;
+};
+
+TxnObs& GetTxnObs() {
+  static TxnObs o = [] {
+    auto& reg = obs::MetricsRegistry::Instance();
+    TxnObs t;
+    t.begun = reg.GetCounter("txn.begun");
+    t.committed = reg.GetCounter("txn.committed");
+    t.aborted = reg.GetCounter("txn.aborted");
+    t.updates = reg.GetCounter("txn.updates");
+    return t;
+  }();
+  return o;
+}
+
+}  // namespace
 
 TransactionManager::TransactionManager(LogManager* log, BufferPool* pool)
     : log_(log), pool_(pool) {}
@@ -16,6 +43,7 @@ TxnId TransactionManager::Begin() {
   // leave no trace in the log and no losers for recovery to close out.
   active_.emplace(id, Transaction{});
   ++stats_.begun;
+  if (obs::Enabled()) GetTxnObs().begun->Increment();
   return id;
 }
 
@@ -102,6 +130,7 @@ Status TransactionManager::Update(TxnId txn_id, PageHandle* page,
   memcpy(dst + lo, after + lo, n);
   page->MarkDirty(lsn);
   ++stats_.updates;
+  if (obs::Enabled()) GetTxnObs().updates->Increment();
   return Status::OK();
 }
 
@@ -123,6 +152,7 @@ Status TransactionManager::Commit(TxnId txn_id) {
   }
   active_.erase(it);
   ++stats_.committed;
+  if (obs::Enabled()) GetTxnObs().committed->Increment();
   return Status::OK();
 }
 
@@ -136,6 +166,7 @@ Status TransactionManager::Abort(TxnId txn_id) {
     // Never logged anything: nothing to undo, nothing to record.
     active_.erase(it);
     ++stats_.aborted;
+    if (obs::Enabled()) GetTxnObs().aborted->Increment();
     return Status::OK();
   }
 
@@ -166,6 +197,7 @@ Status TransactionManager::Abort(TxnId txn_id) {
   EncodeControlRecordTo(rec, LogRecordType::kAbort, lsn, txn_id, t.last_lsn);
   active_.erase(it);
   ++stats_.aborted;
+  if (obs::Enabled()) GetTxnObs().aborted->Increment();
   return Status::OK();
 }
 

@@ -5,11 +5,43 @@
 
 #include "common/coding.h"
 #include "common/crc32c.h"
+#include "obs/trace.h"
 
 namespace face {
 
 namespace {
 constexpr uint64_t kControlMagic = 0xFACEC0DE2012ull;
+
+/// "wal.*" handles (appends mirror Stats; forces add the latency and batch
+/// distributions group commit is all about).
+struct WalObs {
+  obs::Counter* appends;
+  obs::Counter* append_bytes;
+  obs::Counter* forces;
+  obs::Hist* force_pages;
+  obs::Hist* force_ns;
+};
+
+WalObs& GetWalObs() {
+  static WalObs o = [] {
+    auto& reg = obs::MetricsRegistry::Instance();
+    WalObs w;
+    w.appends = reg.GetCounter("wal.appends");
+    w.append_bytes = reg.GetCounter("wal.append_bytes");
+    w.forces = reg.GetCounter("wal.forces");
+    w.force_pages = reg.GetHistogram("wal.force_pages");
+    w.force_ns = reg.GetHistogram("wal.force_ns");
+    return w;
+  }();
+  return o;
+}
+
+}  // namespace
+
+void LogManager::ObsOnAppend(uint32_t len) {
+  WalObs& o = GetWalObs();
+  o.appends->Increment();
+  o.append_bytes->Add(len);
 }
 
 LogManager::LogManager(SimDevice* device) : device_(device) {}
@@ -59,6 +91,10 @@ Status LogManager::FlushTo(Lsn lsn) {
   if (lsn < durable_lsn_ || next_lsn_ == durable_lsn_) return Status::OK();
   (void)lsn;  // Force the whole tail: group commit absorbs co-buffered txns.
 
+  obs::ScopedSpan force_span("wal", "force");
+  const bool obs_on = obs::Enabled();
+  const uint64_t force_start = obs_on ? obs::VirtualNow() : 0;
+
   const uint64_t first_block = buffer_base_ / kPageSize;
   const uint64_t last_block = (next_lsn_ - 1) / kPageSize;
   const uint32_t n_blocks = static_cast<uint32_t>(last_block - first_block + 1);
@@ -74,6 +110,12 @@ Status LogManager::FlushTo(Lsn lsn) {
       device_->WriteBatch(first_block, n_blocks, flush_buf_.data()));
   ++stats_.flushes;
   stats_.pages_flushed += n_blocks;
+  if (obs_on) {
+    WalObs& o = GetWalObs();
+    o.forces->Increment();
+    o.force_pages->Add(n_blocks);
+    o.force_ns->Add(obs::VirtualNow() - force_start);
+  }
 
   durable_lsn_ = next_lsn_;
   // Retain only the partial last block in the buffer.

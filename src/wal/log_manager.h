@@ -57,6 +57,7 @@ class LogManager {
     tail_used_ += len;
     ++stats_.records_appended;
     stats_.bytes_appended += len;
+    if (obs::Enabled()) ObsOnAppend(len);
     return dst;
   }
 
@@ -90,6 +91,10 @@ class LogManager {
   static constexpr Lsn kLogStartLsn = kPageSize;
 
  private:
+  /// Cold half of the AppendBatch instrumentation (keeps the inline hot
+  /// path to one predicted branch when observability is off).
+  void ObsOnAppend(uint32_t len);
+
   /// Grow the tail storage to hold `more` additional bytes (geometric, so
   /// growth is amortized away; never shrinks).
   void EnsureTailRoom(size_t more) {

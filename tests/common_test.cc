@@ -240,6 +240,102 @@ TEST(HistogramTest, PercentilesAndMean) {
   EXPECT_GT(h.Percentile(99), h.Percentile(50));
   EXPECT_EQ(h.max(), 1000u);
   EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.sum(), 500500u);
+}
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.Percentile(0), 0.0);
+  EXPECT_EQ(h.Percentile(50), 0.0);
+  EXPECT_EQ(h.Percentile(100), 0.0);
+}
+
+TEST(HistogramTest, SingleSample) {
+  // In-bucket interpolation must never report a value outside the observed
+  // range: a single sample of 5 lands in bucket [4, 8), whose floor is 4.
+  Histogram h;
+  h.Add(5);
+  EXPECT_EQ(h.min(), 5u);
+  EXPECT_EQ(h.max(), 5u);
+  EXPECT_EQ(h.Percentile(0), 5.0);
+  EXPECT_EQ(h.Percentile(50), 5.0);
+  EXPECT_EQ(h.Percentile(100), 5.0);
+}
+
+TEST(HistogramTest, PercentileBoundsAndMonotonicity) {
+  Histogram h;
+  for (uint64_t i = 1; i <= 1000; ++i) h.Add(i);
+  // The endpoints clamp to the observed extremes exactly.
+  EXPECT_EQ(h.Percentile(0), 1.0);
+  EXPECT_EQ(h.Percentile(100), 1000.0);
+  double prev = h.Percentile(0);
+  for (double p = 5; p <= 100; p += 5) {
+    const double v = h.Percentile(p);
+    EXPECT_GE(v, prev) << "percentile regressed at p=" << p;
+    EXPECT_GE(v, 1.0);
+    EXPECT_LE(v, 1000.0);
+    prev = v;
+  }
+}
+
+TEST(HistogramTest, ZeroSamplesStayInRange) {
+  Histogram h;
+  h.Add(0);
+  h.Add(0);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.Percentile(50), 0.0);
+  EXPECT_EQ(h.Percentile(100), 0.0);
+}
+
+TEST(HistogramTest, MergeMatchesDirectBuild) {
+  // Bucket contents are identical whether samples arrive via one histogram
+  // or a merge of two, so every derived statistic must match exactly.
+  Histogram a, b, direct;
+  for (uint64_t i = 1; i <= 100; ++i) a.Add(i);
+  for (uint64_t i = 101; i <= 200; ++i) b.Add(i);
+  for (uint64_t i = 1; i <= 200; ++i) direct.Add(i);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), direct.count());
+  EXPECT_EQ(a.sum(), direct.sum());
+  EXPECT_EQ(a.min(), direct.min());
+  EXPECT_EQ(a.max(), direct.max());
+  for (double p : {0.0, 25.0, 50.0, 90.0, 99.0, 100.0}) {
+    EXPECT_EQ(a.Percentile(p), direct.Percentile(p)) << "p=" << p;
+  }
+}
+
+TEST(HistogramTest, MergeWithEmpty) {
+  Histogram a, empty;
+  a.Add(7);
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_EQ(a.min(), 7u);
+  EXPECT_EQ(a.max(), 7u);
+  empty.Merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_EQ(empty.min(), 7u);
+}
+
+TEST(HistogramTest, ClearResets) {
+  Histogram h;
+  for (uint64_t i = 1; i <= 50; ++i) h.Add(i);
+  h.Clear();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.Percentile(99), 0.0);
+  // A cleared histogram accepts new samples as if freshly constructed.
+  h.Add(3);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 3u);
+  EXPECT_EQ(h.Percentile(50), 3.0);
 }
 
 }  // namespace

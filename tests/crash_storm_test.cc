@@ -16,6 +16,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <iostream>
 #include <memory>
 #include <string>
 
@@ -59,6 +60,12 @@ void RunStorms(CachePolicy policy) {
       << "too few storms tripped the injector — crash window mis-sized";
   ::testing::Test::RecordProperty("storms", static_cast<int>(seeds));
   ::testing::Test::RecordProperty("tripped", static_cast<int>(tripped));
+
+  // Every storm's restart contributes its per-phase durations; the campaign
+  // summary shows where recovery time goes for this policy.
+  EXPECT_EQ(harness.phase_aggregate().restarts(), seeds);
+  std::cout << "[ " << CachePolicyName(policy) << " ] "
+            << harness.phase_aggregate().ToString() << "\n";
 }
 
 TEST(CrashStormTest, Face) { RunStorms(CachePolicy::kFace); }
