@@ -49,6 +49,7 @@ struct BenchFlags {
   uint64_t seed = 42;        ///< workload request-stream seed
   bool stats_json = false;   ///< embed an "obs" metrics block in the JSON
   std::string trace_path;    ///< Chrome trace output ("" = tracing off)
+  uint32_t shards = 1;       ///< sharded execution (bench_workloads only)
 
   uint64_t WarmupOr(uint64_t dflt) const {
     if (warmup_txns != 0) return warmup_txns;
@@ -82,6 +83,9 @@ inline BenchFlags ParseFlags(int argc, char** argv) {
       flags.stats_json = true;
     } else if (arg.rfind("--trace=", 0) == 0) {
       flags.trace_path = arg.substr(8);
+    } else if (arg.rfind("--shards=", 0) == 0) {
+      flags.shards = static_cast<uint32_t>(atoi(arg.c_str() + 9));
+      if (flags.shards == 0) flags.shards = 1;
     } else {
       fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       exit(2);
@@ -235,9 +239,39 @@ inline void PrintHeader(const char* title) {
 /// across commits. Schema in bench/README.md.
 class JsonReporter {
  public:
+  /// JSON string escaping per RFC 8259: quotes, backslashes, and control
+  /// characters. Everything the reporter splices as a string value goes
+  /// through here, so an arbitrary workload/policy/device label cannot
+  /// produce an invalid document.
+  static std::string Escape(const std::string& v) {
+    std::string out;
+    out.reserve(v.size());
+    for (const char c : v) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\b': out += "\\b"; break;
+        case '\f': out += "\\f"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            snprintf(buf, sizeof(buf), "\\u%04x",
+                     static_cast<unsigned>(static_cast<unsigned char>(c)));
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    return out;
+  }
+
   JsonReporter(std::string bench, const BenchFlags& flags)
       : bench_(std::move(bench)) {
-    body_ += "{\n  \"bench\": \"" + bench_ + "\",\n";
+    body_ += "{\n  \"bench\": \"" + Escape(bench_) + "\",\n";
     body_ += "  \"flags\": {";
     body_ += "\"warehouses\": " + std::to_string(flags.warehouses);
     body_ += ", \"warmup\": " + std::to_string(flags.warmup_txns);
@@ -245,6 +279,11 @@ class JsonReporter {
     body_ += ", \"seed\": " + std::to_string(flags.seed);
     body_ += ", \"quick\": ";
     body_ += flags.quick ? "true" : "false";
+    // Only sharded runs record the shard count: default artifacts stay
+    // byte-identical with baselines captured before the flag existed.
+    if (flags.shards > 1) {
+      body_ += ", \"shards\": " + std::to_string(flags.shards);
+    }
     body_ += "},\n  \"rows\": [";
   }
 
@@ -252,8 +291,8 @@ class JsonReporter {
   void BeginRow(const std::string& workload, const std::string& policy) {
     body_ += first_row_ ? "\n" : ",\n";
     first_row_ = false;
-    body_ += "    {\"workload\": \"" + workload + "\", \"policy\": \"" +
-             policy + "\"";
+    body_ += "    {\"workload\": \"" + Escape(workload) +
+             "\", \"policy\": \"" + Escape(policy) + "\"";
   }
 
   void Field(const char* key, uint64_t v) {
@@ -266,9 +305,8 @@ class JsonReporter {
     body_ += ", \"" + std::string(key) + "\": " + buf;
   }
 
-  /// String field (value must not need JSON escaping — bench labels only).
   void Field(const char* key, const std::string& v) {
-    body_ += ", \"" + std::string(key) + "\": \"" + v + "\"";
+    body_ += ", \"" + std::string(key) + "\": \"" + Escape(v) + "\"";
   }
 
   /// Add the standard per-run metrics of one measured cell.
@@ -342,8 +380,9 @@ class JsonReporter {
 /// Call once, after the measured work and before json->WriteFile().
 inline void FinalizeObs(const BenchFlags& flags, JsonReporter* json) {
   if (flags.stats_json && json != nullptr) {
-    json->AddTopLevelBlock("obs",
-                           obs::MetricsRegistry::Instance().ToJson());
+    // Merged across threads so sharded cells contribute their workers'
+    // registries; identical to the plain snapshot when single-threaded.
+    json->AddTopLevelBlock("obs", obs::MetricsRegistry::MergedToJson());
   }
   if (!flags.trace_path.empty()) {
     const Status s =

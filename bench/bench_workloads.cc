@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "testbed/sharded_testbed.h"
 #include "workload/scan_workload.h"
 #include "workload/trace.h"
 #include "workload/trace_workload.h"
@@ -56,6 +57,19 @@ double Pct(uint64_t part, uint64_t whole) {
                     : 0.0;
 }
 
+Cell CellFrom(const RunResult& r) {
+  Cell cell;
+  cell.tpm = r.Tpm();
+  cell.hit_pct = Pct(r.cache_stats.hits, r.cache_stats.lookups);
+  cell.flash_seq_write_pct =
+      Pct(r.flash_stats.seq_write_reqs, r.flash_stats.write_reqs);
+  cell.db_seq_write_pct =
+      Pct(r.db_stats.seq_write_reqs, r.db_stats.write_reqs);
+  cell.log_seq_write_pct =
+      Pct(r.log_stats.seq_write_reqs, r.log_stats.write_reqs);
+  return cell;
+}
+
 Cell MeasureCell(const char* workload_name, const GoldenImage& golden,
                  std::shared_ptr<const WorkloadFactory> factory,
                  CachePolicy policy, const BenchFlags& flags,
@@ -74,17 +88,55 @@ Cell MeasureCell(const char* workload_name, const GoldenImage& golden,
                     WallSecondsSince(start));
     json->EndRow();
   }
+  return CellFrom(r);
+}
 
-  Cell cell;
-  cell.tpm = r.Tpm();
-  cell.hit_pct = Pct(r.cache_stats.hits, r.cache_stats.lookups);
-  cell.flash_seq_write_pct =
-      Pct(r.flash_stats.seq_write_reqs, r.flash_stats.write_reqs);
-  cell.db_seq_write_pct =
-      Pct(r.db_stats.seq_write_reqs, r.db_stats.write_reqs);
-  cell.log_seq_write_pct =
-      Pct(r.log_stats.seq_write_reqs, r.log_stats.write_reqs);
-  return cell;
+void PrintWorkloadTable(const char* workload_name,
+                        const std::vector<Cell>& cells);
+
+/// --shards=N section: the Zipfian YCSB cell on the sharded rig, every
+/// policy, same total workload partitioned N ways. Rows are labelled
+/// "ycsb-zipfian-xN" so they never collide with the unsharded matrix.
+void RunShardedSection(const BenchFlags& flags, uint64_t warmup,
+                       uint64_t txns, JsonReporter* json) {
+  auto die = [](const Status& s, const char* what) {
+    if (!s.ok()) {
+      fprintf(stderr, "%s: %s\n", what, s.ToString().c_str());
+      exit(1);
+    }
+  };
+  YcsbOptions yo;
+  yo.records = 40000;
+  yo.distribution = YcsbOptions::Distribution::kZipfian;
+  const std::string name = "ycsb-zipfian-x" + std::to_string(flags.shards);
+
+  std::vector<Cell> cells;
+  for (CachePolicy policy : kPolicies) {
+    ShardedTestbedOptions so;
+    so.shards = flags.shards;
+    so.base.policy = policy;
+    so.base.seed = flags.seed;
+    so.factory = std::make_shared<YcsbFactory>(yo);
+    so.flash_ratio = 0.1;  // the matrix's "10% of each database", per shard
+    ShardedTestbed stb(so);
+    const WallClock::time_point start = WallClock::now();
+    die(stb.Start(), "sharded start");
+    die(stb.Warmup(std::max<uint64_t>(1, warmup / flags.shards)),
+        "sharded warmup");
+    RunOptions run;
+    run.txns = std::max<uint64_t>(1, txns / flags.shards);
+    run.checkpoint_interval = kCheckpointEvery;
+    auto r = stb.Run(run);
+    die(r.status(), "sharded run");
+    if (json != nullptr) {
+      json->AddRunRow(name, CachePolicyName(policy), *r,
+                      WallSecondsSince(start));
+      json->Field("shards", uint64_t{flags.shards});
+      json->EndRow();
+    }
+    cells.push_back(CellFrom(*r));
+  }
+  PrintWorkloadTable(name.c_str(), cells);
 }
 
 void PrintWorkloadTable(const char* workload_name,
@@ -255,6 +307,12 @@ void RunMatrix(const BenchFlags& flags) {
                                   trace->txn_count(), json));
     }
     PrintWorkloadTable("trace(ycsb-zipfian)", cells);
+  }
+
+  // Sharded execution: opt-in rows (the default matrix above is untouched,
+  // so existing baselines stay byte-identical without the flag).
+  if (flags.shards > 1) {
+    RunShardedSection(flags, warmup, txns, json);
   }
 
   if (!flags.trace_path.empty()) {

@@ -26,7 +26,7 @@ struct PoolObs {
 };
 
 PoolObs& GetPoolObs() {
-  static PoolObs o = [] {
+  thread_local PoolObs o = [] {
     auto& reg = obs::MetricsRegistry::Instance();
     PoolObs p;
     p.fetches = reg.GetCounter("buffer.fetches");

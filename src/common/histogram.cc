@@ -50,9 +50,13 @@ double Histogram::Percentile(double p) const {
   for (int i = 0; i < kNumBuckets; ++i) {
     if (buckets_[i] == 0) continue;
     if (static_cast<double>(seen + buckets_[i]) >= target) {
-      // Interpolate within [2^(i-1), 2^i) assuming uniform fill.
+      // Interpolate within [2^(i-1), 2^i) assuming uniform fill. The top
+      // bucket covers [2^62, inf) and has no power-of-two ceiling; the
+      // largest observed sample is the tightest bound available for it.
       const double lo = i == 0 ? 0.0 : static_cast<double>(1ull << (i - 1));
-      const double hi = static_cast<double>(1ull << std::min(i, 62));
+      const double hi = i == kNumBuckets - 1
+                            ? static_cast<double>(max_)
+                            : static_cast<double>(1ull << i);
       const double frac =
           (target - static_cast<double>(seen)) / static_cast<double>(buckets_[i]);
       const double v = lo + (hi - lo) * frac;

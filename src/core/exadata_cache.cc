@@ -18,7 +18,7 @@ struct ExaObs {
 };
 
 ExaObs& GetExaObs() {
-  static ExaObs o = [] {
+  thread_local ExaObs o = [] {
     auto& reg = obs::MetricsRegistry::Instance();
     ExaObs e;
     e.admissions = reg.GetCounter("core.exadata.admissions");

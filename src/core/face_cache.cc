@@ -24,7 +24,7 @@ struct FaceObs {
 };
 
 FaceObs& GetFaceObs() {
-  static FaceObs o = [] {
+  thread_local FaceObs o = [] {
     auto& reg = obs::MetricsRegistry::Instance();
     FaceObs f;
     f.enqueues = reg.GetCounter("core.face.enqueues");

@@ -211,8 +211,8 @@ Status LcCache::RunBackgroundWork() {
   if (DirtyFraction() <= options_.clean_target) cleaning_ = false;
   if (obs::Enabled()) {
     auto& reg = obs::MetricsRegistry::Instance();
-    static obs::Counter* runs = reg.GetCounter("core.lc.cleaner_runs");
-    static obs::Hist* pages = reg.GetHistogram("core.lc.clean_batch_pages");
+    thread_local obs::Counter* runs = reg.GetCounter("core.lc.cleaner_runs");
+    thread_local obs::Hist* pages = reg.GetHistogram("core.lc.clean_batch_pages");
     runs->Increment();
     pages->Add(flushed);
   }

@@ -19,7 +19,7 @@ struct TacObs {
 };
 
 TacObs& GetTacObs() {
-  static TacObs o = [] {
+  thread_local TacObs o = [] {
     auto& reg = obs::MetricsRegistry::Instance();
     TacObs t;
     t.admissions = reg.GetCounter("core.tac.admissions");

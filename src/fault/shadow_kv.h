@@ -89,6 +89,17 @@ class ShadowKvWorkload : public workload::Workload {
   StatusOr<uint8_t> NextTxn(Database& db, Random& rnd) override;
   Status InjectStranded(Database& db, Random& rnd) override;
 
+  /// This shard's leg of a cross-shard (2PC) transaction: begin a local
+  /// transaction, update `key` to a fresh version, record it as the shard's
+  /// pending op (commit_attempted stays false until the caller forces the
+  /// coordinator's decision record), and return the TxnId uncommitted. The
+  /// caller owns the commit protocol and finishes the shadow bookkeeping —
+  /// on success: versions[key] = pending.new_version, pending cleared; at a
+  /// crash the pending stays for the differential checker to resolve.
+  StatusOr<TxnId> BeginCrossShardUpdate(Database& db, uint64_t key);
+
+  ShadowState* state() { return state_; }
+
  private:
   /// A key eligible for an operation (stranded keys are withheld).
   uint64_t PickKey(Random& rnd) const;
@@ -113,6 +124,11 @@ class ShadowKvFactory : public workload::WorkloadFactory {
 
   ShadowState* state() const { return state_.get(); }
   const ShadowKvOptions& options() const { return opts_; }
+
+  /// Partition by key range, with a fresh ShadowState per shard (each shard
+  /// shadows only its own slice; harnesses read it back through state()).
+  std::shared_ptr<const workload::WorkloadFactory> Partition(
+      uint32_t shard, uint32_t num_shards) const override;
 
  private:
   ShadowKvOptions opts_;

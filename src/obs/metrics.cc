@@ -2,6 +2,8 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <mutex>
+#include <vector>
 
 #include "sim/scheduler.h"
 
@@ -12,7 +14,24 @@ namespace obs {
 
 namespace {
 
-const IoScheduler* g_clock = nullptr;
+/// Per-thread clock binding: each shard worker stamps with its own
+/// scheduler, the main thread with whatever Testbed it is driving.
+thread_local const IoScheduler* t_clock = nullptr;
+
+/// All thread registries ever created, in creation order (main thread
+/// first in practice). Entries are never removed: a registry outlives its
+/// thread so merged exports still see an exited worker's numbers. The
+/// mutex guards only this list — never the metric values.
+std::mutex& RegistryListMutex() {
+  static std::mutex* m = new std::mutex();
+  return *m;
+}
+
+std::vector<MetricsRegistry*>& RegistryList() {
+  static std::vector<MetricsRegistry*>* list =
+      new std::vector<MetricsRegistry*>();
+  return *list;
+}
 
 void AppendJsonNumber(std::string* out, double v) {
   char buf[64];
@@ -35,7 +54,12 @@ void AppendJsonNumber(std::string* out, int64_t v) {
 }  // namespace
 
 MetricsRegistry& MetricsRegistry::Instance() {
-  static MetricsRegistry* registry = new MetricsRegistry();
+  thread_local MetricsRegistry* registry = [] {
+    auto* r = new MetricsRegistry();  // leaked: handles live forever
+    std::lock_guard<std::mutex> lock(RegistryListMutex());
+    RegistryList().push_back(r);
+    return r;
+  }();
   return *registry;
 }
 
@@ -130,13 +154,42 @@ std::string MetricsRegistry::ToText() const {
   return out;
 }
 
-void SetVirtualClock(const IoScheduler* sched) { g_clock = sched; }
+void MetricsRegistry::MergeInto(MetricsRegistry* out) const {
+  for (const auto& [name, c] : counters_) out->GetCounter(name)->Add(c->value);
+  for (const auto& [name, g] : gauges_) out->GetGauge(name)->Add(g->value);
+  for (const auto& [name, h] : hists_) out->GetHistogram(name)->Merge(*h);
+}
 
-const IoScheduler* virtual_clock() { return g_clock; }
+std::string MetricsRegistry::MergedToJson() {
+  MetricsRegistry merged;
+  {
+    std::lock_guard<std::mutex> lock(RegistryListMutex());
+    for (const MetricsRegistry* r : RegistryList()) r->MergeInto(&merged);
+  }
+  return merged.ToJson();
+}
+
+std::string MetricsRegistry::MergedToText() {
+  MetricsRegistry merged;
+  {
+    std::lock_guard<std::mutex> lock(RegistryListMutex());
+    for (const MetricsRegistry* r : RegistryList()) r->MergeInto(&merged);
+  }
+  return merged.ToText();
+}
+
+void MetricsRegistry::ClearAllThreads() {
+  std::lock_guard<std::mutex> lock(RegistryListMutex());
+  for (MetricsRegistry* r : RegistryList()) r->Clear();
+}
+
+void SetVirtualClock(const IoScheduler* sched) { t_clock = sched; }
+
+const IoScheduler* virtual_clock() { return t_clock; }
 
 uint64_t VirtualNow() {
-  if (g_clock == nullptr) return 0;
-  return g_clock->in_span() ? g_clock->span_time() : g_clock->now();
+  if (t_clock == nullptr) return 0;
+  return t_clock->in_span() ? t_clock->span_time() : t_clock->now();
 }
 
 }  // namespace obs

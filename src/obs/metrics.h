@@ -18,6 +18,7 @@
 //     reads virtual time; it never advances it.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -55,15 +56,32 @@ struct Gauge {
 using Hist = ::face::Histogram;
 
 /// Process-wide runtime switch. Default off: a run that never calls
-/// SetEnabled(true) takes exactly one predicted-false branch per site.
-inline bool g_enabled = false;
-inline bool Enabled() { return g_enabled; }
-inline void SetEnabled(bool on) { g_enabled = on; }
+/// SetEnabled(true) takes one predicted-false relaxed load per site.
+/// Atomic so worker threads may consult it while the main thread owns it;
+/// flip it before spawning shard workers, not while they run.
+inline std::atomic<bool> g_enabled{false};
+inline bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+inline void SetEnabled(bool on) {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
 
-/// The registry; a process-wide singleton (the simulation is
-/// single-threaded by design, like everything else in this codebase).
+/// The registry. One instance per thread: Instance() returns the calling
+/// thread's registry, so the hot path (handle deref + add) is exactly the
+/// single-threaded code of old, with zero locks and zero sharing. Shard
+/// workers each populate their own registry; exports that must see the
+/// whole machine fold every thread's registry together with the static
+/// Merged*() calls. Thread registries are never destroyed (handles stay
+/// valid for the process lifetime, and a worker's numbers survive its
+/// thread exiting).
+///
+/// Threading contract: Get*/Add/Clear touch only the calling thread's
+/// registry. MergedToJson/MergedToText/ClearAllThreads walk other threads'
+/// registries WITHOUT per-value locks — call them only while the threads
+/// that write those registries are quiescent (the sharded testbed's
+/// round barriers and result merge guarantee this).
 class MetricsRegistry {
  public:
+  /// The calling thread's registry (created and registered on first use).
   static MetricsRegistry& Instance();
 
   /// Find-or-create by name. Returned pointers are stable for the process
@@ -84,8 +102,19 @@ class MetricsRegistry {
   /// Human-readable dump, one metric per line, name-sorted.
   std::string ToText() const;
 
+  /// Cross-thread aggregation: every thread's registry folded into one
+  /// name-merged snapshot (counters/gauges sum, histograms Merge). With a
+  /// single thread this is byte-identical to the instance ToJson/ToText.
+  static std::string MergedToJson();
+  static std::string MergedToText();
+
+  /// Clear() applied to every thread's registry.
+  static void ClearAllThreads();
+
  private:
   MetricsRegistry() = default;
+
+  void MergeInto(MetricsRegistry* out) const;
 
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
@@ -94,7 +123,8 @@ class MetricsRegistry {
 
 /// Register the scheduler whose clock stamps metrics and trace spans
 /// (Testbed::Start does this; null detaches). Reads only — the clock is
-/// never advanced through this pointer.
+/// never advanced through this pointer. The binding is thread-local:
+/// each shard worker stamps with its own scheduler's clock.
 void SetVirtualClock(const IoScheduler* sched);
 const IoScheduler* virtual_clock();
 
@@ -138,6 +168,9 @@ class MetricsRegistry {
   void Clear() {}
   std::string ToJson() const { return "{}"; }
   std::string ToText() const { return std::string(); }
+  static std::string MergedToJson() { return "{}"; }
+  static std::string MergedToText() { return std::string(); }
+  static void ClearAllThreads() {}
 
  private:
   Counter counter_;

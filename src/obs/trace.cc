@@ -1,14 +1,37 @@
 #include "obs/trace.h"
 
+#include <atomic>
 #include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <map>
+#include <mutex>
+#include <vector>
 
 #if FACE_OBS_ENABLED
 
 namespace face {
 namespace obs {
+
+namespace {
+
+/// One on/off switch shared by every thread's tracer.
+std::atomic<bool> g_trace_enabled{false};
+
+/// All thread tracers ever created, creation order. Never removed: a
+/// tracer outlives its thread so the merged export still sees an exited
+/// worker's spans. The mutex guards only this list, never span storage.
+std::mutex& TracerListMutex() {
+  static std::mutex* m = new std::mutex();
+  return *m;
+}
+
+std::vector<Tracer*>& TracerList() {
+  static std::vector<Tracer*>* list = new std::vector<Tracer*>();
+  return *list;
+}
+
+}  // namespace
 
 uint64_t HostNowNs() {
   return static_cast<uint64_t>(
@@ -18,8 +41,21 @@ uint64_t HostNowNs() {
 }
 
 Tracer& Tracer::Instance() {
-  static Tracer* tracer = new Tracer();
+  thread_local Tracer* tracer = [] {
+    auto* t = new Tracer();  // leaked: interned names live forever
+    std::lock_guard<std::mutex> lock(TracerListMutex());
+    TracerList().push_back(t);
+    return t;
+  }();
   return *tracer;
+}
+
+void Tracer::SetEnabled(bool on) {
+  g_trace_enabled.store(on, std::memory_order_relaxed);
+}
+
+bool Tracer::enabled() const {
+  return g_trace_enabled.load(std::memory_order_relaxed);
 }
 
 void Tracer::AddSpan(const Span& span) {
@@ -45,47 +81,66 @@ Status Tracer::WriteChromeTrace(const std::string& path) const {
     return Status::IOError("cannot open trace file " + path);
   }
 
-  // One pseudo-thread per component, so Perfetto shows each subsystem as
-  // its own track. tids are assigned in first-appearance order.
-  std::map<std::string, int> tids;
-  for (const Span& s : spans_) {
-    tids.emplace(s.component, 0);
+  // Merge every thread's tracer: one pseudo-process per recording thread
+  // (named by its label, pids in tracer-creation order so the output is
+  // deterministic), one pseudo-thread per component within it, so Perfetto
+  // shows each (shard, subsystem) as its own track.
+  std::vector<const Tracer*> tracers;
+  {
+    std::lock_guard<std::mutex> lock(TracerListMutex());
+    tracers = std::vector<const Tracer*>(TracerList().begin(),
+                                         TracerList().end());
   }
-  int next_tid = 1;
-  for (auto& [component, tid] : tids) tid = next_tid++;
 
   fputs("{\"traceEvents\": [\n", f);
   bool first = true;
-  for (const auto& [component, tid] : tids) {
+  size_t total_dropped = 0;
+  int pid = 0;
+  for (const Tracer* t : tracers) {
+    ++pid;
+    total_dropped += t->dropped_;
+    if (t->spans_.empty()) continue;
+
+    std::map<std::string, int> tids;
+    for (const Span& s : t->spans_) tids.emplace(s.component, 0);
+    int next_tid = 1;
+    for (auto& [component, tid] : tids) tid = next_tid++;
+
     if (!first) fputs(",\n", f);
     first = false;
     fprintf(f,
-            "  {\"ph\": \"M\", \"pid\": 1, \"tid\": %d, "
-            "\"name\": \"thread_name\", \"args\": {\"name\": \"%s\"}}",
-            tid, component.c_str());
+            "  {\"ph\": \"M\", \"pid\": %d, \"tid\": 0, "
+            "\"name\": \"process_name\", \"args\": {\"name\": \"%s\"}}",
+            pid, t->label_.c_str());
+    for (const auto& [component, tid] : tids) {
+      fprintf(f,
+              ",\n  {\"ph\": \"M\", \"pid\": %d, \"tid\": %d, "
+              "\"name\": \"thread_name\", \"args\": {\"name\": \"%s\"}}",
+              pid, tid, component.c_str());
+    }
+    for (const Span& s : t->spans_) {
+      // Virtual nanoseconds -> trace microseconds; three decimals keep the
+      // full nanosecond resolution.
+      const double ts = static_cast<double>(s.v_start_ns) / 1000.0;
+      const double dur =
+          static_cast<double>(s.v_end_ns - s.v_start_ns) / 1000.0;
+      const double host_dur =
+          static_cast<double>(s.host_end_ns - s.host_start_ns) / 1000.0;
+      fprintf(f,
+              ",\n  {\"ph\": \"X\", \"pid\": %d, \"tid\": %d, "
+              "\"name\": \"%s\", \"cat\": \"%s\", \"ts\": %.3f, "
+              "\"dur\": %.3f, \"args\": {\"host_dur_us\": %.3f}}",
+              pid, tids[s.component], s.name, s.component, ts, dur, host_dur);
+    }
   }
-  for (const Span& s : spans_) {
+  if (total_dropped > 0) {
     if (!first) fputs(",\n", f);
     first = false;
-    // Virtual nanoseconds -> trace microseconds; three decimals keep the
-    // full nanosecond resolution.
-    const double ts = static_cast<double>(s.v_start_ns) / 1000.0;
-    const double dur = static_cast<double>(s.v_end_ns - s.v_start_ns) / 1000.0;
-    const double host_dur =
-        static_cast<double>(s.host_end_ns - s.host_start_ns) / 1000.0;
-    fprintf(f,
-            "  {\"ph\": \"X\", \"pid\": 1, \"tid\": %d, \"name\": \"%s\", "
-            "\"cat\": \"%s\", \"ts\": %.3f, \"dur\": %.3f, "
-            "\"args\": {\"host_dur_us\": %.3f}}",
-            tids[s.component], s.name, s.component, ts, dur, host_dur);
-  }
-  if (dropped_ > 0) {
-    if (!first) fputs(",\n", f);
     fprintf(f,
             "  {\"ph\": \"i\", \"pid\": 1, \"tid\": 0, "
             "\"name\": \"spans_dropped:%zu\", \"cat\": \"obs\", "
             "\"ts\": 0, \"s\": \"g\"}",
-            dropped_);
+            total_dropped);
   }
   fputs("\n]}\n", f);
   if (fclose(f) != 0) {

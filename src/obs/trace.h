@@ -27,9 +27,16 @@ namespace obs {
 /// Host monotonic clock, nanoseconds (std::chrono::steady_clock).
 uint64_t HostNowNs();
 
-/// Append-only span store; a process-wide singleton, off by default.
-/// Enable it separately from metrics (tracing costs memory per event,
-/// metrics do not).
+/// Append-only span store. One instance per thread (like MetricsRegistry):
+/// Instance() returns the calling thread's tracer, so AddSpan never locks
+/// or shares. The on/off switch is shared by every thread — enabling
+/// tracing from the main thread turns shard workers' spans on too — and is
+/// separate from metrics (tracing costs memory per event, metrics do not).
+///
+/// Threading contract: AddSpan/Intern/Clear/spans() touch only the calling
+/// thread's store. WriteChromeTrace merges every thread's spans without
+/// per-span locks — call it only while other recording threads are
+/// quiescent (after the sharded testbed's workers have finished a round).
 class Tracer {
  public:
   struct Span {
@@ -41,13 +48,20 @@ class Tracer {
     uint64_t host_end_ns;
   };
 
+  /// The calling thread's tracer (created and registered on first use).
   static Tracer& Instance();
 
-  void SetEnabled(bool on) { enabled_ = on; }
-  bool enabled() const { return enabled_; }
+  /// Shared across threads (a relaxed atomic: flip it from the main thread
+  /// before the workers start recording, not mid-round).
+  void SetEnabled(bool on);
+  bool enabled() const;
 
-  /// Record one finished span. Beyond the cap the span is counted as
-  /// dropped instead of stored (a runaway trace must not OOM a bench).
+  /// Names this thread's track in the merged export ("shard-2"); the
+  /// main thread defaults to "main".
+  void SetThreadLabel(const std::string& label) { label_ = label; }
+
+  /// Record one finished span. Beyond the per-thread cap the span is
+  /// counted as dropped instead of stored (a runaway trace must not OOM).
   void AddSpan(const Span& span);
 
   /// Copy a runtime-built name ("io.flash") into storage that outlives the
@@ -55,16 +69,20 @@ class Tracer {
   /// exit. Span name/component fields must be literals or interned.
   const char* Intern(const std::string& name);
 
-  /// Drop all recorded spans (interned names are kept — handles survive).
+  /// Drop this thread's recorded spans (interned names are kept — handles
+  /// survive).
   void Clear();
 
+  /// This thread's spans only; the export below sees every thread's.
   size_t span_count() const { return spans_.size(); }
   size_t dropped() const { return dropped_; }
   const std::vector<Span>& spans() const { return spans_; }
 
   /// Write {"traceEvents": [...]} — "X" complete events on the virtual
-  /// timeline (ts/dur in microseconds), one pseudo-thread per component
-  /// named via "M" metadata events, host-time duration in args.
+  /// timeline (ts/dur in microseconds), merged across every thread's
+  /// tracer: one pseudo-process per recording thread (named by its label),
+  /// one pseudo-thread per component within it, via "M" metadata events;
+  /// host-time duration rides in args.
   Status WriteChromeTrace(const std::string& path) const;
 
  private:
@@ -72,7 +90,7 @@ class Tracer {
 
   static constexpr size_t kMaxSpans = 1u << 20;
 
-  bool enabled_ = false;
+  std::string label_ = "main";
   size_t dropped_ = 0;
   std::vector<Span> spans_;
   std::set<std::string> interned_;  // node-based: stable c_str() pointers
@@ -128,6 +146,7 @@ class Tracer {
   }
   void SetEnabled(bool) {}
   bool enabled() const { return false; }
+  void SetThreadLabel(const std::string&) {}
   const char* Intern(const std::string&) { return ""; }
   void Clear() {}
   size_t span_count() const { return 0; }

@@ -44,8 +44,8 @@ StatusOr<Lsn> Checkpointer::TakeCheckpoint() {
   ++stats_.checkpoints;
   if (obs::Enabled()) {
     auto& reg = obs::MetricsRegistry::Instance();
-    static obs::Counter* ckpts = reg.GetCounter("checkpoint.checkpoints");
-    static obs::Hist* dpt = reg.GetHistogram("checkpoint.dpt_pages");
+    thread_local obs::Counter* ckpts = reg.GetCounter("checkpoint.checkpoints");
+    thread_local obs::Hist* dpt = reg.GetHistogram("checkpoint.dpt_pages");
     ckpts->Increment();
     dpt->Add(begin.dirty_pages.size());
   }

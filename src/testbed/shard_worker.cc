@@ -1,0 +1,63 @@
+#include "testbed/shard_worker.h"
+
+#include <string>
+#include <utility>
+
+#include "obs/trace.h"
+
+namespace face {
+
+ShardWorker::ShardWorker(uint32_t index)
+    : index_(index), thread_([this] { Loop(); }) {}
+
+ShardWorker::~ShardWorker() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  thread_.join();
+}
+
+void ShardWorker::Launch(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(fn));
+  }
+  work_cv_.notify_one();
+}
+
+void ShardWorker::Join() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && !busy_; });
+}
+
+void ShardWorker::Call(const std::function<void()>& fn) {
+  Launch(fn);
+  Join();
+}
+
+Status ShardWorker::CallStatus(const std::function<Status()>& fn) {
+  Status s;
+  Call([&] { s = fn(); });
+  return s;
+}
+
+void ShardWorker::Loop() {
+  obs::Tracer::Instance().SetThreadLabel("shard-" + std::to_string(index_));
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [this] { return !queue_.empty() || stop_; });
+    if (queue_.empty()) return;  // stop requested and drained
+    std::function<void()> job = std::move(queue_.front());
+    queue_.pop_front();
+    busy_ = true;
+    lock.unlock();
+    job();
+    lock.lock();
+    busy_ = false;
+    if (queue_.empty()) idle_cv_.notify_all();
+  }
+}
+
+}  // namespace face

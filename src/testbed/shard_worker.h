@@ -1,0 +1,52 @@
+// One persistent worker thread per shard. A shard's simulated state —
+// scheduler, devices, engine, and the thread-local obs registries and
+// virtual clock bound to them — lives its whole life on this thread:
+// built on it, driven on it, destroyed on it. The harness thread only
+// enqueues jobs and waits; the mutex handoff at Launch/Join is the
+// happens-before edge that makes barrier-time inspection race-free.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include "common/status.h"
+
+namespace face {
+
+class ShardWorker {
+ public:
+  /// Starts the thread; it labels its obs tracer "shard-<index>".
+  explicit ShardWorker(uint32_t index);
+  /// Joins the thread after draining the queue.
+  ~ShardWorker();
+
+  ShardWorker(const ShardWorker&) = delete;
+  ShardWorker& operator=(const ShardWorker&) = delete;
+
+  /// Enqueue `fn` and return immediately.
+  void Launch(std::function<void()> fn);
+  /// Wait until every enqueued job has finished.
+  void Join();
+  /// Launch + Join: run `fn` on the worker synchronously.
+  void Call(const std::function<void()>& fn);
+  /// Call for Status-returning jobs.
+  Status CallStatus(const std::function<Status()>& fn);
+
+ private:
+  void Loop();
+
+  const uint32_t index_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;  ///< worker waits: job ready or stop
+  std::condition_variable idle_cv_;  ///< callers wait: queue drained
+  std::deque<std::function<void()>> queue_;
+  bool busy_ = false;
+  bool stop_ = false;
+  std::thread thread_;  ///< last member: starts after the state above
+};
+
+}  // namespace face

@@ -434,9 +434,21 @@ StatusOr<RestartReport> Testbed::Recover() {
   return report;
 }
 
+Status Testbed::ResolveInDoubt(const std::vector<InDoubtTxn>& in_doubt,
+                               const std::set<uint64_t>& decided,
+                               RestartReport* report) {
+  if (db_ == nullptr) return Status::InvalidArgument("resolve before recover");
+  FACE_RETURN_IF_ERROR(
+      db_->ResolveInDoubt(in_doubt, decided, report, &sched_, recovery_token_));
+  sched_.AdvanceAllTokens(sched_.makespan());
+  return Status::OK();
+}
+
 std::string Testbed::DumpStats(bool as_json) const {
-  const auto& reg = obs::MetricsRegistry::Instance();
-  return as_json ? reg.ToJson() : reg.ToText();
+  // Merged across threads: a sharded run's workers each hold their own
+  // registry. Single-threaded this is the plain registry snapshot.
+  return as_json ? obs::MetricsRegistry::MergedToJson()
+                 : obs::MetricsRegistry::MergedToText();
 }
 
 }  // namespace face

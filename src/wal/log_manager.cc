@@ -23,7 +23,7 @@ struct WalObs {
 };
 
 WalObs& GetWalObs() {
-  static WalObs o = [] {
+  thread_local WalObs o = [] {
     auto& reg = obs::MetricsRegistry::Instance();
     WalObs w;
     w.appends = reg.GetCounter("wal.appends");

@@ -82,6 +82,14 @@ void EncodeClrRecordTo(char* dst, Lsn lsn, TxnId txn_id, Lsn prev_lsn,
   FinishRecordCrc(dst, len);
 }
 
+void EncodeGtidRecordTo(char* dst, LogRecordType type, Lsn lsn, TxnId txn_id,
+                        Lsn prev_lsn, uint64_t gtid) {
+  const uint32_t len = GtidRecordSize();
+  char* p = EncodeRecordHeader(dst, len, lsn, txn_id, prev_lsn, type);
+  EncodeFixed64(p, gtid);
+  FinishRecordCrc(dst, len);
+}
+
 void LogRecord::EncodeTo(char* dst) const {
   const uint32_t len = EncodedSize();
   switch (type) {
@@ -100,6 +108,10 @@ void LogRecord::EncodeTo(char* dst) const {
     case LogRecordType::kAbort:
     case LogRecordType::kCheckpointEnd:
       EncodeControlRecordTo(dst, type, lsn, txn_id, prev_lsn);
+      return;
+    case LogRecordType::kPrepare:
+    case LogRecordType::kGlobalCommit:
+      EncodeGtidRecordTo(dst, type, lsn, txn_id, prev_lsn, gtid);
       return;
     case LogRecordType::kCheckpointBegin:
       break;  // encoded below
@@ -120,7 +132,8 @@ void LogRecord::EncodeTo(char* dst) const {
       for (const auto& e : active_txns) {
         EncodeFixed64(p, e.txn_id);
         EncodeFixed64(p + 8, e.last_lsn);
-        p += 16;
+        EncodeFixed64(p + 16, e.gtid);
+        p += 24;
       }
       break;
     default:
@@ -148,7 +161,11 @@ uint32_t LogRecord::EncodedSize() const {
       break;
     case LogRecordType::kCheckpointBegin:
       n += 8 + 4 + 4 + 16 * static_cast<uint32_t>(dirty_pages.size()) +
-           16 * static_cast<uint32_t>(active_txns.size());
+           24 * static_cast<uint32_t>(active_txns.size());
+      break;
+    case LogRecordType::kPrepare:
+    case LogRecordType::kGlobalCommit:
+      n += 8;
       break;
     default:
       break;
@@ -202,7 +219,7 @@ StatusOr<LogRecord> LogRecord::Decode(const char* data, uint32_t len) {
       const uint32_t n_dpt = DecodeFixed32(data + pos + 8);
       const uint32_t n_att = DecodeFixed32(data + pos + 12);
       pos += 16;
-      if (pos + 16ull * n_dpt + 16ull * n_att > len) {
+      if (pos + 16ull * n_dpt + 24ull * n_att > len) {
         return Status::Corruption("truncated checkpoint tables");
       }
       rec.dirty_pages.reserve(n_dpt);
@@ -213,10 +230,18 @@ StatusOr<LogRecord> LogRecord::Decode(const char* data, uint32_t len) {
       }
       rec.active_txns.reserve(n_att);
       for (uint32_t i = 0; i < n_att; ++i) {
-        rec.active_txns.push_back(
-            {DecodeFixed64(data + pos), DecodeFixed64(data + pos + 8)});
-        pos += 16;
+        rec.active_txns.push_back({DecodeFixed64(data + pos),
+                                   DecodeFixed64(data + pos + 8),
+                                   DecodeFixed64(data + pos + 16)});
+        pos += 24;
       }
+      break;
+    }
+    case LogRecordType::kPrepare:
+    case LogRecordType::kGlobalCommit: {
+      if (pos + 8 > len) return Status::Corruption("truncated 2PC record");
+      rec.gtid = DecodeFixed64(data + pos);
+      pos += 8;
       break;
     }
     case LogRecordType::kBegin:

@@ -81,5 +81,14 @@ std::unique_ptr<Workload> ScanHeavyFactory::Create() const {
   return std::make_unique<ScanHeavyWorkload>(opts_);
 }
 
+std::shared_ptr<const WorkloadFactory> ScanHeavyFactory::Partition(
+    uint32_t shard, uint32_t num_shards) const {
+  const uint64_t slice = ShardSlice(opts_.records, shard, num_shards);
+  if (slice == 0) return nullptr;
+  ScanHeavyOptions o = opts_;
+  o.records = slice;
+  return std::make_shared<ScanHeavyFactory>(o);
+}
+
 }  // namespace workload
 }  // namespace face

@@ -58,6 +58,9 @@ class ScanHeavyFactory : public WorkloadFactory {
   uint64_t CapacityPages() const override;
   Status Load(Database& db, uint64_t seed) const override;
   std::unique_ptr<Workload> Create() const override;
+  /// Partition by key range, like YcsbFactory::Partition.
+  std::shared_ptr<const WorkloadFactory> Partition(
+      uint32_t shard, uint32_t num_shards) const override;
 
  private:
   ScanHeavyOptions opts_;

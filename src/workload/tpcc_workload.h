@@ -66,6 +66,18 @@ class TpccFactory : public WorkloadFactory {
     return std::make_unique<TpccDriver>(config_);
   }
 
+  /// Partition by warehouse: shard `shard` owns its slice of the warehouse
+  /// range (TPC-C's natural sharding key). Null once shards outnumber
+  /// warehouses.
+  std::shared_ptr<const WorkloadFactory> Partition(
+      uint32_t shard, uint32_t num_shards) const override {
+    const uint64_t w = ShardSlice(config_.warehouses, shard, num_shards);
+    if (w == 0) return nullptr;
+    tpcc::WorkloadConfig c = config_;
+    c.warehouses = static_cast<uint32_t>(w);
+    return std::make_shared<TpccFactory>(c);
+  }
+
   /// Device pages a `warehouses`-scale image provisions (the historical
   /// GoldenImage sizing rule).
   static uint64_t CapacityPagesFor(uint32_t warehouses) {

@@ -10,5 +10,12 @@ Status Workload::InjectStranded(Database& db, Random& rnd) {
       "workload does not support stranded-transaction injection");
 }
 
+std::shared_ptr<const WorkloadFactory> WorkloadFactory::Partition(
+    uint32_t shard, uint32_t num_shards) const {
+  (void)shard;
+  (void)num_shards;
+  return nullptr;  // not partitionable (trace replay and custom factories)
+}
+
 }  // namespace workload
 }  // namespace face

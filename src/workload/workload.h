@@ -113,7 +113,24 @@ class WorkloadFactory {
 
   /// Build an unbound driver (callers Setup() it per clone).
   virtual std::unique_ptr<Workload> Create() const = 0;
+
+  /// A factory for shard `shard` of `num_shards`: the same workload family
+  /// scaled to one shard's slice of the data — a warehouse range for TPC-C,
+  /// a key range for the KV workloads. Each shard is an independent engine
+  /// instance with its own devices and log, so the slice is re-based at
+  /// zero (shard-local keys [0, slice)). Returns null when the workload
+  /// cannot be partitioned (trace replay, or more shards than partitionable
+  /// units); one-shard callers should use the factory itself, unpartitioned.
+  virtual std::shared_ptr<const WorkloadFactory> Partition(
+      uint32_t shard, uint32_t num_shards) const;
 };
+
+/// Size of `shard`'s slice when `total` units split across `num_shards` as
+/// evenly as possible (the first `total % num_shards` shards take one extra).
+inline uint64_t ShardSlice(uint64_t total, uint32_t shard,
+                           uint32_t num_shards) {
+  return total / num_shards + (shard < total % num_shards ? 1 : 0);
+}
 
 }  // namespace workload
 }  // namespace face

@@ -193,5 +193,14 @@ std::unique_ptr<Workload> YcsbFactory::Create() const {
   return std::make_unique<YcsbWorkload>(opts_);
 }
 
+std::shared_ptr<const WorkloadFactory> YcsbFactory::Partition(
+    uint32_t shard, uint32_t num_shards) const {
+  const uint64_t slice = ShardSlice(opts_.records, shard, num_shards);
+  if (slice == 0) return nullptr;
+  YcsbOptions o = opts_;
+  o.records = slice;
+  return std::make_shared<YcsbFactory>(o);
+}
+
 }  // namespace workload
 }  // namespace face

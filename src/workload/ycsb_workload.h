@@ -124,6 +124,12 @@ class YcsbFactory : public WorkloadFactory {
   uint64_t CapacityPages() const override;
   Status Load(Database& db, uint64_t seed) const override;
   std::unique_ptr<Workload> Create() const override;
+  /// Partition by key range: shard `shard` owns records/num_shards keys
+  /// (re-based at zero — each shard is an independent database).
+  std::shared_ptr<const WorkloadFactory> Partition(
+      uint32_t shard, uint32_t num_shards) const override;
+
+  const YcsbOptions& options() const { return opts_; }
 
  private:
   YcsbOptions opts_;

@@ -283,6 +283,32 @@ TEST(HistogramTest, PercentileBoundsAndMonotonicity) {
   }
 }
 
+TEST(HistogramTest, TopBucketInterpolatesToMax) {
+  // Bucket 63 covers [2^62, inf): its ceiling is the observed max, not a
+  // power of two. With samples straddling the 2^62 boundary, percentiles
+  // must stay monotone and interpolate above the top bucket's floor
+  // instead of collapsing onto it.
+  const uint64_t kBoundary = 1ull << 62;
+  Histogram h;
+  h.Add(kBoundary / 2);      // bucket 62
+  h.Add(kBoundary);          // bucket 63 floor
+  h.Add(kBoundary + 1000);   // bucket 63
+  h.Add(3 * kBoundary);      // bucket 63, above any 2^i ceiling <= 2^62
+  EXPECT_EQ(h.Percentile(0), static_cast<double>(kBoundary / 2));
+  EXPECT_EQ(h.Percentile(100), static_cast<double>(3 * kBoundary));
+  // The top bucket holds 3 of 4 samples, so p90 lands inside it and must
+  // interpolate strictly above the bucket floor (the old clamp pinned the
+  // whole bucket to 2^62).
+  EXPECT_GT(h.Percentile(90), static_cast<double>(kBoundary));
+  double prev = h.Percentile(0);
+  for (double p = 1; p <= 100; p += 1) {
+    const double v = h.Percentile(p);
+    EXPECT_GE(v, prev) << "percentile regressed at p=" << p;
+    EXPECT_LE(v, static_cast<double>(3 * kBoundary));
+    prev = v;
+  }
+}
+
 TEST(HistogramTest, ZeroSamplesStayInRange) {
   Histogram h;
   h.Add(0);

@@ -73,6 +73,35 @@ TEST(CrashStormTest, Lc) { RunStorms(CachePolicy::kLc); }
 TEST(CrashStormTest, Tac) { RunStorms(CachePolicy::kTac); }
 TEST(CrashStormTest, NoCache) { RunStorms(CachePolicy::kNone); }
 
+TEST(CrashStormTest, CrashDuringRecovery) {
+  // Every seed keeps the injector armed through restart: power fails again
+  // while redo/undo is writing, and the next recovery starts from the torn
+  // remains of the first. Deterministic per seed; the campaign must
+  // actually double-fault, and every final recovery must check clean.
+  CrashStormOptions opts;
+  opts.policy = CachePolicy::kFace;
+  opts.double_fault_pct = 100;
+  CrashStormHarness harness(opts);
+
+  const uint64_t seeds = std::max<uint64_t>(8, StormSeeds() / 2);
+  const uint64_t base = BaseSeed();
+  uint64_t double_faulted = 0;
+  for (uint64_t seed = base; seed < base + seeds; ++seed) {
+    auto result = harness.RunStorm(seed);
+    ASSERT_TRUE(result.ok()) << "seed " << seed << ": "
+                             << result.status().ToString();
+    EXPECT_TRUE(result->diff.ok()) << "seed " << seed << "\n"
+                                   << result->ToString();
+    if (result->double_faulted) ++double_faulted;
+  }
+  // Recovery always writes (CLRs, the final checkpoint), so a countdown of
+  // at most 64 writes should trip for most seeds.
+  EXPECT_GE(double_faulted, seeds / 2)
+      << "too few recoveries were themselves cut down";
+  std::cout << "[ double fault ] " << double_faulted << "/" << seeds
+            << " storms crashed during recovery\n";
+}
+
 TEST(CrashStormTest, GroupSecondChance) {
   // Bonus coverage for the batched replacement paths (staged frames cut
   // mid-batch-flush): a quarter of the default seed budget.

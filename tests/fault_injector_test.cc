@@ -43,6 +43,28 @@ TEST(FaultInjectorTest, CountdownTripsOnExactlyTheNthWrite) {
   EXPECT_EQ(buf[0], '\0');
 }
 
+TEST(FaultInjectorTest, RearmAfterTripRevivesTheDeviceAndCountdown) {
+  // Crash-during-recovery storms re-arm a tripped injector without an
+  // intervening Disarm: the new countdown must start clean — trip state
+  // cleared, dead device revived, and the ordinal exact again.
+  SimDevice dev("d", DeviceProfile::Seagate15k(), 128);
+  FaultInjector inj;
+  dev.set_fault_injector(&inj);
+  inj.SetTearGranularity("d", TearGranularity::kPageAtomic);
+  inj.ArmAfterWrites(1, /*seed=*/1);
+  EXPECT_TRUE(dev.Write(0, PageOf('a').data()).IsIOError());
+  ASSERT_TRUE(inj.tripped());
+
+  inj.ArmAfterWrites(2, /*seed=*/2);  // no Disarm in between
+  EXPECT_FALSE(inj.tripped());
+  FACE_ASSERT_OK(dev.Write(1, PageOf('b').data()));  // device is alive again
+  const Status s = dev.Write(2, PageOf('c').data());
+  EXPECT_TRUE(s.IsIOError());
+  EXPECT_TRUE(inj.tripped());
+  EXPECT_EQ(inj.site().block, 2u);
+  inj.Disarm();
+}
+
 TEST(FaultInjectorTest, BatchWriteIsCutMidRequest) {
   SimDevice dev("d", DeviceProfile::Seagate15k(), 128);
   FaultInjector inj;
