@@ -336,6 +336,21 @@ class JsonReporter {
               ? 100.0 * static_cast<double>(r.db_stats.seq_write_reqs) /
                     static_cast<double>(r.db_stats.write_reqs)
               : 0.0);
+    // Flash write volume and the page-differential breakdown: how many
+    // refreshes traveled as packed delta records instead of full 4 KB
+    // frames, and what the device actually saw.
+    Field("flash_pages_written", r.flash_stats.pages_written);
+    Field("flash_bytes_written", r.flash_stats.pages_written * kPageSize);
+    Field("delta_records", r.cache_stats.delta_records);
+    Field("delta_record_bytes", r.cache_stats.delta_record_bytes);
+    Field("delta_block_writes", r.cache_stats.delta_block_writes);
+    Field("delta_consolidations", r.cache_stats.delta_consolidations);
+    Field("delta_vs_full_ratio",
+          r.cache_stats.delta_records + r.cache_stats.flash_writes
+              ? static_cast<double>(r.cache_stats.delta_records) /
+                    static_cast<double>(r.cache_stats.delta_records +
+                                        r.cache_stats.flash_writes)
+              : 0.0);
     Field("wall_clock_sec", wall_clock_sec);
   }
 

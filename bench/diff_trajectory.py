@@ -14,9 +14,16 @@ extras such as cache_pct or spindles). Two classes of fields are compared:
     is how CI turns the bench smoke into a cross-platform differential
     guard against unintended simulated-behavior changes.
 
+Rows carrying flash_pages_written additionally get a write-volume report:
+per-cell flash page deltas and the delta-record share, so a page-
+differential change shows its effect at a glance. With
+--max-flash-write-regression PCT the script exits 1 when any cell's flash
+write volume grew more than PCT percent over the baseline — CI's guard
+that the delta write-back path never silently decays into full writes.
+
 Usage:
   diff_trajectory.py BASELINE.json CURRENT.json [--require-simulated-equal]
-                     [--allow-flag-drift]
+                     [--allow-flag-drift] [--max-flash-write-regression PCT]
 
 Exit codes: 0 ok, 1 simulated drift (or flag mismatch), 2 usage/shape error.
 """
@@ -84,6 +91,13 @@ def main():
         action="store_true",
         help="compare artifacts produced with different bench flags",
     )
+    ap.add_argument(
+        "--max-flash-write-regression",
+        type=float,
+        metavar="PCT",
+        help="exit 1 if any cell's flash_pages_written grew more than PCT%% "
+        "over the baseline",
+    )
     args = ap.parse_args()
 
     base = load(args.baseline)
@@ -113,6 +127,7 @@ def main():
         sys.exit(1 if args.require_simulated_equal else 2)
 
     sim_drift = []
+    write_rows = []  # (label, base_pages, cur_pages, cur_delta_ratio)
     host_base_total = 0.0
     host_cur_total = 0.0
     print(f"bench: {base['bench']}  rows: {len(base['rows'])}")
@@ -133,6 +148,12 @@ def main():
                 sim_drift.append((row_label(rb), k, rb.get(k), rc.get(k)))
             elif not numbers_equal(rb[k], rc[k]):
                 sim_drift.append((row_label(rb), k, rb[k], rc[k]))
+        fb = rb.get("flash_pages_written")
+        fc = rc.get("flash_pages_written")
+        if fb is not None and fc is not None and (fb or fc):
+            write_rows.append(
+                (row_label(rb), fb, fc, rc.get("delta_vs_full_ratio"))
+            )
         wb = rb.get("wall_clock_sec")
         wc = rc.get("wall_clock_sec")
         if wb is not None and wc is not None:
@@ -146,6 +167,27 @@ def main():
             f"{'AGGREGATE host wall-clock':44s} {host_base_total:9.3f} "
             f"{host_cur_total:9.3f} {host_base_total / host_cur_total:7.2f}x"
         )
+
+    regressed = []
+    if write_rows:
+        print("\nFLASH WRITE VOLUME (pages written to the flash device):")
+        print(f"{'cell':44s} {'base':>9s} {'cur':>9s} {'change':>8s} "
+              f"{'delta%':>7s}")
+        tb = tc = 0
+        for label, fb, fc, ratio in write_rows:
+            tb += fb
+            tc += fc
+            change = (fc - fb) / fb * 100.0 if fb else float("inf")
+            dshare = f"{ratio * 100.0:6.1f}%" if ratio is not None else "   n/a"
+            print(f"{label:44s} {fb:9d} {fc:9d} {change:+7.1f}% {dshare}")
+            if (
+                args.max_flash_write_regression is not None
+                and change > args.max_flash_write_regression
+            ):
+                regressed.append((label, fb, fc, change))
+        total_change = (tc - tb) / tb * 100.0 if tb else 0.0
+        print(f"{'AGGREGATE flash pages written':44s} {tb:9d} {tc:9d} "
+              f"{total_change:+7.1f}%")
 
     if sim_drift:
         print(f"\nSIMULATED METRIC DRIFT ({len(sim_drift)} fields):")
@@ -162,6 +204,17 @@ def main():
             sys.exit(1)
     else:
         print("\nsimulated metrics: identical")
+
+    if regressed:
+        print(
+            f"\nFAIL: flash write volume regressed beyond "
+            f"{args.max_flash_write_regression}% on {len(regressed)} "
+            "cell(s):",
+            file=sys.stderr,
+        )
+        for label, fb, fc, change in regressed:
+            print(f"  {label}: {fb} -> {fc} ({change:+.1f}%)", file=sys.stderr)
+        sys.exit(1)
     sys.exit(0)
 
 

@@ -46,7 +46,8 @@ class ClockCache final : public CacheExtension {
   }
 
   Status OnDramEvict(PageId page_id, char* page, bool dirty, bool fdirty,
-                     Lsn rec_lsn) override {
+                     Lsn rec_lsn, DeltaWriteHint* hint = nullptr) override {
+    (void)hint;  // this example always rewrites whole frames
     if (dirty) ++stats_.dirty_evictions;
     auto it = index_.find(page_id);
     if (it != index_.end()) {

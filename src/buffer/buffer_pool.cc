@@ -73,6 +73,18 @@ void PageHandle::MarkDirty(Lsn lsn) {
   if (pool_->trace_ != nullptr) pool_->trace_->OnPageAccess(f.page_id, true);
   f.dirty = true;
   f.fdirty = true;
+  f.tracker.MarkAll();  // span unknown: only a full flash write is safe
+  if (f.rec_lsn == kInvalidLsn) f.rec_lsn = lsn;
+  if (lsn != kInvalidLsn) PageView(f.data.get()).set_lsn(lsn);
+}
+
+void PageHandle::MarkDirtyRange(Lsn lsn, uint32_t offset, uint32_t len) {
+  assert(valid());
+  BufferPool::Frame& f = pool_->frames_[frame_];
+  if (pool_->trace_ != nullptr) pool_->trace_->OnPageAccess(f.page_id, true);
+  f.dirty = true;
+  f.fdirty = true;
+  f.tracker.Add(offset, len);
   if (f.rec_lsn == kInvalidLsn) f.rec_lsn = lsn;
   if (lsn != kInvalidLsn) PageView(f.data.get()).set_lsn(lsn);
 }
@@ -136,6 +148,9 @@ StatusOr<PageHandle> BufferPool::FetchPage(PageId page_id) {
     // (LC) hand back the conservative recLSN they remembered.
     f.rec_lsn = (read->dirty && !cache_->IsPersistent()) ? read->rec_lsn
                                                          : kInvalidLsn;
+    // The frame now equals this exact flash state: deltas may build on it.
+    f.flash_version = read->flash_version;
+    f.tracker.Reset();
   } else {
     Status s = storage_->ReadPage(page_id, f.data.get());
     if (!s.ok()) {
@@ -147,7 +162,11 @@ StatusOr<PageHandle> BufferPool::FetchPage(PageId page_id) {
     f.dirty = false;
     f.fdirty = false;
     f.rec_lsn = kInvalidLsn;
-    FACE_RETURN_IF_ERROR(cache_->OnFetchFromDisk(page_id, f.data.get()));
+    uint64_t admitted = kNoFlashVersion;
+    FACE_RETURN_IF_ERROR(
+        cache_->OnFetchFromDisk(page_id, f.data.get(), &admitted));
+    f.flash_version = admitted;  // on-entry policies admit a delta base here
+    f.tracker.Reset();
   }
 
   f.page_id = page_id;
@@ -176,6 +195,8 @@ StatusOr<PageHandle> BufferPool::NewPage() {
   f.dirty = false;
   f.fdirty = false;
   f.rec_lsn = kInvalidLsn;
+  f.flash_version = kNoFlashVersion;
+  f.tracker.Reset();
   table_.TryEmplace(page_id, frame);
   lru_.PushFront(FrameLinks(), frame);
   ++stats_.new_pages;
@@ -196,6 +217,8 @@ StatusOr<PageHandle> BufferPool::FetchPageForRedo(PageId page_id) {
   f.dirty = false;
   f.fdirty = false;
   f.rec_lsn = kInvalidLsn;
+  f.flash_version = kNoFlashVersion;
+  f.tracker.Reset();
   table_.TryEmplace(page_id, frame);
   lru_.PushFront(FrameLinks(), frame);
   return PageHandle(this, frame, page_id);
@@ -234,12 +257,15 @@ Status BufferPool::EvictFrame(uint32_t frame) {
     FACE_RETURN_IF_ERROR(log_->FlushTo(PageView(f.data.get()).lsn()));
   }
   table_.Erase(f.page_id);
+  DeltaWriteHint hint{&f.tracker, f.flash_version, kNoFlashVersion};
   Status s = cache_->OnDramEvict(f.page_id, f.data.get(), f.dirty, f.fdirty,
-                                 f.rec_lsn);
+                                 f.rec_lsn, &hint);
   f.in_use = false;
   f.page_id = kInvalidPageId;
   f.dirty = f.fdirty = false;
   f.rec_lsn = kInvalidLsn;
+  f.flash_version = kNoFlashVersion;
+  f.tracker.Reset();
   return s;
 }
 
@@ -261,6 +287,8 @@ PageId BufferPool::PullVictim(char* page, bool* dirty, bool* fdirty) {
     f.page_id = kInvalidPageId;
     f.dirty = f.fdirty = false;
     f.rec_lsn = kInvalidLsn;
+    f.flash_version = kNoFlashVersion;
+    f.tracker.Reset();
     free_list_.push_back(frame);
     ++stats_.evictions;
     ++stats_.pulls;
@@ -288,6 +316,8 @@ Status BufferPool::FlushAllToDisk() {
     f.dirty = false;
     f.fdirty = false;
     f.rec_lsn = kInvalidLsn;
+    f.flash_version = kNoFlashVersion;  // the cache may have dropped its copy
+    f.tracker.Reset();
   }
   return Status::OK();
 }
@@ -347,18 +377,25 @@ Status BufferPool::SyncDirtyPagesForCheckpoint() {
     Frame& f = frames_[*slot];
     if (!PersistentlyDirty(f)) continue;
     ++synced;
-    FACE_ASSIGN_OR_RETURN(bool absorbed,
-                          cache_->CheckpointPage(page_id, f.data.get()));
+    DeltaWriteHint hint{&f.tracker, f.flash_version, kNoFlashVersion};
+    FACE_ASSIGN_OR_RETURN(
+        bool absorbed, cache_->CheckpointPage(page_id, f.data.get(), &hint));
     if (absorbed) {
       // Flash now holds the current copy persistently; still newer than disk.
       f.fdirty = false;
       f.rec_lsn = kInvalidLsn;
+      // The frame stays resident and equals the just-absorbed flash state:
+      // later mutations may delta against it.
+      f.flash_version = hint.new_version;
+      f.tracker.Reset();
     } else {
       FACE_RETURN_IF_ERROR(storage_->WritePage(page_id, f.data.get()));
       cache_->OnPageWrittenToDisk(page_id);
       f.dirty = false;
       f.fdirty = false;
       f.rec_lsn = kInvalidLsn;
+      f.flash_version = kNoFlashVersion;
+      f.tracker.Reset();
     }
   }
   if (obs::Enabled()) GetPoolObs().ckpt_sync_pages->Add(synced);

@@ -57,7 +57,14 @@ class PageHandle {
 
   /// Record that the caller modified the page under WAL record `lsn`:
   /// sets dirty+fdirty, initializes the frame's recLSN, stamps the pageLSN.
+  /// Marks the whole page changed for the delta tracker — callers that know
+  /// the touched span should use MarkDirtyRange so flash write-back can
+  /// emit a delta record instead of a full page.
   void MarkDirty(Lsn lsn);
+
+  /// MarkDirty plus the exact byte span modified: feeds the frame's delta
+  /// tracker, keeping the page eligible for differential flash write-back.
+  void MarkDirtyRange(Lsn lsn, uint32_t offset, uint32_t len);
 
   /// Drop the pin early.
   void Release();
@@ -147,6 +154,12 @@ class BufferPool final : public DramPullSource {
                                 ///< its persistent copy was last current
     bool in_use = false;
     IntrusiveLinks lru;  ///< LRU chain links (head = most recent)
+    /// Flash version the frame's bytes were loaded from / last written as
+    /// (kNoFlashVersion when flash holds no delta-capable copy), plus the
+    /// byte regions modified since. Together they let the cache policy
+    /// write back a delta record instead of a full 4 KB page.
+    uint64_t flash_version = kNoFlashVersion;
+    PageDeltaTracker tracker;
   };
 
   /// Link accessor for the intrusive LRU over frames_.

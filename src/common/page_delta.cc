@@ -1,0 +1,179 @@
+#include "common/page_delta.h"
+
+#include <algorithm>
+
+#include "common/coding.h"
+#include "common/crc32c.h"
+
+namespace face {
+
+DiffBounds ComputeDiffBounds(const char* before, const char* after,
+                             uint32_t len) {
+  uint32_t lo = 0;
+  bool exact = false;
+  while (lo + 8 <= len) {
+    uint64_t a, b;
+    memcpy(&a, before + lo, 8);
+    memcpy(&b, after + lo, 8);
+    if (a != b) {
+      lo += static_cast<uint32_t>(__builtin_ctzll(a ^ b)) >> 3;
+      exact = true;
+      break;
+    }
+    lo += 8;
+  }
+  if (!exact) {
+    while (lo < len && before[lo] == after[lo]) ++lo;
+  }
+  if (lo == len) return DiffBounds{len, len};
+  uint32_t hi = len;
+  exact = false;
+  while (hi >= lo + 8) {
+    uint64_t a, b;
+    memcpy(&a, before + hi - 8, 8);
+    memcpy(&b, after + hi - 8, 8);
+    if (a != b) {
+      hi -= static_cast<uint32_t>(__builtin_clzll(a ^ b)) >> 3;
+      exact = true;
+      break;
+    }
+    hi -= 8;
+  }
+  if (!exact) {
+    while (hi > lo && before[hi - 1] == after[hi - 1]) --hi;
+  }
+  return DiffBounds{lo, hi};
+}
+
+void PageDeltaTracker::Add(uint32_t off, uint32_t len) {
+  if (whole_ || len == 0) return;
+  uint32_t end = off + len;
+  // The header (id/lsn/crc/flags) is reconstructed at apply time; regions
+  // cover payload bytes only.
+  if (off < kPageHeaderSize) off = kPageHeaderSize;
+  if (end > kPageSize) end = kPageSize;
+  if (off >= end) return;
+
+  // Find the insertion point, then swallow every region that overlaps or
+  // touches [off, end).
+  uint32_t i = 0;
+  while (i < count_ && regions_[i].off + regions_[i].len < off) ++i;
+  uint32_t j = i;
+  while (j < count_ && regions_[j].off <= end) {
+    off = std::min(off, static_cast<uint32_t>(regions_[j].off));
+    end = std::max(end,
+                   static_cast<uint32_t>(regions_[j].off) + regions_[j].len);
+    ++j;
+  }
+  if (i == j) {
+    // Pure insert; shift the tail up.
+    if (count_ == kMaxDeltaRegions) {
+      // Table full: merge the adjacent pair with the smallest gap. Gap
+      // bytes equal the base image, so the widened region is redundant
+      // but correct.
+      uint32_t best = 0;
+      uint32_t best_gap = ~0u;
+      // Candidate gaps include the slots around the new region.
+      Region all[kMaxDeltaRegions + 1];
+      for (uint32_t k = 0; k < i; ++k) all[k] = regions_[k];
+      all[i] = Region{static_cast<uint16_t>(off),
+                      static_cast<uint16_t>(end - off)};
+      for (uint32_t k = i; k < count_; ++k) all[k + 1] = regions_[k];
+      for (uint32_t k = 0; k + 1 < count_ + 1; ++k) {
+        const uint32_t gap =
+            static_cast<uint32_t>(all[k + 1].off) - (all[k].off + all[k].len);
+        if (gap < best_gap) {
+          best_gap = gap;
+          best = k;
+        }
+      }
+      all[best].len = static_cast<uint16_t>(all[best + 1].off +
+                                            all[best + 1].len - all[best].off);
+      for (uint32_t k = best + 1; k + 1 < count_ + 1; ++k) all[k] = all[k + 1];
+      for (uint32_t k = 0; k < count_; ++k) regions_[k] = all[k];
+      return;
+    }
+    for (uint32_t k = count_; k > i; --k) regions_[k] = regions_[k - 1];
+    ++count_;
+  } else if (j - i > 1) {
+    // Swallowed several regions; close the hole.
+    const uint32_t removed = j - i - 1;
+    for (uint32_t k = i + 1; k + removed < count_; ++k) {
+      regions_[k] = regions_[k + removed];
+    }
+    count_ -= removed;
+  }
+  regions_[i] =
+      Region{static_cast<uint16_t>(off), static_cast<uint16_t>(end - off)};
+}
+
+void PageDeltaRecord::Encode(const PageDeltaTracker& tracker, PageId page_id,
+                             Lsn lsn, uint64_t base_version, uint16_t chain_idx,
+                             bool dirty, const char* page, std::string* out) {
+  const uint32_t n = tracker.region_count();
+  const uint32_t size = EncodedSizeFor(tracker);
+  const size_t start = out->size();
+  out->resize(start + size);
+  char* p = &(*out)[start];
+  EncodeFixed32(p, 0);  // crc placeholder
+  EncodeFixed64(p + 4, page_id);
+  EncodeFixed64(p + 12, lsn);
+  EncodeFixed64(p + 20, base_version);
+  EncodeFixed16(p + 28, chain_idx);
+  p[30] = dirty ? 1 : 0;
+  p[31] = static_cast<char>(n);
+  char* d = p + kHeaderSize;
+  for (uint32_t i = 0; i < n; ++i) {
+    EncodeFixed16(d, tracker.regions()[i].off);
+    EncodeFixed16(d + 2, tracker.regions()[i].len);
+    d += 4;
+  }
+  for (uint32_t i = 0; i < n; ++i) {
+    memcpy(d, page + tracker.regions()[i].off, tracker.regions()[i].len);
+    d += tracker.regions()[i].len;
+  }
+  const uint32_t crc = crc32c::Value(p + 4, size - 4);
+  EncodeFixed32(p, crc32c::Mask(crc));
+}
+
+bool PageDeltaRecord::Decode(const char* buf, uint32_t avail,
+                             PageDeltaRecord* rec) {
+  if (avail < kHeaderSize) return false;
+  const uint8_t n = static_cast<uint8_t>(buf[31]);
+  if (n == 0 || n > kMaxDeltaRegions) return false;
+  if (avail < kHeaderSize + 4u * n) return false;
+  uint32_t payload = 0;
+  uint32_t prev_end = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    const uint16_t off = DecodeFixed16(buf + kHeaderSize + 4 * i);
+    const uint16_t len = DecodeFixed16(buf + kHeaderSize + 4 * i + 2);
+    if (len == 0 || off < kPageHeaderSize) return false;
+    if (static_cast<uint32_t>(off) + len > kPageSize) return false;
+    if (off < prev_end) return false;  // must be sorted and disjoint
+    prev_end = static_cast<uint32_t>(off) + len;
+    rec->regions[i] = PageDeltaTracker::Region{off, len};
+    payload += len;
+  }
+  const uint32_t total = kHeaderSize + 4u * n + payload;
+  if (avail < total) return false;
+  const uint32_t stored = DecodeFixed32(buf);
+  if (crc32c::Mask(crc32c::Value(buf + 4, total - 4)) != stored) return false;
+  rec->page_id = DecodeFixed64(buf + 4);
+  rec->lsn = DecodeFixed64(buf + 12);
+  rec->base_version = DecodeFixed64(buf + 20);
+  rec->chain_idx = DecodeFixed16(buf + 28);
+  rec->dirty = static_cast<uint8_t>(buf[30]);
+  rec->n_regions = n;
+  rec->payload = buf + kHeaderSize + 4u * n;
+  return true;
+}
+
+void PageDeltaRecord::ApplyRegions(char* page) const {
+  const char* src = payload;
+  for (uint32_t i = 0; i < n_regions; ++i) {
+    memcpy(page + regions[i].off, src, regions[i].len);
+    src += regions[i].len;
+  }
+}
+
+}  // namespace face

@@ -1,0 +1,166 @@
+// Page-differential machinery shared by the WAL trim path and the flash
+// delta write-back paths (Page-Differential Logging, Kim/Whang/Song).
+//
+// Three pieces live here:
+//
+//   1. ComputeDiffBounds — the word-wise XOR prefix/suffix trim extracted
+//      from TransactionManager::Update. WAL update-record trimming and the
+//      flash delta paths share this one scan so they cannot drift.
+//
+//   2. PageDeltaTracker — a per-frame accumulator of modified byte regions
+//      since the frame last matched a known flash image. Every page
+//      mutation path (logged updates, undo, redo, raw writes) reports its
+//      touched span; the tracker keeps a small sorted set of merged
+//      regions, degrading to whole-page when an untracked mutation happens
+//      or the region table overflows beyond merging.
+//
+//   3. PageDeltaRecord — the compact on-media delta-record codec. A record
+//      carries the page id, the resulting pageLSN, a base-version tag
+//      binding it to the exact flash image it patches, a chain index, and
+//      the modified regions + payload, all under a masked crc32c so torn
+//      or garbled records fail cleanly during recovery.
+//
+// On-media record layout (little-endian):
+//   [0..4)    masked crc32c over bytes [4..size)
+//   [4..12)   page id
+//   [12..20)  lsn — pageLSN of the page after this record is applied
+//   [20..28)  base version tag (media-format meaning is owner-defined)
+//   [28..30)  chain index (u16): 0 for the first delta after a full write
+//   [30]      dirty flag (u8): owner-defined (e.g. FaCE's dirty bit)
+//   [31]      region count n (u8), 1 <= n <= kMaxDeltaRegions
+//   then n *  {u16 offset, u16 length} region descriptors
+//   then      payload: region bytes concatenated in descriptor order
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "common/types.h"
+#include "storage/page.h"
+
+namespace face {
+
+/// Half-open changed-byte range [lo, hi) of `after` vs `before`.
+struct DiffBounds {
+  uint32_t lo = 0;
+  uint32_t hi = 0;
+  bool empty() const { return lo >= hi; }
+};
+
+/// Trims the unchanged prefix and suffix of after[0,len) vs before[0,len).
+/// Word-wise scan; the ctz/clz of the XOR pinpoints the exact boundary
+/// byte, so the trimmed span is identical to a byte-wise scan. Returns an
+/// empty-bounds result (lo == len) when the spans are byte-identical.
+DiffBounds ComputeDiffBounds(const char* before, const char* after,
+                             uint32_t len);
+
+/// Max regions a tracker keeps (and a record encodes) before merging.
+inline constexpr uint32_t kMaxDeltaRegions = 6;
+
+/// Sentinel "no flash image" version tag (version counters start at 1).
+inline constexpr uint64_t kNoFlashVersion = 0;
+
+/// Per-frame accumulator of byte regions modified since the frame's bytes
+/// last equaled a known flash image. Regions never include the 24-byte
+/// page header: the header is reconstructed at apply time (lsn + crc), so
+/// tracked offsets are clamped to [kPageHeaderSize, kPageSize).
+class PageDeltaTracker {
+ public:
+  struct Region {
+    uint16_t off;
+    uint16_t len;
+  };
+
+  /// Frame bytes again equal a known flash image: no pending deltas.
+  void Reset() {
+    count_ = 0;
+    whole_ = false;
+  }
+
+  /// An untracked mutation touched the page: only a full write is safe.
+  void MarkAll() {
+    count_ = 0;
+    whole_ = true;
+  }
+
+  /// Records that bytes [off, off+len) changed. Regions are kept sorted
+  /// and disjoint; overlapping or adjacent inserts merge in place. When
+  /// the table would exceed kMaxDeltaRegions, the pair with the smallest
+  /// gap merges — the gap bytes equal the base image, so writing them
+  /// back is redundant but never wrong.
+  void Add(uint32_t off, uint32_t len);
+
+  bool whole_page() const { return whole_; }
+  uint32_t region_count() const { return count_; }
+  const Region* regions() const { return regions_; }
+
+  /// Total payload bytes across the tracked regions.
+  uint32_t payload_bytes() const {
+    uint32_t total = 0;
+    for (uint32_t i = 0; i < count_; ++i) total += regions_[i].len;
+    return total;
+  }
+
+ private:
+  Region regions_[kMaxDeltaRegions];
+  uint32_t count_ = 0;
+  bool whole_ = false;
+};
+
+/// Decoded view of one delta record plus its codec.
+struct PageDeltaRecord {
+  PageId page_id = kInvalidPageId;
+  Lsn lsn = kInvalidLsn;
+  uint64_t base_version = kNoFlashVersion;
+  uint16_t chain_idx = 0;
+  uint8_t dirty = 0;
+  uint8_t n_regions = 0;
+  PageDeltaTracker::Region regions[kMaxDeltaRegions];
+  const char* payload = nullptr;  // into the caller's buffer (Decode only)
+
+  static constexpr uint32_t kHeaderSize = 32;
+
+  uint32_t payload_size() const {
+    uint32_t total = 0;
+    for (uint32_t i = 0; i < n_regions; ++i) total += regions[i].len;
+    return total;
+  }
+  uint32_t encoded_size() const {
+    return kHeaderSize + 4u * n_regions + payload_size();
+  }
+
+  /// Encoded size of a record carrying the tracker's regions.
+  static uint32_t EncodedSizeFor(const PageDeltaTracker& tracker) {
+    return kHeaderSize + 4u * tracker.region_count() + tracker.payload_bytes();
+  }
+
+  /// Appends the encoded record to `out`, pulling region payload bytes from
+  /// `page` (a full 4 KB image). The tracker must be precise (not whole-page)
+  /// and non-empty.
+  static void Encode(const PageDeltaTracker& tracker, PageId page_id, Lsn lsn,
+                     uint64_t base_version, uint16_t chain_idx, bool dirty,
+                     const char* page, std::string* out);
+
+  /// Decodes one record from buf[0, avail). On success fills `*rec` (payload
+  /// points into `buf`) and returns true; any structural problem — short
+  /// buffer, zero or oversized region count, unsorted or out-of-bounds
+  /// regions, crc mismatch — returns false, which recovery treats as "torn
+  /// tail, stop here".
+  static bool Decode(const char* buf, uint32_t avail, PageDeltaRecord* rec);
+
+  /// Patches this record's regions into `page` (payload bytes only; the
+  /// caller finishes a chain apply by stamping lsn + checksum).
+  void ApplyRegions(char* page) const;
+};
+
+/// Applies a fully-decoded chain element: regions, then pageLSN + checksum
+/// so the page verifies like any full-page image.
+inline void ApplyDeltaRecord(const PageDeltaRecord& rec, char* page) {
+  rec.ApplyRegions(page);
+  PageView v(page);
+  v.set_lsn(rec.lsn);
+  v.StampChecksum();
+}
+
+}  // namespace face

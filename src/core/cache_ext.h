@@ -14,6 +14,7 @@
 
 #include <cstdint>
 
+#include "common/page_delta.h"
 #include "common/status.h"
 #include "common/types.h"
 
@@ -49,6 +50,10 @@ struct CacheStats {
   uint64_t second_chances = 0;   ///< GSC re-enqueues
   uint64_t pulled_from_dram = 0; ///< victims pulled to fill batches
   uint64_t meta_flash_writes = 0;///< persistent-metadata page writes
+  uint64_t delta_records = 0;    ///< page refreshes served by delta records
+  uint64_t delta_record_bytes = 0; ///< encoded bytes across those records
+  uint64_t delta_block_writes = 0; ///< shared delta-ring block writes
+  uint64_t delta_consolidations = 0; ///< forced full writes on slot reuse
 
   /// Flash hit ratio over all DRAM misses (Table 3a).
   double HitRate() const {
@@ -68,6 +73,23 @@ struct CacheStats {
 struct FlashReadResult {
   bool dirty = false;   ///< flash copy is newer than the disk copy
   Lsn rec_lsn = kInvalidLsn;  ///< conservative recLSN if dirty (ARIES DPT)
+  /// Version tag of the flash state the page was served from (chain tip for
+  /// delta-capable policies). The buffer pool remembers it per frame; a
+  /// later write-back may emit a delta record only against this exact
+  /// version. kNoFlashVersion = policy cannot delta against this copy.
+  uint64_t flash_version = kNoFlashVersion;
+};
+
+/// Write-back context for the delta path, passed by the buffer pool on
+/// eviction and checkpoint offers. `tracker` describes which bytes changed
+/// since the frame matched flash version `flash_version`; a policy that
+/// appends a delta record (instead of a full page) reports the resulting
+/// chain tip in `new_version` so the caller can keep the frame delta-capable
+/// (checkpoint absorption keeps the frame in DRAM).
+struct DeltaWriteHint {
+  const PageDeltaTracker* tracker = nullptr;
+  uint64_t flash_version = kNoFlashVersion;
+  uint64_t new_version = kNoFlashVersion;  ///< out: tip after the write
 };
 
 /// A flash caching policy. Single-threaded, like the rest of the engine.
@@ -93,23 +115,35 @@ class CacheExtension {
   /// than the flash copy (if any). `page` is mutable so the policy can
   /// stamp checksums in place before writing to flash. `rec_lsn` is the
   /// frame's recLSN at eviction (for non-persistent write-back caches).
+  /// `hint` (optional) enables the page-differential path: when the frame's
+  /// tracked regions are small and its version matches the policy's chain
+  /// tip, the policy may append a delta record instead of a full page.
   virtual Status OnDramEvict(PageId page_id, char* page, bool dirty,
-                             bool fdirty, Lsn rec_lsn) = 0;
+                             bool fdirty, Lsn rec_lsn,
+                             DeltaWriteHint* hint = nullptr) = 0;
 
   /// A page was just fetched from disk on a DRAM miss (on-entry policies
-  /// admit here; on-exit policies ignore it).
-  virtual Status OnFetchFromDisk(PageId page_id, const char* page) {
+  /// admit here; on-exit policies ignore it). A policy that admitted the
+  /// page reports the flash version it can later delta against through
+  /// `admitted_version` (left untouched otherwise).
+  virtual Status OnFetchFromDisk(PageId page_id, const char* page,
+                                 uint64_t* admitted_version = nullptr) {
     (void)page_id;
     (void)page;
+    (void)admitted_version;
     return Status::OK();
   }
 
   /// Offer a dirty DRAM page to the cache during a database checkpoint.
   /// Returns true if the cache absorbed it persistently (FaCE enqueues to
-  /// flash); false means the caller must write it to disk.
-  virtual StatusOr<bool> CheckpointPage(PageId page_id, char* page) {
+  /// flash); false means the caller must write it to disk. `hint` as in
+  /// OnDramEvict; an absorbing policy fills hint->new_version so the frame
+  /// (which stays in DRAM) remains delta-capable.
+  virtual StatusOr<bool> CheckpointPage(PageId page_id, char* page,
+                                        DeltaWriteHint* hint = nullptr) {
     (void)page_id;
     (void)page;
+    (void)hint;
     return false;
   }
 
@@ -168,7 +202,7 @@ class NullCache final : public CacheExtension {
     return Status::NotFound("null cache holds nothing");
   }
   Status OnDramEvict(PageId page_id, char* page, bool dirty, bool fdirty,
-                     Lsn rec_lsn) override;
+                     Lsn rec_lsn, DeltaWriteHint* hint = nullptr) override;
   Status RecoverAfterCrash() override { return Status::OK(); }
 
  private:

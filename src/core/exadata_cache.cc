@@ -33,10 +33,16 @@ ExaObs& GetExaObs() {
 
 ExadataCache::ExadataCache(uint64_t n_frames, SimDevice* flash,
                            DbStorage* storage)
-    : n_frames_(n_frames), flash_(flash), storage_(storage) {
+    : n_frames_(n_frames),
+      flash_(flash),
+      storage_(storage),
+      delta_(DeltaRingOptions{
+                 n_frames,
+                 static_cast<uint32_t>(FlashLayout::DeltaBlocksFor(n_frames))},
+             flash) {
   assert(n_frames_ >= 2);
   assert(n_frames_ <= static_cast<uint64_t>(INT32_MAX));  // int32 LRU links
-  assert(flash_->capacity_pages() >= n_frames_);
+  assert(flash_->capacity_pages() >= DeviceBlocksFor(n_frames_));
   index_.Reserve(n_frames_);  // steady state never rehashes
   frame_page_.assign(n_frames_, kInvalidPageId);
   links_.assign(n_frames_, IntrusiveLinks());
@@ -45,6 +51,10 @@ ExadataCache::ExadataCache(uint64_t n_frames, SimDevice* flash,
     free_frames_.push_back(static_cast<uint32_t>(n_frames_ - 1 - i));
   }
   scratch_.resize(kPageSize);
+  consolidate_buf_.resize(kPageSize);
+  delta_.SetConsolidateFn([this](const std::vector<PageId>& pids) {
+    return ConsolidateDeltaPages(pids);
+  });
 }
 
 StatusOr<FlashReadResult> ExadataCache::ReadPage(PageId page_id, char* out) {
@@ -59,11 +69,18 @@ StatusOr<FlashReadResult> ExadataCache::ReadPage(PageId page_id, char* out) {
   if (!view.VerifyChecksum() || view.page_id() != page_id) {
     return Status::Corruption("Exadata cache frame failed validation");
   }
+  // The frame is the chain base; patch delta refreshes on top and hand the
+  // caller the tip version so it can delta against this copy later.
+  delta_.ApplyChain(page_id, out);
   lru_.MoveToFront(FrameLinks(), frame);
-  return FlashReadResult{false, kInvalidLsn};  // clean-only cache
+  FlashReadResult result{false, kInvalidLsn};  // clean-only cache
+  DeltaRing::ChainView cv;
+  if (delta_.GetChain(page_id, &cv)) result.flash_version = cv.tip_version;
+  return result;
 }
 
-Status ExadataCache::OnFetchFromDisk(PageId page_id, const char* page) {
+Status ExadataCache::OnFetchFromDisk(PageId page_id, const char* page,
+                                     uint64_t* admitted_version) {
   if (Contains(page_id)) return Status::OK();
 
   uint32_t frame;
@@ -74,6 +91,7 @@ Status ExadataCache::OnFetchFromDisk(PageId page_id, const char* page) {
     // LRU replacement: victims are always clean, so they are just dropped.
     frame = static_cast<uint32_t>(lru_.tail());
     lru_.Remove(FrameLinks(), frame);
+    delta_.Drop(frame_page_[frame]);
     index_.Erase(frame_page_[frame]);
     frame_page_[frame] = kInvalidPageId;
     ++stats_.invalidations;
@@ -86,6 +104,8 @@ Status ExadataCache::OnFetchFromDisk(PageId page_id, const char* page) {
   view.StampChecksum();
   FACE_RETURN_IF_ERROR(flash_->Write(frame, scratch_.data()));
   ++stats_.flash_writes;
+  const uint64_t version = delta_.BeginFull(page_id, frame);
+  if (admitted_version != nullptr) *admitted_version = version;
 
   frame_page_[frame] = page_id;
   lru_.PushFront(FrameLinks(), frame);
@@ -96,7 +116,8 @@ Status ExadataCache::OnFetchFromDisk(PageId page_id, const char* page) {
 }
 
 Status ExadataCache::OnDramEvict(PageId page_id, char* page, bool dirty,
-                                 bool fdirty, Lsn rec_lsn) {
+                                 bool fdirty, Lsn rec_lsn,
+                                 DeltaWriteHint* hint) {
   (void)fdirty;
   (void)rec_lsn;
   if (!dirty) return Status::OK();
@@ -104,9 +125,34 @@ Status ExadataCache::OnDramEvict(PageId page_id, char* page, bool dirty,
   if (obs::Enabled()) GetExaObs().dirty_evictions->Increment();
   FACE_RETURN_IF_ERROR(storage_->WritePage(page_id, page));
   ++stats_.disk_writes;
-  // The cached copy (if any) is stale now; a clean-only cache invalidates
-  // rather than updates it.
-  if (const uint32_t* frame = index_.Find(page_id)) DropFrame(*frame);
+  const uint32_t* frame = index_.Find(page_id);
+  if (frame == nullptr) return Status::OK();
+  // Page-differential path: a small update whose chain tip matches the
+  // cached copy becomes a delta record (dirty = false — disk stays
+  // current) and the page keeps serving read hits. Otherwise fall back to
+  // the classic clean-only behavior: invalidate rather than update.
+  if (hint != nullptr && hint->tracker != nullptr &&
+      !hint->tracker->whole_page() && hint->tracker->region_count() > 0) {
+    const uint32_t size = PageDeltaRecord::EncodedSizeFor(*hint->tracker);
+    if (delta_.CanAppend(page_id, hint->flash_version, size)) {
+      auto version = delta_.Append(page_id, hint->flash_version,
+                                   *hint->tracker, ConstPageView(page).lsn(),
+                                   /*dirty=*/false, page);
+      if (!version.ok()) return version.status();
+      if (*version != kNoFlashVersion) {
+        hint->new_version = *version;
+        SyncDeltaStats();
+        return Status::OK();
+      }
+      // Append consolidated this chain away; the frame now holds a stale
+      // base with no chain. Re-find: consolidation never moves frames, but
+      // stay defensive about index mutation.
+      SyncDeltaStats();
+      frame = index_.Find(page_id);
+      if (frame == nullptr) return Status::OK();
+    }
+  }
+  DropFrame(*frame);
   return Status::OK();
 }
 
@@ -117,10 +163,41 @@ void ExadataCache::OnPageWrittenToDisk(PageId page_id) {
 void ExadataCache::DropFrame(uint32_t frame) {
   free_frames_.push_back(frame);
   lru_.Remove(FrameLinks(), frame);
+  delta_.Drop(frame_page_[frame]);
   index_.Erase(frame_page_[frame]);
   frame_page_[frame] = kInvalidPageId;
   ++stats_.invalidations;
   if (obs::Enabled()) GetExaObs().invalidations->Increment();
+}
+
+Status ExadataCache::ConsolidateDeltaPages(const std::vector<PageId>& pids) {
+  for (PageId pid : pids) {
+    const uint32_t* frame = index_.Find(pid);
+    if (frame == nullptr) continue;
+    DeltaRing::ChainView cv;
+    if (!delta_.GetChain(pid, &cv) || cv.len == 0 || cv.base_tag != *frame) {
+      continue;
+    }
+    // Rebuild the tip image and rewrite it into the page's frame in place;
+    // the full write re-bases the chain, freeing the doomed records.
+    FACE_RETURN_IF_ERROR(flash_->Read(*frame, consolidate_buf_.data()));
+    ++stats_.flash_reads;
+    delta_.ApplyChain(pid, consolidate_buf_.data());
+    PageView view(consolidate_buf_.data());
+    view.StampChecksum();
+    FACE_RETURN_IF_ERROR(flash_->Write(*frame, consolidate_buf_.data()));
+    ++stats_.flash_writes;
+    delta_.BeginFull(pid, *frame);
+  }
+  return Status::OK();
+}
+
+void ExadataCache::SyncDeltaStats() {
+  const DeltaRingStats& d = delta_.stats();
+  stats_.delta_records = d.records;
+  stats_.delta_record_bytes = d.record_bytes;
+  stats_.delta_block_writes = d.block_writes;
+  stats_.delta_consolidations = d.consolidations;
 }
 
 Status ExadataCache::RecoverAfterCrash() {
@@ -132,6 +209,9 @@ Status ExadataCache::RecoverAfterCrash() {
   for (uint64_t i = 0; i < n_frames_; ++i) {
     free_frames_.push_back(static_cast<uint32_t>(n_frames_ - 1 - i));
   }
+  // The DRAM directory is gone, and delta chains are part of it.
+  FACE_RETURN_IF_ERROR(delta_.Reset());
+  SyncDeltaStats();
   return Status::OK();
 }
 
@@ -154,7 +234,20 @@ Status ExadataCache::CheckInvariants() const {
   if (index_.size() + free_frames_.size() != n_frames_) {
     return Status::Internal("Exadata frame accounting broken");
   }
-  return Status::OK();
+  FACE_RETURN_IF_ERROR(delta_.CheckInvariants());
+  Status delta_audit = Status::OK();
+  delta_.ForEachChain(
+      [this, &delta_audit](PageId page_id, const DeltaRing::ChainView& cv) {
+        const uint32_t* frame = index_.Find(page_id);
+        if (frame == nullptr) {
+          delta_audit =
+              Status::Internal("Exadata delta chain for uncached page");
+        } else if (cv.base_tag != *frame) {
+          delta_audit =
+              Status::Internal("Exadata delta chain base/frame mismatch");
+        }
+      });
+  return delta_audit;
 }
 
 }  // namespace face

@@ -23,6 +23,8 @@
 #include "common/status.h"
 #include "common/types.h"
 #include "core/cache_ext.h"
+#include "core/delta_ring.h"
+#include "core/flash_layout.h"
 #include "sim/sim_device.h"
 #include "storage/db_storage.h"
 
@@ -31,7 +33,13 @@ namespace face {
 /// The Exadata-style cache extension; see file comment. Single-threaded.
 class ExadataCache final : public CacheExtension {
  public:
-  /// `flash` must have at least `n_frames` blocks.
+  /// Device blocks the cache needs: one frame per page plus the
+  /// delta-record ring appended past the frames.
+  static uint64_t DeviceBlocksFor(uint64_t n_frames) {
+    return n_frames + FlashLayout::DeltaBlocksFor(n_frames);
+  }
+
+  /// `flash` must have at least DeviceBlocksFor(n_frames) blocks.
   ExadataCache(uint64_t n_frames, SimDevice* flash, DbStorage* storage);
 
   // CacheExtension interface --------------------------------------------------
@@ -42,9 +50,13 @@ class ExadataCache final : public CacheExtension {
   }
   StatusOr<FlashReadResult> ReadPage(PageId page_id, char* out) override;
   Status OnDramEvict(PageId page_id, char* page, bool dirty, bool fdirty,
-                     Lsn rec_lsn) override;
-  Status OnFetchFromDisk(PageId page_id, const char* page) override;
-  StatusOr<bool> CheckpointPage(PageId, char*) override { return false; }
+                     Lsn rec_lsn, DeltaWriteHint* hint = nullptr) override;
+  Status OnFetchFromDisk(PageId page_id, const char* page,
+                         uint64_t* admitted_version = nullptr) override;
+  StatusOr<bool> CheckpointPage(PageId, char*,
+                                DeltaWriteHint* = nullptr) override {
+    return false;
+  }
   void OnPageWrittenToDisk(PageId page_id) override;
   Status RecoverAfterCrash() override;
   Status CheckInvariants() const override;
@@ -60,6 +72,11 @@ class ExadataCache final : public CacheExtension {
 
   /// Drop the entry cached in `frame` and free the frame.
   void DropFrame(uint32_t frame);
+  /// DeltaRing slot-reuse callback: rewrite the tip image of each page
+  /// with records in the reclaimed ring slot into its frame (re-basing).
+  Status ConsolidateDeltaPages(const std::vector<PageId>& pids);
+  /// Mirror DeltaRing counters into the shared CacheStats block.
+  void SyncDeltaStats();
 
   uint64_t n_frames_;
   SimDevice* flash_;
@@ -71,6 +88,13 @@ class ExadataCache final : public CacheExtension {
   IntrusiveList lru_;
   std::vector<uint32_t> free_frames_;
   std::string scratch_;
+
+  /// Page-differential refresh (see delta_ring.h): instead of invalidating
+  /// a cached copy on every dirty DRAM eviction, a small write-through
+  /// update becomes a delta record (dirty = false — disk stays current)
+  /// and the page stays cached. Base tag = frame index. Not durable state.
+  DeltaRing delta_;
+  std::string consolidate_buf_;  ///< tip-image rebuild arena (one page)
 };
 
 }  // namespace face

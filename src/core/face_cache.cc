@@ -19,6 +19,8 @@ struct FaceObs {
   obs::Counter* invalidations;
   obs::Counter* second_chances;
   obs::Counter* meta_seg_flushes;
+  obs::Counter* delta_appends;
+  obs::Counter* delta_consolidations;
   obs::Hist* group_flush_pages;
   obs::Hist* group_dequeue_pages;
 };
@@ -31,6 +33,8 @@ FaceObs& GetFaceObs() {
     f.invalidations = reg.GetCounter("core.face.invalidations");
     f.second_chances = reg.GetCounter("core.face.second_chances");
     f.meta_seg_flushes = reg.GetCounter("core.face.meta_seg_flushes");
+    f.delta_appends = reg.GetCounter("core.face.delta_appends");
+    f.delta_consolidations = reg.GetCounter("core.face.delta_consolidations");
     f.group_flush_pages = reg.GetHistogram("core.face.group_flush_pages");
     f.group_dequeue_pages = reg.GetHistogram("core.face.group_dequeue_pages");
     return f;
@@ -100,7 +104,10 @@ FaceCache::FaceCache(const FaceOptions& options, SimDevice* flash,
     : options_(options),
       layout_(FlashLayout::Compute(options.n_frames, options.seg_entries)),
       flash_(flash),
-      storage_(storage) {
+      storage_(storage),
+      delta_(DeltaRingOptions{layout_.delta_base,
+                              static_cast<uint32_t>(layout_.delta_blocks)},
+             flash) {
   assert(options_.n_frames >= 2);
   assert(!options_.second_chance || options_.group_replace ||
          (options_.group_replace = true));  // GSC implies GR
@@ -108,9 +115,13 @@ FaceCache::FaceCache(const FaceOptions& options, SimDevice* flash,
   assert(flash_->capacity_pages() >= layout_.total_blocks);
   newest_.Reserve(options_.n_frames);  // steady state never rehashes
   scratch_.resize(kPageSize);
+  consolidate_buf_.resize(kPageSize);
   if (options_.group_replace) {
     staging_buf_.resize(static_cast<size_t>(options_.group_size) * kPageSize);
   }
+  delta_.SetConsolidateFn([this](const std::vector<PageId>& pids) {
+    return ConsolidateDeltaPages(pids);
+  });
 }
 
 const char* FaceCache::name() const {
@@ -126,6 +137,8 @@ Status FaceCache::Format() {
   newest_.Clear();
   seg_buf_.clear();
   sb_front_seq_ = sb_rear_seq_ = 0;
+  FACE_RETURN_IF_ERROR(delta_.Reset());
+  SyncDeltaStats();
   return WriteSuperblock();
 }
 
@@ -251,11 +264,17 @@ StatusOr<FlashReadResult> FaceCache::ReadPage(PageId page_id, char* out) {
       return Status::Corruption("flash cache frame failed validation");
     }
   }
-  return FlashReadResult{e.dirty, kInvalidLsn};
+  // The frame is the chain *base*; patch any delta records on top and hand
+  // the caller the tip version so it can delta against this copy later.
+  delta_.ApplyChain(page_id, out);
+  FlashReadResult result{e.dirty, kInvalidLsn};
+  DeltaRing::ChainView cv;
+  if (delta_.GetChain(page_id, &cv)) result.flash_version = cv.tip_version;
+  return result;
 }
 
 Status FaceCache::Enqueue(PageId page_id, const char* page, bool dirty,
-                          Lsn lsn) {
+                          Lsn lsn, uint64_t* out_version) {
   assert(live_entries() < options_.n_frames);
   const uint64_t seq = rear_seq_;
 
@@ -270,6 +289,10 @@ Status FaceCache::Enqueue(PageId page_id, const char* page, bool dirty,
   ++rear_seq_;
   ++stats_.enqueues;
   if (obs::Enabled()) GetFaceObs().enqueues->Increment();
+
+  // A full image re-bases the page's delta chain (drops older records).
+  const uint64_t version = delta_.BeginFull(page_id, seq);
+  if (out_version != nullptr) *out_version = version;
 
   FACE_RETURN_IF_ERROR(WriteFrame(seq, page, page_id, lsn));
   return AppendMeta(seq, FlashMetaEntry{page_id, lsn, dirty, true});
@@ -288,11 +311,17 @@ Status FaceCache::DequeueOne() {
       FACE_RETURN_IF_ERROR(flash_->Read(layout_.FrameBlock(front_seq_),
                                         scratch_.data()));
       ++stats_.flash_reads;
+      // The frame is a chain base: destage the *tip* image, not the stale
+      // base (the chain carries all refreshes since the full write).
+      delta_.ApplyChain(e.page_id, scratch_.data());
       FACE_RETURN_IF_ERROR(storage_->WritePage(e.page_id, scratch_.data()));
       ++stats_.disk_writes;
     }
     const uint64_t* seq = newest_.Find(e.page_id);
-    if (seq != nullptr && *seq == front_seq_) newest_.Erase(e.page_id);
+    if (seq != nullptr && *seq == front_seq_) {
+      newest_.Erase(e.page_id);
+      delta_.Drop(e.page_id);
+    }
   }
   entries_.pop_front();
   ++front_seq_;
@@ -314,6 +343,15 @@ Status FaceCache::DequeueGroup() {
   }
   char* buf = dequeue_buf_.data();
   FACE_RETURN_IF_ERROR(ReadFrames(front_seq_, batch, buf));
+
+  // Valid frames are chain bases: patch each up to its tip image before
+  // deciding fates, so disk writes and second-chance re-enqueues carry
+  // every delta refresh since the full write.
+  for (uint32_t k = 0; k < batch; ++k) {
+    const Entry& e = EntryAt(front_seq_ + k);
+    if (e.page_id == kInvalidPageId || !e.valid) continue;
+    delta_.ApplyChain(e.page_id, buf + static_cast<size_t>(k) * kPageSize);
+  }
 
   // Decide each page's fate.
   struct Survivor {
@@ -355,7 +393,10 @@ Status FaceCache::DequeueGroup() {
     const Entry& e = entries_.front();
     if (e.page_id != kInvalidPageId && e.valid) {
       const uint64_t* seq = newest_.Find(e.page_id);
-      if (seq != nullptr && *seq == front_seq_) newest_.Erase(e.page_id);
+      if (seq != nullptr && *seq == front_seq_) {
+        newest_.Erase(e.page_id);
+        delta_.Drop(e.page_id);
+      }
     }
     entries_.pop_front();
     ++front_seq_;
@@ -397,6 +438,7 @@ Status FaceCache::FillBatchFromDram() {
         if (const uint64_t* seq = newest_.Find(pid)) {
           EntryAt(*seq).valid = false;
           newest_.Erase(pid);
+          delta_.Drop(pid);
           ++stats_.invalidations;
         }
         FACE_RETURN_IF_ERROR(storage_->WritePage(pid, page.data()));
@@ -411,8 +453,76 @@ Status FaceCache::FillBatchFromDram() {
   return Status::OK();
 }
 
+StatusOr<bool> FaceCache::TryDeltaRefresh(PageId page_id, const char* page,
+                                          bool dirty, DeltaWriteHint* hint) {
+  if (hint == nullptr || hint->tracker == nullptr) return false;
+  const PageDeltaTracker& tracker = *hint->tracker;
+  if (tracker.whole_page() || tracker.region_count() == 0) return false;
+  const uint32_t size = PageDeltaRecord::EncodedSizeFor(tracker);
+  if (!delta_.CanAppend(page_id, hint->flash_version, size)) return false;
+  const uint64_t* seqp = newest_.Find(page_id);
+  if (seqp == nullptr) return false;  // chain would be unmatched at restart
+  Entry& e = EntryAt(*seqp);
+  if (!e.valid) return false;
+
+  const Lsn lsn = ConstPageView(page).lsn();
+  auto version =
+      delta_.Append(page_id, hint->flash_version, tracker, lsn, dirty, page);
+  if (!version.ok()) return version.status();
+  if (*version == kNoFlashVersion) return false;  // chain died making room
+
+  // The entry now describes base + chain: its LSN advances to the record's
+  // (recovery's duplicate resolution and the destage path both rely on it),
+  // and a dirty record makes the flash copy newer than disk.
+  e.lsn = lsn;
+  e.dirty = e.dirty || dirty;
+  hint->new_version = *version;
+  if (obs::Enabled()) GetFaceObs().delta_appends->Increment();
+  return true;
+}
+
+Status FaceCache::ConsolidateDeltaPages(const std::vector<PageId>& pids) {
+  for (PageId pid : pids) {
+    const uint64_t* seqp = newest_.Find(pid);
+    if (seqp == nullptr) continue;  // destaged earlier in this sweep
+    const uint64_t seq = *seqp;
+    const Entry& e = EntryAt(seq);
+    if (!e.valid) continue;
+    DeltaRing::ChainView cv;
+    if (!delta_.GetChain(pid, &cv) || cv.len == 0 || cv.base_tag != seq) {
+      continue;
+    }
+    // Rebuild the tip image (base + chain) and re-enqueue it as a fresh
+    // full frame; Enqueue re-bases the chain, freeing the doomed records.
+    char* img = consolidate_buf_.data();
+    if (options_.group_replace && staged_count_ > 0 && seq >= staged_base_) {
+      memcpy(img, StagingSlot(seq - staged_base_), kPageSize);
+    } else {
+      FACE_RETURN_IF_ERROR(flash_->Read(layout_.FrameBlock(seq), img));
+      ++stats_.flash_reads;
+    }
+    delta_.ApplyChain(pid, img);
+    const bool dirty = e.dirty;
+    const Lsn lsn = e.lsn;
+    if (live_entries() >= options_.n_frames) FACE_RETURN_IF_ERROR(MakeRoom());
+    FACE_RETURN_IF_ERROR(Enqueue(pid, img, dirty, lsn));
+    if (obs::Enabled()) GetFaceObs().delta_consolidations->Increment();
+  }
+  // The fresh full frames must hit the media before the ring slot is
+  // reused — in group-replace mode they are sitting in the staging arena.
+  return FlushStaging();
+}
+
+void FaceCache::SyncDeltaStats() {
+  const DeltaRingStats& d = delta_.stats();
+  stats_.delta_records = d.records;
+  stats_.delta_record_bytes = d.record_bytes;
+  stats_.delta_block_writes = d.block_writes;
+  stats_.delta_consolidations = d.consolidations;
+}
+
 Status FaceCache::OnDramEvict(PageId page_id, char* page, bool dirty,
-                              bool fdirty, Lsn rec_lsn) {
+                              bool fdirty, Lsn rec_lsn, DeltaWriteHint* hint) {
   (void)rec_lsn;  // FaCE is persistent; recLSNs die with the DRAM copy.
   if (dirty) ++stats_.dirty_evictions;
 
@@ -423,6 +533,7 @@ Status FaceCache::OnDramEvict(PageId page_id, char* page, bool dirty,
     if (const uint64_t* seq = newest_.Find(page_id)) {
       EntryAt(*seq).valid = false;
       newest_.Erase(page_id);
+      delta_.Drop(page_id);
       ++stats_.invalidations;
     }
     FACE_RETURN_IF_ERROR(storage_->WritePage(page_id, page));
@@ -442,31 +553,60 @@ Status FaceCache::OnDramEvict(PageId page_id, char* page, bool dirty,
     enqueue_dirty = false;  // disk already current
   }
 
+  // Page-differential fast path: a small refresh of a page whose chain tip
+  // matches the evicted frame's version becomes a compact delta record in
+  // the shared ring — no frame write, no metadata append.
+  auto refreshed = TryDeltaRefresh(page_id, page, enqueue_dirty, hint);
+  if (!refreshed.ok()) return refreshed.status();
+  if (*refreshed) {
+    SyncDeltaStats();
+    return Status::OK();
+  }
+
   const bool was_full = live_entries() >= options_.n_frames;
   if (was_full) FACE_RETURN_IF_ERROR(MakeRoom());
-  FACE_RETURN_IF_ERROR(
-      Enqueue(page_id, page, enqueue_dirty, ConstPageView(page).lsn()));
+  uint64_t version = kNoFlashVersion;
+  FACE_RETURN_IF_ERROR(Enqueue(page_id, page, enqueue_dirty,
+                               ConstPageView(page).lsn(), &version));
+  if (hint != nullptr) hint->new_version = version;
   if (options_.second_chance && was_full) {
     FACE_RETURN_IF_ERROR(FillBatchFromDram());
   }
+  SyncDeltaStats();
   return Status::OK();
 }
 
-StatusOr<bool> FaceCache::CheckpointPage(PageId page_id, char* page) {
+StatusOr<bool> FaceCache::CheckpointPage(PageId page_id, char* page,
+                                         DeltaWriteHint* hint) {
   // A checkpointed dirty page enters the flash cache instead of disk; the
   // flash copy becomes the persistent version (still newer than disk).
+  // Small refreshes ride the delta ring (made durable by OnCheckpoint's
+  // Flush before the checkpoint completes).
+  auto refreshed = TryDeltaRefresh(page_id, page, /*dirty=*/true, hint);
+  if (!refreshed.ok()) return refreshed.status();
+  if (*refreshed) {
+    SyncDeltaStats();
+    return true;
+  }
   const bool was_full = live_entries() >= options_.n_frames;
   if (was_full) FACE_RETURN_IF_ERROR(MakeRoom());
-  FACE_RETURN_IF_ERROR(
-      Enqueue(page_id, page, /*dirty=*/true, ConstPageView(page).lsn()));
+  uint64_t version = kNoFlashVersion;
+  FACE_RETURN_IF_ERROR(Enqueue(page_id, page, /*dirty=*/true,
+                               ConstPageView(page).lsn(), &version));
+  if (hint != nullptr) hint->new_version = version;
+  SyncDeltaStats();
   return true;
 }
 
 Status FaceCache::OnCheckpoint() {
   // Pages absorbed by the checkpoint must actually be on flash when the
   // checkpoint completes. Metadata rides the normal segment cadence — the
-  // bounded two-segment rebuild covers the in-memory remainder.
-  return FlushStaging();
+  // bounded two-segment rebuild covers the in-memory remainder. Delta
+  // records absorbed by the checkpoint get the same guarantee from Flush.
+  FACE_RETURN_IF_ERROR(FlushStaging());
+  FACE_RETURN_IF_ERROR(delta_.Flush());
+  SyncDeltaStats();
+  return Status::OK();
 }
 
 Status FaceCache::RecoverAfterCrash() {
@@ -604,6 +744,34 @@ Status FaceCache::RecoverAfterCrash() {
   staged_base_ = rear_seq_;
   sb_front_seq_ = front_seq_;
   sb_rear_seq_ = persisted_rear;
+
+  // 5. Delta chains. Every valid entry is a potential chain base; scan the
+  //    delta ring and re-attach surviving records to the entry that owns
+  //    their page. A record belongs iff its base tag names the page's
+  //    newest full frame, its chain index extends the chain contiguously,
+  //    and its LSN advances the page (records of invalidated bases, or past
+  //    a torn/overwritten predecessor, fail these tests and stay garbage).
+  for (uint64_t seq = front_seq_; seq < rear_seq_; ++seq) {
+    const Entry& e = EntryAt(seq);
+    if (e.valid) delta_.BeginFull(e.page_id, seq);
+  }
+  auto recovered = delta_.RecoverScan();
+  FACE_RETURN_IF_ERROR(recovered.status());
+  for (const DeltaRing::RecoveredRecord& r : *recovered) {
+    const uint64_t* seqp = newest_.Find(r.rec.page_id);
+    if (seqp == nullptr || r.rec.base_version != *seqp) continue;
+    Entry& e = EntryAt(*seqp);
+    DeltaRing::ChainView cv;
+    if (!delta_.GetChain(r.rec.page_id, &cv)) continue;
+    if (r.rec.chain_idx != cv.len) continue;  // gap: predecessor lost
+    const Lsn prev = cv.len > 0 ? cv.tip_lsn : e.lsn;
+    if (prev != kInvalidLsn && r.rec.lsn <= prev) continue;
+    delta_.AttachRecovered(r.rec.page_id, r);
+    e.lsn = r.rec.lsn;
+    e.dirty = e.dirty || r.rec.dirty != 0;
+    ++recovery_info_.delta_records_attached;
+  }
+  SyncDeltaStats();
   return Status::OK();
 }
 
@@ -635,6 +803,18 @@ StatusOr<uint64_t> FaceCache::AuditFrames() {
         static_cast<uint32_t>(seq)) {
       return Status::Corruption("audit: frame sequence stamp mismatch (seq " +
                                 std::to_string(seq) + ")");
+    }
+    DeltaRing::ChainView cv;
+    if (delta_.GetChain(e.page_id, &cv) && cv.len > 0) {
+      // The chain's tip must reconstruct cleanly on top of this base and
+      // land exactly on the entry's LSN.
+      if (bytes != buf.data()) memcpy(buf.data(), bytes, kPageSize);
+      delta_.ApplyChain(e.page_id, buf.data());
+      ConstPageView tip(buf.data());
+      if (!tip.VerifyChecksum() || tip.lsn() != e.lsn) {
+        return Status::Corruption("audit: delta chain tip mismatch (seq " +
+                                  std::to_string(seq) + ")");
+      }
     }
     ++audited;
   }
@@ -670,7 +850,30 @@ Status FaceCache::CheckInvariants() const {
   if (seg_buf_.size() != expect_segbuf) {
     return Status::Internal("segment buffer out of sync with rear");
   }
-  return Status::OK();
+  FACE_RETURN_IF_ERROR(delta_.CheckInvariants());
+  Status chains = Status::OK();
+  delta_.ForEachChain([&](PageId pid, const DeltaRing::ChainView& cv) {
+    if (!chains.ok()) return;
+    const uint64_t* seqp = newest_.Find(pid);
+    if (seqp == nullptr || cv.base_tag != *seqp) {
+      chains = Status::Internal("delta chain base is not the page's newest");
+      return;
+    }
+    const Entry& e = EntryAt(*seqp);
+    if (!e.valid) {
+      chains = Status::Internal("delta chain based on an invalid entry");
+      return;
+    }
+    if (cv.len > 0 && cv.tip_lsn != e.lsn) {
+      chains = Status::Internal("delta chain tip LSN != entry LSN");
+      return;
+    }
+    if (cv.len > 0 && cv.dirty && !e.dirty) {
+      chains = Status::Internal("dirty delta chain on a clean entry");
+      return;
+    }
+  });
+  return chains;
 }
 
 }  // namespace face

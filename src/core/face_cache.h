@@ -28,6 +28,7 @@
 #include "common/status.h"
 #include "common/types.h"
 #include "core/cache_ext.h"
+#include "core/delta_ring.h"
 #include "core/flash_layout.h"
 #include "sim/sim_device.h"
 #include "storage/db_storage.h"
@@ -68,6 +69,7 @@ class FaceCache final : public CacheExtension {
     uint64_t rebuilt_frames_scanned = 0;
     uint64_t entries_restored = 0;
     uint64_t valid_pages_restored = 0;
+    uint64_t delta_records_attached = 0;
   };
 
   /// `flash` must be at least FlashLayout::Compute(...).total_blocks pages.
@@ -86,8 +88,9 @@ class FaceCache final : public CacheExtension {
   }
   StatusOr<FlashReadResult> ReadPage(PageId page_id, char* out) override;
   Status OnDramEvict(PageId page_id, char* page, bool dirty, bool fdirty,
-                     Lsn rec_lsn) override;
-  StatusOr<bool> CheckpointPage(PageId page_id, char* page) override;
+                     Lsn rec_lsn, DeltaWriteHint* hint = nullptr) override;
+  StatusOr<bool> CheckpointPage(PageId page_id, char* page,
+                                DeltaWriteHint* hint = nullptr) override;
   Status OnCheckpoint() override;
   Status RecoverAfterCrash() override;
   void SetPullSource(DramPullSource* source) override { pull_ = source; }
@@ -116,6 +119,7 @@ class FaceCache final : public CacheExtension {
   }
   const FaceOptions& options() const { return options_; }
   const FlashLayout& layout() const { return layout_; }
+  const DeltaRing& delta_ring() const { return delta_; }
   const RecoveryInfo& recovery_info() const { return recovery_info_; }
   uint64_t front_seq() const { return front_seq_; }
   uint64_t rear_seq() const { return rear_seq_; }
@@ -135,8 +139,24 @@ class FaceCache final : public CacheExtension {
     return entries_[seq - front_seq_];
   }
 
-  /// Append a page at the rear (the page must fit: live < n_frames).
-  Status Enqueue(PageId page_id, const char* page, bool dirty, Lsn lsn);
+  /// Append a page at the rear (the page must fit: live < n_frames). The
+  /// full image re-bases the page's delta chain; `out_version` (optional)
+  /// receives the fresh chain-tip version for the buffer pool.
+  Status Enqueue(PageId page_id, const char* page, bool dirty, Lsn lsn,
+                 uint64_t* out_version = nullptr);
+  /// Page-differential fast path: when the evicted/checkpointed frame's
+  /// tracked regions are small and its version matches the chain tip,
+  /// append a delta record instead of a full frame. True = handled (entry
+  /// lsn/dirty advanced, hint->new_version filled); false = caller must
+  /// take the full-write path.
+  StatusOr<bool> TryDeltaRefresh(PageId page_id, const char* page, bool dirty,
+                                 DeltaWriteHint* hint);
+  /// DeltaRing slot-reuse callback: re-enqueue the current tip image of
+  /// every page whose chain still has records in the slot being reclaimed,
+  /// then make the fresh full frames durable.
+  Status ConsolidateDeltaPages(const std::vector<PageId>& pids);
+  /// Mirror DeltaRing counters into the shared CacheStats block.
+  void SyncDeltaStats();
   /// Free at least one slot per the configured replacement flavor.
   Status MakeRoom();
   /// Base mvFIFO: stage out one page with individual I/Os.
@@ -207,6 +227,12 @@ class FaceCache final : public CacheExtension {
   std::string dequeue_buf_;  // reusable group-dequeue read buffer
   bool in_group_replace_ = false;  // guards GSC reentrancy
   RecoveryInfo recovery_info_;
+
+  /// Page-differential write-back (see delta_ring.h). Chains are keyed by
+  /// page id and based on the page's newest full frame (base tag = enqueue
+  /// seq); consolidation re-enqueues tip images through the normal path.
+  DeltaRing delta_;
+  std::string consolidate_buf_;  // tip-image rebuild arena (one page)
 };
 
 }  // namespace face

@@ -2,6 +2,7 @@
 //
 //   block 0                          superblock
 //   [1, 1 + ring * seg_blocks)       metadata segment ring
+//   [delta_base, delta_base + D)     page-delta record ring (see delta_ring.h)
 //   [frame_base, frame_base + N)     page frames (circular mvFIFO queue)
 //
 // Frames are addressed by *enqueue sequence number*: frame(seq) =
@@ -55,8 +56,16 @@ struct FlashLayout {
   uint32_t seg_blocks = 0;     ///< device blocks per segment
   uint64_t ring_segments = 0;  ///< slots in the metadata ring
   uint64_t meta_base = 1;      ///< first block of the ring
+  uint64_t delta_base = 0;     ///< first block of the delta-record ring
+  uint64_t delta_blocks = 0;   ///< delta-record ring size
   uint64_t frame_base = 0;     ///< first frame block
   uint64_t total_blocks = 0;   ///< device capacity this layout needs
+
+  /// Delta ring sized to the frame count: enough slots that steady-state
+  /// chains (capped at a few records each) rarely force consolidation.
+  static uint64_t DeltaBlocksFor(uint64_t n_frames) {
+    return n_frames / 16 < 4 ? 4 : n_frames / 16;
+  }
 
   static FlashLayout Compute(uint64_t n_frames, uint32_t seg_entries) {
     FlashLayout lay;
@@ -70,7 +79,9 @@ struct FlashLayout {
     // ring of n/S + 3 slots never overwrites a segment still needed.
     lay.ring_segments = n_frames / seg_entries + 3;
     lay.meta_base = 1;
-    lay.frame_base = lay.meta_base + lay.ring_segments * lay.seg_blocks;
+    lay.delta_base = lay.meta_base + lay.ring_segments * lay.seg_blocks;
+    lay.delta_blocks = DeltaBlocksFor(n_frames);
+    lay.frame_base = lay.delta_base + lay.delta_blocks;
     lay.total_blocks = lay.frame_base + n_frames;
     return lay;
   }

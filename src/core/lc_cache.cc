@@ -12,16 +12,27 @@ namespace face {
 
 LcCache::LcCache(const LcOptions& options, SimDevice* flash,
                  DbStorage* storage)
-    : options_(options), flash_(flash), storage_(storage) {
+    : options_(options),
+      flash_(flash),
+      storage_(storage),
+      delta_(DeltaRingOptions{
+                 options.n_frames,
+                 static_cast<uint32_t>(
+                     FlashLayout::DeltaBlocksFor(options.n_frames))},
+             flash) {
   assert(options_.n_frames >= 2);
   assert(options_.clean_target <= options_.clean_threshold);
-  assert(flash_->capacity_pages() >= options_.n_frames);
+  assert(flash_->capacity_pages() >= DeviceBlocksFor(options_.n_frames));
   index_.Reserve(options_.n_frames);  // steady state never rehashes
   free_frames_.reserve(options_.n_frames);
   for (uint64_t i = 0; i < options_.n_frames; ++i) {
     free_frames_.push_back(options_.n_frames - 1 - i);
   }
   scratch_.resize(kPageSize);
+  consolidate_buf_.resize(kPageSize);
+  delta_.SetConsolidateFn([this](const std::vector<PageId>& pids) {
+    return ConsolidateDeltaPages(pids);
+  });
 }
 
 void LcCache::Touch(PageId page_id, Entry& e) {
@@ -52,14 +63,22 @@ StatusOr<FlashReadResult> LcCache::ReadPage(PageId page_id, char* out) {
   if (!view.VerifyChecksum() || view.page_id() != page_id) {
     return Status::Corruption("LC cache frame failed validation");
   }
+  // The frame is the chain base; patch delta refreshes on top and hand the
+  // caller the tip version so it can delta against this copy later.
+  delta_.ApplyChain(page_id, out);
   Touch(page_id, e);
-  return FlashReadResult{e.dirty, e.rec_lsn};
+  FlashReadResult result{e.dirty, e.rec_lsn};
+  DeltaRing::ChainView cv;
+  if (delta_.GetChain(page_id, &cv)) result.flash_version = cv.tip_version;
+  return result;
 }
 
 Status LcCache::CleanEntry(PageId page_id, Entry& e) {
   assert(e.dirty);
   FACE_RETURN_IF_ERROR(flash_->Read(e.frame, scratch_.data()));
   ++stats_.flash_reads;
+  // Stage out the chain *tip*, not the stale base.
+  delta_.ApplyChain(page_id, scratch_.data());
   FACE_RETURN_IF_ERROR(storage_->WritePage(page_id, scratch_.data()));
   ++stats_.disk_writes;
   e.dirty = false;
@@ -84,12 +103,40 @@ Status LcCache::EvictVictim() {
   victim_order_.PopMin();
   free_frames_.push_back(e->frame);
   index_.Erase(victim);
+  delta_.Drop(victim);
   ++stats_.invalidations;
   return Status::OK();
 }
 
+Status LcCache::ConsolidateDeltaPages(const std::vector<PageId>& pids) {
+  for (PageId pid : pids) {
+    Entry* e = index_.Find(pid);
+    if (e == nullptr) continue;
+    DeltaRing::ChainView cv;
+    if (!delta_.GetChain(pid, &cv) || cv.len == 0 || cv.base_tag != e->frame) {
+      continue;
+    }
+    // Rebuild the tip image and rewrite it into the page's frame in place;
+    // the full write re-bases the chain, freeing the doomed records.
+    FACE_RETURN_IF_ERROR(flash_->Read(e->frame, consolidate_buf_.data()));
+    ++stats_.flash_reads;
+    delta_.ApplyChain(pid, consolidate_buf_.data());
+    FACE_RETURN_IF_ERROR(WriteFrame(e->frame, consolidate_buf_.data(), pid));
+    delta_.BeginFull(pid, e->frame);
+  }
+  return Status::OK();
+}
+
+void LcCache::SyncDeltaStats() {
+  const DeltaRingStats& d = delta_.stats();
+  stats_.delta_records = d.records;
+  stats_.delta_record_bytes = d.record_bytes;
+  stats_.delta_block_writes = d.block_writes;
+  stats_.delta_consolidations = d.consolidations;
+}
+
 Status LcCache::OnDramEvict(PageId page_id, char* page, bool dirty,
-                            bool fdirty, Lsn rec_lsn) {
+                            bool fdirty, Lsn rec_lsn, DeltaWriteHint* hint) {
   if (dirty) ++stats_.dirty_evictions;
 
   if (Entry* found = index_.Find(page_id)) {
@@ -98,7 +145,30 @@ Status LcCache::OnDramEvict(PageId page_id, char* page, bool dirty,
     // only when the DRAM copy is actually newer (fdirty); otherwise the
     // flash copy is identical and no write is needed.
     if (fdirty) {
-      FACE_RETURN_IF_ERROR(WriteFrame(e.frame, page, page_id));
+      // Page-differential fast path: a small refresh whose chain tip
+      // matches the frame's version becomes a delta record instead of an
+      // in-place (random) full-frame rewrite.
+      bool refreshed = false;
+      if (hint != nullptr && hint->tracker != nullptr &&
+          !hint->tracker->whole_page() &&
+          hint->tracker->region_count() > 0) {
+        const uint32_t size =
+            PageDeltaRecord::EncodedSizeFor(*hint->tracker);
+        if (delta_.CanAppend(page_id, hint->flash_version, size)) {
+          auto version =
+              delta_.Append(page_id, hint->flash_version, *hint->tracker,
+                            ConstPageView(page).lsn(), dirty, page);
+          if (!version.ok()) return version.status();
+          if (*version != kNoFlashVersion) {
+            hint->new_version = *version;
+            refreshed = true;
+          }
+        }
+      }
+      if (!refreshed) {
+        FACE_RETURN_IF_ERROR(WriteFrame(e.frame, page, page_id));
+        delta_.BeginFull(page_id, e.frame);  // full image re-bases the chain
+      }
       if (dirty && !e.dirty) {
         e.dirty = true;
         ++dirty_count_;
@@ -110,6 +180,7 @@ Status LcCache::OnDramEvict(PageId page_id, char* page, bool dirty,
           e.rec_lsn = rec_lsn;
         }
       }
+      SyncDeltaStats();
     }
     Touch(page_id, e);
     return Status::OK();
@@ -122,6 +193,7 @@ Status LcCache::OnDramEvict(PageId page_id, char* page, bool dirty,
   const uint64_t frame = free_frames_.back();
   free_frames_.pop_back();
   FACE_RETURN_IF_ERROR(WriteFrame(frame, page, page_id));
+  delta_.BeginFull(page_id, frame);
 
   Entry e;
   e.frame = frame;
@@ -160,6 +232,7 @@ void LcCache::OnPageWrittenToDisk(PageId page_id) {
   if (e->dirty) --dirty_count_;
   free_frames_.push_back(e->frame);
   index_.Erase(page_id);  // the heap key goes stale with the entry
+  delta_.Drop(page_id);
   ++stats_.invalidations;
 }
 
@@ -173,6 +246,10 @@ Status LcCache::RecoverAfterCrash() {
   }
   dirty_count_ = 0;
   cleaning_ = false;
+  // Delta chains died with the directory; re-format the ring so stale media
+  // records can never be confused with the new life's.
+  FACE_RETURN_IF_ERROR(delta_.Reset());
+  SyncDeltaStats();
   return Status::OK();
 }
 
@@ -250,7 +327,16 @@ Status LcCache::CheckInvariants() const {
   if (dirty != dirty_count_) {
     return Status::Internal("LC dirty count out of sync");
   }
-  return Status::OK();
+  FACE_RETURN_IF_ERROR(delta_.CheckInvariants());
+  Status chains = Status::OK();
+  delta_.ForEachChain([&](PageId pid, const DeltaRing::ChainView& cv) {
+    if (!chains.ok()) return;
+    const Entry* e = index_.Find(pid);
+    if (e == nullptr || cv.base_tag != e->frame) {
+      chains = Status::Internal("LC delta chain base is not the page's frame");
+    }
+  });
+  return chains;
 }
 
 }  // namespace face

@@ -24,6 +24,8 @@
 #include "common/status.h"
 #include "common/types.h"
 #include "core/cache_ext.h"
+#include "core/delta_ring.h"
+#include "core/flash_layout.h"
 #include "sim/sim_device.h"
 #include "storage/db_storage.h"
 
@@ -44,8 +46,14 @@ struct LcOptions {
 /// The LC cache extension; see file comment. Single-threaded.
 class LcCache final : public CacheExtension {
  public:
-  /// `flash` must have at least options.n_frames blocks. `storage` receives
-  /// cleaned and evicted dirty pages.
+  /// Device blocks LC needs: one frame per page plus the delta-record ring
+  /// appended past the frames.
+  static uint64_t DeviceBlocksFor(uint64_t n_frames) {
+    return n_frames + FlashLayout::DeltaBlocksFor(n_frames);
+  }
+
+  /// `flash` must have at least DeviceBlocksFor(n_frames) blocks. `storage`
+  /// receives cleaned and evicted dirty pages.
   LcCache(const LcOptions& options, SimDevice* flash, DbStorage* storage);
 
   // CacheExtension interface --------------------------------------------------
@@ -56,9 +64,12 @@ class LcCache final : public CacheExtension {
   }
   StatusOr<FlashReadResult> ReadPage(PageId page_id, char* out) override;
   Status OnDramEvict(PageId page_id, char* page, bool dirty, bool fdirty,
-                     Lsn rec_lsn) override;
+                     Lsn rec_lsn, DeltaWriteHint* hint = nullptr) override;
   /// LC cannot absorb checkpointed pages persistently.
-  StatusOr<bool> CheckpointPage(PageId, char*) override { return false; }
+  StatusOr<bool> CheckpointPage(PageId, char*,
+                                DeltaWriteHint* = nullptr) override {
+    return false;
+  }
   /// Flush every flash-resident dirty page to disk: the flash cache is not
   /// persistent, so checkpoint completeness requires it (paper §2.3).
   Status PrepareCheckpoint() override;
@@ -114,6 +125,11 @@ class LcCache final : public CacheExtension {
   Status EvictVictim();
   /// Write `page` into flash frame `frame` (an in-place random write).
   Status WriteFrame(uint64_t frame, const char* page, PageId page_id);
+  /// DeltaRing slot-reuse callback: rewrite the tip image of each page
+  /// with records in the reclaimed ring slot into its frame (re-basing).
+  Status ConsolidateDeltaPages(const std::vector<PageId>& pids);
+  /// Mirror DeltaRing counters into the shared CacheStats block.
+  void SyncDeltaStats();
 
   LcOptions options_;
   SimDevice* flash_;
@@ -127,6 +143,13 @@ class LcCache final : public CacheExtension {
   uint64_t dirty_count_ = 0;
   bool cleaning_ = false;    ///< hysteresis state of the lazy cleaner
   std::string scratch_;      ///< one-page staging buffer
+
+  /// Page-differential refresh (see delta_ring.h): small in-place frame
+  /// overwrites become delta records in a ring past the frames. Base tag =
+  /// frame index. Not durable state — a crash resets chains with the rest
+  /// of the DRAM directory.
+  DeltaRing delta_;
+  std::string consolidate_buf_;  ///< tip-image rebuild arena (one page)
 };
 
 }  // namespace face

@@ -4,9 +4,10 @@
 namespace face {
 
 Status NullCache::OnDramEvict(PageId page_id, char* page, bool dirty,
-                              bool fdirty, Lsn rec_lsn) {
+                              bool fdirty, Lsn rec_lsn, DeltaWriteHint* hint) {
   (void)fdirty;
   (void)rec_lsn;
+  (void)hint;
   if (!dirty) return Status::OK();
   ++stats_.dirty_evictions;
   ++stats_.disk_writes;

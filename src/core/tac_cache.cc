@@ -37,16 +37,25 @@ TacCache::TacCache(const TacOptions& options, SimDevice* flash,
     : options_(options),
       dir_blocks_(DirBlocksFor(options.n_frames)),
       flash_(flash),
-      storage_(storage) {
+      storage_(storage),
+      delta_(DeltaRingOptions{
+                 DirBlocksFor(options.n_frames) + options.n_frames,
+                 static_cast<uint32_t>(
+                     FlashLayout::DeltaBlocksFor(options.n_frames))},
+             flash) {
   assert(options_.n_frames >= 2);
   assert(options_.extent_pages >= 1);
-  assert(flash_->capacity_pages() >= dir_blocks_ + options_.n_frames);
+  assert(flash_->capacity_pages() >= DeviceBlocksFor(options_.n_frames));
   index_.Reserve(options_.n_frames);  // steady state never rehashes
   free_slots_.reserve(options_.n_frames);
   for (uint64_t i = 0; i < options_.n_frames; ++i) {
     free_slots_.push_back(options_.n_frames - 1 - i);
   }
   scratch_.resize(kPageSize);
+  consolidate_buf_.resize(kPageSize);
+  delta_.SetConsolidateFn([this](const std::vector<PageId>& pids) {
+    return ConsolidateDeltaPages(pids);
+  });
 }
 
 Status TacCache::Format() {
@@ -63,6 +72,8 @@ Status TacCache::Format() {
   FACE_RETURN_IF_ERROR(flash_->WriteBatch(
       0, static_cast<uint32_t>(dir_blocks_), zeros.data()));
   stats_.meta_flash_writes += dir_blocks_;
+  FACE_RETURN_IF_ERROR(delta_.Reset());
+  SyncDeltaStats();
   return Status::OK();
 }
 
@@ -111,6 +122,9 @@ StatusOr<FlashReadResult> TacCache::ReadPage(PageId page_id, char* out) {
   if (!view.VerifyChecksum() || view.page_id() != page_id) {
     return Status::Corruption("TAC cache frame failed validation");
   }
+  // The frame is the chain base; patch delta refreshes on top and hand the
+  // caller the tip version so it can delta against this copy later.
+  delta_.ApplyChain(page_id, out);
   // Cache hits heat the extent and refresh this entry's standing; the old
   // key goes stale in place.
   e.temp_snapshot = Heat(page_id);
@@ -118,10 +132,14 @@ StatusOr<FlashReadResult> TacCache::ReadPage(PageId page_id, char* out) {
   victim_order_.Push(KeyOf(page_id, e));
   victim_order_.MaybeCompact(
       index_.size(), [this](const VictimKey& k) { return IsCurrentKey(k); });
-  return FlashReadResult{false, kInvalidLsn};  // write-through: never dirty
+  FlashReadResult result{false, kInvalidLsn};  // write-through: never dirty
+  DeltaRing::ChainView cv;
+  if (delta_.GetChain(page_id, &cv)) result.flash_version = cv.tip_version;
+  return result;
 }
 
-Status TacCache::OnFetchFromDisk(PageId page_id, const char* page) {
+Status TacCache::OnFetchFromDisk(PageId page_id, const char* page,
+                                 uint64_t* admitted_version) {
   const uint64_t temp = Heat(page_id);
   if (Contains(page_id)) return Status::OK();  // defensive; shouldn't happen
 
@@ -145,6 +163,8 @@ Status TacCache::OnFetchFromDisk(PageId page_id, const char* page) {
 
   FACE_RETURN_IF_ERROR(WriteFrame(slot, page, page_id));
   FACE_RETURN_IF_ERROR(WriteDirEntry(slot, page_id, true));  // validation
+  const uint64_t version = delta_.BeginFull(page_id, slot);
+  if (admitted_version != nullptr) *admitted_version = version;
 
   Entry e;
   e.slot = slot;
@@ -162,6 +182,7 @@ Status TacCache::Invalidate(PageId page_id, uint64_t slot) {
   // index (the replacement path already popped it; the checkpoint path
   // leaves it for lazy discard).
   index_.Erase(page_id);
+  delta_.Drop(page_id);
   ++stats_.invalidations;
   if (obs::Enabled()) GetTacObs().invalidations->Increment();
   // Persist the invalidation — the first of the two random metadata writes
@@ -169,8 +190,36 @@ Status TacCache::Invalidate(PageId page_id, uint64_t slot) {
   return WriteDirEntry(slot, kInvalidPageId, false);
 }
 
+Status TacCache::ConsolidateDeltaPages(const std::vector<PageId>& pids) {
+  for (PageId pid : pids) {
+    const Entry* e = index_.Find(pid);
+    if (e == nullptr) continue;
+    DeltaRing::ChainView cv;
+    if (!delta_.GetChain(pid, &cv) || cv.len == 0 || cv.base_tag != e->slot) {
+      continue;
+    }
+    // Rebuild the tip image and rewrite it into the page's frame in place;
+    // the full write re-bases the chain, freeing the doomed records.
+    FACE_RETURN_IF_ERROR(flash_->Read(FrameBlock(e->slot),
+                                      consolidate_buf_.data()));
+    ++stats_.flash_reads;
+    delta_.ApplyChain(pid, consolidate_buf_.data());
+    FACE_RETURN_IF_ERROR(WriteFrame(e->slot, consolidate_buf_.data(), pid));
+    delta_.BeginFull(pid, e->slot);
+  }
+  return Status::OK();
+}
+
+void TacCache::SyncDeltaStats() {
+  const DeltaRingStats& d = delta_.stats();
+  stats_.delta_records = d.records;
+  stats_.delta_record_bytes = d.record_bytes;
+  stats_.delta_block_writes = d.block_writes;
+  stats_.delta_consolidations = d.consolidations;
+}
+
 Status TacCache::OnDramEvict(PageId page_id, char* page, bool dirty,
-                             bool fdirty, Lsn rec_lsn) {
+                             bool fdirty, Lsn rec_lsn, DeltaWriteHint* hint) {
   (void)rec_lsn;
   if (!dirty) return Status::OK();  // clean pages were cached on entry
   ++stats_.dirty_evictions;
@@ -180,8 +229,35 @@ Status TacCache::OnDramEvict(PageId page_id, char* page, bool dirty,
   ++stats_.disk_writes;
   const Entry* e = index_.Find(page_id);
   if (e != nullptr && fdirty) {
+    // Page-differential fast path: a small refresh whose chain tip matches
+    // the frame's version becomes a delta record (dirty = false: the disk
+    // write above already made disk current) instead of an in-place
+    // (random) full-frame rewrite.
+    if (hint != nullptr && hint->tracker != nullptr &&
+        !hint->tracker->whole_page() && hint->tracker->region_count() > 0) {
+      const uint32_t size = PageDeltaRecord::EncodedSizeFor(*hint->tracker);
+      if (delta_.CanAppend(page_id, hint->flash_version, size)) {
+        auto version =
+            delta_.Append(page_id, hint->flash_version, *hint->tracker,
+                          ConstPageView(page).lsn(), /*dirty=*/false, page);
+        if (!version.ok()) return version.status();
+        if (*version != kNoFlashVersion) {
+          hint->new_version = *version;
+          SyncDeltaStats();
+          return Status::OK();
+        }
+      }
+    }
     FACE_RETURN_IF_ERROR(WriteFrame(e->slot, page, page_id));
+    delta_.BeginFull(page_id, e->slot);  // full image re-bases the chain
+    SyncDeltaStats();
   }
+  return Status::OK();
+}
+
+Status TacCache::OnCheckpoint() {
+  FACE_RETURN_IF_ERROR(delta_.Flush());
+  SyncDeltaStats();
   return Status::OK();
 }
 
@@ -248,6 +324,28 @@ Status TacCache::RecoverAfterCrash() {
       index_.TryEmplace(e.page_id, entry);
     }
   }
+  // Delta fencing: a frame with surviving media delta records is a *stale
+  // base* — the crash-time tip lived in the delta chain, not the frame.
+  // Reconstructing tips here would be wasted motion (write-through means
+  // disk already holds every committed byte), so conservatively drop such
+  // slots and let demand fetches repopulate them. Pre-checkpoint records
+  // are guaranteed on media by OnCheckpoint's Flush; records lost after the
+  // last checkpoint heal through restart redo plus the restart-end
+  // checkpoint's OnPageWrittenToDisk invalidation — the same window TAC
+  // already tolerates for torn in-place refreshes.
+  auto recovered = delta_.RecoverScan();
+  FACE_RETURN_IF_ERROR(recovered.status());
+  for (const DeltaRing::RecoveredRecord& r : *recovered) {
+    const Entry* e = index_.Find(r.rec.page_id);
+    if (e == nullptr) continue;
+    const uint64_t slot = e->slot;
+    if (r.rec.base_version != slot) continue;  // record for an older tenancy
+    FACE_RETURN_IF_ERROR(Invalidate(r.rec.page_id, slot));
+    free_slots_.push_back(slot);
+  }
+  // Chains never outlive a restart; reclaim the ring wholesale.
+  FACE_RETURN_IF_ERROR(delta_.Reset());
+  SyncDeltaStats();
   return Status::OK();
 }
 
@@ -275,7 +373,19 @@ Status TacCache::CheckInvariants() const {
       audit = Status::Internal("TAC slot out of range");
     }
   });
-  return audit;
+  if (!audit.ok()) return audit;
+  FACE_RETURN_IF_ERROR(delta_.CheckInvariants());
+  Status delta_audit = Status::OK();
+  delta_.ForEachChain(
+      [this, &delta_audit](PageId page_id, const DeltaRing::ChainView& cv) {
+        const Entry* e = index_.Find(page_id);
+        if (e == nullptr) {
+          delta_audit = Status::Internal("TAC delta chain for uncached page");
+        } else if (cv.base_tag != e->slot) {
+          delta_audit = Status::Internal("TAC delta chain base/slot mismatch");
+        }
+      });
+  return delta_audit;
 }
 
 }  // namespace face

@@ -28,6 +28,7 @@
 #include "common/status.h"
 #include "common/types.h"
 #include "core/cache_ext.h"
+#include "core/delta_ring.h"
 #include "core/flash_layout.h"
 #include "sim/sim_device.h"
 #include "storage/db_storage.h"
@@ -55,7 +56,14 @@ class TacCache final : public CacheExtension {
     return (n_frames + kEntriesPerBlock - 1) / kEntriesPerBlock;
   }
 
-  /// `flash` must have at least DirBlocks()+n_frames blocks.
+  /// Device blocks TAC needs: directory + frames + the delta-record ring
+  /// appended past the frames.
+  static uint64_t DeviceBlocksFor(uint64_t n_frames) {
+    return DirBlocksFor(n_frames) + n_frames +
+           FlashLayout::DeltaBlocksFor(n_frames);
+  }
+
+  /// `flash` must have at least DeviceBlocksFor(n_frames) blocks.
   TacCache(const TacOptions& options, SimDevice* flash, DbStorage* storage);
 
   /// Initialize an empty persistent directory on a fresh device.
@@ -69,11 +77,20 @@ class TacCache final : public CacheExtension {
   }
   StatusOr<FlashReadResult> ReadPage(PageId page_id, char* out) override;
   Status OnDramEvict(PageId page_id, char* page, bool dirty, bool fdirty,
-                     Lsn rec_lsn) override;
+                     Lsn rec_lsn, DeltaWriteHint* hint = nullptr) override;
   /// On-entry admission: the temperature-gated caching decision.
-  Status OnFetchFromDisk(PageId page_id, const char* page) override;
+  Status OnFetchFromDisk(PageId page_id, const char* page,
+                         uint64_t* admitted_version = nullptr) override;
   /// Write-through: disk is always current, so checkpoints go to disk.
-  StatusOr<bool> CheckpointPage(PageId, char*) override { return false; }
+  StatusOr<bool> CheckpointPage(PageId, char*,
+                                DeltaWriteHint* = nullptr) override {
+    return false;
+  }
+  /// Delta records absorbed by a checkpoint must be durable: recovery drops
+  /// any slot whose page has media delta records, and that net depends on
+  /// pre-checkpoint records actually being on the media (see
+  /// RecoverAfterCrash).
+  Status OnCheckpoint() override;
   void OnPageWrittenToDisk(PageId page_id) override;
   /// Rebuild the cache map from the persistent slot directory.
   Status RecoverAfterCrash() override;
@@ -122,6 +139,11 @@ class TacCache final : public CacheExtension {
   Status Invalidate(PageId page_id, uint64_t slot);
   /// Write page bytes into `slot`'s frame.
   Status WriteFrame(uint64_t slot, const char* page, PageId page_id);
+  /// DeltaRing slot-reuse callback: rewrite the tip image of each page
+  /// with records in the reclaimed ring slot into its frame (re-basing).
+  Status ConsolidateDeltaPages(const std::vector<PageId>& pids);
+  /// Mirror DeltaRing counters into the shared CacheStats block.
+  void SyncDeltaStats();
 
   TacOptions options_;
   uint64_t dir_blocks_;
@@ -134,6 +156,14 @@ class TacCache final : public CacheExtension {
   PageMap<uint64_t> extent_temp_;  ///< extent number -> access temperature
   uint64_t clock_ = 0;
   std::string scratch_;  ///< one-page staging buffer
+
+  /// Page-differential refresh (see delta_ring.h): the write-through
+  /// in-place frame update becomes a delta record (dirty = false — flash
+  /// never holds data newer than disk). Base tag = slot index. Restart
+  /// conservatively drops any slot whose page has surviving media records:
+  /// its frame is a stale base, and disk holds the current copy anyway.
+  DeltaRing delta_;
+  std::string consolidate_buf_;  ///< tip-image rebuild arena (one page)
 };
 
 }  // namespace face

@@ -36,7 +36,7 @@ class PageWriter {
                            static_cast<const char*>(bytes), len);
     }
     memcpy(page->data() + offset, bytes, len);
-    page->MarkDirty(kInvalidLsn);
+    page->MarkDirtyRange(kInvalidLsn, offset, len);
     return Status::OK();
   }
 

@@ -226,7 +226,8 @@ Status RestartManager::Redo(RestartReport* report, Lsn redo_lsn) {
     // pageLSN test: the effect is already present iff pageLSN >= rec LSN.
     if (page.view().lsn() >= rec.lsn) continue;
     memcpy(page.data() + rec.offset, rec.after.data(), rec.after.size());
-    page.MarkDirty(rec.lsn);
+    page.MarkDirtyRange(rec.lsn, rec.offset,
+                        static_cast<uint32_t>(rec.after.size()));
     ++report->redo_applied;
   }
   return Status::OK();
@@ -282,7 +283,8 @@ Status RestartManager::Undo(RestartReport* report,
                               pool_->FetchPageForRedo(rec.page_id));
         memcpy(page.data() + rec.offset, rec.before.data(),
                rec.before.size());
-        page.MarkDirty(clr_lsn);
+        page.MarkDirtyRange(clr_lsn, rec.offset,
+                            static_cast<uint32_t>(rec.before.size()));
         ++report->undo_records;
         max_it->second = rec.prev_lsn;
         break;

@@ -143,10 +143,11 @@ uint64_t Testbed::FlashDeviceBlocks() const {
       return FlashLayout::Compute(opts_.flash_pages, EffectiveSegEntries())
           .total_blocks;
     case CachePolicy::kTac:
-      return TacCache::DirBlocksFor(opts_.flash_pages) + opts_.flash_pages;
+      return TacCache::DeviceBlocksFor(opts_.flash_pages);
     case CachePolicy::kLc:
+      return LcCache::DeviceBlocksFor(opts_.flash_pages);
     case CachePolicy::kExadata:
-      return opts_.flash_pages;
+      return ExadataCache::DeviceBlocksFor(opts_.flash_pages);
   }
   return 0;
 }

@@ -11,7 +11,9 @@ void PutI64(std::string* row, int64_t v) {
   PutFixed64(row, static_cast<uint64_t>(v));
 }
 
-/// Sequential decoder over a fixed-width row image.
+/// Sequential decoder over a fixed-width row image. Char() hands back a
+/// view into the row; the owning instantiations copy it into a
+/// std::string, the view instantiations keep it as-is (zero allocation).
 class Cursor {
  public:
   explicit Cursor(std::string_view row) : row_(row) {}
@@ -26,8 +28,8 @@ class Cursor {
     return v;
   }
   int64_t I64() { return static_cast<int64_t>(U64()); }
-  std::string Char(uint32_t width) {
-    std::string s(GetChar(row_, pos_, width));
+  std::string_view Char(uint32_t width) {
+    std::string_view s = GetChar(row_, pos_, width);
     pos_ += width;
     return s;
   }
@@ -39,7 +41,8 @@ class Cursor {
 
 }  // namespace
 
-std::string WarehouseRow::Encode() const {
+template <typename Str>
+std::string WarehouseRowT<Str>::Encode() const {
   std::string row;
   row.reserve(kSize);
   PutU32(&row, w_id);
@@ -54,22 +57,24 @@ std::string WarehouseRow::Encode() const {
   return row;
 }
 
-WarehouseRow WarehouseRow::Decode(std::string_view row) {
+template <typename Str>
+WarehouseRowT<Str> WarehouseRowT<Str>::Decode(std::string_view row) {
   Cursor c(row);
-  WarehouseRow r;
+  WarehouseRowT r;
   r.w_id = c.U32();
-  r.w_name = c.Char(10);
-  r.w_street_1 = c.Char(20);
-  r.w_street_2 = c.Char(20);
-  r.w_city = c.Char(20);
-  r.w_state = c.Char(2);
-  r.w_zip = c.Char(9);
+  r.w_name = Str(c.Char(10));
+  r.w_street_1 = Str(c.Char(20));
+  r.w_street_2 = Str(c.Char(20));
+  r.w_city = Str(c.Char(20));
+  r.w_state = Str(c.Char(2));
+  r.w_zip = Str(c.Char(9));
   r.w_tax = c.I64();
   r.w_ytd = c.I64();
   return r;
 }
 
-std::string DistrictRow::Encode() const {
+template <typename Str>
+std::string DistrictRowT<Str>::Encode() const {
   std::string row;
   row.reserve(kSize);
   PutU32(&row, d_id);
@@ -86,24 +91,26 @@ std::string DistrictRow::Encode() const {
   return row;
 }
 
-DistrictRow DistrictRow::Decode(std::string_view row) {
+template <typename Str>
+DistrictRowT<Str> DistrictRowT<Str>::Decode(std::string_view row) {
   Cursor c(row);
-  DistrictRow r;
+  DistrictRowT r;
   r.d_id = c.U32();
   r.d_w_id = c.U32();
-  r.d_name = c.Char(10);
-  r.d_street_1 = c.Char(20);
-  r.d_street_2 = c.Char(20);
-  r.d_city = c.Char(20);
-  r.d_state = c.Char(2);
-  r.d_zip = c.Char(9);
+  r.d_name = Str(c.Char(10));
+  r.d_street_1 = Str(c.Char(20));
+  r.d_street_2 = Str(c.Char(20));
+  r.d_city = Str(c.Char(20));
+  r.d_state = Str(c.Char(2));
+  r.d_zip = Str(c.Char(9));
   r.d_tax = c.I64();
   r.d_ytd = c.I64();
   r.d_next_o_id = c.U32();
   return r;
 }
 
-std::string CustomerRow::Encode() const {
+template <typename Str>
+std::string CustomerRowT<Str>::Encode() const {
   std::string row;
   row.reserve(kSize);
   PutU32(&row, c_id);
@@ -130,34 +137,36 @@ std::string CustomerRow::Encode() const {
   return row;
 }
 
-CustomerRow CustomerRow::Decode(std::string_view row) {
+template <typename Str>
+CustomerRowT<Str> CustomerRowT<Str>::Decode(std::string_view row) {
   Cursor c(row);
-  CustomerRow r;
+  CustomerRowT r;
   r.c_id = c.U32();
   r.c_d_id = c.U32();
   r.c_w_id = c.U32();
-  r.c_first = c.Char(16);
-  r.c_middle = c.Char(2);
-  r.c_last = c.Char(16);
-  r.c_street_1 = c.Char(20);
-  r.c_street_2 = c.Char(20);
-  r.c_city = c.Char(20);
-  r.c_state = c.Char(2);
-  r.c_zip = c.Char(9);
-  r.c_phone = c.Char(16);
+  r.c_first = Str(c.Char(16));
+  r.c_middle = Str(c.Char(2));
+  r.c_last = Str(c.Char(16));
+  r.c_street_1 = Str(c.Char(20));
+  r.c_street_2 = Str(c.Char(20));
+  r.c_city = Str(c.Char(20));
+  r.c_state = Str(c.Char(2));
+  r.c_zip = Str(c.Char(9));
+  r.c_phone = Str(c.Char(16));
   r.c_since = c.U64();
-  r.c_credit = c.Char(2);
+  r.c_credit = Str(c.Char(2));
   r.c_credit_lim = c.I64();
   r.c_discount = c.I64();
   r.c_balance = c.I64();
   r.c_ytd_payment = c.I64();
   r.c_payment_cnt = c.U32();
   r.c_delivery_cnt = c.U32();
-  r.c_data = c.Char(kDataWidth);
+  r.c_data = Str(c.Char(kDataWidth));
   return r;
 }
 
-std::string HistoryRow::Encode() const {
+template <typename Str>
+std::string HistoryRowT<Str>::Encode() const {
   std::string row;
   row.reserve(kSize);
   PutU32(&row, h_c_id);
@@ -171,9 +180,10 @@ std::string HistoryRow::Encode() const {
   return row;
 }
 
-HistoryRow HistoryRow::Decode(std::string_view row) {
+template <typename Str>
+HistoryRowT<Str> HistoryRowT<Str>::Decode(std::string_view row) {
   Cursor c(row);
-  HistoryRow r;
+  HistoryRowT r;
   r.h_c_id = c.U32();
   r.h_c_d_id = c.U32();
   r.h_c_w_id = c.U32();
@@ -181,7 +191,7 @@ HistoryRow HistoryRow::Decode(std::string_view row) {
   r.h_w_id = c.U32();
   r.h_date = c.U64();
   r.h_amount = c.I64();
-  r.h_data = c.Char(24);
+  r.h_data = Str(c.Char(24));
   return r;
 }
 
@@ -231,7 +241,8 @@ OrderRow OrderRow::Decode(std::string_view row) {
   return r;
 }
 
-std::string OrderLineRow::Encode() const {
+template <typename Str>
+std::string OrderLineRowT<Str>::Encode() const {
   std::string row;
   row.reserve(kSize);
   PutU32(&row, ol_o_id);
@@ -247,9 +258,10 @@ std::string OrderLineRow::Encode() const {
   return row;
 }
 
-OrderLineRow OrderLineRow::Decode(std::string_view row) {
+template <typename Str>
+OrderLineRowT<Str> OrderLineRowT<Str>::Decode(std::string_view row) {
   Cursor c(row);
-  OrderLineRow r;
+  OrderLineRowT r;
   r.ol_o_id = c.U32();
   r.ol_d_id = c.U32();
   r.ol_w_id = c.U32();
@@ -259,11 +271,12 @@ OrderLineRow OrderLineRow::Decode(std::string_view row) {
   r.ol_delivery_d = c.U64();
   r.ol_quantity = c.U32();
   r.ol_amount = c.I64();
-  r.ol_dist_info = c.Char(kDistInfoWidth);
+  r.ol_dist_info = Str(c.Char(kDistInfoWidth));
   return r;
 }
 
-std::string ItemRow::Encode() const {
+template <typename Str>
+std::string ItemRowT<Str>::Encode() const {
   std::string row;
   row.reserve(kSize);
   PutU32(&row, i_id);
@@ -274,18 +287,20 @@ std::string ItemRow::Encode() const {
   return row;
 }
 
-ItemRow ItemRow::Decode(std::string_view row) {
+template <typename Str>
+ItemRowT<Str> ItemRowT<Str>::Decode(std::string_view row) {
   Cursor c(row);
-  ItemRow r;
+  ItemRowT r;
   r.i_id = c.U32();
   r.i_im_id = c.U32();
-  r.i_name = c.Char(24);
+  r.i_name = Str(c.Char(24));
   r.i_price = c.I64();
-  r.i_data = c.Char(50);
+  r.i_data = Str(c.Char(50));
   return r;
 }
 
-std::string StockRow::Encode() const {
+template <typename Str>
+std::string StockRowT<Str>::Encode() const {
   std::string row;
   row.reserve(kSize);
   PutU32(&row, s_i_id);
@@ -299,19 +314,37 @@ std::string StockRow::Encode() const {
   return row;
 }
 
-StockRow StockRow::Decode(std::string_view row) {
+template <typename Str>
+StockRowT<Str> StockRowT<Str>::Decode(std::string_view row) {
   Cursor c(row);
-  StockRow r;
+  StockRowT r;
   r.s_i_id = c.U32();
   r.s_w_id = c.U32();
   r.s_quantity = c.I64();
-  for (auto& d : r.s_dist) d = c.Char(kDistInfoWidth);
+  for (auto& d : r.s_dist) d = Str(c.Char(kDistInfoWidth));
   r.s_ytd = c.I64();
   r.s_order_cnt = c.U32();
   r.s_remote_cnt = c.U32();
-  r.s_data = c.Char(50);
+  r.s_data = Str(c.Char(50));
   return r;
 }
+
+// Both codec flavors compile here, once: the owning rows the loader keeps
+// and the zero-allocation views the transactions decode through.
+template struct WarehouseRowT<std::string>;
+template struct WarehouseRowT<std::string_view>;
+template struct DistrictRowT<std::string>;
+template struct DistrictRowT<std::string_view>;
+template struct CustomerRowT<std::string>;
+template struct CustomerRowT<std::string_view>;
+template struct HistoryRowT<std::string>;
+template struct HistoryRowT<std::string_view>;
+template struct OrderLineRowT<std::string>;
+template struct OrderLineRowT<std::string_view>;
+template struct ItemRowT<std::string>;
+template struct ItemRowT<std::string_view>;
+template struct StockRowT<std::string>;
+template struct StockRowT<std::string_view>;
 
 }  // namespace tpcc
 }  // namespace face

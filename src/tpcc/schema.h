@@ -76,41 +76,58 @@ inline std::string_view GetChar(std::string_view row, uint32_t offset,
 // --- rows --------------------------------------------------------------------
 // Money columns are int64 hundredths; tax/discount rates are int64
 // ten-thousandths; dates are opaque uint64 stamps.
+//
+// Each row struct is a template over its string type. The owning
+// instantiation (`XxxRow`, Str = std::string) is what the loader builds and
+// what survives arbitrary buffer reuse. The view instantiation
+// (`XxxRowView`, Str = std::string_view) decodes without a single per-field
+// allocation — every CHAR field is a view into the caller's row buffer —
+// and is what the transaction hot paths use. View lifetime rule: a decoded
+// view (and anything assigned from one of its fields) is valid only until
+// the backing row buffer is next overwritten; Encode() or copy out scalar
+// fields before reusing the buffer.
 
 /// WAREHOUSE row (§1.3, Table 1.1).
-struct WarehouseRow {
+template <typename Str>
+struct WarehouseRowT {
   static constexpr uint32_t kSize = 4 + 10 + 20 + 20 + 20 + 2 + 9 + 8 + 8;
 
   uint32_t w_id = 0;
-  std::string w_name, w_street_1, w_street_2, w_city, w_state, w_zip;
+  Str w_name, w_street_1, w_street_2, w_city, w_state, w_zip;
   int64_t w_tax = 0;  ///< ten-thousandths
   int64_t w_ytd = 0;  ///< hundredths
 
   std::string Encode() const;
-  static WarehouseRow Decode(std::string_view row);
+  static WarehouseRowT Decode(std::string_view row);
   /// Byte offset of w_ytd (for narrow in-place updates).
   static constexpr uint32_t kYtdOffset = kSize - 8;
 };
+using WarehouseRow = WarehouseRowT<std::string>;
+using WarehouseRowView = WarehouseRowT<std::string_view>;
 
 /// DISTRICT row.
-struct DistrictRow {
+template <typename Str>
+struct DistrictRowT {
   static constexpr uint32_t kSize = 4 + 4 + 10 + 20 + 20 + 20 + 2 + 9 + 8 + 8 + 4;
 
   uint32_t d_id = 0;
   uint32_t d_w_id = 0;
-  std::string d_name, d_street_1, d_street_2, d_city, d_state, d_zip;
+  Str d_name, d_street_1, d_street_2, d_city, d_state, d_zip;
   int64_t d_tax = 0;
   int64_t d_ytd = 0;
   uint32_t d_next_o_id = 0;
 
   std::string Encode() const;
-  static DistrictRow Decode(std::string_view row);
+  static DistrictRowT Decode(std::string_view row);
   static constexpr uint32_t kYtdOffset = kSize - 12;
   static constexpr uint32_t kNextOrderIdOffset = kSize - 4;
 };
+using DistrictRow = DistrictRowT<std::string>;
+using DistrictRowView = DistrictRowT<std::string_view>;
 
 /// CUSTOMER row.
-struct CustomerRow {
+template <typename Str>
+struct CustomerRowT {
   static constexpr uint32_t kDataWidth = 500;
   static constexpr uint32_t kSize = 4 + 4 + 4 + 16 + 2 + 16 + 20 + 20 + 20 +
                                     2 + 9 + 16 + 8 + 2 + 8 + 8 + 8 + 8 + 4 +
@@ -119,38 +136,43 @@ struct CustomerRow {
   uint32_t c_id = 0;
   uint32_t c_d_id = 0;
   uint32_t c_w_id = 0;
-  std::string c_first, c_middle, c_last;
-  std::string c_street_1, c_street_2, c_city, c_state, c_zip, c_phone;
+  Str c_first, c_middle, c_last;
+  Str c_street_1, c_street_2, c_city, c_state, c_zip, c_phone;
   uint64_t c_since = 0;
-  std::string c_credit;  ///< "GC" or "BC"
+  Str c_credit;  ///< "GC" or "BC"
   int64_t c_credit_lim = 0;
   int64_t c_discount = 0;  ///< ten-thousandths
   int64_t c_balance = 0;
   int64_t c_ytd_payment = 0;
   uint32_t c_payment_cnt = 0;
   uint32_t c_delivery_cnt = 0;
-  std::string c_data;
+  Str c_data;
 
   std::string Encode() const;
-  static CustomerRow Decode(std::string_view row);
+  static CustomerRowT Decode(std::string_view row);
   /// Offset of the (balance, ytd_payment, payment_cnt, delivery_cnt) block
   /// Payment and Delivery update.
   static constexpr uint32_t kBalanceOffset = kSize - kDataWidth - 24;
   static constexpr uint32_t kDataOffset = kSize - kDataWidth;
 };
+using CustomerRow = CustomerRowT<std::string>;
+using CustomerRowView = CustomerRowT<std::string_view>;
 
 /// HISTORY row (no primary key; the table is insert-only).
-struct HistoryRow {
+template <typename Str>
+struct HistoryRowT {
   static constexpr uint32_t kSize = 4 * 5 + 8 + 8 + 24;
 
   uint32_t h_c_id = 0, h_c_d_id = 0, h_c_w_id = 0, h_d_id = 0, h_w_id = 0;
   uint64_t h_date = 0;
   int64_t h_amount = 0;
-  std::string h_data;
+  Str h_data;
 
   std::string Encode() const;
-  static HistoryRow Decode(std::string_view row);
+  static HistoryRowT Decode(std::string_view row);
 };
+using HistoryRow = HistoryRowT<std::string>;
+using HistoryRowView = HistoryRowT<std::string_view>;
 
 /// NEW-ORDER row.
 struct NewOrderRow {
@@ -162,7 +184,7 @@ struct NewOrderRow {
   static NewOrderRow Decode(std::string_view row);
 };
 
-/// ORDER row.
+/// ORDER row (all scalar, so decoded copies never dangle).
 struct OrderRow {
   static constexpr uint32_t kSize = 4 * 7 + 8;
 
@@ -178,7 +200,8 @@ struct OrderRow {
 };
 
 /// ORDER-LINE row.
-struct OrderLineRow {
+template <typename Str>
+struct OrderLineRowT {
   static constexpr uint32_t kDistInfoWidth = 24;
   static constexpr uint32_t kSize = 4 * 7 + 8 + 8 + kDistInfoWidth;
 
@@ -187,29 +210,35 @@ struct OrderLineRow {
   uint64_t ol_delivery_d = 0;  ///< 0 = null
   uint32_t ol_quantity = 0;
   int64_t ol_amount = 0;
-  std::string ol_dist_info;
+  Str ol_dist_info;
 
   std::string Encode() const;
-  static OrderLineRow Decode(std::string_view row);
+  static OrderLineRowT Decode(std::string_view row);
   static constexpr uint32_t kDeliveryDateOffset = 4 * 6;
 };
+using OrderLineRow = OrderLineRowT<std::string>;
+using OrderLineRowView = OrderLineRowT<std::string_view>;
 
 /// ITEM row.
-struct ItemRow {
+template <typename Str>
+struct ItemRowT {
   static constexpr uint32_t kSize = 4 + 4 + 24 + 8 + 50;
 
   uint32_t i_id = 0;
   uint32_t i_im_id = 0;
-  std::string i_name;
+  Str i_name;
   int64_t i_price = 0;
-  std::string i_data;
+  Str i_data;
 
   std::string Encode() const;
-  static ItemRow Decode(std::string_view row);
+  static ItemRowT Decode(std::string_view row);
 };
+using ItemRow = ItemRowT<std::string>;
+using ItemRowView = ItemRowT<std::string_view>;
 
 /// STOCK row.
-struct StockRow {
+template <typename Str>
+struct StockRowT {
   static constexpr uint32_t kDistInfoWidth = 24;
   static constexpr uint32_t kSize =
       4 + 4 + 8 + 10 * kDistInfoWidth + 8 + 4 + 4 + 50;
@@ -217,19 +246,21 @@ struct StockRow {
   uint32_t s_i_id = 0;
   uint32_t s_w_id = 0;
   int64_t s_quantity = 0;
-  std::string s_dist[10];
+  Str s_dist[10];
   int64_t s_ytd = 0;
   uint32_t s_order_cnt = 0;
   uint32_t s_remote_cnt = 0;
-  std::string s_data;
+  Str s_data;
 
   std::string Encode() const;
-  static StockRow Decode(std::string_view row);
+  static StockRowT Decode(std::string_view row);
   /// Offset of the (quantity) field and of the (ytd, order_cnt, remote_cnt)
   /// block NewOrder updates.
   static constexpr uint32_t kQuantityOffset = 8;
   static constexpr uint32_t kYtdOffset = 16 + 10 * kDistInfoWidth;
 };
+using StockRow = StockRowT<std::string>;
+using StockRowView = StockRowT<std::string_view>;
 
 // --- index keys ---------------------------------------------------------------
 

@@ -99,13 +99,14 @@ Status Workload::NewOrder(uint32_t w_id) {
   FACE_ASSIGN_OR_RETURN(Rid w_rid, LookupRid(t_->pk_warehouse,
                                              WarehouseKey(w_id)));
   FACE_RETURN_IF_ERROR(t_->warehouse.Read(w_rid, &row));
-  const int64_t w_tax = WarehouseRow::Decode(row).w_tax;
+  const int64_t w_tax = WarehouseRowView::Decode(row).w_tax;
 
-  // District: tax + order id, incremented in place.
+  // District: tax + order id, incremented in place. The view's CHAR fields
+  // alias `row`, which stays untouched until Encode() below.
   FACE_ASSIGN_OR_RETURN(Rid d_rid,
                         LookupRid(t_->pk_district, DistrictKey(w_id, d_id)));
   FACE_RETURN_IF_ERROR(t_->district.Read(d_rid, &row));
-  DistrictRow district = DistrictRow::Decode(row);
+  DistrictRowView district = DistrictRowView::Decode(row);
   const uint32_t o_id = district.d_next_o_id;
   const int64_t d_tax = district.d_tax;
   district.d_next_o_id = o_id + 1;
@@ -115,7 +116,7 @@ Status Workload::NewOrder(uint32_t w_id) {
   FACE_ASSIGN_OR_RETURN(Rid c_rid, LookupRid(t_->pk_customer,
                                              CustomerKey(w_id, d_id, c_id)));
   FACE_RETURN_IF_ERROR(t_->customer.Read(c_rid, &row));
-  const int64_t c_discount = CustomerRow::Decode(row).c_discount;
+  const int64_t c_discount = CustomerRowView::Decode(row).c_discount;
 
   // ORDER + NEW-ORDER rows.
   OrderRow order;
@@ -155,13 +156,14 @@ Status Workload::NewOrder(uint32_t w_id) {
       return Status::OK();
     }
     FACE_RETURN_IF_ERROR(t_->item.Read(*item_rid, &row));
-    const ItemRow item = ItemRow::Decode(row);
+    // Scalar-only extraction: the stock read below reuses `row`.
+    const int64_t i_price = ItemRowView::Decode(row).i_price;
 
     FACE_ASSIGN_OR_RETURN(
         Rid s_rid,
         LookupRid(t_->pk_stock, StockKey(line.supply_w, line.i_id)));
     FACE_RETURN_IF_ERROR(t_->stock.Read(s_rid, &row));
-    StockRow stock = StockRow::Decode(row);
+    StockRowView stock = StockRowView::Decode(row);
     if (stock.s_quantity >= static_cast<int64_t>(line.quantity) + 10) {
       stock.s_quantity -= line.quantity;
     } else {
@@ -172,10 +174,12 @@ Status Workload::NewOrder(uint32_t w_id) {
     if (line.supply_w != w_id) stock.s_remote_cnt += 1;
     FACE_RETURN_IF_ERROR(t_->stock.Update(&w, s_rid, stock.Encode()));
 
-    const int64_t amount = static_cast<int64_t>(line.quantity) * item.i_price;
+    const int64_t amount = static_cast<int64_t>(line.quantity) * i_price;
     total += amount;
 
-    OrderLineRow ol;
+    // ol_dist_info stays a view into the stock row image; `row` is not
+    // reused before ol.Encode() below.
+    OrderLineRowView ol;
     ol.ol_o_id = o_id;
     ol.ol_d_id = d_id;
     ol.ol_w_id = w_id;
@@ -246,39 +250,43 @@ Status Workload::Payment(uint32_t w_id) {
   FACE_ASSIGN_OR_RETURN(Rid w_rid,
                         LookupRid(t_->pk_warehouse, WarehouseKey(w_id)));
   FACE_RETURN_IF_ERROR(t_->warehouse.Read(w_rid, &row));
-  WarehouseRow warehouse = WarehouseRow::Decode(row);
+  WarehouseRowView warehouse = WarehouseRowView::Decode(row);
   warehouse.w_ytd += amount;
+  // The H_DATA names outlive `row` (the district/customer reads reuse it),
+  // so copy them out now; both are <= 10 chars, within SSO.
+  const std::string w_name(warehouse.w_name);
   FACE_RETURN_IF_ERROR(t_->warehouse.Update(&w, w_rid, warehouse.Encode()));
 
   FACE_ASSIGN_OR_RETURN(Rid d_rid,
                         LookupRid(t_->pk_district, DistrictKey(w_id, d_id)));
   FACE_RETURN_IF_ERROR(t_->district.Read(d_rid, &row));
-  DistrictRow district = DistrictRow::Decode(row);
+  DistrictRowView district = DistrictRowView::Decode(row);
   district.d_ytd += amount;
+  const std::string d_name(district.d_name);
   FACE_RETURN_IF_ERROR(t_->district.Update(&w, d_rid, district.Encode()));
 
   FACE_ASSIGN_OR_RETURN(Rid c_rid, SelectCustomer(c_w_id, c_d_id));
   FACE_RETURN_IF_ERROR(t_->customer.Read(c_rid, &row));
-  CustomerRow customer = CustomerRow::Decode(row);
+  CustomerRowView customer = CustomerRowView::Decode(row);
   customer.c_balance -= amount;
   customer.c_ytd_payment += amount;
   customer.c_payment_cnt += 1;
+  std::string info;  // owns the new C_DATA until Encode() reads the view
   if (customer.c_credit == "BC") {
     // §2.5.2.2: prepend the payment facts to C_DATA, truncated to 500.
-    std::string info = std::to_string(customer.c_id) + " " +
-                       std::to_string(c_d_id) + " " + std::to_string(c_w_id) +
-                       " " + std::to_string(d_id) + " " +
-                       std::to_string(w_id) + " " + std::to_string(amount) +
-                       "|";
+    info = std::to_string(customer.c_id) + " " + std::to_string(c_d_id) +
+           " " + std::to_string(c_w_id) + " " + std::to_string(d_id) + " " +
+           std::to_string(w_id) + " " + std::to_string(amount) + "|";
     info += customer.c_data;
-    if (info.size() > CustomerRow::kDataWidth) {
-      info.resize(CustomerRow::kDataWidth);
+    if (info.size() > CustomerRowView::kDataWidth) {
+      info.resize(CustomerRowView::kDataWidth);
     }
-    customer.c_data = std::move(info);
+    customer.c_data = info;
   }
   FACE_RETURN_IF_ERROR(t_->customer.Update(&w, c_rid, customer.Encode()));
 
-  HistoryRow h;
+  const std::string h_data = w_name + "    " + d_name;
+  HistoryRowView h;
   h.h_c_id = customer.c_id;
   h.h_c_d_id = c_d_id;
   h.h_c_w_id = c_w_id;
@@ -286,7 +294,7 @@ Status Workload::Payment(uint32_t w_id) {
   h.h_w_id = w_id;
   h.h_date = ++date_counter_;
   h.h_amount = amount;
-  h.h_data = warehouse.w_name + "    " + district.d_name;
+  h.h_data = h_data;
   FACE_RETURN_IF_ERROR(t_->history.Insert(&w, h.Encode()).status());
 
   return db_->Commit(txn);
@@ -304,13 +312,12 @@ Status Workload::OrderStatus(uint32_t w_id) {
   std::string row;
   FACE_ASSIGN_OR_RETURN(Rid c_rid, SelectCustomer(w_id, d_id));
   FACE_RETURN_IF_ERROR(t_->customer.Read(c_rid, &row));
-  const CustomerRow customer = CustomerRow::Decode(row);
+  const uint32_t c_id = CustomerRowView::Decode(row).c_id;
 
   // Latest order of this customer: last entry of the ascending
   // (w, d, c, o) range.
   const std::string prefix =
-      KeyCodec().AppendU32(w_id).AppendU32(d_id).AppendU32(customer.c_id)
-          .Take();
+      KeyCodec().AppendU32(w_id).AppendU32(d_id).AppendU32(c_id).Take();
   Rid o_rid{kInvalidPageId, 0};
   {
     FACE_ASSIGN_OR_RETURN(BPlusTree::Iterator it,
@@ -377,7 +384,7 @@ Status Workload::Delivery(uint32_t w_id) {
           Rid ol_rid,
           LookupRid(t_->pk_order_line, OrderLineKey(w_id, d_id, o_id, ol)));
       FACE_RETURN_IF_ERROR(t_->order_line.Read(ol_rid, &row));
-      OrderLineRow line = OrderLineRow::Decode(row);
+      OrderLineRowView line = OrderLineRowView::Decode(row);
       amount_sum += line.ol_amount;
       line.ol_delivery_d = now;
       FACE_RETURN_IF_ERROR(t_->order_line.Update(&w, ol_rid, line.Encode()));
@@ -387,7 +394,7 @@ Status Workload::Delivery(uint32_t w_id) {
         Rid c_rid,
         LookupRid(t_->pk_customer, CustomerKey(w_id, d_id, order.o_c_id)));
     FACE_RETURN_IF_ERROR(t_->customer.Read(c_rid, &row));
-    CustomerRow customer = CustomerRow::Decode(row);
+    CustomerRowView customer = CustomerRowView::Decode(row);
     customer.c_balance += amount_sum;
     customer.c_delivery_cnt += 1;
     FACE_RETURN_IF_ERROR(t_->customer.Update(&w, c_rid, customer.Encode()));
@@ -408,7 +415,7 @@ Status Workload::StockLevel(uint32_t w_id, uint32_t d_id) {
   FACE_ASSIGN_OR_RETURN(Rid d_rid,
                         LookupRid(t_->pk_district, DistrictKey(w_id, d_id)));
   FACE_RETURN_IF_ERROR(t_->district.Read(d_rid, &row));
-  const uint32_t next_o = DistrictRow::Decode(row).d_next_o_id;
+  const uint32_t next_o = DistrictRowView::Decode(row).d_next_o_id;
 
   // Distinct items in the last 20 orders' lines (§2.8.2.2).
   const uint32_t lo_o = next_o >= 20 ? next_o - 20 : 0;
@@ -419,7 +426,7 @@ Status Workload::StockLevel(uint32_t w_id, uint32_t d_id) {
     FACE_ASSIGN_OR_RETURN(BPlusTree::Iterator it, t_->pk_order_line.Seek(lo));
     while (it.Valid() && it.key() < hi) {
       FACE_RETURN_IF_ERROR(t_->order_line.Read(DecodeRid(it.value()), &row));
-      items.insert(OrderLineRow::Decode(row).ol_i_id);
+      items.insert(OrderLineRowView::Decode(row).ol_i_id);
       FACE_RETURN_IF_ERROR(it.Next());
     }
   }
@@ -429,7 +436,7 @@ Status Workload::StockLevel(uint32_t w_id, uint32_t d_id) {
     FACE_ASSIGN_OR_RETURN(Rid s_rid,
                           LookupRid(t_->pk_stock, StockKey(w_id, i_id)));
     FACE_RETURN_IF_ERROR(t_->stock.Read(s_rid, &row));
-    if (StockRow::Decode(row).s_quantity < threshold) ++low_stock;
+    if (StockRowView::Decode(row).s_quantity < threshold) ++low_stock;
   }
   (void)low_stock;
 

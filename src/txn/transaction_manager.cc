@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cstring>
 
+#include "common/page_delta.h"
 #include "obs/metrics.h"
 
 namespace face {
@@ -61,41 +62,12 @@ Status TransactionManager::Update(TxnId txn_id, PageHandle* page,
 
   // Trim the unchanged prefix and suffix: TPC-C updates touch a few fields
   // of a wide record, so this routinely shrinks log volume severalfold.
-  // Word-wise scan; the ctz/clz of the XOR pinpoints the exact boundary
-  // byte, so the trimmed span is identical to a byte-wise scan.
-  uint32_t lo = 0;
-  bool exact = false;
-  while (lo + 8 <= len) {
-    uint64_t a, b;
-    memcpy(&a, dst + lo, 8);
-    memcpy(&b, after + lo, 8);
-    if (a != b) {
-      lo += static_cast<uint32_t>(__builtin_ctzll(a ^ b)) >> 3;
-      exact = true;
-      break;
-    }
-    lo += 8;
-  }
-  if (!exact) {
-    while (lo < len && dst[lo] == after[lo]) ++lo;
-  }
-  if (lo == len) return Status::OK();  // no-op change: log nothing
-  uint32_t hi = len;
-  exact = false;
-  while (hi >= lo + 8) {
-    uint64_t a, b;
-    memcpy(&a, dst + hi - 8, 8);
-    memcpy(&b, after + hi - 8, 8);
-    if (a != b) {
-      hi -= static_cast<uint32_t>(__builtin_clzll(a ^ b)) >> 3;
-      exact = true;
-      break;
-    }
-    hi -= 8;
-  }
-  if (!exact) {
-    while (hi > lo && dst[hi - 1] == after[hi - 1]) --hi;
-  }
+  // The same scan feeds the flash delta tracker below, so WAL trimming and
+  // page-differential write-back can never disagree about what changed.
+  const DiffBounds b = ComputeDiffBounds(dst, after, len);
+  if (b.empty()) return Status::OK();  // no-op change: log nothing
+  const uint32_t lo = b.lo;
+  const uint32_t hi = b.hi;
   stats_.bytes_logged_saved += 2ull * (len - (hi - lo));
   const uint32_t n = hi - lo;
 
@@ -128,7 +100,7 @@ Status TransactionManager::Update(TxnId txn_id, PageHandle* page,
                              lsn});
 
   memcpy(dst + lo, after + lo, n);
-  page->MarkDirty(lsn);
+  page->MarkDirtyRange(lsn, rec_offset, n);
   ++stats_.updates;
   if (obs::Enabled()) GetTxnObs().updates->Increment();
   return Status::OK();
@@ -238,7 +210,7 @@ Status TransactionManager::Abort(TxnId txn_id) {
     t.last_lsn = lsn;
 
     memcpy(page->data() + u.offset, image, u.image_len);
-    page->MarkDirty(lsn);
+    page->MarkDirtyRange(lsn, u.offset, u.image_len);
   }
 
   Lsn lsn;

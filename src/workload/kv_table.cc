@@ -25,14 +25,21 @@ std::string KvTable::Key(uint64_t id) {
 }
 
 std::string KvTable::Row(uint64_t id, uint32_t value_bytes, uint64_t version) {
-  std::string row(8 + value_bytes, '\0');
-  EncodeFixed64(row.data(), id);
+  std::string row;
+  RowTo(&row, id, value_bytes, version);
+  return row;
+}
+
+void KvTable::RowTo(std::string* out, uint64_t id, uint32_t value_bytes,
+                    uint64_t version) {
+  out->resize(8 + value_bytes);
+  EncodeFixed64(out->data(), id);
   // Deterministic payload bytes from (id, version) — replays reproduce the
   // exact on-media image without storing it anywhere. Eight letters per
   // generator draw: this runs once per row of every KV population, and one
   // xorshift step per byte used to dominate 1M-row load wall-clock.
   Random payload(id * 0x9e3779b97f4a7c15ull ^ version);
-  char* p = row.data() + 8;
+  char* p = out->data() + 8;
   uint32_t i = 0;
   for (; i + 8 <= value_bytes; i += 8) {
     const uint64_t draw = payload.Next();
@@ -43,13 +50,12 @@ std::string KvTable::Row(uint64_t id, uint32_t value_bytes, uint64_t version) {
   for (; i < value_bytes; ++i) {
     p[i] = static_cast<char>('a' + (payload.Next() & 0xff) % 26);
   }
-  return row;
 }
 
 Status KvTable::Insert(PageWriter* writer, uint64_t id, uint32_t value_bytes,
                        uint64_t version) {
-  FACE_ASSIGN_OR_RETURN(Rid rid,
-                        rows.Insert(writer, Row(id, value_bytes, version)));
+  RowTo(&row_scratch, id, value_bytes, version);
+  FACE_ASSIGN_OR_RETURN(Rid rid, rows.Insert(writer, row_scratch));
   return pk.Insert(writer, Key(id), EncodeRid(rid));
 }
 
@@ -62,8 +68,8 @@ Status KvTable::BulkLoad(PageWriter* writer, uint64_t records,
   const Status s = pk.BulkLoad(
       writer, [&](std::string* key, std::string* value) -> bool {
         if (id >= records) return false;
-        StatusOr<Rid> rid =
-            rows.Insert(writer, Row(id, value_bytes, /*version=*/0));
+        RowTo(&row_scratch, id, value_bytes, /*version=*/0);
+        StatusOr<Rid> rid = rows.Insert(writer, row_scratch);
         if (!rid.ok()) {
           heap_status = rid.status();
           return false;
@@ -96,8 +102,8 @@ Status KvTable::Update(PageWriter* writer, uint64_t id, uint32_t value_bytes,
                        uint64_t version) {
   std::string rid_value;
   FACE_RETURN_IF_ERROR(pk.Get(Key(id), &rid_value));
-  return rows.Update(writer, DecodeRid(rid_value),
-                     Row(id, value_bytes, version));
+  RowTo(&row_scratch, id, value_bytes, version);
+  return rows.Update(writer, DecodeRid(rid_value), row_scratch);
 }
 
 StatusOr<uint64_t> KvTable::Scan(uint64_t id, uint64_t max_rows) const {

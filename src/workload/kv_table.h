@@ -35,6 +35,10 @@ struct KvTable {
   /// payload, `value_bytes` total payload (fixed width, so updates are
   /// equal-length in-place overwrites). `version` varies the payload.
   static std::string Row(uint64_t id, uint32_t value_bytes, uint64_t version);
+  /// Row(), encoded into a caller-owned buffer — the hot-path flavor;
+  /// Insert/Update reuse `row_scratch` so steady state never allocates.
+  static void RowTo(std::string* out, uint64_t id, uint32_t value_bytes,
+                    uint64_t version);
 
   /// Insert `id`'s row and index entry.
   Status Insert(PageWriter* writer, uint64_t id, uint32_t value_bytes,
@@ -61,6 +65,10 @@ struct KvTable {
   /// Count entries with key id >= `from_id` (cheap tail count used to
   /// recover the insert high-water mark after a crash).
   StatusOr<uint64_t> CountFrom(uint64_t from_id) const;
+
+  /// Reused row-image buffer for the mutation hot paths (the ~8-16 byte
+  /// key/rid strings stay in SSO and need no such treatment).
+  std::string row_scratch;
 };
 
 }  // namespace workload

@@ -42,7 +42,7 @@ Status TpccDriver::InjectStranded(Database& db, Random& rnd) {
       tables_->pk_customer.Get(tpcc::CustomerKey(w_id, d_id, c_id), &value));
   const Rid rid = tpcc::DecodeRid(value);
   FACE_RETURN_IF_ERROR(tables_->customer.Read(rid, &row));
-  tpcc::CustomerRow customer = tpcc::CustomerRow::Decode(row);
+  tpcc::CustomerRowView customer = tpcc::CustomerRowView::Decode(row);
   customer.c_balance -= 12345;
   customer.c_payment_cnt += 1;
   return tables_->customer.Update(&w, rid, customer.Encode());

@@ -18,7 +18,8 @@ class ExadataCacheTest : public ::testing::Test {
                                           1 << 16);
     storage_ = std::make_unique<DbStorage>(db_dev_.get());
     flash_ = std::make_unique<SimDevice>(
-        "flash", DeviceProfile::MlcSamsung470(), n_frames);
+        "flash", DeviceProfile::MlcSamsung470(),
+        ExadataCache::DeviceBlocksFor(n_frames));
     cache_ = std::make_unique<ExadataCache>(n_frames, flash_.get(),
                                             storage_.get());
   }

@@ -162,7 +162,7 @@ TEST(TacTornRefreshTest, RecoverySweepDropsTornInPlaceRefresh) {
   TacOptions to;
   to.n_frames = 8;
   SimDevice flash("flash", DeviceProfile::MlcSamsung470(),
-                  TacCache::DirBlocksFor(to.n_frames) + to.n_frames);
+                  TacCache::DeviceBlocksFor(to.n_frames));
   TacCache tac(to, &flash, &storage);
   FACE_ASSERT_OK(tac.Format());
 

@@ -18,7 +18,8 @@ class LcCacheTest : public ::testing::Test {
                                           1 << 16);
     storage_ = std::make_unique<DbStorage>(db_dev_.get());
     flash_ = std::make_unique<SimDevice>(
-        "flash", DeviceProfile::MlcSamsung470(), options.n_frames);
+        "flash", DeviceProfile::MlcSamsung470(),
+        LcCache::DeviceBlocksFor(options.n_frames));
     cache_ = std::make_unique<LcCache>(options, flash_.get(), storage_.get());
   }
 

@@ -20,7 +20,7 @@ class TacCacheTest : public ::testing::Test {
     storage_ = std::make_unique<DbStorage>(db_dev_.get());
     flash_ = std::make_unique<SimDevice>(
         "flash", DeviceProfile::MlcSamsung470(),
-        TacCache::DirBlocksFor(options.n_frames) + options.n_frames);
+        TacCache::DeviceBlocksFor(options.n_frames));
     cache_ = std::make_unique<TacCache>(options_, flash_.get(),
                                         storage_.get());
     FACE_ASSERT_OK(cache_->Format());

@@ -10,9 +10,18 @@
 // shutdown flushes now iterate dirty pages in sorted page order
 // (deterministic across stdlib implementations, and slightly faster in
 // virtual time because adjacent dirty pages coalesce into sequential
-// writes). The YCSB/scan rows were unaffected by that ordering change and
-// still match the PR 2 capture bit-for-bit. The PageMap + WAL-batch
-// refactor itself reproduced every row below exactly, with no re-capture.
+// writes). The page-differential PR re-captured once more for a second
+// intentional change: small flash refreshes and checkpoint absorptions
+// now travel as packed delta records instead of full 4 KB frame writes,
+// which legitimately lowers flash page counts, busy time, and makespan on
+// every update-heavy row (and raises Exadata's hit counts, since its
+// cached copies now survive dirty DRAM evictions instead of being
+// invalidated). The rows pin the shipped DeltaRingOptions defaults
+// (max_chain = 16, record/chain byte caps of kPageSize/2 and kPageSize);
+// retuning those knobs moves simulated numbers and needs a fresh capture.
+// Rows whose runs never take the delta path ("none", the read-only
+// YCSB/scan cells) still match the prior capture bit-for-bit — that is
+// the invariance this guard continues to pin.
 //
 // The KV images here are loaded through the *incremental-insert* path on
 // purpose: the sorted bulk-load path intentionally changes the physical
@@ -108,22 +117,22 @@ Fingerprint Measure(const char* workload_name, const GoldenImage& golden,
 constexpr Fingerprint kGolden[] = {
     // clang-format off
     {"tpcc", "none", 25514899028, 250, 120, 7170, 0, 27267980966, 0, 766043670, 9253, 0, 779},
-    {"tpcc", "FaCE", 12601142013, 250, 120, 7170, 3902, 13012675092, 241975505, 739778013, 4319, 9504, 769},
-    {"tpcc", "FaCE+GSC", 10865796829, 250, 120, 7251, 4511, 11462575024, 341005367, 731031659, 3767, 15897, 766},
-    {"tpcc", "LC", 12521052624, 250, 120, 7170, 4687, 12575543909, 621110005, 722285306, 4352, 9990, 763},
-    {"tpcc", "TAC", 15406202613, 250, 120, 7170, 4468, 14620509478, 1561386447, 739778011, 4797, 16975, 769},
-    {"tpcc", "Exadata", 16698470910, 250, 120, 7170, 3802, 16524796582, 579119967, 748550967, 5449, 7170, 773},
+    {"tpcc", "FaCE", 11835656771, 250, 120, 7170, 4187, 12318038917, 247601761, 731031659, 4065, 8589, 766},
+    {"tpcc", "FaCE+GSC", 10410005603, 250, 120, 7239, 4615, 10979696096, 344974133, 731031659, 3608, 15745, 766},
+    {"tpcc", "LC", 12321176248, 250, 120, 7170, 4689, 12624169411, 452870023, 722285305, 4378, 9149, 763},
+    {"tpcc", "TAC", 15038737344, 250, 120, 7170, 4468, 14623902582, 1329454052, 739778012, 4800, 15631, 769},
+    {"tpcc", "Exadata", 14833173684, 250, 120, 7170, 4407, 14778174261, 481440907, 736862560, 4861, 7347, 768},
     {"ycsb-zipfian", "none", 552427793, 400, 400, 186, 0, 758513346, 0, 552163953, 246, 0, 232},
     {"ycsb-zipfian", "FaCE", 552427793, 400, 400, 186, 10, 580638104, 3276774, 552163953, 190, 156, 232},
     {"ycsb-zipfian", "FaCE+GSC", 552427793, 400, 400, 193, 16, 609296931, 3820016, 552163953, 199, 201, 232},
     {"ycsb-zipfian", "LC", 552427793, 400, 400, 186, 10, 583835546, 3859107, 552163953, 191, 157, 232},
-    {"ycsb-zipfian", "TAC", 552973113, 400, 400, 186, 0, 758513346, 89025959, 552163953, 246, 817, 232},
+    {"ycsb-zipfian", "TAC", 552973113, 400, 400, 186, 0, 758513346, 87917313, 552163953, 246, 810, 232},
     {"ycsb-zipfian", "Exadata", 552444662, 400, 400, 186, 0, 758513346, 3420652, 552163953, 246, 186, 232},
     {"scan-heavy", "none", 393697175, 50, 50, 1428, 0, 776754150, 0, 26292255, 1434, 0, 11},
     {"scan-heavy", "FaCE", 718347801, 50, 50, 1428, 100, 718158350, 29064339, 26292255, 1334, 1541, 11},
     {"scan-heavy", "FaCE+GSC", 413927319, 50, 50, 1500, 139, 749996795, 61303007, 26292255, 1368, 3440, 11},
-    {"scan-heavy", "LC", 719470571, 50, 50, 1428, 109, 702293747, 62993977, 26292255, 1323, 1418, 11},
-    {"scan-heavy", "TAC", 570869021, 50, 50, 1428, 89, 742908601, 204500888, 26292255, 1345, 1941, 11},
+    {"scan-heavy", "LC", 719170684, 50, 50, 1428, 109, 702293747, 62694090, 26292255, 1323, 1417, 11},
+    {"scan-heavy", "TAC", 570710643, 50, 50, 1428, 89, 742908601, 204184132, 26292255, 1345, 1939, 11},
     {"scan-heavy", "Exadata", 685727192, 50, 50, 1428, 0, 776754150, 26211567, 26292255, 1434, 1428, 11},
     // clang-format on
 };
