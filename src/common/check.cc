@@ -1,0 +1,26 @@
+#include "common/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace face {
+namespace internal {
+
+void CheckFailed(const char* file, int line, const char* cond,
+                 const char* msg) {
+  std::fprintf(stderr, "%s:%d: CHECK failed: %s (%s)\n", file, line, cond,
+               msg);
+  std::fflush(stderr);
+  std::abort();
+}
+
+void DcheckFailedOnce(std::atomic<bool>* logged, const char* file, int line,
+                      const char* cond, const char* msg) {
+  if (logged->exchange(true, std::memory_order_relaxed)) return;
+  std::fprintf(stderr, "%s:%d: DCHECK failed: %s (%s) [logged once]\n", file,
+               line, cond, msg);
+  std::fflush(stderr);
+}
+
+}  // namespace internal
+}  // namespace face

@@ -1,0 +1,58 @@
+#ifndef FACE_SRC_COMMON_CHECK_H_
+#define FACE_SRC_COMMON_CHECK_H_
+
+#include <atomic>
+
+// Invariant macros with a message and file:line in the failure report.
+//
+//   FACE_CHECK(cond, "why it must hold")   hard invariant, every build.
+//       On failure prints `file:line: CHECK failed: cond (message)` to
+//       stderr and aborts. Use for preconditions whose violation makes the
+//       simulation meaningless (a storm passing vacuously is worse than a
+//       crash).
+//
+//   FACE_DCHECK(cond, "why it must hold")  debug invariant.
+//       Debug builds behave like FACE_CHECK. NDEBUG builds downgrade the
+//       failure to a once-per-site stderr line and keep running: a release
+//       binary mid-benchmark leaves a breadcrumb instead of dying, and the
+//       per-site latch keeps a hot-loop violation from flooding the log.
+//
+// Both evaluate `cond` exactly once; `msg` must be a string literal (it is
+// not evaluated on success).
+
+namespace face {
+namespace internal {
+
+[[noreturn]] void CheckFailed(const char* file, int line, const char* cond,
+                              const char* msg);
+
+/// Prints the failure the first time `*logged` is seen false, then latches
+/// it. Relaxed order: a duplicate line under a rare concurrent first
+/// failure is acceptable; missing the report is not possible.
+void DcheckFailedOnce(std::atomic<bool>* logged, const char* file, int line,
+                      const char* cond, const char* msg);
+
+}  // namespace internal
+}  // namespace face
+
+#define FACE_CHECK(cond, msg)                                              \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::face::internal::CheckFailed(__FILE__, __LINE__, #cond, msg);       \
+    }                                                                      \
+  } while (0)
+
+#ifdef NDEBUG
+#define FACE_DCHECK(cond, msg)                                             \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      static std::atomic<bool> _face_dcheck_logged{false};                 \
+      ::face::internal::DcheckFailedOnce(&_face_dcheck_logged, __FILE__,   \
+                                         __LINE__, #cond, msg);            \
+    }                                                                      \
+  } while (0)
+#else
+#define FACE_DCHECK(cond, msg) FACE_CHECK(cond, msg)
+#endif
+
+#endif  // FACE_SRC_COMMON_CHECK_H_

@@ -145,11 +145,15 @@ class StatusOr {
   std::variant<Status, T> rep_;
 };
 
-/// Propagate a non-OK Status to the caller.
-#define FACE_RETURN_IF_ERROR(expr)          \
-  do {                                      \
-    ::face::Status _s = (expr);             \
-    if (!_s.ok()) return _s;                \
+/// Propagate a non-OK Status to the caller. The temporary gets a unique
+/// name (__COUNTER__) so expansions nest without -Wshadow noise.
+#define FACE_RETURN_IF_ERROR(expr) \
+  FACE_RETURN_IF_ERROR_IMPL(FACE_CONCAT_(_face_status_, __COUNTER__), expr)
+
+#define FACE_RETURN_IF_ERROR_IMPL(var, expr) \
+  do {                                       \
+    ::face::Status var = (expr);             \
+    if (!var.ok()) return var;               \
   } while (0)
 
 /// Assign `lhs` from a StatusOr expression or propagate its error.

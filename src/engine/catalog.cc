@@ -1,5 +1,6 @@
 #include "engine/catalog.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/coding.h"
@@ -8,6 +9,14 @@
 namespace face {
 
 namespace {
+
+/// Position of `name` in the sorted name index (insertion point if absent).
+template <typename Index>
+auto NameLowerBound(Index& index, std::string_view name) {
+  return std::lower_bound(
+      index.begin(), index.end(), name,
+      [](const auto& entry, std::string_view key) { return entry.first < key; });
+}
 
 constexpr uint32_t kMaxEntries =
     kPagePayloadSize / CatalogEntry::kEncodedSize;
@@ -65,9 +74,10 @@ Status Catalog::Load() {
   for (uint32_t i = 0; i < kMaxEntries; ++i) {
     CatalogEntry e = DecodeEntry(payload + SlotOffset(i));
     if (e.kind == ObjectKind::kFree) break;  // entries are dense
-    by_name_.emplace(e.name, static_cast<uint32_t>(entries_.size()));
+    by_name_.emplace_back(e.name, static_cast<uint32_t>(entries_.size()));
     entries_.push_back(std::move(e));
   }
+  std::sort(by_name_.begin(), by_name_.end());
   return Status::OK();
 }
 
@@ -76,7 +86,8 @@ StatusOr<uint32_t> Catalog::Create(PageWriter* writer, std::string_view name,
   if (name.empty() || name.size() > CatalogEntry::kNameWidth) {
     return Status::InvalidArgument("catalog name must be 1..31 bytes");
   }
-  if (by_name_.count(std::string(name)) != 0) {
+  auto pos = NameLowerBound(by_name_, name);
+  if (pos != by_name_.end() && pos->first == name) {
     return Status::InvalidArgument("catalog entry exists: " +
                                    std::string(name));
   }
@@ -90,14 +101,14 @@ StatusOr<uint32_t> Catalog::Create(PageWriter* writer, std::string_view name,
   e.root_page = root_page;
   e.last_page = kind == ObjectKind::kHeap ? root_page : kInvalidPageId;
   entries_.push_back(e);
-  by_name_.emplace(e.name, idx);
+  by_name_.emplace(pos, e.name, idx);
   FACE_RETURN_IF_ERROR(WriteEntry(writer, idx));
   return idx;
 }
 
 StatusOr<uint32_t> Catalog::Find(std::string_view name) const {
-  auto it = by_name_.find(std::string(name));
-  if (it == by_name_.end()) {
+  auto it = NameLowerBound(by_name_, name);
+  if (it == by_name_.end() || it->first != name) {
     return Status::NotFound("no catalog entry: " + std::string(name));
   }
   return it->second;

@@ -8,7 +8,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "buffer/buffer_pool.h"
@@ -82,7 +82,9 @@ class Catalog {
 
   BufferPool* pool_;
   std::vector<CatalogEntry> entries_;
-  std::unordered_map<std::string, uint32_t> by_name_;
+  /// name -> slot index, kept sorted by name (binary search; deterministic
+  /// iteration order, unlike a hash map).
+  std::vector<std::pair<std::string, uint32_t>> by_name_;
 };
 
 }  // namespace face

@@ -39,7 +39,7 @@ StatusOr<RestartReport> Database::Recover(IoScheduler* sched,
 }
 
 Status Database::ResolveInDoubt(const std::vector<InDoubtTxn>& in_doubt,
-                                const std::set<uint64_t>& decided,
+                                const std::vector<uint64_t>& decided,
                                 RestartReport* report, IoScheduler* sched,
                                 uint32_t bg_token) {
   RestartManager restart(log_, &pool_, &txns_, storage_, cache_, sched,

@@ -62,7 +62,7 @@ class Database {
   /// against the union of GlobalCommit decisions across every shard's
   /// report. Call after all shards have recovered, before serving work.
   Status ResolveInDoubt(const std::vector<InDoubtTxn>& in_doubt,
-                        const std::set<uint64_t>& decided,
+                        const std::vector<uint64_t>& decided,
                         RestartReport* report, IoScheduler* sched = nullptr,
                         uint32_t bg_token = 0);
 

@@ -1,10 +1,10 @@
 #include "fault/fault_injector.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cstring>
 #include <sstream>
 
+#include "common/check.h"
 #include "sim/scheduler.h"
 #include "sim/sim_device.h"
 
@@ -31,7 +31,7 @@ void FaultInjector::ArmAfterWrites(uint64_t nth, uint64_t seed) {
 void FaultInjector::ArmAtTime(SimNanos deadline, uint64_t seed) {
   // Without a clock the deadline can never fire and the storm would pass
   // vacuously, having injected nothing.
-  assert(sched_ != nullptr && "ArmAtTime requires AttachScheduler");
+  FACE_CHECK(sched_ != nullptr, "ArmAtTime requires AttachScheduler");
   mode_ = Mode::kDeadline;
   deadline_ = deadline;
   rnd_ = Random(seed ^ 0xFA017FEEDULL);

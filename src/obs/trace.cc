@@ -34,8 +34,12 @@ std::vector<Tracer*>& TracerList() {
 }  // namespace
 
 uint64_t HostNowNs() {
+  // The one sanctioned host clock: span *host* stamps (args.host_dur_us in
+  // the Chrome trace). Virtual time is always stamped alongside and no
+  // simulated state ever derives from this value.
   return static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
+          // facelint: allow(no-wallclock-sim) host-side span stamps only
           std::chrono::steady_clock::now().time_since_epoch())
           .count());
 }

@@ -11,14 +11,50 @@ namespace face {
 
 namespace {
 
-/// Record one phase's virtual duration under "recovery.<phase>_ns"; the
-/// phase names match the trace span names below and the RestartReport
-/// fields, so metrics / traces / reports cross-reference directly.
-void RecordPhaseNs(const char* phase, SimNanos ns) {
+/// Phases recorded under "recovery.<phase>_ns"; the names match the trace
+/// span names below and the RestartReport fields, so metrics / traces /
+/// reports cross-reference directly.
+enum RecoveryPhase {
+  kAttach,
+  kMetaRestore,
+  kAnalysis,
+  kRedo,
+  kUndo,
+  kCheckpoint,
+  kTotal,
+  kNumPhases,
+};
+
+/// recovery.* metric handles, resolved once per thread (the obs registries
+/// are thread-local; record paths must not do string-keyed lookups).
+struct RecoveryObs {
+  obs::Hist* phase_ns[kNumPhases];
+  obs::Counter* restarts;
+};
+
+RecoveryObs& GetRecoveryObs() {
+  thread_local RecoveryObs o = [] {
+    static constexpr const char* kPhaseMetric[kNumPhases] = {
+        "recovery.attach_ns",   "recovery.meta_restore_ns",
+        "recovery.analysis_ns", "recovery.redo_ns",
+        "recovery.undo_ns",     "recovery.checkpoint_ns",
+        "recovery.total_ns",
+    };
+    auto& reg = obs::MetricsRegistry::Instance();
+    RecoveryObs r;
+    for (int i = 0; i < kNumPhases; ++i) {
+      r.phase_ns[i] = reg.GetHistogram(kPhaseMetric[i]);
+    }
+    r.restarts = reg.GetCounter("recovery.restarts");
+    return r;
+  }();
+  return o;
+}
+
+/// Record one phase's virtual duration.
+void RecordPhaseNs(RecoveryPhase phase, SimNanos ns) {
   if (!obs::Enabled()) return;
-  obs::MetricsRegistry::Instance()
-      .GetHistogram(std::string("recovery.") + phase + "_ns")
-      ->Add(ns);
+  GetRecoveryObs().phase_ns[phase]->Add(ns);
 }
 
 }  // namespace
@@ -62,7 +98,7 @@ Status RestartManager::RunPhases(RestartReport* report) {
   }
   const SimNanos t_attach = SpanTime();
   report->attach_ns = t_attach - t0;
-  RecordPhaseNs("attach", report->attach_ns);
+  RecordPhaseNs(kAttach, report->attach_ns);
 
   // Phase 1: restore the cache extension's metadata before touching any
   // data page, so analysis/redo/undo fetches can hit flash (paper §4.2).
@@ -72,7 +108,7 @@ Status RestartManager::RunPhases(RestartReport* report) {
   }
   const SimNanos t_meta = SpanTime();
   report->meta_restore_ns = t_meta - t_attach;
-  RecordPhaseNs("meta_restore", report->meta_restore_ns);
+  RecordPhaseNs(kMetaRestore, report->meta_restore_ns);
 
   // Phase 2: analysis from the last complete checkpoint.
   std::map<TxnId, Lsn> losers;
@@ -84,7 +120,7 @@ Status RestartManager::RunPhases(RestartReport* report) {
   }
   const SimNanos t_ana = SpanTime();
   report->analysis_ns = t_ana - t_meta;
-  RecordPhaseNs("analysis", report->analysis_ns);
+  RecordPhaseNs(kAnalysis, report->analysis_ns);
 
   // Phase 3: redo history from the checkpoint's BEGIN (every page dirty at
   // BEGIN was synced before END, so no older update can be missing).
@@ -97,7 +133,7 @@ Status RestartManager::RunPhases(RestartReport* report) {
   }
   const SimNanos t_redo = SpanTime();
   report->redo_ns = t_redo - t_ana;
-  RecordPhaseNs("redo", report->redo_ns);
+  RecordPhaseNs(kRedo, report->redo_ns);
 
   // Phase 4: roll back losers, writing CLRs. Prepared (2PC) transactions
   // are withheld: their fate belongs to the coordinator's decision record,
@@ -119,7 +155,7 @@ Status RestartManager::RunPhases(RestartReport* report) {
   }
   const SimNanos t_undo = SpanTime();
   report->undo_ns = t_undo - t_redo;
-  RecordPhaseNs("undo", report->undo_ns);
+  RecordPhaseNs(kUndo, report->undo_ns);
 
   // Phase 5: checkpoint, so a crash during normal operation never has to
   // redo the recovery work itself.
@@ -130,13 +166,10 @@ Status RestartManager::RunPhases(RestartReport* report) {
   }
   const SimNanos t_ckpt = SpanTime();
   report->checkpoint_ns = t_ckpt - t_undo;
-  RecordPhaseNs("checkpoint", report->checkpoint_ns);
+  RecordPhaseNs(kCheckpoint, report->checkpoint_ns);
   report->total_ns = t_ckpt - t0;
-  RecordPhaseNs("total", report->total_ns);
-  if (obs::Enabled()) {
-    obs::MetricsRegistry::Instance().GetCounter("recovery.restarts")
-        ->Increment();
-  }
+  RecordPhaseNs(kTotal, report->total_ns);
+  if (obs::Enabled()) GetRecoveryObs().restarts->Increment();
 
   const BufferPool::Stats after = pool_->stats();
   report->pages_from_flash = after.flash_fetches - before.flash_fetches;
@@ -178,7 +211,7 @@ Status RestartManager::Analysis(RestartReport* report, Lsn ckpt_lsn,
       case LogRecordType::kGlobalCommit:
         // The coordinator's decision: every participant of this global
         // transaction — on whatever shard — must commit.
-        report->decided_gtids.insert(rec.gtid);
+        report->decided_gtids.push_back(rec.gtid);
         break;
       case LogRecordType::kCheckpointBegin:
         // The checkpoint we started from, or a later incomplete one: seed
@@ -205,6 +238,12 @@ Status RestartManager::Analysis(RestartReport* report, Lsn ckpt_lsn,
     (void)lsn;
     txns_->ObserveTxnId(id);
   }
+  // Normalize the decision list: sorted + deduplicated, so consumers can
+  // binary-search and unions across shards stay deterministic.
+  std::sort(report->decided_gtids.begin(), report->decided_gtids.end());
+  report->decided_gtids.erase(
+      std::unique(report->decided_gtids.begin(), report->decided_gtids.end()),
+      report->decided_gtids.end());
   return Status::OK();
 }
 
@@ -318,7 +357,7 @@ Status RestartManager::Undo(RestartReport* report,
 }
 
 Status RestartManager::ResolveInDoubt(const std::vector<InDoubtTxn>& in_doubt,
-                                      const std::set<uint64_t>& decided,
+                                      const std::vector<uint64_t>& decided,
                                       RestartReport* report) {
   if (in_doubt.empty()) return Status::OK();
   if (sched_ != nullptr) {
@@ -327,7 +366,7 @@ Status RestartManager::ResolveInDoubt(const std::vector<InDoubtTxn>& in_doubt,
   auto resolve = [&]() -> Status {
     obs::ScopedSpan span("recovery", "resolve_in_doubt");
     for (const InDoubtTxn& t : in_doubt) {
-      if (decided.count(t.gtid) != 0) {
+      if (std::binary_search(decided.begin(), decided.end(), t.gtid)) {
         // Commit: the effects are already in place (redo replayed them);
         // only the local completion record is missing.
         FACE_RETURN_IF_ERROR(txns_->Commit(t.txn_id));

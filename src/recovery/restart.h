@@ -18,7 +18,6 @@
 
 #include <cstdint>
 #include <map>
-#include <set>
 #include <string>
 #include <vector>
 
@@ -58,7 +57,8 @@ struct RestartReport {
   /// from undo, re-registered active, still covered by checkpoints) and
   /// the GlobalCommit decisions this shard's log recorded.
   std::vector<InDoubtTxn> in_doubt;
-  std::set<uint64_t> decided_gtids;
+  /// Sorted + deduplicated (analysis normalizes it; binary-search friendly).
+  std::vector<uint64_t> decided_gtids;
 
   SimNanos attach_ns = 0;        ///< locate end of log
   SimNanos meta_restore_ns = 0;  ///< cache-extension metadata restore
@@ -99,12 +99,13 @@ class RestartManager {
   StatusOr<RestartReport> Run();
 
   /// Resolve recovered in-doubt transactions against `decided` (the union
-  /// of every shard's decided_gtids): commit those whose gtid was decided
-  /// (their effects are already in place from redo), roll the rest back
-  /// via log-driven undo with CLRs (presumed abort). Finishes with a
-  /// checkpoint so the resolved state is the new recovery floor.
+  /// of every shard's decided_gtids, sorted ascending): commit those whose
+  /// gtid was decided (their effects are already in place from redo), roll
+  /// the rest back via log-driven undo with CLRs (presumed abort).
+  /// Finishes with a checkpoint so the resolved state is the new recovery
+  /// floor.
   Status ResolveInDoubt(const std::vector<InDoubtTxn>& in_doubt,
-                        const std::set<uint64_t>& decided,
+                        const std::vector<uint64_t>& decided,
                         RestartReport* report);
 
  private:

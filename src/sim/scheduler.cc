@@ -1,13 +1,14 @@
 #include "sim/scheduler.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "common/check.h"
 
 namespace face {
 
 IoScheduler::IoScheduler(uint32_t num_clients)
     : num_clients_(num_clients), token_ready_(num_clients, 0) {
-  assert(num_clients > 0);
+  FACE_CHECK(num_clients > 0, "scheduler needs at least one client");
 }
 
 uint32_t IoScheduler::RegisterStations(uint32_t n) {
@@ -18,7 +19,7 @@ uint32_t IoScheduler::RegisterStations(uint32_t n) {
 }
 
 void IoScheduler::BeginTxn() {
-  assert(!active_);
+  FACE_DCHECK(!active_, "BeginTxn while another span is open");
   // Next transaction goes to the client that frees up first: the closed-loop
   // "think time zero" discipline of a benchmark driver.
   uint32_t best = 0;
@@ -31,7 +32,7 @@ void IoScheduler::BeginTxn() {
 }
 
 SimNanos IoScheduler::EndTxn() {
-  assert(active_);
+  FACE_DCHECK(active_, "EndTxn without a matching BeginTxn");
   token_ready_[current_token_] = current_time_;
   last_completion_ = std::max(last_completion_, current_time_);
   ++txns_completed_;
@@ -45,15 +46,16 @@ uint32_t IoScheduler::AddBackgroundToken() {
 }
 
 void IoScheduler::BeginBackground(uint32_t token, SimNanos not_before) {
-  assert(!active_);
-  assert(token >= num_clients_ && token < token_ready_.size());
+  FACE_DCHECK(!active_, "BeginBackground while another span is open");
+  FACE_DCHECK(token >= num_clients_ && token < token_ready_.size(),
+              "background token out of range");
   current_token_ = token;
   current_time_ = std::max(token_ready_[token], not_before);
   active_ = true;
 }
 
 SimNanos IoScheduler::EndBackground() {
-  assert(active_);
+  FACE_DCHECK(active_, "EndBackground without a matching BeginBackground");
   token_ready_[current_token_] = current_time_;
   last_completion_ = std::max(last_completion_, current_time_);
   active_ = false;
@@ -61,7 +63,7 @@ SimNanos IoScheduler::EndBackground() {
 }
 
 void IoScheduler::OnIo(uint32_t station, SimNanos service_ns) {
-  assert(station < station_free_.size());
+  FACE_DCHECK(station < station_free_.size(), "I/O on unregistered station");
   if (!active_) {
     // I/O outside any span (e.g. initial load): charge the station only so
     // utilization stays meaningful, anchored at its own timeline.

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "common/check.h"
 #include "fault/fault_injector.h"
 #include "obs/trace.h"
 
@@ -143,6 +144,10 @@ Status SimDevice::DoIo(IoOp op, uint64_t block, uint32_t n, char* rbuf,
   if (block + n > capacity_pages_) {
     return Status::IOError(id_ + ": I/O beyond device capacity");
   }
+  FACE_DCHECK(op != IoOp::kRead || rbuf != nullptr,
+              "read without a destination buffer");
+  FACE_DCHECK(op == IoOp::kRead || wbuf != nullptr,
+              "write without a source buffer");
 
   if (fault_ != nullptr) {
     FACE_RETURN_IF_ERROR(ConsultFaultInjector(op, block, n, wbuf));

@@ -1,7 +1,6 @@
 #include "testbed/crash_storm.h"
 
 #include <algorithm>
-#include <set>
 #include <sstream>
 
 #include "testbed/sharded_testbed.h"
@@ -415,11 +414,16 @@ StatusOr<ShardedCrashStormResult> ShardedCrashStormHarness::RunStorm(
   inj.Disarm();
   FACE_ASSIGN_OR_RETURN(result.restarts, stb.Recover());
 
-  std::set<uint64_t> decided;
+  std::vector<uint64_t> decided;
   for (const RestartReport& r : result.restarts) {
-    decided.insert(r.decided_gtids.begin(), r.decided_gtids.end());
+    decided.insert(decided.end(), r.decided_gtids.begin(),
+                   r.decided_gtids.end());
   }
-  result.decision_recovered = cut_gtid != 0 && decided.count(cut_gtid) != 0;
+  std::sort(decided.begin(), decided.end());
+  decided.erase(std::unique(decided.begin(), decided.end()), decided.end());
+  result.decision_recovered =
+      cut_gtid != 0 &&
+      std::binary_search(decided.begin(), decided.end(), cut_gtid);
 
   // --- per-shard differential checks ---------------------------------------
   std::vector<fault::DiffReport> reports(n);

@@ -193,10 +193,13 @@ StatusOr<std::vector<RestartReport>> ShardedTestbed::Recover() {
 
   // Presumed abort across the machine: a prepared transaction commits iff
   // *some* shard's log holds its GlobalCommit decision.
-  std::set<uint64_t> decided;
+  std::vector<uint64_t> decided;
   for (const RestartReport& r : reports) {
-    decided.insert(r.decided_gtids.begin(), r.decided_gtids.end());
+    decided.insert(decided.end(), r.decided_gtids.begin(),
+                   r.decided_gtids.end());
   }
+  std::sort(decided.begin(), decided.end());
+  decided.erase(std::unique(decided.begin(), decided.end()), decided.end());
   FACE_RETURN_IF_ERROR(ParallelOnAll([this, &reports, &decided](uint32_t i) {
     return testbeds_[i]->ResolveInDoubt(reports[i].in_doubt, decided,
                                         &reports[i]);

@@ -436,7 +436,7 @@ StatusOr<RestartReport> Testbed::Recover() {
 }
 
 Status Testbed::ResolveInDoubt(const std::vector<InDoubtTxn>& in_doubt,
-                               const std::set<uint64_t>& decided,
+                               const std::vector<uint64_t>& decided,
                                RestartReport* report) {
   if (db_ == nullptr) return Status::InvalidArgument("resolve before recover");
   FACE_RETURN_IF_ERROR(

@@ -211,7 +211,7 @@ class Testbed {
   /// union of GlobalCommit decisions across all shards, on the recovery
   /// token (the resolution is part of restart, not client work).
   Status ResolveInDoubt(const std::vector<InDoubtTxn>& in_doubt,
-                        const std::set<uint64_t>& decided,
+                        const std::vector<uint64_t>& decided,
                         RestartReport* report);
 
   // --- accessors ---------------------------------------------------------------

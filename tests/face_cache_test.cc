@@ -376,8 +376,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(FaceFlavor{"base", false, false},
                       FaceFlavor{"GR", true, false},
                       FaceFlavor{"GSC", true, true}),
-    [](const ::testing::TestParamInfo<FaceFlavor>& info) {
-      return info.param.name;
+    [](const ::testing::TestParamInfo<FaceFlavor>& pinfo) {
+      return pinfo.param.name;
     });
 
 }  // namespace

@@ -1,0 +1,15 @@
+// facelint fixture: the inline escape. An explicit
+// `// facelint: allow(<rule>)` on the finding line or the line above
+// suppresses the finding while still counting it in --stats as allowed.
+// FACELINT-FIXTURE-PATH: src/core/allow_escape_fixture.cc
+#include <chrono>
+
+namespace face {
+
+unsigned long HostStampForLogsOnly() {
+  // facelint: allow(no-wallclock-sim) fixture proves the inline escape
+  auto t = std::chrono::steady_clock::now();  // EXPECT-ALLOWED: no-wallclock-sim
+  return static_cast<unsigned long>(t.time_since_epoch().count());
+}
+
+}  // namespace face

@@ -1,0 +1,10 @@
+// facelint fixture: baseline suppression. The sidecar file
+// baseline_suppression_fixture.baseline carries an entry keyed on the
+// (rule, fixture path, exact stripped line text) of the include below;
+// the selftest asserts the finding is reported without the baseline and
+// suppressed (with exit code 0) when the baseline is supplied, and that
+// a baseline entry matching nothing is a hard error.
+// FACELINT-FIXTURE-PATH: src/core/baseline_suppression_fixture.cc
+#include <list>  // EXPECT-FINDING: no-unordered-sim
+
+namespace face {}

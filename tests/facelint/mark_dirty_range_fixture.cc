@@ -1,0 +1,41 @@
+// facelint fixture: mark-dirty-range fires when a function writes frame
+// payload bytes (through a PageHandle's data() or a pointer derived from
+// it) with no MarkDirtyRange call in the same function — the delta chain
+// introduced by the page-differential write-back silently degrades to
+// whole-page tracking.
+// FACELINT-FIXTURE-PATH: src/engine/dirty_range_fixture.cc
+#include <cstring>
+
+namespace face {
+
+class PageHandle;
+class BufferPool;
+
+void BadDirectWrite(PageHandle& h, const char* src) {
+  char* p = h.data();
+  memcpy(p, src, 16);  // EXPECT-FINDING: mark-dirty-range
+}
+
+void BadSubscriptStore(PageHandle& h) {
+  char* p = h.data();
+  p[0] = 1;  // EXPECT-FINDING: mark-dirty-range
+}
+
+void BadFactoryWrite(BufferPool& pool) {
+  auto h = pool.FetchPage(7);
+  char* p = h->data();
+  p[3] = 9;  // EXPECT-FINDING: mark-dirty-range
+}
+
+void GoodPairedWrite(PageHandle& h, const char* src) {
+  char* p = h.data();
+  memcpy(p, src, 16);
+  h.MarkDirtyRange(/*lsn=*/1, /*off=*/0, /*len=*/16);
+}
+
+void GoodReadOnly(PageHandle& h, char* out) {
+  // The frame is the SOURCE; copying payload bytes out is not a mutation.
+  memcpy(out, h.data(), 16);
+}
+
+}  // namespace face

@@ -1,0 +1,26 @@
+// facelint fixture: no-pointer-order fires on ordered/hashed containers
+// keyed on raw pointers and on pointer-to-integer casts — both are
+// ASLR-nondeterministic across runs.
+// FACELINT-FIXTURE-PATH: src/core/ptr_order_fixture.cc
+#include <cstdint>
+#include <map>
+
+namespace face {
+
+struct Frame;
+
+void Positive(Frame* f) {
+  std::map<Frame*, int> by_addr;              // EXPECT-FINDING: no-pointer-order
+  auto key = reinterpret_cast<uintptr_t>(f);  // EXPECT-FINDING: no-pointer-order
+  (void)by_addr;
+  (void)key;
+}
+
+void Negative() {
+  // Pointer VALUES are fine; pointer KEYS are not. Keying on a stable id
+  // keeps iteration order reproducible under ASLR.
+  std::map<int, Frame*> by_id;
+  (void)by_id;
+}
+
+}  // namespace face

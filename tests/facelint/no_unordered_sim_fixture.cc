@@ -1,0 +1,26 @@
+// facelint fixture: no-unordered-sim fires on banned containers/headers
+// inside the simulated-state directories. Never compiled — linted only
+// (see tools/facelint/selftest.py).
+// FACELINT-FIXTURE-PATH: src/core/unordered_fixture.cc
+#include <unordered_map>  // EXPECT-FINDING: no-unordered-sim
+#include <vector>
+
+namespace face {
+
+void Positive() {
+  std::unordered_map<int, int> by_hash;  // EXPECT-FINDING: no-unordered-sim
+  std::set<int> ordered;                 // EXPECT-FINDING: no-unordered-sim
+  std::list<int> linked;                 // EXPECT-FINDING: no-unordered-sim
+  (void)by_hash;
+  (void)ordered;
+  (void)linked;
+}
+
+void Negative() {
+  // The sanctioned containers: sorted vector (and PageMap / IntrusiveList /
+  // LazyMinHeap in the real tree). std::map is ordered and key-deterministic.
+  std::vector<int> sorted_ids;
+  (void)sorted_ids;
+}
+
+}  // namespace face

@@ -1,0 +1,35 @@
+// facelint fixture: no-wallclock-sim fires on host clocks and host
+// randomness anywhere under src/; simulated state must derive from
+// virtual time and seeded PRNGs only.
+// FACELINT-FIXTURE-PATH: src/core/wallclock_fixture.cc
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+
+namespace face {
+
+unsigned long Positive() {
+  auto t0 = std::chrono::steady_clock::now();  // EXPECT-FINDING: no-wallclock-sim
+  int r = rand();                              // EXPECT-FINDING: no-wallclock-sim
+  long w = time(nullptr);                      // EXPECT-FINDING: no-wallclock-sim
+  (void)t0;
+  return static_cast<unsigned long>(r) + static_cast<unsigned long>(w);
+}
+
+struct TpccRandom {
+  int Next() { return 4; }
+};
+
+struct Workload {
+  // Declarations whose name merely collides with a host function are not
+  // calls: neither line below may produce a finding.
+  TpccRandom& random() { return rnd_; }
+  TpccRandom rnd_;
+};
+
+int Negative(Workload& w) {
+  // Member access is not a host call either.
+  return w.random().Next();
+}
+
+}  // namespace face

@@ -1,0 +1,27 @@
+// facelint fixture: obs-hot-handle fires on string-keyed metric lookups
+// outside a registration/setup function — the src/obs cardinal rule is
+// resolve-once, then hit the cached handle on the hot path.
+// FACELINT-FIXTURE-PATH: src/engine/obs_handle_fixture.cc
+
+namespace face {
+
+class Registry;
+
+void HotPath(Registry& reg) {
+  auto* c = reg.GetCounter("engine.commits");  // EXPECT-FINDING: obs-hot-handle
+  (void)c;
+}
+
+void RegisterEngineObs(Registry& reg) {
+  // Setup-named functions (Obs/Register/Init/Setup/Bind) may resolve.
+  auto* c = reg.GetCounter("engine.commits");
+  (void)c;
+}
+
+void CachedHotPath(Registry& reg) {
+  // A static/thread_local initializer resolves once by construction.
+  static auto* c = reg.GetCounter("engine.commits");
+  (void)c;
+}
+
+}  // namespace face

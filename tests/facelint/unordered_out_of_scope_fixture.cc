@@ -1,0 +1,15 @@
+// facelint fixture: the same banned containers OUTSIDE the simulated-state
+// scope (src/buffer, src/core, src/engine, src/recovery) produce no
+// no-unordered-sim findings — src/sim is not in the rule's scope. The
+// selftest asserts this file lints clean.
+// FACELINT-FIXTURE-PATH: src/sim/unordered_scope_fixture.cc
+#include <unordered_map>
+
+namespace face {
+
+void HostSideBookkeeping() {
+  std::unordered_map<int, int> fine_here;
+  (void)fine_here;
+}
+
+}  // namespace face

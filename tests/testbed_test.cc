@@ -67,8 +67,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(CachePolicy::kFace, CachePolicy::kFaceGR,
                       CachePolicy::kFaceGSC, CachePolicy::kLc,
                       CachePolicy::kTac, CachePolicy::kExadata),
-    [](const ::testing::TestParamInfo<CachePolicy>& info) {
-      std::string name = CachePolicyName(info.param);
+    [](const ::testing::TestParamInfo<CachePolicy>& pinfo) {
+      std::string name = CachePolicyName(pinfo.param);
       for (char& c : name) {
         if (c == '+') c = '_';
       }
@@ -103,8 +103,8 @@ INSTANTIATE_TEST_SUITE_P(
     AllPolicies, TestbedRecoveryTest,
     ::testing::Values(CachePolicy::kNone, CachePolicy::kFaceGSC,
                       CachePolicy::kLc),
-    [](const ::testing::TestParamInfo<CachePolicy>& info) {
-      std::string name = CachePolicyName(info.param);
+    [](const ::testing::TestParamInfo<CachePolicy>& pinfo) {
+      std::string name = CachePolicyName(pinfo.param);
       for (char& c : name) {
         if (c == '+') c = '_';
       }

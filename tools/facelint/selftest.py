@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""facelint self-test: run the checker over the annotated fixtures in
+tests/facelint/ and assert its findings line-for-line.
+
+Fixture annotation convention (trailing comment on the offending line):
+
+    // EXPECT-FINDING: <rule>     facelint must REPORT <rule> on this line
+    // EXPECT-ALLOWED: <rule>     facelint must find <rule> here but
+                                  suppress it via an inline allow comment
+
+A fixture with no annotations must lint completely clean (that is how the
+scope-negative fixtures assert silence). Two extra scenarios exercise the
+baseline machinery against baseline_suppression_fixture.cc:
+
+  1. with its sidecar .baseline the finding is suppressed and exit is 0;
+  2. the same sidecar against a fixture it does not match is a stale-entry
+     error with exit 1.
+
+Registered as the `facelint_test` ctest target.
+"""
+
+import json
+import os
+import re
+import subprocess
+import sys
+
+ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+FACELINT = os.path.join(ROOT, "tools", "facelint", "facelint.py")
+FIXTURE_DIR = os.path.join(ROOT, "tests", "facelint")
+
+_EXPECT_RE = re.compile(r"//\s*EXPECT-(FINDING|ALLOWED):\s*([\w-]+)")
+_FIXTURE_PATH_RE = re.compile(r"FACELINT-FIXTURE-PATH:\s*(\S+)")
+
+_failures = []
+
+
+def check(cond, what):
+    if cond:
+        print("  ok   %s" % what)
+    else:
+        print("  FAIL %s" % what)
+        _failures.append(what)
+
+
+def run_facelint(files, extra):
+    cmd = [sys.executable, FACELINT, "--root", ROOT, "--json"] + extra + files
+    p = subprocess.run(cmd, capture_output=True, text=True)
+    try:
+        payload = json.loads(p.stdout) if p.stdout.strip() else None
+    except json.JSONDecodeError:
+        payload = None
+    return p.returncode, payload, p.stderr
+
+
+def expectations(path):
+    """-> (fixture_rel, {(rule, line): 'FINDING'|'ALLOWED'})"""
+    want = {}
+    rel = None
+    with open(path, encoding="utf-8") as f:
+        for ln, line in enumerate(f, 1):
+            m = _FIXTURE_PATH_RE.search(line)
+            if m and rel is None:
+                rel = m.group(1)
+            for m in _EXPECT_RE.finditer(line):
+                want[(m.group(2), ln)] = m.group(1)
+    return rel, want
+
+
+def main():
+    fixtures = sorted(
+        os.path.join(FIXTURE_DIR, f)
+        for f in os.listdir(FIXTURE_DIR) if f.endswith(".cc"))
+    if not fixtures:
+        print("no fixtures found under %s" % FIXTURE_DIR)
+        return 1
+
+    # --- one run over every fixture, no baseline --------------------------
+    rc, payload, err = run_facelint(fixtures, ["--no-baseline"])
+    check(payload is not None, "facelint produced JSON (stderr: %r)" % err[:200])
+    if payload is None:
+        return 1
+
+    by_fixture = {}
+    for fd in payload["findings"]:
+        by_fixture.setdefault(fd["path"], []).append(fd)
+
+    total_expected_reports = 0
+    for path in fixtures:
+        rel, want = expectations(path)
+        name = os.path.basename(path)
+        check(rel is not None, "%s declares FACELINT-FIXTURE-PATH" % name)
+        got = by_fixture.get(rel, [])
+        got_reported = {(f["rule"], f["line"]) for f in got
+                        if f["suppressed"] is None}
+        got_allowed = {(f["rule"], f["line"]) for f in got
+                       if f["suppressed"] == "allow"}
+        want_reported = {k for k, v in want.items() if v == "FINDING"}
+        want_allowed = {k for k, v in want.items() if v == "ALLOWED"}
+        total_expected_reports += len(want_reported)
+        check(got_reported == want_reported,
+              "%s reported findings %s" % (name, sorted(want_reported) or "none"))
+        if got_reported != want_reported:
+            print("       got: %s" % sorted(got_reported))
+        check(got_allowed == want_allowed,
+              "%s allowed findings %s" % (name, sorted(want_allowed) or "none"))
+        if got_allowed != want_allowed:
+            print("       got: %s" % sorted(got_allowed))
+
+    check(rc == 1 if total_expected_reports else rc == 0,
+          "exit code reflects reported findings (rc=%d)" % rc)
+
+    # --- baseline suppression ---------------------------------------------
+    fixture = os.path.join(FIXTURE_DIR, "baseline_suppression_fixture.cc")
+    sidecar = os.path.join(FIXTURE_DIR, "baseline_suppression_fixture.baseline")
+    rc, payload, err = run_facelint([fixture], ["--baseline", sidecar])
+    check(rc == 0, "baseline suppresses the finding (rc=%d, stderr=%r)"
+          % (rc, err[:200]))
+    if payload is not None:
+        baselined = [f for f in payload["findings"]
+                     if f["suppressed"] == "baseline"]
+        check(len(baselined) == 1, "exactly one finding marked baselined")
+        check(not payload["stale_baseline"], "sidecar entry is not stale")
+
+    # --- stale baseline is an error ---------------------------------------
+    other = os.path.join(FIXTURE_DIR, "allow_escape_fixture.cc")
+    rc, payload, err = run_facelint([other], ["--baseline", sidecar])
+    check(rc == 1, "stale baseline entry is a hard error (rc=%d)" % rc)
+    if payload is not None:
+        check(len(payload["stale_baseline"]) == 1,
+              "stale entry surfaced in JSON output")
+
+    print()
+    if _failures:
+        print("selftest: %d check(s) FAILED" % len(_failures))
+        return 1
+    print("selftest: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
