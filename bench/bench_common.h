@@ -17,6 +17,13 @@
 //                    a top-level "obs" block in BENCH_<bench>.json
 //   --trace=<file>   enable metrics + tracing and write a Chrome
 //                    trace-event JSON (Perfetto-loadable) to <file>
+//   --fault-profile=<name>
+//                    bench_workloads only: append a fault-tolerance section
+//                    (transient | flash-loss | bit-rot) that arms the flash
+//                    device with a named transient-fault preset and reports
+//                    degraded-window throughput, retry counts, and scrub
+//                    repairs. Off by default: without the flag the output
+//                    and BENCH_*.json stay byte-identical to the baselines.
 //
 // --txns and --seed together give CI a cheap deterministic smoke run:
 //   bench_workloads --txns=200 --warmup=100 --seed=7
@@ -50,6 +57,7 @@ struct BenchFlags {
   bool stats_json = false;   ///< embed an "obs" metrics block in the JSON
   std::string trace_path;    ///< Chrome trace output ("" = tracing off)
   uint32_t shards = 1;       ///< sharded execution (bench_workloads only)
+  std::string fault_profile; ///< named transient-fault preset ("" = off)
 
   uint64_t WarmupOr(uint64_t dflt) const {
     if (warmup_txns != 0) return warmup_txns;
@@ -86,6 +94,8 @@ inline BenchFlags ParseFlags(int argc, char** argv) {
     } else if (arg.rfind("--shards=", 0) == 0) {
       flags.shards = static_cast<uint32_t>(atoi(arg.c_str() + 9));
       if (flags.shards == 0) flags.shards = 1;
+    } else if (arg.rfind("--fault-profile=", 0) == 0) {
+      flags.fault_profile = arg.substr(16);
     } else {
       fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       exit(2);
@@ -283,6 +293,10 @@ class JsonReporter {
     // byte-identical with baselines captured before the flag existed.
     if (flags.shards > 1) {
       body_ += ", \"shards\": " + std::to_string(flags.shards);
+    }
+    // Same rule for the fault preset: absent unless the flag is set.
+    if (!flags.fault_profile.empty()) {
+      body_ += ", \"fault_profile\": \"" + Escape(flags.fault_profile) + "\"";
     }
     body_ += "},\n  \"rows\": [";
   }

@@ -6,7 +6,8 @@
 // ones) — per workload, where an LRU-style policy cannot.
 //
 //   bench_workloads [--warehouses=N] [--quick] [--txns=N] [--warmup=N]
-//                   [--seed=S] [--no-cache] [--json]
+//                   [--seed=S] [--no-cache] [--json] [--shards=N]
+//                   [--fault-profile=transient|flash-loss|bit-rot]
 //
 // --json additionally writes BENCH_workloads.json (schema in
 // bench/README.md): the policy x workload matrix as machine-readable rows
@@ -18,6 +19,8 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "core/flash_layout.h"
+#include "fault/fault_injector.h"
 #include "testbed/sharded_testbed.h"
 #include "workload/scan_workload.h"
 #include "workload/trace.h"
@@ -138,6 +141,155 @@ void RunShardedSection(const BenchFlags& flags, uint64_t warmup,
     cells.push_back(CellFrom(*r));
   }
   PrintWorkloadTable(name.c_str(), cells);
+}
+
+/// Resolve a --fault-profile preset name. `bit_rot` selects the planted
+/// bit-rot + scrubber scenario (no transient faults armed).
+bool MakeFaultProfile(const std::string& name, uint64_t seed,
+                      TransientFaultProfile* out, bool* bit_rot) {
+  *bit_rot = false;
+  TransientFaultProfile p;
+  p.seed = seed;
+  if (name == "transient") {
+    // Flaky but recovering: bursts of 2 consecutive failures stay inside
+    // the 4-attempt retry budget, plus occasional 8x latency spikes.
+    p.read_fail_permille = 8;
+    p.write_fail_permille = 8;
+    p.sticky_failures = 1;
+    p.latency_spike_permille = 20;
+    *out = p;
+    return true;
+  }
+  if (name == "flash-loss") {
+    // A sticky window longer than the retry budget: the first fault is
+    // fatal, the supervisor degrades to disk-only mid-run, and the tail of
+    // the run is served without flash.
+    p.read_fail_permille = 25;
+    p.write_fail_permille = 25;
+    p.sticky_failures = 8;
+    *out = p;
+    return true;
+  }
+  if (name == "bit-rot") {
+    *out = p;  // nothing armed; rot is planted directly in flash frames
+    *bit_rot = true;
+    return true;
+  }
+  return false;
+}
+
+/// --fault-profile=<name> section: the Zipfian YCSB cell with the flash
+/// device under a named fault preset, armed after warmup so admission is
+/// clean. Rows are labelled "ycsb-zipfian@<name>" and carry the fault
+/// telemetry: degraded-window throughput, retry/backoff totals, and scrub
+/// repairs. bit-rot runs FaCE only — the rot is planted through the FaCE
+/// frame layout; the other presets run every degradable policy.
+void RunFaultSection(const BenchFlags& flags, const GoldenImage& golden,
+                     std::shared_ptr<const WorkloadFactory> factory,
+                     uint64_t warmup, uint64_t txns, JsonReporter* json) {
+  auto die = [](const Status& s, const char* what) {
+    if (!s.ok()) {
+      fprintf(stderr, "%s: %s\n", what, s.ToString().c_str());
+      exit(1);
+    }
+  };
+  TransientFaultProfile profile;
+  bool bit_rot = false;
+  if (!MakeFaultProfile(flags.fault_profile, flags.seed, &profile,
+                        &bit_rot)) {
+    fprintf(stderr,
+            "unknown --fault-profile=%s (presets: transient, flash-loss, "
+            "bit-rot)\n",
+            flags.fault_profile.c_str());
+    exit(2);
+  }
+  const std::string name = "ycsb-zipfian@" + flags.fault_profile;
+  std::vector<CachePolicy> policies;
+  if (bit_rot) {
+    policies = {CachePolicy::kFace};
+  } else {
+    policies = {CachePolicy::kFace, CachePolicy::kLc, CachePolicy::kTac,
+                CachePolicy::kExadata};
+  }
+
+  printf("\nworkload: %s\n", name.c_str());
+  PrintRow("policy", {"tpm", "deg", "dtpm", "retries", "scrubRep"});
+  for (const CachePolicy policy : policies) {
+    TestbedOptions opts;
+    opts.policy = policy;
+    opts.flash_pages = golden.db_pages() / 10;
+    opts.seed = flags.seed;
+    opts.workload = factory;
+    if (bit_rot) {
+      // Fixed segment geometry so the bench and FlashLayout::Compute agree
+      // on frame addresses, and a virtual-time background scrubber.
+      opts.seg_entries = 256;
+      opts.scrub_interval = 5 * kNanosPerMilli;
+    }
+    FaultInjector inj;
+    Testbed tb(opts, &golden);
+    const WallClock::time_point start = WallClock::now();
+    die(tb.Start(), "fault start");
+    die(tb.Warmup(warmup), "fault warmup");
+
+    ScrubResult planted;  // the repair sweep over freshly planted rot
+    if (bit_rot) {
+      const FlashLayout lay =
+          FlashLayout::Compute(opts.flash_pages, opts.seg_entries);
+      for (uint64_t i = 0; i < lay.n_frames; i += 7) {
+        die(FaultInjector::FlipBitsInBlock(
+                tb.flash_dev(), lay.FrameBlock(i), 3, 0xB17D0 + i),
+            "plant rot");
+      }
+      // Full repair pass before traffic resumes, so a rotten frame is never
+      // served; the background scrubber keeps walking during the run.
+      auto swept = tb.ScrubPass(lay.n_frames);
+      die(swept.status(), "scrub pass");
+      planted = std::move(swept.value());
+    } else {
+      tb.flash_dev()->set_fault_injector(&inj);
+      inj.ArmTransient("flash", profile);
+    }
+
+    RunOptions run;
+    run.txns = txns;
+    run.checkpoint_interval = kCheckpointEvery;
+    auto r = tb.Run(run);
+    die(r.status(), "fault run");
+
+    const uint64_t scrub_scanned =
+        r->scrub_frames_scanned + planted.frames_scanned;
+    const uint64_t scrub_repaired =
+        r->scrub_clean_repaired + planted.clean_repaired;
+    const uint64_t scrub_lost =
+        r->scrub_lost_dirty + planted.lost_dirty.size();
+    const double degraded_tpm =
+        r->degraded_ns ? static_cast<double>(r->degraded_txns) * 60e9 /
+                             static_cast<double>(r->degraded_ns)
+                       : 0.0;
+    if (json != nullptr) {
+      json->AddRunRow(name, CachePolicyName(policy), *r,
+                      WallSecondsSince(start));
+      json->Field("fault_profile", flags.fault_profile);
+      json->Field("degradations", r->degradations);
+      json->Field("degraded_txns", r->degraded_txns);
+      json->Field("degraded_ns", static_cast<uint64_t>(r->degraded_ns));
+      json->Field("degraded_tpm", degraded_tpm);
+      json->Field("flash_retries", r->flash_stats.retries);
+      json->Field("flash_backoff_ns",
+                  static_cast<uint64_t>(r->flash_stats.backoff_ns));
+      json->Field("scrub_frames_scanned", scrub_scanned);
+      json->Field("scrub_clean_repaired", scrub_repaired);
+      json->Field("scrub_lost_dirty", scrub_lost);
+      json->EndRow();
+    }
+    PrintRow(CachePolicyName(policy),
+             {Fmt("%.0f", r->Tpm()),
+              Fmt("%.0f", static_cast<double>(r->degradations)),
+              Fmt("%.0f", degraded_tpm),
+              Fmt("%.0f", static_cast<double>(r->flash_stats.retries)),
+              Fmt("%.0f", static_cast<double>(scrub_repaired + scrub_lost))});
+  }
 }
 
 void PrintWorkloadTable(const char* workload_name,
@@ -336,6 +488,12 @@ void RunMatrix(const BenchFlags& flags) {
   // so existing baselines stay byte-identical without the flag).
   if (flags.shards > 1) {
     RunShardedSection(flags, warmup, txns, json);
+  }
+
+  // Fault-tolerance rows: opt-in like the sharded section, so the default
+  // matrix and its JSON baselines stay byte-identical without the flag.
+  if (!flags.fault_profile.empty()) {
+    RunFaultSection(flags, zipf_golden, zipf_factory, warmup, txns, json);
   }
 
   if (!flags.trace_path.empty()) {

@@ -131,7 +131,10 @@ StatusOr<PageHandle> BufferPool::FetchPage(PageId page_id) {
   FACE_ASSIGN_OR_RETURN(uint32_t frame, GetFreeFrame());
   Frame& f = frames_[frame];
 
-  const bool flash_hit = cache_->Contains(page_id);
+  // While degraded the flash device is gone: no probes, no admissions —
+  // the policy is treated exactly like NullCache until ReattachFlash.
+  const bool degraded = cache_->degraded();
+  const bool flash_hit = !degraded && cache_->Contains(page_id);
   cache_->RecordProbe(flash_hit);
   if (flash_hit) {
     auto read = cache_->ReadPage(page_id, f.data.get());
@@ -163,8 +166,10 @@ StatusOr<PageHandle> BufferPool::FetchPage(PageId page_id) {
     f.fdirty = false;
     f.rec_lsn = kInvalidLsn;
     uint64_t admitted = kNoFlashVersion;
-    FACE_RETURN_IF_ERROR(
-        cache_->OnFetchFromDisk(page_id, f.data.get(), &admitted));
+    if (!degraded) {
+      FACE_RETURN_IF_ERROR(
+          cache_->OnFetchFromDisk(page_id, f.data.get(), &admitted));
+    }
     f.flash_version = admitted;  // on-entry policies admit a delta base here
     f.tracker.Reset();
   }
@@ -257,9 +262,21 @@ Status BufferPool::EvictFrame(uint32_t frame) {
     FACE_RETURN_IF_ERROR(log_->FlushTo(PageView(f.data.get()).lsn()));
   }
   table_.Erase(f.page_id);
-  DeltaWriteHint hint{&f.tracker, f.flash_version, kNoFlashVersion};
-  Status s = cache_->OnDramEvict(f.page_id, f.data.get(), f.dirty, f.fdirty,
-                                 f.rec_lsn, &hint);
+  Status s;
+  if (cache_->degraded()) {
+    // Disk-only service: dirty pages go straight to their durable home.
+    if (f.dirty) s = storage_->WritePage(f.page_id, f.data.get());
+  } else {
+    DeltaWriteHint hint{&f.tracker, f.flash_version, kNoFlashVersion};
+    s = cache_->OnDramEvict(f.page_id, f.data.get(), f.dirty, f.fdirty,
+                            f.rec_lsn, &hint);
+    if (!s.ok() && f.dirty) {
+      // The cache refused mid-eviction (flash failure) and this frame may
+      // hold the only current copy. Rescue it to disk before the frame is
+      // recycled; the original error still surfaces for supervision.
+      (void)storage_->WritePage(f.page_id, f.data.get());
+    }
+  }
   f.in_use = false;
   f.page_id = kInvalidPageId;
   f.dirty = f.fdirty = false;
@@ -269,7 +286,8 @@ Status BufferPool::EvictFrame(uint32_t frame) {
   return s;
 }
 
-PageId BufferPool::PullVictim(char* page, bool* dirty, bool* fdirty) {
+PageId BufferPool::PullVictim(char* page, bool* dirty, bool* fdirty,
+                              Lsn* rec_lsn) {
   for (int32_t i = lru_.tail(); i >= 0; i = frames_[i].lru.prev) {
     if (frames_[i].pins != 0) continue;
     const uint32_t frame = static_cast<uint32_t>(i);
@@ -281,6 +299,7 @@ PageId BufferPool::PullVictim(char* page, bool* dirty, bool* fdirty) {
     memcpy(page, f.data.get(), kPageSize);
     *dirty = f.dirty;
     *fdirty = f.fdirty;
+    if (rec_lsn != nullptr) *rec_lsn = f.rec_lsn;
     lru_.Remove(FrameLinks(), frame);
     table_.Erase(page_id);
     f.in_use = false;
@@ -318,6 +337,43 @@ Status BufferPool::FlushAllToDisk() {
     f.rec_lsn = kInvalidLsn;
     f.flash_version = kNoFlashVersion;  // the cache may have dropped its copy
     f.tracker.Reset();
+  }
+  return Status::OK();
+}
+
+Status BufferPool::FlushPagesToDisk(const std::vector<PageId>& pages) {
+  FACE_RETURN_IF_ERROR(log_->FlushAll());
+  for (PageId page_id : pages) {
+    const uint32_t* slot = table_.Find(page_id);
+    if (slot == nullptr) continue;
+    Frame& f = frames_[*slot];
+    if (!f.dirty) continue;
+    FACE_RETURN_IF_ERROR(storage_->WritePage(page_id, f.data.get()));
+    cache_->OnPageWrittenToDisk(page_id);
+    f.dirty = false;
+    f.fdirty = false;
+    f.rec_lsn = kInvalidLsn;
+    f.flash_version = kNoFlashVersion;
+    f.tracker.Reset();
+  }
+  return Status::OK();
+}
+
+Status BufferPool::FlushUnprotectedFrames() {
+  FACE_RETURN_IF_ERROR(log_->FlushAll());
+  for (PageId page_id : SnapshotResidentPages()) {
+    const uint32_t* slot = table_.Find(page_id);
+    if (slot == nullptr) continue;
+    Frame& f = frames_[*slot];
+    // The flash state is gone: no frame may delta against it anymore.
+    f.flash_version = kNoFlashVersion;
+    f.tracker.Reset();
+    // dirty + invalid recLSN = the flash copy (persistent cache) was the
+    // page's redo protection. With flash lost, disk must catch up now.
+    if (!f.dirty || f.rec_lsn != kInvalidLsn) continue;
+    FACE_RETURN_IF_ERROR(storage_->WritePage(page_id, f.data.get()));
+    f.dirty = false;
+    f.fdirty = false;
   }
   return Status::OK();
 }
@@ -377,16 +433,20 @@ Status BufferPool::SyncDirtyPagesForCheckpoint() {
     Frame& f = frames_[*slot];
     if (!PersistentlyDirty(f)) continue;
     ++synced;
-    DeltaWriteHint hint{&f.tracker, f.flash_version, kNoFlashVersion};
-    FACE_ASSIGN_OR_RETURN(
-        bool absorbed, cache_->CheckpointPage(page_id, f.data.get(), &hint));
+    bool absorbed = false;
+    if (!cache_->degraded()) {
+      DeltaWriteHint hint{&f.tracker, f.flash_version, kNoFlashVersion};
+      FACE_ASSIGN_OR_RETURN(
+          absorbed,
+          cache_->CheckpointPage(page_id, f.data.get(), f.rec_lsn, &hint));
+      if (absorbed) f.flash_version = hint.new_version;
+    }
     if (absorbed) {
-      // Flash now holds the current copy persistently; still newer than disk.
+      // Flash now holds the current copy persistently; still newer than
+      // disk. The frame stays resident and equals the just-absorbed flash
+      // state (flash_version above): later mutations may delta against it.
       f.fdirty = false;
       f.rec_lsn = kInvalidLsn;
-      // The frame stays resident and equals the just-absorbed flash state:
-      // later mutations may delta against it.
-      f.flash_version = hint.new_version;
       f.tracker.Reset();
     } else {
       FACE_RETURN_IF_ERROR(storage_->WritePage(page_id, f.data.get()));

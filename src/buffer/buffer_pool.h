@@ -113,6 +113,11 @@ class BufferPool final : public DramPullSource {
   /// Evict every unpinned frame through the normal cache pipeline (tests).
   Status EvictAll();
 
+  /// Write the listed pages' dirty resident frames to disk and mark them
+  /// clean (flash rebuild: redo-reconstructed pages become durable on
+  /// disk). Non-resident or clean pages are skipped. WAL forced first.
+  Status FlushPagesToDisk(const std::vector<PageId>& pages);
+
   /// Dirty-page table for a checkpoint: frames whose persistent copy
   /// (disk, or flash for persistent caches) is stale.
   std::vector<DptEntry> CollectDirtyPages() const;
@@ -122,7 +127,15 @@ class BufferPool final : public DramPullSource {
   Status SyncDirtyPagesForCheckpoint();
 
   /// DramPullSource: surrender an unpinned LRU-tail page to the cache.
-  PageId PullVictim(char* page, bool* dirty, bool* fdirty) override;
+  PageId PullVictim(char* page, bool* dirty, bool* fdirty,
+                    Lsn* rec_lsn) override;
+
+  /// Flash-loss transition step: write every dirty frame whose only redo
+  /// protection was its flash copy (dirty, recLSN invalid — fetched dirty
+  /// from a persistent cache and unmodified since) straight to disk, and
+  /// drop all frames' flash delta bases (the flash state is gone). WAL
+  /// forced first. Frames stay resident.
+  Status FlushUnprotectedFrames();
 
   /// Attach/detach the page-reference tracer (null = off). The sink sees
   /// logical references (DRAM hits included), not device I/O.

@@ -26,6 +26,17 @@ class Status {
     kInternal,
   };
 
+  /// Refinement of kIOError. Transient faults (a flaky device that may
+  /// serve the same request a moment later) are the only retryable errors;
+  /// everything else — power loss, capacity, a device declared lost — is
+  /// terminal and must never be retried. Orthogonal to Code so existing
+  /// code-only comparisons and switch statements are unaffected.
+  enum class Sub : unsigned char {
+    kNone = 0,
+    kTransient,   ///< device failed this request but may recover
+    kDeviceLost,  ///< retry budget exhausted; device declared lost
+  };
+
   Status() : code_(Code::kOk) {}
 
   /// Returns an OK status.
@@ -45,6 +56,15 @@ class Status {
   /// Simulated device rejected or failed the request.
   static Status IOError(std::string msg = "") {
     return Status(Code::kIOError, std::move(msg));
+  }
+  /// Device failed the request transiently; the caller may retry it.
+  static Status TransientIOError(std::string msg = "") {
+    return Status(Code::kIOError, std::move(msg), Sub::kTransient);
+  }
+  /// Device declared lost after its retry budget was exhausted. Terminal:
+  /// the caller must fail over (degrade), never retry.
+  static Status DeviceLost(std::string msg = "") {
+    return Status(Code::kIOError, std::move(msg), Sub::kDeviceLost);
   }
   /// Feature intentionally unimplemented for this configuration.
   static Status NotSupported(std::string msg = "") {
@@ -78,7 +98,18 @@ class Status {
   bool IsOutOfSpace() const { return code_ == Code::kOutOfSpace; }
   bool IsInternal() const { return code_ == Code::kInternal; }
 
+  /// True only for transient I/O errors — the retry loop's predicate.
+  /// Every pre-existing IOError site constructs with Sub::kNone and stays
+  /// terminal; retryability is opt-in at the fault site.
+  bool IsRetryable() const {
+    return code_ == Code::kIOError && sub_ == Sub::kTransient;
+  }
+  bool IsDeviceLost() const {
+    return code_ == Code::kIOError && sub_ == Sub::kDeviceLost;
+  }
+
   Code code() const { return code_; }
+  Sub subcode() const { return sub_; }
   const std::string& message() const { return msg_; }
 
   /// Human-readable "<code>: <message>" string for logs and test failures.
@@ -97,15 +128,21 @@ class Status {
       case Code::kOutOfSpace: name = "OutOfSpace"; break;
       case Code::kInternal: name = "Internal"; break;
     }
+    if (sub_ == Sub::kTransient) name += " (transient)";
+    if (sub_ == Sub::kDeviceLost) name += " (device lost)";
     return msg_.empty() ? name : name + ": " + msg_;
   }
 
+  /// Code-only: a transient IOError == a terminal IOError, which existing
+  /// tests rely on. Compare IsRetryable()/IsDeviceLost() when it matters.
   bool operator==(const Status& other) const { return code_ == other.code_; }
 
  private:
-  Status(Code code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+  Status(Code code, std::string msg, Sub sub = Sub::kNone)
+      : code_(code), sub_(sub), msg_(std::move(msg)) {}
 
   Code code_;
+  Sub sub_ = Sub::kNone;
   std::string msg_;
 };
 

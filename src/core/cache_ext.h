@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "common/page_delta.h"
 #include "common/status.h"
@@ -28,10 +29,29 @@ class DramPullSource {
   virtual ~DramPullSource() = default;
 
   /// Evict one unpinned page from the LRU tail: copies its kPageSize bytes
-  /// into `page`, reports its dirty/fdirty flags as of eviction, and frees
-  /// the frame. Returns kInvalidPageId if nothing is evictable. The WAL is
-  /// forced as needed before the page is surrendered.
-  virtual PageId PullVictim(char* page, bool* dirty, bool* fdirty) = 0;
+  /// into `page`, reports its dirty/fdirty flags and recLSN as of eviction,
+  /// and frees the frame. Returns kInvalidPageId if nothing is evictable.
+  /// The WAL is forced as needed before the page is surrendered.
+  virtual PageId PullVictim(char* page, bool* dirty, bool* fdirty,
+                            Lsn* rec_lsn) = 0;
+};
+
+/// A page whose newest committed version lives only on the flash cache —
+/// the durability exposure FaCE's persistent write-back creates. Collected
+/// at degradation time (and by the scrubber for unrepairable dirty frames)
+/// so targeted WAL redo can rebuild the disk copy.
+struct FlashOnlyPage {
+  PageId page_id = kInvalidPageId;
+  Lsn redo_lsn = kInvalidLsn;  ///< redo from at/below this LSN rebuilds it
+};
+
+/// One scrub pass's findings (see CacheExtension::ScrubSome).
+struct ScrubResult {
+  uint64_t frames_scanned = 0;
+  uint64_t clean_repaired = 0;  ///< rotten clean frames re-read from disk
+  /// Rotten *dirty* frames had the only valid copy; they are dropped from
+  /// the cache and reported here for WAL-driven rebuild by the caller.
+  std::vector<FlashOnlyPage> lost_dirty;
 };
 
 /// Counters every policy maintains; benches derive the paper's hit-rate,
@@ -136,13 +156,17 @@ class CacheExtension {
 
   /// Offer a dirty DRAM page to the cache during a database checkpoint.
   /// Returns true if the cache absorbed it persistently (FaCE enqueues to
-  /// flash); false means the caller must write it to disk. `hint` as in
-  /// OnDramEvict; an absorbing policy fills hint->new_version so the frame
-  /// (which stays in DRAM) remains delta-capable.
+  /// flash); false means the caller must write it to disk. `rec_lsn` is the
+  /// frame's recLSN (absorbing policies track it as the page's WAL rebuild
+  /// floor — the disk copy stays stale). `hint` as in OnDramEvict; an
+  /// absorbing policy fills hint->new_version so the frame (which stays in
+  /// DRAM) remains delta-capable.
   virtual StatusOr<bool> CheckpointPage(PageId page_id, char* page,
+                                        Lsn rec_lsn,
                                         DeltaWriteHint* hint = nullptr) {
     (void)page_id;
     (void)page;
+    (void)rec_lsn;
     (void)hint;
     return false;
   }
@@ -171,6 +195,68 @@ class CacheExtension {
   /// Wire the DRAM pull source (GSC batch filling). Optional.
   virtual void SetPullSource(DramPullSource* source) { (void)source; }
 
+  // --- degraded disk-only mode ----------------------------------------------
+  // When the flash device is declared lost, the supervisor collects the
+  // flash-only dirty set (for WAL rebuild), then enters degraded mode. While
+  // degraded the buffer pool treats the policy like NullCache: no Contains,
+  // no ReadPage, no admissions, no background work. None of these touch the
+  // flash device — it is gone.
+
+  /// True while serving disk-only after a flash loss.
+  bool degraded() const { return degraded_; }
+
+  /// Drop all cache state without flash I/O and stop serving from flash.
+  /// Callers needing the flash-only dirty set must CollectFlashOnlyDirty
+  /// BEFORE this. Base implementation just sets the flag.
+  virtual Status EnterDegraded() {
+    degraded_ = true;
+    return Status::OK();
+  }
+
+  /// Restart-time variant: the control block says the crash happened while
+  /// degraded, so the (possibly replaced) flash contents must not be
+  /// trusted. No flash I/O.
+  virtual void MarkDegradedAtRestart() { degraded_ = true; }
+
+  /// Append every page whose newest version lives only on flash, with its
+  /// WAL rebuild floor, sorted by page id. Empty for write-through and
+  /// non-persistent policies (their flash never outruns the disk copy for
+  /// longer than a checkpoint interval — see FlashRedoFloor).
+  virtual void CollectFlashOnlyDirty(std::vector<FlashOnlyPage>* out) const {
+    (void)out;
+  }
+
+  /// Lowest WAL LSN still needed to rebuild any flash-only dirty page
+  /// (kInvalidLsn = none). The checkpointer must not truncate the log above
+  /// this while the policy holds dirty pages the disk has never seen.
+  virtual Lsn FlashRedoFloor() const { return kInvalidLsn; }
+
+  /// After RecoverAfterCrash of a persistent write-back policy: lower the
+  /// restored dirty entries' WAL rebuild floors to `floor` (the flash redo
+  /// floor the checkpointer persisted in the WAL control block). The exact
+  /// per-page floors died with the process; the persisted minimum is a safe
+  /// lower bound for every page that was dirty before the crash.
+  virtual void SetRecoveredDirtyFloor(Lsn floor) { (void)floor; }
+
+  /// Re-attach a healthy (erased) flash device after degradation: reformat
+  /// policy state cold and resume normal admission. The caller owns device
+  /// health (injector disarm + SimDevice::ResetHealth) and the control
+  /// block marker.
+  virtual Status ReattachFlash() {
+    degraded_ = false;
+    return Status::OK();
+  }
+
+  /// Background scrub: verify up to `max_frames` occupied flash frames
+  /// (rotating cursor), repair rotten clean frames from the durable home,
+  /// drop rotten dirty frames and report them in `out->lost_dirty` for
+  /// WAL-driven rebuild. Default: nothing to scrub.
+  virtual Status ScrubSome(uint64_t max_frames, ScrubResult* out) {
+    (void)max_frames;
+    (void)out;
+    return Status::OK();
+  }
+
   /// Expensive internal-consistency audit for tests.
   virtual Status CheckInvariants() const { return Status::OK(); }
 
@@ -186,6 +272,7 @@ class CacheExtension {
 
  protected:
   CacheStats stats_;
+  bool degraded_ = false;
 };
 
 /// The no-cache configuration (HDD-only / SSD-only): dirty evictions go

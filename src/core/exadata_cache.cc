@@ -209,9 +209,66 @@ Status ExadataCache::RecoverAfterCrash() {
   for (uint64_t i = 0; i < n_frames_; ++i) {
     free_frames_.push_back(static_cast<uint32_t>(n_frames_ - 1 - i));
   }
+  scrub_frame_ = 0;
   // The DRAM directory is gone, and delta chains are part of it.
   FACE_RETURN_IF_ERROR(delta_.Reset());
   SyncDeltaStats();
+  return Status::OK();
+}
+
+Status ExadataCache::EnterDegraded() {
+  // The device is dead: drop the DRAM directory without touching it.
+  degraded_ = true;
+  index_.Clear();
+  lru_.Clear();
+  frame_page_.assign(n_frames_, kInvalidPageId);
+  links_.assign(n_frames_, IntrusiveLinks());
+  free_frames_.clear();
+  for (uint64_t i = 0; i < n_frames_; ++i) {
+    free_frames_.push_back(static_cast<uint32_t>(n_frames_ - 1 - i));
+  }
+  scrub_frame_ = 0;
+  std::vector<PageId> chained;
+  delta_.ForEachChain(
+      [&](PageId pid, const DeltaRing::ChainView&) { chained.push_back(pid); });
+  for (PageId pid : chained) delta_.Drop(pid);
+  return Status::OK();
+}
+
+Status ExadataCache::ReattachFlash() {
+  // A healthy erased device: cold start (re-formats the delta ring).
+  degraded_ = false;
+  return RecoverAfterCrash();
+}
+
+Status ExadataCache::ScrubSome(uint64_t max_frames, ScrubResult* out) {
+  if (degraded_ || max_frames == 0 || index_.empty()) return Status::OK();
+  std::string frame(kPageSize, '\0');
+  // frame_page_ is a direct reverse map: rotate over it.
+  uint64_t walked = 0;
+  while (walked < n_frames_ && out->frames_scanned < max_frames) {
+    const uint64_t f = scrub_frame_;
+    ++walked;
+    scrub_frame_ = (scrub_frame_ + 1) % n_frames_;
+    const PageId pid = frame_page_[f];
+    if (pid == kInvalidPageId) continue;
+    FACE_RETURN_IF_ERROR(flash_->Read(f, frame.data()));
+    ++stats_.flash_reads;
+    ++out->frames_scanned;
+    ConstPageView view(frame.data());
+    if (view.VerifyChecksum() && view.page_id() == pid) continue;
+    // Clean-only cache: disk holds the chain tip, so the repaired frame is
+    // a correct new base for any delta records still attached.
+    FACE_RETURN_IF_ERROR(storage_->ReadPage(pid, frame.data()));
+    ++stats_.disk_reads;
+    memcpy(scratch_.data(), frame.data(), kPageSize);
+    PageView repaired(scratch_.data());
+    repaired.set_page_id(pid);
+    repaired.StampChecksum();
+    FACE_RETURN_IF_ERROR(flash_->Write(f, scratch_.data()));
+    ++stats_.flash_writes;
+    ++out->clean_repaired;
+  }
   return Status::OK();
 }
 

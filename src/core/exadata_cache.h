@@ -53,13 +53,20 @@ class ExadataCache final : public CacheExtension {
                      Lsn rec_lsn, DeltaWriteHint* hint = nullptr) override;
   Status OnFetchFromDisk(PageId page_id, const char* page,
                          uint64_t* admitted_version = nullptr) override;
-  StatusOr<bool> CheckpointPage(PageId, char*,
+  StatusOr<bool> CheckpointPage(PageId, char*, Lsn,
                                 DeltaWriteHint* = nullptr) override {
     return false;
   }
   void OnPageWrittenToDisk(PageId page_id) override;
   Status RecoverAfterCrash() override;
   Status CheckInvariants() const override;
+
+  // Degraded mode / scrub (see cache_ext.h). Clean-only write-through:
+  // degradation drops the DRAM directory (no device I/O), re-attach is a
+  // cold start, and every rotten frame is repairable from disk.
+  Status EnterDegraded() override;
+  Status ReattachFlash() override;
+  Status ScrubSome(uint64_t max_frames, ScrubResult* out) override;
 
   uint64_t cached_pages() const { return index_.size(); }
   uint64_t n_frames() const { return n_frames_; }
@@ -87,6 +94,7 @@ class ExadataCache final : public CacheExtension {
   std::vector<IntrusiveLinks> links_; ///< frame LRU links (head = MRU)
   IntrusiveList lru_;
   std::vector<uint32_t> free_frames_;
+  uint64_t scrub_frame_ = 0;  ///< ScrubSome's rotating position
   std::string scratch_;
 
   /// Page-differential refresh (see delta_ring.h): instead of invalidating

@@ -133,8 +133,10 @@ const char* FaceCache::name() const {
 Status FaceCache::Format() {
   front_seq_ = rear_seq_ = staged_base_ = 0;
   staged_count_ = 0;
+  scrub_seq_ = 0;
   entries_.clear();
   newest_.Clear();
+  dirty_since_.Clear();
   seg_buf_.clear();
   sb_front_seq_ = sb_rear_seq_ = 0;
   FACE_RETURN_IF_ERROR(delta_.Reset());
@@ -316,6 +318,7 @@ Status FaceCache::DequeueOne() {
       delta_.ApplyChain(e.page_id, scratch_.data());
       FACE_RETURN_IF_ERROR(storage_->WritePage(e.page_id, scratch_.data()));
       ++stats_.disk_writes;
+      NoteDestagedToDisk(e.page_id);
     }
     const uint64_t* seq = newest_.Find(e.page_id);
     if (seq != nullptr && *seq == front_seq_) {
@@ -385,6 +388,7 @@ Status FaceCache::DequeueGroup() {
       // afterwards (a page is either written out or a survivor, never both).
       FACE_RETURN_IF_ERROR(storage_->WritePage(e.page_id, bytes));
       ++stats_.disk_writes;
+      NoteDestagedToDisk(e.page_id);
     }
   }
 
@@ -428,7 +432,9 @@ Status FaceCache::FillBatchFromDram() {
     ++attempts;
     bool dirty = false;
     bool fdirty = false;
-    const PageId pid = pull_->PullVictim(page.data(), &dirty, &fdirty);
+    Lsn rec_lsn = kInvalidLsn;
+    const PageId pid = pull_->PullVictim(page.data(), &dirty, &fdirty,
+                                         &rec_lsn);
     if (pid == kInvalidPageId) break;
     ++stats_.pulled_from_dram;
     if (dirty) ++stats_.dirty_evictions;
@@ -443,9 +449,11 @@ Status FaceCache::FillBatchFromDram() {
         }
         FACE_RETURN_IF_ERROR(storage_->WritePage(pid, page.data()));
         ++stats_.disk_writes;
+        NoteDestagedToDisk(pid);
         continue;
       }
       if (!dirty && !options_.cache_clean) continue;
+      if (dirty) NoteDirtyAdmission(pid, rec_lsn, page.data());
       FACE_RETURN_IF_ERROR(
           Enqueue(pid, page.data(), dirty, ConstPageView(page.data()).lsn()));
     }
@@ -523,7 +531,6 @@ void FaceCache::SyncDeltaStats() {
 
 Status FaceCache::OnDramEvict(PageId page_id, char* page, bool dirty,
                               bool fdirty, Lsn rec_lsn, DeltaWriteHint* hint) {
-  (void)rec_lsn;  // FaCE is persistent; recLSNs die with the DRAM copy.
   if (dirty) ++stats_.dirty_evictions;
 
   // Design-choice ablations (§3.2 "caching clean and dirty"). When a dirty
@@ -538,6 +545,7 @@ Status FaceCache::OnDramEvict(PageId page_id, char* page, bool dirty,
     }
     FACE_RETURN_IF_ERROR(storage_->WritePage(page_id, page));
     ++stats_.disk_writes;
+    NoteDestagedToDisk(page_id);
     return Status::OK();
   }
   if (!dirty && !options_.cache_clean) return Status::OK();
@@ -550,8 +558,10 @@ Status FaceCache::OnDramEvict(PageId page_id, char* page, bool dirty,
   if (options_.write_through && dirty) {
     FACE_RETURN_IF_ERROR(storage_->WritePage(page_id, page));
     ++stats_.disk_writes;
+    NoteDestagedToDisk(page_id);
     enqueue_dirty = false;  // disk already current
   }
+  if (enqueue_dirty) NoteDirtyAdmission(page_id, rec_lsn, page);
 
   // Page-differential fast path: a small refresh of a page whose chain tip
   // matches the evicted frame's version becomes a compact delta record in
@@ -577,11 +587,12 @@ Status FaceCache::OnDramEvict(PageId page_id, char* page, bool dirty,
 }
 
 StatusOr<bool> FaceCache::CheckpointPage(PageId page_id, char* page,
-                                         DeltaWriteHint* hint) {
+                                         Lsn rec_lsn, DeltaWriteHint* hint) {
   // A checkpointed dirty page enters the flash cache instead of disk; the
   // flash copy becomes the persistent version (still newer than disk).
   // Small refreshes ride the delta ring (made durable by OnCheckpoint's
   // Flush before the checkpoint completes).
+  NoteDirtyAdmission(page_id, rec_lsn, page);
   auto refreshed = TryDeltaRefresh(page_id, page, /*dirty=*/true, hint);
   if (!refreshed.ok()) return refreshed.status();
   if (*refreshed) {
@@ -612,7 +623,9 @@ Status FaceCache::OnCheckpoint() {
 Status FaceCache::RecoverAfterCrash() {
   entries_.clear();
   newest_.Clear();
+  dirty_since_.Clear();
   staged_count_ = 0;
+  scrub_seq_ = 0;
   seg_buf_.clear();
   recovery_info_ = RecoveryInfo();
 
@@ -772,6 +785,170 @@ Status FaceCache::RecoverAfterCrash() {
     ++recovery_info_.delta_records_attached;
   }
   SyncDeltaStats();
+
+  // 6. Rebuild the durability-exposure ledger. The per-page floors died
+  //    with the process; the entry LSN is the best floor derivable from
+  //    flash alone, and the restart manager lowers it to the control
+  //    block's persisted minimum via SetRecoveredDirtyFloor.
+  for (uint64_t seq = front_seq_; seq < rear_seq_; ++seq) {
+    const Entry& e = EntryAt(seq);
+    if (e.valid && e.dirty) dirty_since_.TryEmplace(e.page_id, e.lsn);
+  }
+  return Status::OK();
+}
+
+void FaceCache::SetRecoveredDirtyFloor(Lsn floor) {
+  if (floor == kInvalidLsn) return;
+  dirty_since_.ForEach([&](PageId, Lsn& since) {
+    if (since == kInvalidLsn || since > floor) since = floor;
+  });
+}
+
+void FaceCache::NoteDirtyAdmission(PageId page_id, Lsn rec_lsn,
+                                   const char* page) {
+  // First dirty admission wins: on a re-dirty chain the disk copy has been
+  // stale since the ORIGINAL admission, so a later (higher) recLSN must not
+  // overwrite the ledger. A missing recLSN (the frame was fetched dirty
+  // from flash and never re-dirtied in DRAM) falls back to the pageLSN —
+  // an exposure, if any, is already in the ledger from that first admission.
+  Lsn floor = rec_lsn;
+  if (floor == kInvalidLsn) floor = ConstPageView(page).lsn();
+  if (floor == kInvalidLsn) return;
+  dirty_since_.TryEmplace(page_id, floor);
+}
+
+Status FaceCache::EnterDegraded() {
+  // The flash device is gone: drop every structure without touching it.
+  // Callers needing the exposure set must CollectFlashOnlyDirty first.
+  degraded_ = true;
+  front_seq_ = rear_seq_ = staged_base_ = 0;
+  staged_count_ = 0;
+  scrub_seq_ = 0;
+  entries_.clear();
+  newest_.Clear();
+  dirty_since_.Clear();
+  seg_buf_.clear();
+  sb_front_seq_ = sb_rear_seq_ = 0;
+  // Forget all delta chains in memory (BeginFull-less: drop each chain).
+  std::vector<PageId> chained;
+  delta_.ForEachChain(
+      [&](PageId pid, const DeltaRing::ChainView&) { chained.push_back(pid); });
+  for (PageId pid : chained) delta_.Drop(pid);
+  return Status::OK();
+}
+
+void FaceCache::CollectFlashOnlyDirty(std::vector<FlashOnlyPage>* out) const {
+  const size_t base = out->size();
+  dirty_since_.ForEach([&](PageId pid, const Lsn& since) {
+    out->push_back(FlashOnlyPage{pid, since});
+  });
+  std::sort(out->begin() + base, out->end(),
+            [](const FlashOnlyPage& a, const FlashOnlyPage& b) {
+              return a.page_id < b.page_id;
+            });
+}
+
+Lsn FaceCache::FlashRedoFloor() const {
+  Lsn floor = kInvalidLsn;
+  dirty_since_.ForEach([&](PageId, const Lsn& since) {
+    if (floor == kInvalidLsn || since < floor) floor = since;
+  });
+  return floor;
+}
+
+Status FaceCache::ReattachFlash() {
+  // The caller hands us a healthy erased device (injector disarmed,
+  // SimDevice::ResetHealth done): reformat cold and resume admissions.
+  degraded_ = false;
+  return Format();
+}
+
+Status FaceCache::PersistEntryDrop(uint64_t seq) {
+  const uint64_t s = options_.seg_entries;
+  char buf[FlashMetaEntry::kEncodedSize];
+  FlashMetaEntry{kInvalidPageId, kInvalidLsn, false, false}.EncodeTo(buf);
+  if (seq >= (rear_seq_ / s) * s) {
+    // Still in the in-memory partial segment: patch it so the eventual
+    // boundary flush persists the drop.
+    const size_t off =
+        static_cast<size_t>(seq % s) * FlashMetaEntry::kEncodedSize;
+    if (off + sizeof(buf) <= seg_buf_.size()) {
+      memcpy(seg_buf_.data() + off, buf, sizeof(buf));
+    }
+    return Status::OK();
+  }
+  if (seq >= sb_rear_seq_) {
+    // Covered only by the restart-time raw-frame scan; the rotten frame
+    // fails its checksum there and is never restored — nothing to persist.
+    return Status::OK();
+  }
+  // Read-modify-write the one segment block holding this entry.
+  const uint64_t entry_in_seg = seq % s;
+  const uint64_t byte = entry_in_seg * FlashMetaEntry::kEncodedSize;
+  const uint64_t block = layout_.SegmentBlock(layout_.SegmentOf(seq)) +
+                         byte / kPageSize;
+  FACE_RETURN_IF_ERROR(flash_->Read(block, scratch_.data()));
+  ++stats_.flash_reads;
+  memcpy(scratch_.data() + byte % kPageSize, buf, sizeof(buf));
+  ++stats_.meta_flash_writes;
+  return flash_->Write(block, scratch_.data());
+}
+
+Status FaceCache::ScrubSome(uint64_t max_frames, ScrubResult* out) {
+  if (degraded_ || max_frames == 0 || live_entries() == 0) return Status::OK();
+  if (scrub_seq_ < front_seq_ || scrub_seq_ >= rear_seq_) {
+    scrub_seq_ = front_seq_;
+  }
+  std::string frame(kPageSize, '\0');
+  // Walk at most one full lap of the queue, verifying up to `max_frames`
+  // valid media-resident frames (staged frames are still in memory and
+  // cannot have rotted).
+  uint64_t walked = 0;
+  const uint64_t lap = live_entries();
+  while (walked < lap && out->frames_scanned < max_frames) {
+    const uint64_t seq = scrub_seq_;
+    ++walked;
+    ++scrub_seq_;
+    if (scrub_seq_ >= rear_seq_) scrub_seq_ = front_seq_;
+    Entry& e = EntryAt(seq);
+    if (!e.valid) continue;
+    if (staged_count_ > 0 && seq >= staged_base_) continue;
+    FACE_RETURN_IF_ERROR(flash_->Read(layout_.FrameBlock(seq), frame.data()));
+    ++stats_.flash_reads;
+    ++out->frames_scanned;
+    ConstPageView view(frame.data());
+    const bool ok = view.VerifyChecksum() && view.page_id() == e.page_id &&
+                    PageView(frame.data()).flags() ==
+                        static_cast<uint32_t>(seq);
+    if (ok) continue;
+
+    if (!e.dirty) {
+      // Clean frame: the disk copy IS the chain tip, so rewriting it as the
+      // new base keeps ApplyChain correct (delta records are absolute
+      // byte-range after-images — re-patching with identical bytes).
+      FACE_RETURN_IF_ERROR(storage_->ReadPage(e.page_id, frame.data()));
+      ++stats_.disk_reads;
+      StampInto(scratch_.data(), frame.data(), e.page_id, e.lsn, seq);
+      FACE_RETURN_IF_ERROR(
+          flash_->Write(layout_.FrameBlock(seq), scratch_.data()));
+      ++stats_.flash_writes;
+      ++out->clean_repaired;
+      continue;
+    }
+
+    // Dirty frame: the rotten base was the only up-to-date copy. Drop the
+    // entry (persisting the drop so restart cannot resurrect it) and report
+    // the page for WAL-driven rebuild with its ledger floor.
+    Lsn floor = e.lsn;
+    if (const Lsn* since = dirty_since_.Find(e.page_id)) floor = *since;
+    out->lost_dirty.push_back(FlashOnlyPage{e.page_id, floor});
+    e.valid = false;
+    newest_.Erase(e.page_id);
+    delta_.Drop(e.page_id);
+    dirty_since_.Erase(e.page_id);
+    ++stats_.invalidations;
+    FACE_RETURN_IF_ERROR(PersistEntryDrop(seq));
+  }
   return Status::OK();
 }
 

@@ -89,12 +89,20 @@ class FaceCache final : public CacheExtension {
   StatusOr<FlashReadResult> ReadPage(PageId page_id, char* out) override;
   Status OnDramEvict(PageId page_id, char* page, bool dirty, bool fdirty,
                      Lsn rec_lsn, DeltaWriteHint* hint = nullptr) override;
-  StatusOr<bool> CheckpointPage(PageId page_id, char* page,
+  StatusOr<bool> CheckpointPage(PageId page_id, char* page, Lsn rec_lsn,
                                 DeltaWriteHint* hint = nullptr) override;
   Status OnCheckpoint() override;
   Status RecoverAfterCrash() override;
   void SetPullSource(DramPullSource* source) override { pull_ = source; }
   Status CheckInvariants() const override;
+
+  // Degraded mode / scrub (see cache_ext.h) ----------------------------------
+  Status EnterDegraded() override;
+  void CollectFlashOnlyDirty(std::vector<FlashOnlyPage>* out) const override;
+  Lsn FlashRedoFloor() const override;
+  void SetRecoveredDirtyFloor(Lsn floor) override;
+  Status ReattachFlash() override;
+  Status ScrubSome(uint64_t max_frames, ScrubResult* out) override;
 
   /// Deep directory audit for crash tests: CheckInvariants plus a read-back
   /// of every valid frame, verifying checksum, stamped page id, and the
@@ -176,6 +184,15 @@ class FaceCache final : public CacheExtension {
   /// Read `count` frames starting at `seq` into `out` (wrap-split batches).
   Status ReadFrames(uint64_t seq, uint32_t count, char* out);
 
+  /// dirty_since_ bookkeeping: the disk copy of `page_id` just became
+  /// stale (first dirty admission) / current again (dirty destage or an
+  /// ablation bypass write).
+  void NoteDirtyAdmission(PageId page_id, Lsn rec_lsn, const char* page);
+  void NoteDestagedToDisk(PageId page_id) { dirty_since_.Erase(page_id); }
+  /// Persist an entry drop (scrub found the frame rotten) into the metadata
+  /// holding `seq`, so a later restart cannot resurrect the dead copy.
+  Status PersistEntryDrop(uint64_t seq);
+
   /// Append the metadata entry for `seq`; flush the segment on boundary.
   Status AppendMeta(uint64_t seq, const FlashMetaEntry& entry);
   /// Write the (full) segment containing seqs [seg*S, (seg+1)*S) and then
@@ -207,6 +224,19 @@ class FaceCache final : public CacheExtension {
   uint64_t rear_seq_ = 0;
   std::deque<Entry> entries_;          // seqs [front_, rear_)
   PageMap<uint64_t> newest_;           // page -> valid seq
+
+  /// Durability-exposure ledger: page -> recLSN at its FIRST dirty admission
+  /// since the disk copy was last current. Inserted when a dirty page enters
+  /// the cache (or a cached clean page turns dirty), erased only when a
+  /// valid dirty copy is destaged to disk (dequeue) or the page is written
+  /// to disk by an ablation bypass. Re-dirty chains keep the oldest LSN:
+  /// the disk copy has been stale since then, so WAL redo for a flash loss
+  /// must start at min over these values (FlashRedoFloor).
+  PageMap<Lsn> dirty_since_;
+
+  /// ScrubSome's rotating position (an enqueue seq; clamped into
+  /// [front_, rear_) at each call).
+  uint64_t scrub_seq_ = 0;
 
   /// Staged (not yet written) rear frames: seqs [staged_base_, rear_seq_),
   /// stamped frame images living contiguously in the reusable staging

@@ -246,6 +246,7 @@ Status LcCache::RecoverAfterCrash() {
   }
   dirty_count_ = 0;
   cleaning_ = false;
+  scrub_frame_ = 0;
   // Delta chains died with the directory; re-format the ring so stale media
   // records can never be confused with the new life's.
   FACE_RETURN_IF_ERROR(delta_.Reset());
@@ -254,9 +255,109 @@ Status LcCache::RecoverAfterCrash() {
 }
 
 bool LcCache::HasBackgroundWork() const {
+  if (degraded_) return false;
   const double dirty = DirtyFraction();
   if (cleaning_) return dirty > options_.clean_target;
   return dirty > options_.clean_threshold;
+}
+
+Status LcCache::EnterDegraded() {
+  // The flash device is gone: drop the DRAM directory without touching it.
+  // Callers needing the exposure set must CollectFlashOnlyDirty first.
+  degraded_ = true;
+  index_.Clear();
+  victim_order_.Clear();
+  free_frames_.clear();
+  for (uint64_t i = 0; i < options_.n_frames; ++i) {
+    free_frames_.push_back(options_.n_frames - 1 - i);
+  }
+  dirty_count_ = 0;
+  cleaning_ = false;
+  scrub_frame_ = 0;
+  std::vector<PageId> chained;
+  delta_.ForEachChain(
+      [&](PageId pid, const DeltaRing::ChainView&) { chained.push_back(pid); });
+  for (PageId pid : chained) delta_.Drop(pid);
+  return Status::OK();
+}
+
+void LcCache::CollectFlashOnlyDirty(std::vector<FlashOnlyPage>* out) const {
+  const size_t base = out->size();
+  index_.ForEach([&](PageId pid, const Entry& e) {
+    if (e.dirty) out->push_back(FlashOnlyPage{pid, e.rec_lsn});
+  });
+  std::sort(out->begin() + base, out->end(),
+            [](const FlashOnlyPage& a, const FlashOnlyPage& b) {
+              return a.page_id < b.page_id;
+            });
+}
+
+Lsn LcCache::FlashRedoFloor() const {
+  Lsn floor = kInvalidLsn;
+  index_.ForEach([&](PageId, const Entry& e) {
+    if (e.dirty && e.rec_lsn != kInvalidLsn &&
+        (floor == kInvalidLsn || e.rec_lsn < floor)) {
+      floor = e.rec_lsn;
+    }
+  });
+  return floor;
+}
+
+Status LcCache::ReattachFlash() {
+  // A healthy erased device: cold start (which also re-formats the delta
+  // ring on the new media) and resume admissions.
+  degraded_ = false;
+  return RecoverAfterCrash();
+}
+
+Status LcCache::ScrubSome(uint64_t max_frames, ScrubResult* out) {
+  if (degraded_ || max_frames == 0 || index_.empty()) return Status::OK();
+  // No frame -> page reverse map exists; snapshot the occupancy sorted by
+  // frame index and resume the rotation from scrub_frame_.
+  std::vector<std::pair<uint64_t, PageId>> occupied;
+  occupied.reserve(index_.size());
+  index_.ForEach([&](PageId pid, const Entry& e) {
+    occupied.emplace_back(e.frame, pid);
+  });
+  std::sort(occupied.begin(), occupied.end());
+  size_t start = 0;
+  while (start < occupied.size() && occupied[start].first < scrub_frame_) {
+    ++start;
+  }
+  std::string frame(kPageSize, '\0');
+  for (uint64_t done = 0; done < occupied.size() && out->frames_scanned <
+       max_frames; ++done) {
+    const auto& [frame_no, pid] = occupied[(start + done) % occupied.size()];
+    Entry* e = index_.Find(pid);
+    if (e == nullptr || e->frame != frame_no) continue;  // churned meanwhile
+    scrub_frame_ = frame_no + 1;
+    FACE_RETURN_IF_ERROR(flash_->Read(frame_no, frame.data()));
+    ++stats_.flash_reads;
+    ++out->frames_scanned;
+    ConstPageView view(frame.data());
+    if (view.VerifyChecksum() && view.page_id() == pid) continue;
+
+    if (!e->dirty) {
+      // Clean frame: the disk copy is the chain tip (LC cleans through
+      // disk), so rewriting it as the new base keeps ApplyChain correct.
+      FACE_RETURN_IF_ERROR(storage_->ReadPage(pid, frame.data()));
+      ++stats_.disk_reads;
+      FACE_RETURN_IF_ERROR(WriteFrame(frame_no, frame.data(), pid));
+      ++out->clean_repaired;
+      continue;
+    }
+
+    // Dirty frame: the rotten base held the only up-to-date copy. Drop the
+    // entry and report the page for WAL-driven rebuild.
+    out->lost_dirty.push_back(FlashOnlyPage{pid, e->rec_lsn});
+    --dirty_count_;
+    free_frames_.push_back(e->frame);
+    index_.Erase(pid);
+    delta_.Drop(pid);
+    ++stats_.invalidations;
+  }
+  if (scrub_frame_ >= options_.n_frames) scrub_frame_ = 0;
+  return Status::OK();
 }
 
 Status LcCache::RunBackgroundWork() {

@@ -66,7 +66,7 @@ class LcCache final : public CacheExtension {
   Status OnDramEvict(PageId page_id, char* page, bool dirty, bool fdirty,
                      Lsn rec_lsn, DeltaWriteHint* hint = nullptr) override;
   /// LC cannot absorb checkpointed pages persistently.
-  StatusOr<bool> CheckpointPage(PageId, char*,
+  StatusOr<bool> CheckpointPage(PageId, char*, Lsn,
                                 DeltaWriteHint* = nullptr) override {
     return false;
   }
@@ -79,6 +79,15 @@ class LcCache final : public CacheExtension {
   Status RunBackgroundWork() override;
   bool HasBackgroundWork() const override;
   Status CheckInvariants() const override;
+
+  // Degraded mode / scrub (see cache_ext.h). LC's write-back window —
+  // flash-dirty pages between checkpoints — is the exposure a flash loss
+  // creates; every dirty entry already tracks its recLSN.
+  Status EnterDegraded() override;
+  void CollectFlashOnlyDirty(std::vector<FlashOnlyPage>* out) const override;
+  Lsn FlashRedoFloor() const override;
+  Status ReattachFlash() override;
+  Status ScrubSome(uint64_t max_frames, ScrubResult* out) override;
 
   // Introspection --------------------------------------------------------------
   uint64_t cached_pages() const { return index_.size(); }
@@ -142,6 +151,7 @@ class LcCache final : public CacheExtension {
   uint64_t clock_ = 0;       ///< logical reference tick
   uint64_t dirty_count_ = 0;
   bool cleaning_ = false;    ///< hysteresis state of the lazy cleaner
+  uint64_t scrub_frame_ = 0; ///< ScrubSome's rotating position (frame index)
   std::string scratch_;      ///< one-page staging buffer
 
   /// Page-differential refresh (see delta_ring.h): small in-place frame

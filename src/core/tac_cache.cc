@@ -67,6 +67,7 @@ Status TacCache::Format() {
     free_slots_.push_back(options_.n_frames - 1 - i);
   }
   clock_ = 0;
+  scrub_slot_ = 0;
   // Zero the whole directory region in one sequential write.
   std::string zeros(static_cast<size_t>(dir_blocks_) * kPageSize, '\0');
   FACE_RETURN_IF_ERROR(flash_->WriteBatch(
@@ -346,6 +347,67 @@ Status TacCache::RecoverAfterCrash() {
   // Chains never outlive a restart; reclaim the ring wholesale.
   FACE_RETURN_IF_ERROR(delta_.Reset());
   SyncDeltaStats();
+  return Status::OK();
+}
+
+Status TacCache::EnterDegraded() {
+  // The device is dead: no invalidation writes, just forget everything.
+  degraded_ = true;
+  index_.Clear();
+  victim_order_.Clear();
+  extent_temp_.Clear();
+  free_slots_.clear();
+  for (uint64_t i = 0; i < options_.n_frames; ++i) {
+    free_slots_.push_back(options_.n_frames - 1 - i);
+  }
+  clock_ = 0;
+  scrub_slot_ = 0;
+  std::vector<PageId> chained;
+  delta_.ForEachChain(
+      [&](PageId pid, const DeltaRing::ChainView&) { chained.push_back(pid); });
+  for (PageId pid : chained) delta_.Drop(pid);
+  return Status::OK();
+}
+
+Status TacCache::ReattachFlash() {
+  // A healthy erased device: rewrite the persistent directory from scratch.
+  degraded_ = false;
+  return Format();
+}
+
+Status TacCache::ScrubSome(uint64_t max_frames, ScrubResult* out) {
+  if (degraded_ || max_frames == 0 || index_.empty()) return Status::OK();
+  // Snapshot occupancy sorted by slot and resume the rotation.
+  std::vector<std::pair<uint64_t, PageId>> occupied;
+  occupied.reserve(index_.size());
+  index_.ForEach([&](PageId pid, const Entry& e) {
+    occupied.emplace_back(e.slot, pid);
+  });
+  std::sort(occupied.begin(), occupied.end());
+  size_t start = 0;
+  while (start < occupied.size() && occupied[start].first < scrub_slot_) {
+    ++start;
+  }
+  std::string frame(kPageSize, '\0');
+  for (uint64_t done = 0;
+       done < occupied.size() && out->frames_scanned < max_frames; ++done) {
+    const auto& [slot, pid] = occupied[(start + done) % occupied.size()];
+    const Entry* e = index_.Find(pid);
+    if (e == nullptr || e->slot != slot) continue;  // churned meanwhile
+    scrub_slot_ = slot + 1;
+    FACE_RETURN_IF_ERROR(flash_->Read(FrameBlock(slot), frame.data()));
+    ++stats_.flash_reads;
+    ++out->frames_scanned;
+    ConstPageView view(frame.data());
+    if (view.VerifyChecksum() && view.page_id() == pid) continue;
+    // Write-through: disk holds the chain tip, so the repaired frame is a
+    // correct new base for any delta records still attached.
+    FACE_RETURN_IF_ERROR(storage_->ReadPage(pid, frame.data()));
+    ++stats_.disk_reads;
+    FACE_RETURN_IF_ERROR(WriteFrame(slot, frame.data(), pid));
+    ++out->clean_repaired;
+  }
+  if (scrub_slot_ >= options_.n_frames) scrub_slot_ = 0;
   return Status::OK();
 }
 

@@ -82,7 +82,7 @@ class TacCache final : public CacheExtension {
   Status OnFetchFromDisk(PageId page_id, const char* page,
                          uint64_t* admitted_version = nullptr) override;
   /// Write-through: disk is always current, so checkpoints go to disk.
-  StatusOr<bool> CheckpointPage(PageId, char*,
+  StatusOr<bool> CheckpointPage(PageId, char*, Lsn,
                                 DeltaWriteHint* = nullptr) override {
     return false;
   }
@@ -95,6 +95,14 @@ class TacCache final : public CacheExtension {
   /// Rebuild the cache map from the persistent slot directory.
   Status RecoverAfterCrash() override;
   Status CheckInvariants() const override;
+
+  // Degraded mode / scrub (see cache_ext.h). Write-through means flash
+  // never outruns disk: degradation drops only the in-memory map (the dead
+  // device gets no invalidation writes), and every rotten frame is
+  // repairable from disk — lost_dirty stays empty.
+  Status EnterDegraded() override;
+  Status ReattachFlash() override;
+  Status ScrubSome(uint64_t max_frames, ScrubResult* out) override;
 
   // Introspection --------------------------------------------------------------
   uint64_t cached_pages() const { return index_.size(); }
@@ -155,6 +163,7 @@ class TacCache final : public CacheExtension {
   std::vector<uint64_t> free_slots_;
   PageMap<uint64_t> extent_temp_;  ///< extent number -> access temperature
   uint64_t clock_ = 0;
+  uint64_t scrub_slot_ = 0;  ///< ScrubSome's rotating position (slot index)
   std::string scratch_;  ///< one-page staging buffer
 
   /// Page-differential refresh (see delta_ring.h): the write-through

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 #include <sstream>
+#include <vector>
 
 #include "common/check.h"
 #include "sim/scheduler.h"
@@ -102,6 +103,67 @@ FaultInjector::WriteVerdict FaultInjector::OnWrite(
   return WriteVerdict();
 }
 
+void FaultInjector::ArmTransient(const std::string& device_id,
+                                 const TransientFaultProfile& profile) {
+  DeviceFaultState& st = device_faults_[device_id];
+  st.profile = profile;
+  st.rnd = Random(profile.seed ^ 0x7A45FAB1Eull);
+  st.sticky_left = 0;
+  st.killed = false;
+  RecomputeTransientActive();
+}
+
+void FaultInjector::DisarmDevice(const std::string& device_id) {
+  device_faults_.erase(device_id);
+  RecomputeTransientActive();
+}
+
+void FaultInjector::KillDevice(const std::string& device_id) {
+  device_faults_[device_id].killed = true;
+  RecomputeTransientActive();
+}
+
+void FaultInjector::RecomputeTransientActive() {
+  transient_active_ = !device_faults_.empty();
+}
+
+uint64_t FaultInjector::transient_failures_on(
+    const std::string& device_id) const {
+  auto it = device_faults_.find(device_id);
+  return it != device_faults_.end() ? it->second.failures : 0;
+}
+
+FaultInjector::TransientVerdict FaultInjector::OnAttempt(
+    const std::string& device_id, bool is_write) {
+  TransientVerdict v;
+  auto it = device_faults_.find(device_id);
+  if (it == device_faults_.end()) return v;
+  DeviceFaultState& st = it->second;
+  if (st.killed) {
+    v.killed = true;
+    return v;
+  }
+  if (st.sticky_left > 0) {
+    --st.sticky_left;
+    ++st.failures;
+    v.fail = true;
+    return v;
+  }
+  const uint32_t fail_permille = is_write ? st.profile.write_fail_permille
+                                          : st.profile.read_fail_permille;
+  if (fail_permille > 0 && st.rnd.Uniform(1000) < fail_permille) {
+    st.sticky_left = st.profile.sticky_failures;
+    ++st.failures;
+    v.fail = true;
+    return v;
+  }
+  if (st.profile.latency_spike_permille > 0 &&
+      st.rnd.Uniform(1000) < st.profile.latency_spike_permille) {
+    v.latency_factor = std::max<uint32_t>(1, st.profile.latency_spike_factor);
+  }
+  return v;
+}
+
 namespace {
 
 /// Run `fn` with the device's timing disabled: aftermath surgery moves
@@ -155,6 +217,29 @@ Status FaultInjector::TearWalTail(SimDevice* log_dev, uint64_t cut, char junk,
   FACE_RETURN_IF_ERROR(TearBlockBytes(
       log_dev, block, static_cast<uint32_t>(cut % kPageSize), junk));
   return GarbleBlocks(log_dev, block + 1, garble_blocks, junk);
+}
+
+Status FaultInjector::FlipBitsInBlock(SimDevice* dev, uint64_t block,
+                                      uint32_t n_bits, uint64_t seed) {
+  if (n_bits == 0 || n_bits > kPageSize * 8) {
+    return Status::InvalidArgument("bit-flip count out of range");
+  }
+  return WithTimingOff(dev, [&] {
+    std::string buf(kPageSize, '\0');
+    FACE_RETURN_IF_ERROR(dev->Read(block, buf.data()));
+    Random rnd(seed ^ 0xB17F11Bull);
+    // Distinct bits: re-draw on collision (n_bits is tiny vs 32768 bits).
+    std::vector<uint32_t> picked;
+    while (picked.size() < n_bits) {
+      const uint32_t bit = static_cast<uint32_t>(rnd.Uniform(kPageSize * 8));
+      if (std::find(picked.begin(), picked.end(), bit) != picked.end()) {
+        continue;
+      }
+      picked.push_back(bit);
+      buf[bit / 8] ^= static_cast<char>(1u << (bit % 8));
+    }
+    return dev->Write(block, buf.data());
+  });
 }
 
 }  // namespace face

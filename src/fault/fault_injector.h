@@ -47,6 +47,23 @@ enum class TearGranularity : uint8_t {
   kPageAtomic,  ///< pages persist whole or not at all (FPW-protected data)
 };
 
+/// Seeded probabilistic *non-terminal* fault model for one device. All
+/// rates are permille (out of 1000) per request; draws happen only while a
+/// profile is armed, so a disarmed injector makes zero RNG draws and
+/// perturbs nothing.
+struct TransientFaultProfile {
+  uint32_t read_fail_permille = 0;   ///< chance a read attempt fails
+  uint32_t write_fail_permille = 0;  ///< chance a write attempt fails
+  /// When a failure fires, force this many *further* consecutive attempts
+  /// on the device to fail before it recovers — a sticky-then-recovering
+  /// window. 0 = each failure is independent. A window longer than the
+  /// retry budget deterministically exhausts it (device declared lost).
+  uint32_t sticky_failures = 0;
+  uint32_t latency_spike_permille = 0;  ///< chance a request is slow
+  uint32_t latency_spike_factor = 8;    ///< service-time multiplier when slow
+  uint64_t seed = 1;                    ///< per-device RNG stream
+};
+
 /// Where and how an injected crash landed.
 struct CrashSite {
   bool tripped = false;
@@ -120,6 +137,36 @@ class FaultInjector {
   WriteVerdict OnWrite(const std::string& device_id, uint64_t block,
                        uint32_t n_pages);
 
+  // --- per-device transient faults ------------------------------------------
+  // Orthogonal to the crash machinery above: transient verdicts fail single
+  // attempts with retryable errors instead of cutting power, and are scoped
+  // to one device id — arming one shard's flash never touches another's.
+
+  /// Verdict for one I/O attempt from the transient layer.
+  struct TransientVerdict {
+    bool fail = false;            ///< fail this attempt (retryable)
+    bool killed = false;          ///< device administratively dead (terminal)
+    uint32_t latency_factor = 1;  ///< multiply this request's service time
+  };
+
+  /// Arm (or re-arm) the transient profile for one device.
+  void ArmTransient(const std::string& device_id,
+                    const TransientFaultProfile& profile);
+  /// Stand down the transient profile and any kill for one device; other
+  /// devices' profiles are untouched (no global Disarm needed).
+  void DisarmDevice(const std::string& device_id);
+  /// Administratively kill one device: every subsequent attempt on it gets
+  /// a terminal (non-retryable) verdict until DisarmDevice.
+  void KillDevice(const std::string& device_id);
+
+  /// Cheap guard for the per-request hot path: true iff any device has a
+  /// transient profile or kill in effect.
+  bool transient_active() const { return transient_active_; }
+  /// Called by SimDevice for every attempt while transient_active().
+  TransientVerdict OnAttempt(const std::string& device_id, bool is_write);
+  /// Transient failures injected on one device so far (all attempts).
+  uint64_t transient_failures_on(const std::string& device_id) const;
+
   // --- power-loss aftermath surgery -----------------------------------------
   // Direct corruption of a quiesced device: no virtual time, no stats, no
   // crash state. These model what an examined disk looks like after the
@@ -139,6 +186,11 @@ class FaultInjector {
   /// the canonical torn log tail of the WAL fuzz tests.
   static Status TearWalTail(SimDevice* log_dev, uint64_t cut, char junk,
                             uint32_t garble_blocks = 3);
+  /// Flip `n_bits` seeded-random bits inside `block` — silent bit-rot on
+  /// idle media, the corruption the scrubber exists to catch. Distinct bits
+  /// per call (sampling without replacement).
+  static Status FlipBitsInBlock(SimDevice* dev, uint64_t block,
+                                uint32_t n_bits, uint64_t seed);
 
  private:
   enum class Mode : uint8_t { kOff, kCountdown, kDeadline };
@@ -152,6 +204,16 @@ class FaultInjector {
   WriteVerdict Trip(const std::string& device_id, uint64_t block,
                     uint32_t n_pages, uint32_t crash_page);
 
+  /// Per-device transient-fault state; exists only for armed devices.
+  struct DeviceFaultState {
+    TransientFaultProfile profile;
+    Random rnd{1};
+    uint32_t sticky_left = 0;  ///< forced failures left in a sticky window
+    bool killed = false;
+    uint64_t failures = 0;     ///< transient failures injected so far
+  };
+  void RecomputeTransientActive();
+
   Mode mode_ = Mode::kOff;
   bool dead_ = false;
   uint64_t countdown_ = 0;  ///< page writes left before the crash point
@@ -163,6 +225,8 @@ class FaultInjector {
   const IoScheduler* sched_ = nullptr;
   std::unordered_map<std::string, TearGranularity> granularity_;
   CrashSite site_;
+  bool transient_active_ = false;
+  std::unordered_map<std::string, DeviceFaultState> device_faults_;
 };
 
 }  // namespace face

@@ -150,6 +150,35 @@ StatusOr<TxnId> ShadowKvWorkload::BeginCrossShardUpdate(Database& db,
   return txn;
 }
 
+Status ShadowKvWorkload::OnInflightRolledBack(Database& db) {
+  (void)db;
+  const PendingOp p = state_->pending;
+  state_->pending = PendingOp();
+  if (p.kind == PendingOp::Kind::kNone) return Status::OK();
+
+  // A live rollback can only strike a transaction whose commit never
+  // completed (the interrupting error surfaced before db.Commit returned,
+  // and the supervisor aborted it), so the engine must now show the old
+  // state — verify it, like the post-crash checker does.
+  std::string row;
+  const Status s = table_.Read(p.key, &row);
+  const uint32_t vb = state_->value_bytes;
+  if (p.kind == PendingOp::Kind::kUpdate) {
+    if (s.ok() && row == workload::KvTable::Row(p.key, vb, p.old_version)) {
+      return Status::OK();
+    }
+    return Status::Corruption(
+        "shadow-kv: rolled-back in-flight update of key " +
+        std::to_string(p.key) + " did not restore the old version (read: " +
+        s.ToString() + ")");
+  }
+  // kInsert: the key must not exist after the rollback.
+  if (s.IsNotFound()) return Status::OK();
+  return Status::Corruption("shadow-kv: rolled-back in-flight insert of key " +
+                            std::to_string(p.key) +
+                            " is still present (read: " + s.ToString() + ")");
+}
+
 Status ShadowKvWorkload::InjectStranded(Database& db, Random& rnd) {
   // An applied-but-never-committed update. The shadow keeps the old
   // version (recovery must undo this), and the key is withheld from later

@@ -88,6 +88,11 @@ class ShadowKvWorkload : public workload::Workload {
   Status Setup(Database& db, uint64_t seed) override;
   StatusOr<uint8_t> NextTxn(Database& db, Random& rnd) override;
   Status InjectStranded(Database& db, Random& rnd) override;
+  /// Live-rollback resolution: the supervisor aborted the in-flight
+  /// transaction on the running engine (no crash, no checker sweep), so the
+  /// pending op resolves here, against the actual row — rollback is the
+  /// only legal outcome for a transaction that never completed its commit.
+  Status OnInflightRolledBack(Database& db) override;
 
   /// This shard's leg of a cross-shard (2PC) transaction: begin a local
   /// transaction, update `key` to a fresh version, record it as the shard's

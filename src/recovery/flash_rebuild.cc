@@ -1,0 +1,86 @@
+#include "recovery/flash_rebuild.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "storage/page.h"
+
+namespace face {
+
+StatusOr<FlashRebuildReport> FlashRebuild::Rebuild(
+    const std::vector<FlashOnlyPage>& lost, Lsn fallback_floor) {
+  FlashRebuildReport report;
+  report.target_pages = lost.size();
+  if (lost.empty()) return report;
+  obs::ScopedSpan span("recovery", "flash_rebuild");
+
+  // The scan reads the durable log; everything appended so far must be on
+  // the device (the degrade sequence forces the WAL anyway — this makes
+  // the rebuild safe to call standalone).
+  FACE_RETURN_IF_ERROR(log_->FlushAll());
+
+  Lsn floor = kInvalidLsn;
+  for (const FlashOnlyPage& p : lost) {
+    Lsn f = p.redo_lsn != kInvalidLsn ? p.redo_lsn : fallback_floor;
+    if (f == kInvalidLsn) f = LogManager::kLogStartLsn;
+    if (floor == kInvalidLsn || f < floor) floor = f;
+  }
+  report.floor = floor;
+
+  // `lost` is sorted by page id: membership is a binary search.
+  auto is_target = [&lost](PageId pid) {
+    auto it = std::lower_bound(
+        lost.begin(), lost.end(), pid,
+        [](const FlashOnlyPage& a, PageId b) { return a.page_id < b; });
+    return it != lost.end() && it->page_id == pid;
+  };
+
+  LogReader reader(log_->device());
+  FACE_RETURN_IF_ERROR(reader.Seek(floor));
+  while (true) {
+    auto rec_or = reader.Next();
+    if (!rec_or.ok()) break;  // end of the valid log
+    const LogRecord& rec = rec_or.value();
+    if (rec.type != LogRecordType::kUpdate &&
+        rec.type != LogRecordType::kClr) {
+      continue;
+    }
+    if (!is_target(rec.page_id)) continue;
+    ++report.records_scanned;
+    storage_->ObservePage(rec.page_id);
+    FACE_ASSIGN_OR_RETURN(PageHandle page,
+                          pool_->FetchPageForRedo(rec.page_id));
+    // pageLSN test: the effect is already present iff pageLSN >= rec LSN.
+    if (page.view().lsn() >= rec.lsn) continue;
+    memcpy(page.data() + rec.offset, rec.after.data(), rec.after.size());
+    page.MarkDirtyRange(rec.lsn, rec.offset,
+                        static_cast<uint32_t>(rec.after.size()));
+    ++report.records_applied;
+  }
+
+  // The reconstructed tips become durable at their home location: after
+  // this, disk alone carries every committed version the flash held.
+  std::vector<PageId> ids;
+  ids.reserve(lost.size());
+  for (const FlashOnlyPage& p : lost) ids.push_back(p.page_id);
+  FACE_RETURN_IF_ERROR(pool_->FlushPagesToDisk(ids));
+  report.pages_written = lost.size();
+
+  if (obs::Enabled()) {
+    auto& reg = obs::MetricsRegistry::Instance();
+    thread_local obs::Counter* rebuilds =
+        reg.GetCounter("recovery.flash_rebuilds");
+    thread_local obs::Hist* pages =
+        reg.GetHistogram("recovery.flash_rebuild_pages");
+    thread_local obs::Hist* applied =
+        reg.GetHistogram("recovery.flash_rebuild_applied");
+    rebuilds->Increment();
+    pages->Add(report.target_pages);
+    applied->Add(report.records_applied);
+  }
+  return report;
+}
+
+}  // namespace face

@@ -71,6 +71,7 @@ std::string RestartReport::ToString() const {
      << " losers=" << losers << " undone=" << undo_records
      << " fetches=" << pages_fetched << " (flash=" << pages_from_flash
      << " disk=" << pages_from_disk << ")";
+  if (degraded) os << " [degraded: flash untrusted, disk-only]";
   return os.str();
 }
 
@@ -100,11 +101,34 @@ Status RestartManager::RunPhases(RestartReport* report) {
   report->attach_ns = t_attach - t0;
   RecordPhaseNs(kAttach, report->attach_ns);
 
+  // The control record decides how phases 1 and 3 run: a degraded marker
+  // means the flash cache was lost before the crash, so its device contents
+  // must not be trusted and redo may have to reach below the checkpoint to
+  // rebuild pages whose newest version lived only on flash.
+  FACE_ASSIGN_OR_RETURN(WalControlInfo ctrl, log_->ReadControlInfo());
+  report->checkpoint_lsn = ctrl.checkpoint_lsn;
+  report->degraded = ctrl.degraded;
+
   // Phase 1: restore the cache extension's metadata before touching any
   // data page, so analysis/redo/undo fetches can hit flash (paper §4.2).
   {
     obs::ScopedSpan span("recovery", "meta_restore");
-    FACE_RETURN_IF_ERROR(cache_->RecoverAfterCrash());
+    if (ctrl.degraded) {
+      cache_->MarkDegradedAtRestart();
+    } else {
+      FACE_RETURN_IF_ERROR(cache_->RecoverAfterCrash());
+      // The exact per-page rebuild floors died with the process; lower the
+      // restored dirty entries to the persisted minimum. Pages admitted
+      // dirty after the last checkpoint were clean at its sync, so the
+      // checkpoint LSN bounds their exposure; min covers both.
+      Lsn floor = ctrl.rebuild_floor;
+      if (ctrl.checkpoint_lsn != kInvalidLsn &&
+          (floor == kInvalidLsn || ctrl.checkpoint_lsn < floor)) {
+        floor = ctrl.checkpoint_lsn;
+      }
+      if (floor == kInvalidLsn) floor = LogManager::kLogStartLsn;
+      cache_->SetRecoveredDirtyFloor(floor);
+    }
   }
   const SimNanos t_meta = SpanTime();
   report->meta_restore_ns = t_meta - t_attach;
@@ -114,19 +138,24 @@ Status RestartManager::RunPhases(RestartReport* report) {
   std::map<TxnId, Lsn> losers;
   {
     obs::ScopedSpan span("recovery", "analysis");
-    FACE_ASSIGN_OR_RETURN(Lsn ckpt_lsn, log_->ReadControlBlock());
-    report->checkpoint_lsn = ckpt_lsn;
-    FACE_RETURN_IF_ERROR(Analysis(report, ckpt_lsn, &losers));
+    FACE_RETURN_IF_ERROR(Analysis(report, ctrl.checkpoint_lsn, &losers));
   }
   const SimNanos t_ana = SpanTime();
   report->analysis_ns = t_ana - t_meta;
   RecordPhaseNs(kAnalysis, report->analysis_ns);
 
   // Phase 3: redo history from the checkpoint's BEGIN (every page dirty at
-  // BEGIN was synced before END, so no older update can be missing).
-  const Lsn redo_lsn = report->checkpoint_lsn == kInvalidLsn
-                           ? LogManager::kLogStartLsn
-                           : report->checkpoint_lsn;
+  // BEGIN was synced before END, so no older update can be missing) — or,
+  // after a degraded crash, from the persisted rebuild floor if lower: the
+  // flash versions the checkpoint relied on are gone, and only the WAL can
+  // reconstruct them onto disk.
+  Lsn redo_lsn = report->checkpoint_lsn == kInvalidLsn
+                     ? LogManager::kLogStartLsn
+                     : report->checkpoint_lsn;
+  if (ctrl.degraded && ctrl.rebuild_floor != kInvalidLsn &&
+      ctrl.rebuild_floor < redo_lsn) {
+    redo_lsn = ctrl.rebuild_floor;
+  }
   {
     obs::ScopedSpan span("recovery", "redo");
     FACE_RETURN_IF_ERROR(Redo(report, redo_lsn));

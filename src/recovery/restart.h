@@ -43,7 +43,11 @@ struct InDoubtTxn {
 
 /// Outcome and cost breakdown of one restart.
 struct RestartReport {
-  Lsn checkpoint_lsn = kInvalidLsn;  ///< redo point used
+  Lsn checkpoint_lsn = kInvalidLsn;  ///< last complete checkpoint's BEGIN
+  /// The control block said the crash happened while the flash cache was
+  /// lost: the cache metadata was not restored (the device's contents are
+  /// untrusted) and the system comes up serving disk-only.
+  bool degraded = false;
   uint64_t analysis_records = 0;
   uint64_t redo_records = 0;   ///< update/CLR records examined
   uint64_t redo_applied = 0;   ///< records whose effects were re-applied

@@ -1,0 +1,38 @@
+// Bounded retry with exponential backoff for transient device faults.
+//
+// The policy is deliberately tiny and fully deterministic: a fixed attempt
+// budget and a backoff series priced on the IoScheduler clock as pure think
+// time (OnCpu — the device itself is not holding a station while the driver
+// waits). No jitter: determinism is the contract of this simulator, and the
+// fault injector's seeded RNG already decorrelates failure points.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace face {
+
+/// Retry knobs for one device; see file comment. Defaults follow the usual
+/// storage-driver shape: a handful of attempts, microseconds growing to
+/// milliseconds.
+struct IoRetryPolicy {
+  uint32_t max_attempts = 4;              ///< total attempts (1 + retries)
+  SimNanos initial_backoff_ns = 100'000;  ///< before the first retry (100 us)
+  SimNanos max_backoff_ns = 10'000'000;   ///< backoff ceiling (10 ms)
+  uint32_t backoff_multiplier = 4;
+
+  /// Backoff charged before retry number `retry` (1-based), capped.
+  SimNanos BackoffFor(uint32_t retry) const {
+    SimNanos backoff = initial_backoff_ns;
+    for (uint32_t i = 1; i < retry; ++i) {
+      if (backoff >= max_backoff_ns / backoff_multiplier) {
+        return max_backoff_ns;
+      }
+      backoff *= backoff_multiplier;
+    }
+    return backoff < max_backoff_ns ? backoff : max_backoff_ns;
+  }
+};
+
+}  // namespace face

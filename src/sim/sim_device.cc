@@ -41,6 +41,8 @@ void SimDevice::RegisterObs() {
   obs_pages_[static_cast<int>(IoOp::kWrite)] =
       reg.GetCounter(p + "pages_written");
   obs_busy_ns_ = reg.GetCounter(p + "busy_ns");
+  obs_retries_ = reg.GetCounter(p + "retries");
+  obs_backoff_ns_ = reg.GetCounter(p + "backoff_ns");
   obs_service_ns_ = reg.GetHistogram(p + "service_ns");
   obs_req_pages_ = reg.GetHistogram(p + "req_pages");
   obs_span_name_ = obs::Tracer::Instance().Intern("io." + id_);
@@ -111,7 +113,21 @@ void SimDevice::CopyIn(uint64_t block, uint32_t n, const char* in) {
 }
 
 Status SimDevice::ConsultFaultInjector(IoOp op, uint64_t block, uint32_t n,
-                                       const char* wbuf) {
+                                       const char* wbuf,
+                                       uint32_t* latency_factor) {
+  // Transient layer first: a transiently failed attempt moves no bytes and
+  // counts toward no crash countdown (the write never reached the media).
+  if (fault_->transient_active()) {
+    const FaultInjector::TransientVerdict t =
+        fault_->OnAttempt(id_, op == IoOp::kWrite);
+    if (t.killed) {
+      return Status::DeviceLost(id_ + ": device killed by injector");
+    }
+    if (t.fail) {
+      return Status::TransientIOError(id_ + ": simulated transient fault");
+    }
+    *latency_factor = t.latency_factor;
+  }
   if (op == IoOp::kRead) {
     if (fault_->dead()) {
       // Power is off: nothing moves, nothing is charged.
@@ -138,6 +154,35 @@ Status SimDevice::ConsultFaultInjector(IoOp op, uint64_t block, uint32_t n,
   return Status::OK();
 }
 
+Status SimDevice::ConsultWithRetries(IoOp op, uint64_t block, uint32_t n,
+                                     const char* wbuf,
+                                     uint32_t* latency_factor) {
+  Status s = ConsultFaultInjector(op, block, n, wbuf, latency_factor);
+  for (uint32_t attempt = 1; s.IsRetryable(); ++attempt) {
+    if (attempt >= retry_.max_attempts) {
+      // Budget exhausted: the device is lost. Every later request fails
+      // fast (no further RNG draws) until ResetHealth() re-attaches it.
+      failed_ = true;
+      return Status::DeviceLost(id_ + ": retry budget exhausted (" +
+                                std::to_string(retry_.max_attempts) +
+                                " attempts)");
+    }
+    const SimNanos backoff = retry_.BackoffFor(attempt);
+    ++stats_.retries;
+    stats_.backoff_ns += backoff;
+    if (obs::Enabled()) {
+      obs_retries_->Increment();
+      obs_backoff_ns_->Add(backoff);
+    }
+    // Backoff is driver think time, not device occupancy: the token waits,
+    // no station is held.
+    if (timing_enabled_ && sched_ != nullptr) sched_->OnCpu(backoff);
+    s = ConsultFaultInjector(op, block, n, wbuf, latency_factor);
+  }
+  if (s.IsDeviceLost()) failed_ = true;
+  return s;
+}
+
 Status SimDevice::DoIo(IoOp op, uint64_t block, uint32_t n, char* rbuf,
                        const char* wbuf) {
   if (n == 0) return Status::InvalidArgument("zero-length I/O");
@@ -149,8 +194,13 @@ Status SimDevice::DoIo(IoOp op, uint64_t block, uint32_t n, char* rbuf,
   FACE_DCHECK(op == IoOp::kRead || wbuf != nullptr,
               "write without a source buffer");
 
+  if (failed_) {
+    return Status::DeviceLost(id_ + ": device offline");
+  }
+  uint32_t latency_factor = 1;
   if (fault_ != nullptr) {
-    FACE_RETURN_IF_ERROR(ConsultFaultInjector(op, block, n, wbuf));
+    FACE_RETURN_IF_ERROR(ConsultWithRetries(op, block, n, wbuf,
+                                            &latency_factor));
   }
 
   // Move the bytes, one memcpy per chunk span.
@@ -185,7 +235,8 @@ Status SimDevice::DoIo(IoOp op, uint64_t block, uint32_t n, char* rbuf,
     }
     const uint64_t local = LocalOffset(pos);
     const bool sequential = last_end_[st][static_cast<int>(op)] == local;
-    const SimNanos service = profile_.ServiceNs(op, sequential, span);
+    const SimNanos service =
+        profile_.ServiceNs(op, sequential, span) * latency_factor;
     stats_.busy_ns += service;
     if (sched_ != nullptr) sched_->OnIo(station_base_ + st, service);
 

@@ -16,6 +16,7 @@
 #include "common/types.h"
 #include "obs/metrics.h"
 #include "sim/device_model.h"
+#include "sim/io_retry.h"
 #include "sim/scheduler.h"
 
 namespace face {
@@ -31,6 +32,8 @@ struct DeviceStats {
   uint64_t pages_read = 0;
   uint64_t pages_written = 0;
   SimNanos busy_ns = 0;         ///< sum of service times
+  uint64_t retries = 0;         ///< attempts repeated after transient faults
+  SimNanos backoff_ns = 0;      ///< virtual time spent backing off
 
   uint64_t total_reqs() const { return read_reqs + write_reqs; }
   uint64_t total_pages() const { return pages_read + pages_written; }
@@ -106,13 +109,33 @@ class SimDevice {
   void set_fault_injector(FaultInjector* fault) { fault_ = fault; }
   FaultInjector* fault_injector() const { return fault_; }
 
+  /// Retry knobs for transient faults (defaults are sane; tests shrink the
+  /// budget to force exhaustion cheaply).
+  void set_retry_policy(const IoRetryPolicy& policy) { retry_ = policy; }
+  const IoRetryPolicy& retry_policy() const { return retry_; }
+
+  /// True once the retry budget was exhausted (or the injector killed the
+  /// device): the device is offline and every request fails fast with
+  /// Status::DeviceLost until ResetHealth().
+  bool failed() const { return failed_; }
+  /// Bring a lost device back (models replacing/re-attaching the media);
+  /// the caller owns disarming the injector first.
+  void ResetHealth() { failed_ = false; }
+
  private:
   Status DoIo(IoOp op, uint64_t block, uint32_t n, char* rbuf,
               const char* wbuf);
-  /// Cold path of DoIo: consult the attached injector. OK = proceed with
-  /// the request; any error ends it (possibly after a partial torn write).
+  /// Cold path of DoIo: consult the attached injector for one attempt. OK =
+  /// proceed with the request; a retryable error may be re-attempted by
+  /// DoIo's retry loop; any other error ends the request (possibly after a
+  /// partial torn write). `latency_factor` is the transient layer's
+  /// service-time multiplier for a spiked request (1 otherwise).
   Status ConsultFaultInjector(IoOp op, uint64_t block, uint32_t n,
-                              const char* wbuf);
+                              const char* wbuf, uint32_t* latency_factor);
+  /// Retry loop around ConsultFaultInjector: backoff on the scheduler
+  /// clock between attempts, declare the device lost on budget exhaustion.
+  Status ConsultWithRetries(IoOp op, uint64_t block, uint32_t n,
+                            const char* wbuf, uint32_t* latency_factor);
   /// Copy `n` pages at `block` into `out`, one memcpy per chunk span.
   /// Absent chunks read back as zeroes without being materialized.
   void CopyOut(uint64_t block, uint32_t n, char* out) const;
@@ -137,6 +160,8 @@ class SimDevice {
   FaultInjector* fault_ = nullptr;
   uint32_t station_base_ = 0;
   bool timing_enabled_ = true;
+  bool failed_ = false;  ///< retry budget exhausted; device offline
+  IoRetryPolicy retry_;
   DeviceStats stats_;
   /// Per-station, per-op-class end offset of the last request. Read and
   /// write streams are tracked independently: a device serving an
@@ -154,6 +179,8 @@ class SimDevice {
   obs::Counter* obs_seq_reqs_[2] = {nullptr, nullptr};
   obs::Counter* obs_pages_[2] = {nullptr, nullptr};
   obs::Counter* obs_busy_ns_ = nullptr;
+  obs::Counter* obs_retries_ = nullptr;
+  obs::Counter* obs_backoff_ns_ = nullptr;
   obs::Hist* obs_service_ns_ = nullptr;
   obs::Hist* obs_req_pages_ = nullptr;
   const char* obs_span_name_ = nullptr;  ///< interned "io.<id>"

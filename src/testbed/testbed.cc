@@ -27,6 +27,30 @@ void BindTxnLatencyHists(const workload::Workload& w,
   }
 }
 
+/// Flash-loss supervision handles, resolved once per thread (the metrics
+/// registry is thread-local; shard workers each resolve their own set).
+struct FaultObs {
+  obs::Gauge* degraded;
+  obs::Counter* degradations;
+  obs::Counter* scrub_frames_scanned;
+  obs::Counter* scrub_clean_repaired;
+  obs::Counter* scrub_lost_dirty;
+};
+
+FaultObs& GetFaultObs() {
+  thread_local FaultObs o = [] {
+    auto& reg = obs::MetricsRegistry::Instance();
+    FaultObs f;
+    f.degraded = reg.GetGauge("cache.degraded");
+    f.degradations = reg.GetCounter("testbed.degradations");
+    f.scrub_frames_scanned = reg.GetCounter("scrub.frames_scanned");
+    f.scrub_clean_repaired = reg.GetCounter("scrub.clean_repaired");
+    f.scrub_lost_dirty = reg.GetCounter("scrub.lost_dirty");
+    return f;
+  }();
+  return o;
+}
+
 }  // namespace
 
 const char* CachePolicyName(CachePolicy policy) {
@@ -282,6 +306,13 @@ StatusOr<RunResult> Testbed::Run(const RunOptions& run) {
     ~SinkGuard() { pool->set_trace_sink(nullptr); }
   } sink_guard{db_->pool()};
 
+  const uint64_t deg0 = degradations_;
+  const uint64_t degtxn0 = degraded_txns_;
+  const SimNanos degns0 = DegradedNanos();
+  const uint64_t scrub_fr0 = scrub_frames_scanned_;
+  const uint64_t scrub_cr0 = scrub_clean_repaired_;
+  const uint64_t scrub_ld0 = scrub_lost_dirty_;
+
   const bool obs_on = obs::Enabled();
   for (uint64_t i = 0; i < run.txns; ++i) {
     if (tracer_ != nullptr) tracer_->OnTxnStart();
@@ -291,15 +322,21 @@ StatusOr<RunResult> Testbed::Run(const RunOptions& run) {
     const auto type = workload_->NextTxn(*db_, client_rnd_);
     if (!type.ok()) {
       sched_.EndTxn();
-      return type.status();
+      // Supervisor: a flash loss degrades to disk-only and the run keeps
+      // going; every other error still fails the run. The stranded
+      // transaction was rolled back, not completed — replay the slot.
+      FACE_RETURN_IF_ERROR(InterceptFlashLoss(type.status()).status());
+      --i;
+      continue;
     }
     const SimNanos done = sched_.EndTxn();
+    if (cache_->degraded()) ++degraded_txns_;
     if (run.collect_completions) result.completions.emplace_back(done, *type);
     if (obs_on && *type < txn_lat_.size()) {
       txn_lat_[*type]->Add(done - t_begin);
     }
 
-    FACE_RETURN_IF_ERROR(RunBackgroundWork());
+    FACE_RETURN_IF_ERROR(InterceptFlashLoss(RunBackgroundWork()).status());
 
     if (run.checkpoint_interval != 0 &&
         sched_.now() - last_ckpt_time_ >= run.checkpoint_interval) {
@@ -307,9 +344,16 @@ StatusOr<RunResult> Testbed::Run(const RunOptions& run) {
       sched_.BeginBackground(ckpt_token_, sched_.now());
       const auto ckpt = db_->TakeCheckpoint();
       sched_.EndBackground();
-      FACE_RETURN_IF_ERROR(ckpt.status());
+      FACE_RETURN_IF_ERROR(InterceptFlashLoss(ckpt.status()).status());
       last_ckpt_time_ = sched_.now();
       ++result.checkpoints;
+    }
+
+    if (opts_.scrub_interval != 0 && flash_dev_ != nullptr &&
+        !cache_->degraded() &&
+        sched_.now() - last_scrub_time_ >= opts_.scrub_interval) {
+      FACE_RETURN_IF_ERROR(ScrubPass(opts_.scrub_frames_per_pass).status());
+      last_scrub_time_ = sched_.now();
     }
   }
 
@@ -327,8 +371,16 @@ StatusOr<RunResult> Testbed::Run(const RunOptions& run) {
     d.pages_read = now.pages_read - then.pages_read;
     d.pages_written = now.pages_written - then.pages_written;
     d.busy_ns = now.busy_ns - then.busy_ns;
+    d.retries = now.retries - then.retries;
+    d.backoff_ns = now.backoff_ns - then.backoff_ns;
     return d;
   };
+  result.degradations = degradations_ - deg0;
+  result.degraded_txns = degraded_txns_ - degtxn0;
+  result.degraded_ns = DegradedNanos() - degns0;
+  result.scrub_frames_scanned = scrub_frames_scanned_ - scrub_fr0;
+  result.scrub_clean_repaired = scrub_clean_repaired_ - scrub_cr0;
+  result.scrub_lost_dirty = scrub_lost_dirty_ - scrub_ld0;
   result.db_stats = delta(db_dev_->stats(), db0);
   result.log_stats = delta(log_dev_->stats(), log0);
   if (flash_dev_ != nullptr) {
@@ -384,6 +436,15 @@ void Testbed::ResetAllStats() {
   db_->txns()->ResetStats();
   workload_->ResetStats();
   last_ckpt_time_ = 0;
+  last_scrub_time_ = 0;
+  degradations_ = 0;
+  degraded_txns_ = 0;
+  degraded_accum_ = 0;
+  // The clock was just zeroed; an open degraded window restarts at 0.
+  degraded_since_ = 0;
+  scrub_frames_scanned_ = 0;
+  scrub_clean_repaired_ = 0;
+  scrub_lost_dirty_ = 0;
 }
 
 Status Testbed::Warmup(uint64_t txns) {
@@ -432,6 +493,13 @@ StatusOr<RestartReport> Testbed::Recover() {
 
   // Nobody runs during restart: clients resume where recovery left off.
   sched_.AdvanceAllTokens(sched_.makespan());
+
+  // A degraded crash comes back up degraded: the supervisor's bookkeeping
+  // must agree with the control block the restart honored.
+  if (report.degraded) {
+    degraded_since_ = sched_.makespan();
+    if (obs::Enabled()) GetFaultObs().degraded->Set(1);
+  }
   return report;
 }
 
@@ -443,6 +511,160 @@ Status Testbed::ResolveInDoubt(const std::vector<InDoubtTxn>& in_doubt,
       db_->ResolveInDoubt(in_doubt, decided, report, &sched_, recovery_token_));
   sched_.AdvanceAllTokens(sched_.makespan());
   return Status::OK();
+}
+
+SimNanos Testbed::DegradedNanos() const {
+  SimNanos total = degraded_accum_;
+  if (cache_ != nullptr && cache_->degraded()) {
+    total += sched_.makespan() - degraded_since_;
+  }
+  return total;
+}
+
+StatusOr<bool> Testbed::InterceptFlashLoss(const Status& s) {
+  if (s.ok()) return false;
+  // Only a flash device whose retry budget was exhausted (or that an
+  // injector killed) is survivable; every other failure propagates.
+  if (flash_dev_ == nullptr || !flash_dev_->failed() || cache_->degraded()) {
+    return s;
+  }
+  FACE_RETURN_IF_ERROR(DegradeToDiskOnly());
+  return true;
+}
+
+Status Testbed::DegradeToDiskOnly() {
+  if (cache_->degraded()) return Status::OK();
+  obs::ScopedSpan span("testbed", "degrade_to_disk_only");
+  sched_.BeginBackground(recovery_token_, sched_.now());
+  auto body = [&]() -> Status {
+    // 1. The flash-only dirty set and its WAL floor, while the policy's
+    //    durability-exposure ledger still exists.
+    std::vector<FlashOnlyPage> lost;
+    cache_->CollectFlashOnlyDirty(&lost);
+    const Lsn floor = cache_->FlashRedoFloor();
+
+    // 2. Stop using flash: drop all cache state without touching the dead
+    //    device. From here the buffer pool treats the policy as NullCache.
+    FACE_RETURN_IF_ERROR(cache_->EnterDegraded());
+
+    // 3. Durable degraded marker + rebuild floor BEFORE reconstructing
+    //    anything: a crash from here on restarts disk-only and redoes from
+    //    the floor, so the lost versions can never slip away.
+    FACE_RETURN_IF_ERROR(log_->FlushAll());
+    FACE_ASSIGN_OR_RETURN(WalControlInfo info, log_->ReadControlInfo());
+    info.degraded = true;
+    info.rebuild_floor = floor;
+    FACE_RETURN_IF_ERROR(log_->WriteControlInfo(info));
+    if (mid_degrade_hook_ != nullptr) {
+      FACE_RETURN_IF_ERROR(mid_degrade_hook_());
+    }
+
+    // 4. DRAM frames whose only redo protection was their flash copy go to
+    //    disk now; every frame forgets its flash delta base.
+    FACE_RETURN_IF_ERROR(db_->pool()->FlushUnprotectedFrames());
+
+    // 5. Rebuild the lost dirty pages from the WAL onto disk.
+    FlashRebuild rebuild(log_.get(), db_->pool(), storage_.get());
+    FACE_ASSIGN_OR_RETURN(last_rebuild_,
+                          rebuild.Rebuild(lost, info.checkpoint_lsn));
+
+    // 6. Roll back transactions stranded mid-flight by the failure — with
+    //    the page tips reconstructed, their before-images apply cleanly.
+    //    Prepared (2PC) participants keep their in-doubt status.
+    for (const AttEntry& att : db_->txns()->ActiveTxns()) {
+      if (att.gtid != 0) continue;
+      FACE_RETURN_IF_ERROR(db_->Abort(att.txn_id));
+    }
+    // Tell the driver its in-flight work was rolled back on the live
+    // engine, so shadow-tracking workloads resolve their in-doubt state
+    // before the run loop resumes issuing transactions.
+    if (workload_ != nullptr) {
+      FACE_RETURN_IF_ERROR(workload_->OnInflightRolledBack(*db_));
+    }
+
+    // 7. Re-anchor: the checkpoint (degraded-aware) makes the rebuilt state
+    //    the recovery floor and retires the rebuild_floor marker.
+    return db_->TakeCheckpoint().status();
+  }();
+  sched_.EndBackground();
+  FACE_RETURN_IF_ERROR(body);
+  ++degradations_;
+  degraded_since_ = sched_.makespan();
+  last_ckpt_time_ = sched_.now();
+  if (obs::Enabled()) {
+    GetFaultObs().degraded->Set(1);
+    GetFaultObs().degradations->Increment();
+  }
+  return Status::OK();
+}
+
+Status Testbed::ReattachFlash() {
+  if (flash_dev_ == nullptr) {
+    return Status::InvalidArgument("no flash device to re-attach");
+  }
+  if (!cache_->degraded()) {
+    return Status::InvalidArgument("re-attach while not degraded");
+  }
+  obs::ScopedSpan span("testbed", "reattach_flash");
+  sched_.BeginBackground(recovery_token_, sched_.now());
+  auto body = [&]() -> Status {
+    // The replacement device is healthy and blank. The caller owns
+    // disarming any fault injector; health reset models the swap.
+    flash_dev_->ResetHealth();
+    flash_dev_->Erase();
+    FACE_RETURN_IF_ERROR(cache_->ReattachFlash());
+    // Durable un-mark: restarts trust the (reformatted) flash again.
+    FACE_ASSIGN_OR_RETURN(WalControlInfo info, log_->ReadControlInfo());
+    info.degraded = false;
+    info.rebuild_floor = kInvalidLsn;
+    return log_->WriteControlInfo(info);
+  }();
+  sched_.EndBackground();
+  FACE_RETURN_IF_ERROR(body);
+  degraded_accum_ += sched_.makespan() - degraded_since_;
+  degraded_since_ = 0;
+  if (obs::Enabled()) GetFaultObs().degraded->Set(0);
+  return Status::OK();
+}
+
+StatusOr<ScrubResult> Testbed::ScrubPass(uint64_t max_frames) {
+  ScrubResult res;
+  if (flash_dev_ == nullptr || cache_->degraded()) return res;
+  obs::ScopedSpan span("testbed", "scrub");
+  sched_.BeginBackground(cleaner_token_, sched_.now());
+  const Status s = cache_->ScrubSome(max_frames, &res);
+  sched_.EndBackground();
+  // The scrub itself may be what exhausts a dying device's retry budget.
+  FACE_ASSIGN_OR_RETURN(const bool degraded_now, InterceptFlashLoss(s));
+  scrub_frames_scanned_ += res.frames_scanned;
+  scrub_clean_repaired_ += res.clean_repaired;
+  scrub_lost_dirty_ += res.lost_dirty.size();
+  if (obs::Enabled()) {
+    FaultObs& fo = GetFaultObs();
+    fo.scrub_frames_scanned->Add(res.frames_scanned);
+    fo.scrub_clean_repaired->Add(res.clean_repaired);
+    fo.scrub_lost_dirty->Add(res.lost_dirty.size());
+  }
+  // A rotten dirty frame lost the page's newest version: rebuild it from
+  // the WAL right away, before anything reads the stale disk copy. This
+  // runs even if the pass itself exhausted the device (degraded_now) —
+  // the scrub already erased these pages from the policy's ledger, so the
+  // degrade-path rebuild cannot have covered them.
+  (void)degraded_now;
+  if (!res.lost_dirty.empty()) {
+    sched_.BeginBackground(recovery_token_, sched_.now());
+    auto body = [&]() -> Status {
+      FACE_ASSIGN_OR_RETURN(WalControlInfo info, log_->ReadControlInfo());
+      FlashRebuild rebuild(log_.get(), db_->pool(), storage_.get());
+      FACE_ASSIGN_OR_RETURN(
+          last_rebuild_,
+          rebuild.Rebuild(res.lost_dirty, info.checkpoint_lsn));
+      return Status::OK();
+    }();
+    sched_.EndBackground();
+    FACE_RETURN_IF_ERROR(body);
+  }
+  return res;
 }
 
 std::string Testbed::DumpStats(bool as_json) const {

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -28,6 +29,7 @@
 #include "core/cache_ext.h"
 #include "engine/database.h"
 #include "obs/metrics.h"
+#include "recovery/flash_rebuild.h"
 #include "recovery/restart.h"
 #include "sim/device_model.h"
 #include "sim/scheduler.h"
@@ -120,6 +122,14 @@ struct TestbedOptions {
 
   /// CPU time charged per transaction (no station contention).
   SimNanos cpu_per_txn_ns = 100 * kNanosPerMicro;
+
+  /// Virtual-time interval between background scrub passes over idle flash
+  /// frames (0 = scrubber off). Each pass verifies checksums, repairs
+  /// rotten clean frames from disk, and rebuilds rotten dirty frames from
+  /// the WAL — see CacheExtension::ScrubSome.
+  SimNanos scrub_interval = 0;
+  /// Occupied frames verified per scrub pass.
+  uint64_t scrub_frames_per_pass = 64;
 };
 
 /// Knobs of one measured run.
@@ -149,6 +159,14 @@ struct RunResult {
   /// Completion stamp + workload txn-type index per transaction (if
   /// collected).
   std::vector<std::pair<SimNanos, uint8_t>> completions;
+
+  // Fault-tolerance telemetry of this run (zero on a healthy run).
+  uint64_t degradations = 0;    ///< flash-loss events the supervisor handled
+  uint64_t degraded_txns = 0;   ///< transactions served while disk-only
+  SimNanos degraded_ns = 0;     ///< virtual time spent in degraded mode
+  uint64_t scrub_frames_scanned = 0;
+  uint64_t scrub_clean_repaired = 0;
+  uint64_t scrub_lost_dirty = 0;  ///< rotten dirty frames rebuilt from WAL
 
   /// All transactions per virtual minute.
   double Tpm() const {
@@ -214,6 +232,44 @@ class Testbed {
                         const std::vector<uint64_t>& decided,
                         RestartReport* report);
 
+  // --- flash-loss supervision ----------------------------------------------
+  // Run() invokes this machinery automatically when the flash device's
+  // retry budget is exhausted (SimDevice::failed()); tests and benches may
+  // also drive it directly.
+
+  /// Declare the flash cache lost and transition to disk-only service:
+  /// collect the flash-only dirty set, drop the cache state (no flash
+  /// I/O), persist the degraded marker + WAL rebuild floor, flush frames
+  /// whose only redo protection was their flash copy, rebuild the lost
+  /// dirty pages from the WAL onto disk, roll back stranded transactions,
+  /// and re-anchor with a checkpoint. Traffic resumes disk-only.
+  Status DegradeToDiskOnly();
+
+  /// Re-attach a healthy flash device after degradation: resets device
+  /// health, erases the media, reformats the policy cold, and clears the
+  /// durable degraded marker. The cache re-warms through normal admission.
+  /// The caller owns disarming any fault injector first.
+  Status ReattachFlash();
+
+  /// Run one scrub pass over up to `max_frames` occupied flash frames now
+  /// (Run() also schedules passes on opts_.scrub_interval). Rotten dirty
+  /// frames reported by the policy are rebuilt from the WAL immediately.
+  StatusOr<ScrubResult> ScrubPass(uint64_t max_frames);
+
+  /// True while serving disk-only after a flash loss.
+  bool IsDegraded() const { return cache_ != nullptr && cache_->degraded(); }
+  /// Flash-loss events handled since the last stats reset.
+  uint64_t degradations() const { return degradations_; }
+  /// Report of the most recent WAL-driven flash rebuild.
+  const FlashRebuildReport& last_rebuild() const { return last_rebuild_; }
+
+  /// Test hook: invoked between the durable degraded-marker write and the
+  /// WAL-driven rebuild. A non-OK return unwinds the degradation mid-way —
+  /// the window a crash-during-rebuild test crashes in. Null disables.
+  void set_mid_degrade_hook(std::function<Status()> hook) {
+    mid_degrade_hook_ = std::move(hook);
+  }
+
   // --- accessors ---------------------------------------------------------------
   Database* db() { return db_.get(); }
   /// The bound workload driver (valid after Start).
@@ -257,6 +313,12 @@ class Testbed {
   /// Run the checkpointer / lazy cleaner on their background tokens.
   Status RunBackgroundWork();
   void ResetAllStats();
+  /// Supervisor filter for engine errors: true = the error was a flash
+  /// loss and the system degraded to disk-only (caller continues); false =
+  /// `s` was OK; any other error propagates unchanged.
+  StatusOr<bool> InterceptFlashLoss(const Status& s);
+  /// Virtual time spent degraded so far (closed windows + the open one).
+  SimNanos DegradedNanos() const;
 
   TestbedOptions opts_;
   const GoldenImage* golden_;
@@ -281,6 +343,18 @@ class Testbed {
 
   SimNanos last_ckpt_time_ = 0;
   uint64_t txn_seed_ = 0;  ///< workload seed, advanced across crashes
+
+  // Flash-loss supervision state (see DegradeToDiskOnly / ScrubPass).
+  std::function<Status()> mid_degrade_hook_;
+  FlashRebuildReport last_rebuild_;
+  SimNanos last_scrub_time_ = 0;
+  uint64_t degradations_ = 0;
+  uint64_t degraded_txns_ = 0;
+  SimNanos degraded_since_ = 0;  ///< start of the open degraded window
+  SimNanos degraded_accum_ = 0;  ///< closed degraded windows, summed
+  uint64_t scrub_frames_scanned_ = 0;
+  uint64_t scrub_clean_repaired_ = 0;
+  uint64_t scrub_lost_dirty_ = 0;
 };
 
 }  // namespace face

@@ -127,26 +127,35 @@ Status LogManager::FlushTo(Lsn lsn) {
   return Status::OK();
 }
 
-Status LogManager::WriteControlBlock(Lsn checkpoint_lsn) {
+// Control-block layout (one sector-atomic 4 KB write; crc over the fixed
+// 32-byte prefix): magic @0, checkpoint_lsn @8, flags @16 (bit 0 =
+// degraded), rebuild_floor @24, masked crc32c @32.
+Status LogManager::WriteControlInfo(const WalControlInfo& info) {
   std::string block(kPageSize, '\0');
   EncodeFixed64(block.data(), kControlMagic);
-  EncodeFixed64(block.data() + 8, checkpoint_lsn);
-  const uint32_t crc = crc32c::Value(block.data(), 16);
-  EncodeFixed32(block.data() + 16, crc32c::Mask(crc));
+  EncodeFixed64(block.data() + 8, info.checkpoint_lsn);
+  EncodeFixed64(block.data() + 16, info.degraded ? 1 : 0);
+  EncodeFixed64(block.data() + 24, info.rebuild_floor);
+  const uint32_t crc = crc32c::Value(block.data(), 32);
+  EncodeFixed32(block.data() + 32, crc32c::Mask(crc));
   return device_->Write(0, block.data());
 }
 
-StatusOr<Lsn> LogManager::ReadControlBlock() {
+StatusOr<WalControlInfo> LogManager::ReadControlInfo() {
   std::string block(kPageSize, '\0');
   FACE_RETURN_IF_ERROR(device_->Read(0, block.data()));
   if (DecodeFixed64(block.data()) != kControlMagic) {
     return Status::Corruption("log control block: bad magic");
   }
-  const uint32_t crc = crc32c::Value(block.data(), 16);
-  if (crc32c::Mask(crc) != DecodeFixed32(block.data() + 16)) {
+  const uint32_t crc = crc32c::Value(block.data(), 32);
+  if (crc32c::Mask(crc) != DecodeFixed32(block.data() + 32)) {
     return Status::Corruption("log control block: bad crc");
   }
-  return DecodeFixed64(block.data() + 8);
+  WalControlInfo info;
+  info.checkpoint_lsn = DecodeFixed64(block.data() + 8);
+  info.degraded = (DecodeFixed64(block.data() + 16) & 1) != 0;
+  info.rebuild_floor = DecodeFixed64(block.data() + 24);
+  return info;
 }
 
 LogReader::LogReader(SimDevice* device) : device_(device) {}

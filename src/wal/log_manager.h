@@ -13,6 +13,19 @@
 
 namespace face {
 
+/// Everything the control block (device block 0) records. Beyond the
+/// checkpoint LSN it carries the degraded-mode marker: set (with a redo
+/// floor) the moment the flash cache is declared lost, so a crash at any
+/// point during or after the WAL-driven flash rebuild restarts disk-only
+/// and redoes far enough back to rebuild flash-only dirty pages.
+struct WalControlInfo {
+  Lsn checkpoint_lsn = kInvalidLsn;
+  bool degraded = false;  ///< flash lost; restart must not trust the cache
+  /// While degraded: lowest rec_lsn of any page whose newest version lived
+  /// only on flash (kInvalidLsn once the rebuild's checkpoint re-anchors).
+  Lsn rebuild_floor = kInvalidLsn;
+};
+
 /// WAL appender/forcer. LSN = byte offset of the record in the log stream;
 /// the stream starts at byte kPageSize (block 0 is the control block), so
 /// LSN 0 doubles as the invalid sentinel.
@@ -71,8 +84,17 @@ class LogManager {
   /// All records with lsn < durable_lsn() survive a crash.
   Lsn durable_lsn() const { return durable_lsn_; }
 
-  /// Persist the LSN of the latest completed checkpoint in the control block.
-  Status WriteControlBlock(Lsn checkpoint_lsn);
+  /// Persist the LSN of the latest completed checkpoint in the control
+  /// block (clears the degraded marker — Format and plain-engine callers).
+  Status WriteControlBlock(Lsn checkpoint_lsn) {
+    WalControlInfo info;
+    info.checkpoint_lsn = checkpoint_lsn;
+    return WriteControlInfo(info);
+  }
+  /// Persist the full control record (checkpoint LSN + degraded marker).
+  Status WriteControlInfo(const WalControlInfo& info);
+  /// Read the full control record back.
+  StatusOr<WalControlInfo> ReadControlInfo();
 
   /// Reclaim log space below `lsn`: no reader will ever need records before
   /// the last complete checkpoint once no transaction from before it is
@@ -82,7 +104,10 @@ class LogManager {
     device_->TrimBefore(lsn / kPageSize, /*keep_below=*/1);  // keep control
   }
   /// Read the checkpoint LSN back (kInvalidLsn if none recorded).
-  StatusOr<Lsn> ReadControlBlock();
+  StatusOr<Lsn> ReadControlBlock() {
+    FACE_ASSIGN_OR_RETURN(WalControlInfo info, ReadControlInfo());
+    return info.checkpoint_lsn;
+  }
 
   const Stats& stats() const { return stats_; }
   SimDevice* device() { return device_; }

@@ -134,7 +134,9 @@ TEST_F(BufferPoolTest, PullVictimSurrendersLruTail) {
   }
   std::string buf(kPageSize, '\0');
   bool dirty = false, fdirty = false;
-  const PageId victim = pool_->PullVictim(buf.data(), &dirty, &fdirty);
+  Lsn rec_lsn = kInvalidLsn;
+  const PageId victim = pool_->PullVictim(buf.data(), &dirty, &fdirty,
+                                          &rec_lsn);
   EXPECT_EQ(victim, created[0]);  // LRU order
   EXPECT_TRUE(dirty);
   EXPECT_EQ(PageView(buf.data()).page_id(), victim);

@@ -19,9 +19,13 @@
 #include <iostream>
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "core/flash_layout.h"
 #include "testbed/crash_storm.h"
+#include "testbed/sharded_testbed.h"
 #include "tests/test_util.h"
+#include "workload/ycsb_workload.h"
 
 namespace face {
 namespace {
@@ -181,6 +185,371 @@ TEST(RecoveryFromFlashTest, FaceServesRecoveryPagesFromFlash) {
       fault::DiffReport diff,
       fault::RunDifferentialCheck(*tb.db(), shadow.get(), tb.cache()));
   EXPECT_TRUE(diff.ok()) << diff.ToString();
+}
+
+// --- degraded-mode storms ---------------------------------------------------
+// Flash loss mid-run, crash while degraded, crash during the WAL-driven
+// flash rebuild, scrub repair, and online re-attach — every scenario ends
+// with the row-for-row differential check proving zero lost committed rows.
+
+/// A shadow-KV testbed rig for degraded-mode scenarios: one golden image,
+/// one Testbed, and the shadow table the differential checker audits
+/// against. Same shape as RecoveryFromFlashTest's setup, reusable per
+/// policy.
+class DegradedRig {
+ public:
+  void Build(CachePolicy policy, uint64_t seed, SimNanos scrub_interval = 0) {
+    fault::ShadowKvOptions wo;
+    wo.records = 1200;   // working set must overflow the 64 DRAM frames,
+    wo.value_bytes = 160;  // or no flash traffic ever happens
+    shadow_ = std::make_shared<fault::ShadowState>();
+    factory_ = std::make_shared<fault::ShadowKvFactory>(wo, shadow_);
+    shadow_->Reset(wo.records, wo.value_bytes);
+    FACE_ASSERT_OK_AND_ASSIGN(golden_, GoldenImage::BuildFor(factory_));
+
+    TestbedOptions to;
+    to.clients = 8;
+    to.seed = seed;
+    to.workload = factory_;
+    to.buffer_frames = 64;  // small on purpose: evictions drive flash
+    to.flash_pages = 512;
+    to.seg_entries = 256;
+    to.policy = policy;
+    to.scrub_interval = scrub_interval;
+    tb_ = std::make_unique<Testbed>(to, &golden_);
+    FACE_ASSERT_OK(tb_->Start());
+  }
+
+  Testbed& tb() { return *tb_; }
+
+  /// Row-for-row differential check: the engine's logical table must be
+  /// exactly the shadow's committed history.
+  void CheckDiff(const char* what) {
+    FACE_ASSERT_OK_AND_ASSIGN(
+        fault::DiffReport diff,
+        fault::RunDifferentialCheck(*tb_->db(), shadow_.get(), tb_->cache()));
+    EXPECT_TRUE(diff.ok()) << what << "\n" << diff.ToString();
+  }
+
+ private:
+  std::shared_ptr<fault::ShadowState> shadow_;
+  std::shared_ptr<fault::ShadowKvFactory> factory_;
+  GoldenImage golden_;
+  std::unique_ptr<Testbed> tb_;
+};
+
+/// Everything the post-degradation world measured, as exact integers —
+/// same-seed runs must reproduce this bit-for-bit.
+using DegradedFingerprint = std::vector<uint64_t>;
+
+DegradedFingerprint FingerprintOf(const RunResult& r, const Testbed& tb) {
+  return DegradedFingerprint{r.txns,
+                             r.degradations,
+                             r.degraded_txns,
+                             static_cast<uint64_t>(r.degraded_ns),
+                             static_cast<uint64_t>(r.duration),
+                             r.db_stats.total_pages(),
+                             r.log_stats.total_pages(),
+                             r.flash_stats.total_pages(),
+                             r.flash_stats.retries,
+                             static_cast<uint64_t>(r.flash_stats.backoff_ns),
+                             tb.last_rebuild().target_pages,
+                             tb.last_rebuild().pages_written,
+                             tb.last_rebuild().records_applied};
+}
+
+/// One seeded flash-loss-mid-run scenario: a transient profile whose sticky
+/// window outlasts the retry budget kills the flash device at its first
+/// fault; the supervisor must transition to disk-only with zero lost rows.
+void RunFlashLossScenario(CachePolicy policy, uint64_t seed,
+                          DegradedFingerprint* fp) {
+  DegradedRig rig;
+  rig.Build(policy, seed);
+  if (::testing::Test::HasFatalFailure()) return;
+  Testbed& tb = rig.tb();
+  RunOptions warm;
+  warm.txns = 400;
+  FACE_ASSERT_OK(tb.Run(warm).status());
+
+  FaultInjector inj;
+  tb.flash_dev()->set_fault_injector(&inj);
+  TransientFaultProfile p;
+  p.read_fail_permille = 25;
+  p.write_fail_permille = 25;
+  p.sticky_failures = 8;  // > the 4-attempt budget: the first fault is fatal
+  p.seed = seed;
+  inj.ArmTransient("flash", p);
+
+  RunOptions body;
+  body.txns = 500;
+  FACE_ASSERT_OK_AND_ASSIGN(RunResult res, tb.Run(body));
+  ASSERT_TRUE(tb.IsDegraded())
+      << CachePolicyName(policy) << ": no flash fault fired in 500 txns";
+  EXPECT_EQ(res.degradations, 1u);
+  EXPECT_GT(res.degraded_txns, 0u);
+  EXPECT_GT(res.degraded_ns, 0);
+  EXPECT_GT(res.flash_stats.retries, 0u);  // the budget was actually spent
+  EXPECT_EQ(res.txns, body.txns);          // traffic kept flowing throughout
+
+  rig.CheckDiff(CachePolicyName(policy));
+  *fp = FingerprintOf(res, tb);
+
+  // Disk-only service keeps working after the transition.
+  RunOptions after;
+  after.txns = 100;
+  FACE_ASSERT_OK_AND_ASSIGN(RunResult res2, tb.Run(after));
+  EXPECT_EQ(res2.degraded_txns, res2.txns);
+  EXPECT_EQ(res2.flash_stats.total_pages(), 0u);
+  rig.CheckDiff("post-degradation service");
+}
+
+TEST(DegradedModeTest, FlashLossMidRunKeepsEveryCommittedRow) {
+  const CachePolicy policies[] = {CachePolicy::kFace, CachePolicy::kLc,
+                                  CachePolicy::kTac, CachePolicy::kExadata};
+  for (CachePolicy policy : policies) {
+    SCOPED_TRACE(CachePolicyName(policy));
+    // Same seed twice: the post-degradation fingerprint must reproduce
+    // bit-for-bit (the acceptance bar for deterministic degradation).
+    DegradedFingerprint first, second;
+    RunFlashLossScenario(policy, 17, &first);
+    if (::testing::Test::HasFatalFailure()) return;
+    RunFlashLossScenario(policy, 17, &second);
+    if (::testing::Test::HasFatalFailure()) return;
+    EXPECT_EQ(first, second) << "same-seed degradation diverged";
+  }
+}
+
+TEST(DegradedModeTest, CrashWhileDegradedRecoversDiskOnly) {
+  const CachePolicy policies[] = {CachePolicy::kFace, CachePolicy::kLc,
+                                  CachePolicy::kTac, CachePolicy::kExadata};
+  for (CachePolicy policy : policies) {
+    SCOPED_TRACE(CachePolicyName(policy));
+    DegradedRig rig;
+    rig.Build(policy, 77);
+    if (::testing::Test::HasFatalFailure()) return;
+    Testbed& tb = rig.tb();
+    RunOptions warm;
+    warm.txns = 300;
+    FACE_ASSERT_OK(tb.Run(warm).status());
+
+    FaultInjector inj;
+    tb.flash_dev()->set_fault_injector(&inj);
+    inj.KillDevice("flash");
+    RunOptions body;
+    body.txns = 200;
+    FACE_ASSERT_OK(tb.Run(body).status());
+    ASSERT_TRUE(tb.IsDegraded());
+
+    // Serve disk-only for a while, then power-fail with work in flight.
+    RunOptions degraded_run;
+    degraded_run.txns = 150;
+    FACE_ASSERT_OK(tb.Run(degraded_run).status());
+    FACE_ASSERT_OK(tb.InjectInflightTransactions(2));
+    FACE_ASSERT_OK(tb.Crash());
+    RestartReport report;
+    FACE_ASSERT_OK_AND_ASSIGN(report, tb.Recover());
+    EXPECT_TRUE(report.degraded)
+        << "control block lost the degraded marker\n" << report.ToString();
+    EXPECT_TRUE(tb.IsDegraded());
+    rig.CheckDiff("crash while degraded");
+
+    // Survivability: the restarted disk-only engine still serves traffic.
+    RunOptions after;
+    after.txns = 100;
+    FACE_ASSERT_OK_AND_ASSIGN(RunResult res, tb.Run(after));
+    EXPECT_EQ(res.degraded_txns, res.txns);
+    rig.CheckDiff("post-restart degraded service");
+  }
+}
+
+TEST(DegradedModeTest, CrashDuringFlashRebuildRecoversFromTheFloor) {
+  // Power fails between the durable degraded-marker write and the
+  // WAL-driven rebuild: restart must come up disk-only and redo from the
+  // persisted rebuild floor, reconstructing every page whose only current
+  // copy died with the flash device.
+  DegradedRig rig;
+  rig.Build(CachePolicy::kFace, 91);
+  if (::testing::Test::HasFatalFailure()) return;
+  Testbed& tb = rig.tb();
+  RunOptions warm;
+  warm.txns = 400;
+  FACE_ASSERT_OK(tb.Run(warm).status());
+
+  tb.set_mid_degrade_hook(
+      [] { return Status::IOError("simulated power loss during rebuild"); });
+  FaultInjector inj;
+  tb.flash_dev()->set_fault_injector(&inj);
+  inj.KillDevice("flash");
+  RunOptions body;
+  body.txns = 300;
+  const auto res = tb.Run(body);
+  ASSERT_FALSE(res.ok()) << "the mid-degrade hook never fired";
+  tb.set_mid_degrade_hook(nullptr);
+
+  FACE_ASSERT_OK(tb.Crash());
+  RestartReport report;
+  FACE_ASSERT_OK_AND_ASSIGN(report, tb.Recover());
+  EXPECT_TRUE(report.degraded) << report.ToString();
+  EXPECT_GT(report.redo_applied, 0u)
+      << "nothing was replayed — the rebuild floor did not widen redo";
+  rig.CheckDiff("crash during flash rebuild");
+
+  RunOptions after;
+  after.txns = 100;
+  FACE_ASSERT_OK_AND_ASSIGN(RunResult after_res, tb.Run(after));
+  EXPECT_EQ(after_res.degraded_txns, after_res.txns);
+  rig.CheckDiff("post-rebuild-crash service");
+}
+
+TEST(DegradedModeTest, ScrubRepairsBitRotThenSurvivesACrash) {
+  // Silent bit-rot on idle flash frames; one scrub pass must find and fix
+  // every rotten frame (clean frames re-read from disk, dirty frames
+  // rebuilt from the WAL) before any of it is served, and a crash after
+  // the repairs must still recover the exact committed history.
+  DegradedRig rig;
+  rig.Build(CachePolicy::kFace, 55);
+  if (::testing::Test::HasFatalFailure()) return;
+  Testbed& tb = rig.tb();
+  RunOptions warm;
+  warm.txns = 500;
+  FACE_ASSERT_OK(tb.Run(warm).status());
+
+  // Rot every third frame block (same geometry the testbed provisioned).
+  const FlashLayout lay = FlashLayout::Compute(512, 256);
+  for (uint64_t i = 0; i < lay.n_frames; i += 3) {
+    FACE_ASSERT_OK(FaultInjector::FlipBitsInBlock(
+        tb.flash_dev(), lay.FrameBlock(i), /*n_bits=*/3, /*seed=*/1000 + i));
+  }
+
+  ScrubResult scrub;
+  FACE_ASSERT_OK_AND_ASSIGN(scrub, tb.ScrubPass(lay.n_frames));
+  EXPECT_GT(scrub.frames_scanned, 0u);
+  EXPECT_GT(scrub.clean_repaired + scrub.lost_dirty.size(), 0u)
+      << "no rot found: the flips missed every occupied frame";
+  EXPECT_FALSE(tb.IsDegraded());
+
+  // The repaired cache serves clean traffic...
+  RunOptions body;
+  body.txns = 200;
+  FACE_ASSERT_OK(tb.Run(body).status());
+  rig.CheckDiff("scrub repair");
+
+  // ...and a crash after the repairs recovers row-for-row.
+  FACE_ASSERT_OK(tb.InjectInflightTransactions(2));
+  FACE_ASSERT_OK(tb.Crash());
+  RestartReport report;
+  FACE_ASSERT_OK_AND_ASSIGN(report, tb.Recover());
+  EXPECT_FALSE(report.degraded);
+  rig.CheckDiff("scrub-repair-then-crash");
+}
+
+TEST(DegradedModeTest, BackgroundScrubberWalksIdleFramesInVirtualTime) {
+  // With a scrub interval set, Run() schedules passes on the virtual clock;
+  // on healthy media they scan frames and repair nothing — and they must
+  // not disturb the workload's correctness.
+  DegradedRig rig;
+  rig.Build(CachePolicy::kFace, 21, /*scrub_interval=*/5 * kNanosPerMilli);
+  if (::testing::Test::HasFatalFailure()) return;
+  Testbed& tb = rig.tb();
+  RunOptions warm;
+  warm.txns = 300;
+  FACE_ASSERT_OK(tb.Run(warm).status());
+
+  RunOptions body;
+  body.txns = 500;
+  FACE_ASSERT_OK_AND_ASSIGN(RunResult res, tb.Run(body));
+  EXPECT_GT(res.scrub_frames_scanned, 0u) << "the scrubber never ran";
+  EXPECT_EQ(res.scrub_clean_repaired, 0u);
+  EXPECT_EQ(res.scrub_lost_dirty, 0u);
+  rig.CheckDiff("background scrub");
+}
+
+TEST(DegradedModeTest, ReattachedFlashRewarmsThroughNormalAdmission) {
+  DegradedRig rig;
+  rig.Build(CachePolicy::kFace, 33);
+  if (::testing::Test::HasFatalFailure()) return;
+  Testbed& tb = rig.tb();
+  RunOptions warm;
+  warm.txns = 300;
+  FACE_ASSERT_OK(tb.Run(warm).status());
+
+  FaultInjector inj;
+  tb.flash_dev()->set_fault_injector(&inj);
+  inj.KillDevice("flash");
+  RunOptions body;
+  body.txns = 200;
+  FACE_ASSERT_OK(tb.Run(body).status());
+  ASSERT_TRUE(tb.IsDegraded());
+
+  // Replace the media: disarm first (the caller's contract), then re-attach.
+  inj.DisarmDevice("flash");
+  FACE_ASSERT_OK(tb.ReattachFlash());
+  EXPECT_FALSE(tb.IsDegraded());
+
+  RunOptions rewarm;
+  rewarm.txns = 300;
+  FACE_ASSERT_OK_AND_ASSIGN(RunResult res, tb.Run(rewarm));
+  EXPECT_EQ(res.degraded_txns, 0u);
+  EXPECT_GT(res.flash_stats.pages_written, 0u)
+      << "nothing was admitted — the cache never re-warmed";
+  rig.CheckDiff("re-attached flash");
+
+  // The cleared degraded marker is durable: a crash after re-attach must
+  // restart with the cache trusted again.
+  FACE_ASSERT_OK(tb.Crash());
+  RestartReport report;
+  FACE_ASSERT_OK_AND_ASSIGN(report, tb.Recover());
+  EXPECT_FALSE(report.degraded) << report.ToString();
+  rig.CheckDiff("crash after re-attach");
+}
+
+TEST(DegradedModeTest, ShardedStormFaultsOneShardOnly) {
+  // Per-device injector scoping: arming one shard's flash degrades that
+  // shard and leaves every other shard's cache untouched — no global
+  // disarm, no cross-shard perturbation.
+  workload::YcsbOptions yo;
+  yo.records = 12000;  // 6000 per shard: overflows DRAM, drives flash
+  yo.value_bytes = 120;
+  ShardedTestbedOptions so;
+  so.shards = 2;
+  so.base.clients = 8;
+  so.base.seed = 42;
+  so.base.policy = CachePolicy::kFace;
+  so.base.buffer_frames = 64;
+  so.factory = std::make_shared<workload::YcsbFactory>(yo);
+  so.flash_ratio = 0.1;
+
+  FaultInjector inj;  // outlives the testbed; used only on shard 0's worker
+  ShardedTestbed st(so);
+  FACE_ASSERT_OK(st.Start());
+  FACE_ASSERT_OK(st.Warmup(300));
+
+  FACE_ASSERT_OK(st.OnShard(0, [&inj](Testbed& shard_tb) {
+    shard_tb.flash_dev()->set_fault_injector(&inj);
+    TransientFaultProfile p;
+    p.write_fail_permille = 1000;
+    p.sticky_failures = 8;
+    p.seed = 9;
+    inj.ArmTransient("flash", p);
+    return Status::OK();
+  }));
+
+  RunOptions run;
+  run.txns = 300;
+  std::vector<RunResult> per_shard;
+  FACE_ASSERT_OK(st.Run(run, &per_shard).status());
+
+  ASSERT_EQ(per_shard.size(), 2u);
+  EXPECT_EQ(per_shard[0].degradations, 1u);
+  EXPECT_TRUE(st.testbed(0)->IsDegraded());
+  EXPECT_GT(per_shard[0].flash_stats.retries, 0u);
+
+  EXPECT_EQ(per_shard[1].degradations, 0u);
+  EXPECT_FALSE(st.testbed(1)->IsDegraded());
+  EXPECT_EQ(per_shard[1].flash_stats.retries, 0u);
+  EXPECT_EQ(inj.transient_failures_on("db"), 0u);
+  EXPECT_GT(per_shard[1].cache_stats.hits, 0u)
+      << "the healthy shard's cache stopped serving";
 }
 
 }  // namespace

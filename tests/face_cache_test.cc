@@ -139,7 +139,8 @@ TEST_F(FaceCacheTest, GroupReplacementBatchesIo) {
 class FakePullSource : public DramPullSource {
  public:
   explicit FakePullSource(PageId first) : next_(first) {}
-  PageId PullVictim(char* page, bool* dirty, bool* fdirty) override {
+  PageId PullVictim(char* page, bool* dirty, bool* fdirty,
+                    Lsn* rec_lsn) override {
     if (remaining_ == 0) return kInvalidPageId;
     --remaining_;
     const PageId id = next_++;
@@ -148,6 +149,7 @@ class FakePullSource : public DramPullSource {
     v.set_lsn(5);
     *dirty = true;
     *fdirty = true;
+    *rec_lsn = 5;
     ++pulled;
     return id;
   }
@@ -268,7 +270,7 @@ TEST_F(FaceCacheTest, CheckpointPageAbsorbsIntoFlash) {
   std::string page = MakePage(9, 'k', 77);
   const uint64_t disk0 = cache_->stats().disk_writes;
   FACE_ASSERT_OK_AND_ASSIGN(bool absorbed,
-                            cache_->CheckpointPage(9, page.data()));
+                            cache_->CheckpointPage(9, page.data(), 77));
   EXPECT_TRUE(absorbed);
   EXPECT_EQ(cache_->stats().disk_writes, disk0);
   EXPECT_TRUE(cache_->Contains(9));

@@ -231,5 +231,152 @@ TEST(FaultInjectorTest, AftermathPrimitives) {
   EXPECT_EQ(dev.stats().write_reqs, 2u);
 }
 
+// --- transient-fault layer + retry/backoff ---------------------------------
+
+TEST(TransientFaultTest, StickyBurstWithinBudgetIsRetriedToSuccess) {
+  // Seed 10 makes the first permille-500 draw fail (37) and the following
+  // draws pass (803, 505, ...): with a sticky window of 1 the first write
+  // fails twice (trigger + sticky) and succeeds on the third attempt —
+  // inside the default 4-attempt budget, so the caller never sees an error.
+  SimDevice dev("d", DeviceProfile::Seagate15k(), 128);
+  FaultInjector inj;
+  dev.set_fault_injector(&inj);
+  TransientFaultProfile p;
+  p.write_fail_permille = 500;
+  p.sticky_failures = 1;
+  p.seed = 10;
+  inj.ArmTransient("d", p);
+
+  FACE_ASSERT_OK(dev.Write(0, PageOf('a').data()));
+  EXPECT_FALSE(dev.failed());
+  EXPECT_EQ(dev.stats().retries, 2u);
+  // Default policy: 100 us before the first retry, x4 before the second.
+  const IoRetryPolicy policy;
+  EXPECT_EQ(dev.stats().backoff_ns,
+            policy.BackoffFor(1) + policy.BackoffFor(2));
+  EXPECT_EQ(inj.transient_failures_on("d"), 2u);
+
+  // The bytes made it to media despite the failed attempts.
+  std::string buf(kPageSize, '\0');
+  FACE_ASSERT_OK(dev.Read(0, buf.data()));
+  EXPECT_EQ(buf[0], 'a');
+  // Later writes draw clean and pass on the first attempt.
+  FACE_ASSERT_OK(dev.Write(1, PageOf('b').data()));
+  EXPECT_EQ(dev.stats().retries, 2u);
+}
+
+TEST(TransientFaultTest, ExhaustedRetryBudgetDeclaresTheDeviceLost) {
+  SimDevice dev("d", DeviceProfile::Seagate15k(), 128);
+  FaultInjector inj;
+  dev.set_fault_injector(&inj);
+  TransientFaultProfile p;
+  p.write_fail_permille = 1000;  // every attempt fails: exhaustion is certain
+  p.seed = 3;
+  inj.ArmTransient("d", p);
+
+  Status s = dev.Write(0, PageOf('a').data());
+  EXPECT_TRUE(s.IsDeviceLost()) << s.ToString();
+  EXPECT_TRUE(dev.failed());
+  EXPECT_EQ(dev.stats().retries, 3u);  // 4 attempts = 1 + 3 retries
+
+  // Offline devices fail fast: no further attempts, no further RNG draws.
+  const uint64_t failures = inj.transient_failures_on("d");
+  s = dev.Read(0, PageOf(' ').data());
+  EXPECT_TRUE(s.IsDeviceLost());
+  EXPECT_EQ(inj.transient_failures_on("d"), failures);
+
+  // Re-attach protocol: disarm first, then reset health.
+  inj.DisarmDevice("d");
+  dev.ResetHealth();
+  FACE_ASSERT_OK(dev.Write(0, PageOf('c').data()));
+  EXPECT_FALSE(dev.failed());
+}
+
+TEST(TransientFaultTest, KilledDeviceFailsTerminallyWithoutRetries) {
+  SimDevice dev("d", DeviceProfile::Seagate15k(), 128);
+  FaultInjector inj;
+  dev.set_fault_injector(&inj);
+  inj.KillDevice("d");
+
+  const Status s = dev.Write(0, PageOf('a').data());
+  EXPECT_TRUE(s.IsDeviceLost()) << s.ToString();
+  EXPECT_FALSE(s.IsRetryable());
+  EXPECT_EQ(dev.stats().retries, 0u);  // terminal verdicts are never retried
+  EXPECT_TRUE(dev.failed());
+}
+
+TEST(TransientFaultTest, ArmingOneDeviceNeverTouchesAnother) {
+  // One injector shared by two devices, the sharded-testbed wiring: arming
+  // a profile on "a" must leave "b" entirely unaffected — no failures, no
+  // retries, no RNG draws charged to it.
+  SimDevice a("a", DeviceProfile::Seagate15k(), 128);
+  SimDevice b("b", DeviceProfile::Seagate15k(), 128);
+  FaultInjector inj;
+  a.set_fault_injector(&inj);
+  b.set_fault_injector(&inj);
+
+  TransientFaultProfile p;
+  p.write_fail_permille = 1000;
+  p.seed = 7;
+  inj.ArmTransient("a", p);
+
+  EXPECT_TRUE(a.Write(0, PageOf('a').data()).IsDeviceLost());
+  FACE_ASSERT_OK(b.Write(0, PageOf('b').data()));
+  EXPECT_TRUE(a.failed());
+  EXPECT_FALSE(b.failed());
+  EXPECT_EQ(b.stats().retries, 0u);
+  EXPECT_EQ(inj.transient_failures_on("b"), 0u);
+
+  // Per-device disarm: "a" recovers without a global Disarm.
+  inj.DisarmDevice("a");
+  a.ResetHealth();
+  FACE_ASSERT_OK(a.Write(1, PageOf('c').data()));
+  FACE_ASSERT_OK(b.Write(1, PageOf('d').data()));
+}
+
+TEST(TransientFaultTest, LatencySpikesMultiplyServiceTimeDeterministically) {
+  // Identical devices, identical request streams; one armed with a
+  // certain-fire x8 spike profile. Virtual busy time must scale exactly.
+  SimDevice plain("p", DeviceProfile::MlcSamsung470(), 128);
+  SimDevice spiked("s", DeviceProfile::MlcSamsung470(), 128);
+  FaultInjector inj;
+  spiked.set_fault_injector(&inj);
+  TransientFaultProfile p;
+  p.latency_spike_permille = 1000;
+  p.latency_spike_factor = 8;
+  p.seed = 11;
+  inj.ArmTransient("s", p);
+
+  for (uint64_t b = 0; b < 8; ++b) {
+    FACE_ASSERT_OK(plain.Write(b, PageOf('x').data()));
+    FACE_ASSERT_OK(spiked.Write(b, PageOf('x').data()));
+  }
+  EXPECT_GT(plain.stats().busy_ns, 0u);
+  EXPECT_EQ(spiked.stats().busy_ns, 8 * plain.stats().busy_ns);
+  EXPECT_EQ(spiked.stats().retries, 0u);  // spikes are slow, not failed
+}
+
+TEST(TransientFaultTest, AttachedButDisarmedInjectorPerturbsNothing) {
+  // The zero-perturbation bar: an injector that is attached but never armed
+  // must leave every counter bit-identical to a device with no injector.
+  SimDevice bare("d", DeviceProfile::Seagate15k(), 128);
+  SimDevice hooked("d2", DeviceProfile::Seagate15k(), 128);
+  FaultInjector inj;
+  hooked.set_fault_injector(&inj);
+  EXPECT_FALSE(inj.transient_active());
+
+  std::string buf(kPageSize, '\0');
+  for (uint64_t b = 0; b < 16; ++b) {
+    FACE_ASSERT_OK(bare.Write(b, PageOf('z').data()));
+    FACE_ASSERT_OK(hooked.Write(b, PageOf('z').data()));
+    FACE_ASSERT_OK(bare.Read(b, buf.data()));
+    FACE_ASSERT_OK(hooked.Read(b, buf.data()));
+  }
+  EXPECT_EQ(bare.stats().busy_ns, hooked.stats().busy_ns);
+  EXPECT_EQ(bare.stats().seq_write_reqs, hooked.stats().seq_write_reqs);
+  EXPECT_EQ(hooked.stats().retries, 0u);
+  EXPECT_EQ(hooked.stats().backoff_ns, 0u);
+}
+
 }  // namespace
 }  // namespace face
